@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks of the hot operations: calendar slot queries,
+//! CPA allocation, and whole-schedule computations at the paper's default
+//! problem size.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use resched_core::backward::{schedule_deadline, DeadlineAlgo, DeadlineConfig};
+use resched_core::cpa;
+use resched_core::forward::{schedule_forward, ForwardConfig};
+use resched_core::prelude::*;
+use resched_daggen::{generate, DagParams};
+use resched_sim::scenario::{derive_seed, LogCache, DEFAULT_ROOT_SEED};
+use resched_workloads::prelude::*;
+use std::hint::black_box;
+
+fn setup() -> (resched_core::dag::Dag, Calendar, u32) {
+    let mut cache = LogCache::new();
+    let spec = LogSpec::grid5000();
+    let log = cache.get(&spec, DEFAULT_ROOT_SEED).clone();
+    let t = sample_start_times(&log, 1, derive_seed(DEFAULT_ROOT_SEED, "cb", 0))[0];
+    let rs = extract(
+        &log,
+        t,
+        &ExtractSpec::new(1.0, ThinMethod::Real),
+        derive_seed(DEFAULT_ROOT_SEED, "cb", 1),
+    );
+    let dag = generate(&DagParams::paper_default(), 42);
+    let q = rs.q;
+    (dag, rs.calendar(), q)
+}
+
+fn bench_calendar(c: &mut Criterion) {
+    let (_, cal, _) = setup();
+    c.bench_function("calendar/earliest_fit", |b| {
+        b.iter(|| black_box(cal.earliest_fit(black_box(16), Dur::hours(2), Time::ZERO)))
+    });
+    c.bench_function("calendar/latest_fit", |b| {
+        b.iter(|| {
+            black_box(cal.latest_fit(
+                black_box(16),
+                Dur::hours(2),
+                Time::seconds(5 * 86_400),
+                Time::ZERO,
+            ))
+        })
+    });
+    c.bench_function("calendar/average_available", |b| {
+        b.iter(|| black_box(cal.average_available(Time::ZERO, Time::seconds(7 * 86_400))))
+    });
+}
+
+fn bench_cpa(c: &mut Criterion) {
+    let dag = generate(&DagParams::paper_default(), 42);
+    c.bench_function("cpa/allocate_n50_p512", |b| {
+        b.iter(|| black_box(cpa::allocate(&dag, 512, StoppingCriterion::Stringent)))
+    });
+    let alloc = cpa::allocate(&dag, 512, StoppingCriterion::Stringent);
+    c.bench_function("cpa/map_n50", |b| {
+        b.iter(|| black_box(cpa::map(&dag, &alloc, Time::ZERO)))
+    });
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let (dag, cal, q) = setup();
+    c.bench_function("forward/bl_cpar_bd_cpar_n50", |b| {
+        b.iter_batched(
+            || cal.clone(),
+            |cal| {
+                black_box(schedule_forward(
+                    &dag,
+                    &cal,
+                    Time::ZERO,
+                    q,
+                    ForwardConfig::recommended(),
+                ))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let reference = schedule_forward(&dag, &cal, Time::ZERO, q, ForwardConfig::recommended());
+    let deadline = Time::ZERO + reference.turnaround() * 2;
+    c.bench_function("deadline/dl_rc_cpar_n50", |b| {
+        b.iter(|| {
+            black_box(
+                schedule_deadline(
+                    &dag,
+                    &cal,
+                    Time::ZERO,
+                    q,
+                    deadline,
+                    DeadlineAlgo::RcCpaR,
+                    DeadlineConfig::default(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_calendar, bench_cpa, bench_schedulers
+}
+criterion_main!(benches);

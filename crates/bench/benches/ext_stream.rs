@@ -1,0 +1,11 @@
+//! Extension — closed-loop multi-application stream: the competing
+//! reservations are themselves applications scheduled by this library.
+
+use resched_sim::exp::stream::{stream_table, StreamConfig};
+use resched_sim::scenario::DEFAULT_ROOT_SEED;
+
+fn main() {
+    let cfg = StreamConfig::default();
+    let t = stream_table(&cfg, &[8.0, 4.0, 2.0, 1.0, 0.5], DEFAULT_ROOT_SEED);
+    println!("{}", t.render());
+}

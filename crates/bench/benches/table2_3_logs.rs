@@ -1,0 +1,13 @@
+//! Tables 2 & 3 — synthetic batch-log statistics, plus the §3.2.1
+//! correlation of thinning methods against Grid'5000-like profiles.
+
+use resched_sim::exp::logs::{correlation_table, run_correlations, run_log_stats, table2, table3};
+use resched_sim::scenario::DEFAULT_ROOT_SEED;
+
+fn main() {
+    let stats = run_log_stats(DEFAULT_ROOT_SEED);
+    println!("{}", table2(&stats).render());
+    println!("{}", table3(&stats).render());
+    let corrs = run_correlations(DEFAULT_ROOT_SEED, 5);
+    println!("{}", correlation_table(&corrs).render());
+}

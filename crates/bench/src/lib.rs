@@ -1,0 +1,8 @@
+//! # resched-bench — benchmark harness
+//!
+//! This crate carries no library code; its `benches/` directory holds one
+//! target per table of the paper (Tables 1–10), the design-choice
+//! ablations (`ablation_*`), the future-work extensions (`ext_*`), and the
+//! criterion micro-benchmarks (`criterion_micro`). Run all of them with
+//! `cargo bench --workspace`, or a single one with e.g.
+//! `cargo bench -p resched-bench --bench table4_ressched`.

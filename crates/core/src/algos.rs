@@ -1,0 +1,193 @@
+//! A unified registry over every scheduling algorithm in the workspace, so
+//! harnesses, CLIs, and comparisons can treat them uniformly.
+
+use crate::backward::{schedule_deadline, DeadlineAlgo, DeadlineConfig, DeadlineInfeasible};
+use crate::bl::BlMethod;
+use crate::blind::{schedule_blind, BlindConfig, ReservationDesk};
+use crate::dag::Dag;
+use crate::forward::{schedule_forward, BdMethod, ForwardConfig};
+use crate::icaslb::{schedule_icaslb, IcaslbConfig};
+use crate::schedule::Schedule;
+use resched_resv::{Calendar, Time};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Any algorithm in the workspace, by family.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// A RESSCHED (turn-around minimization) algorithm.
+    Forward(ForwardConfig),
+    /// A RESSCHEDDL (deadline) algorithm; needs a deadline at run time.
+    Deadline(DeadlineAlgo),
+    /// The reservation-aware one-step iCASLB extension.
+    Icaslb,
+    /// The trial-and-error (no-visibility) extension.
+    Blind,
+}
+
+impl Algorithm {
+    /// Every concrete algorithm the paper evaluates, plus the extensions.
+    pub fn catalog() -> Vec<Algorithm> {
+        let mut v = Vec::new();
+        for bl in BlMethod::ALL {
+            for bd in BdMethod::ALL {
+                v.push(Algorithm::Forward(ForwardConfig::new(bl, bd)));
+            }
+        }
+        for a in DeadlineAlgo::ALL {
+            v.push(Algorithm::Deadline(a));
+        }
+        v.push(Algorithm::Icaslb);
+        v.push(Algorithm::Blind);
+        v
+    }
+
+    /// Canonical display name.
+    pub fn name(&self) -> String {
+        match self {
+            Algorithm::Forward(cfg) => cfg.name(),
+            Algorithm::Deadline(a) => a.name().to_string(),
+            Algorithm::Icaslb => "iCASLB-AR".to_string(),
+            Algorithm::Blind => "BLIND".to_string(),
+        }
+    }
+
+    /// Find an algorithm by its canonical name.
+    pub fn by_name(name: &str) -> Option<Algorithm> {
+        Algorithm::catalog().into_iter().find(|a| a.name() == name)
+    }
+
+    /// Whether the algorithm needs a deadline.
+    pub fn needs_deadline(&self) -> bool {
+        matches!(self, Algorithm::Deadline(_))
+    }
+
+    /// Run the algorithm on one problem instance. Deadline algorithms need
+    /// `deadline: Some(k)`; the others ignore it.
+    pub fn run(
+        &self,
+        dag: &Dag,
+        competing: &Calendar,
+        now: Time,
+        q: u32,
+        deadline: Option<Time>,
+    ) -> Result<Schedule, RunError> {
+        match self {
+            Algorithm::Forward(cfg) => Ok(schedule_forward(dag, competing, now, q, *cfg)),
+            Algorithm::Deadline(a) => {
+                let k = deadline.ok_or(RunError::DeadlineRequired)?;
+                schedule_deadline(dag, competing, now, q, k, *a, DeadlineConfig::default())
+                    .map(|o| o.schedule)
+                    .map_err(RunError::Infeasible)
+            }
+            Algorithm::Icaslb => Ok(schedule_icaslb(
+                dag,
+                competing,
+                now,
+                q,
+                IcaslbConfig::default(),
+            )),
+            Algorithm::Blind => {
+                let mut desk = ReservationDesk::new(competing.clone());
+                Ok(schedule_blind(
+                    dag,
+                    &mut desk,
+                    now,
+                    q,
+                    BlindConfig::default(),
+                ))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Errors from [`Algorithm::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunError {
+    /// A deadline algorithm was run without a deadline.
+    DeadlineRequired,
+    /// The deadline cannot be met.
+    Infeasible(DeadlineInfeasible),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::DeadlineRequired => write!(f, "this algorithm requires a deadline"),
+            RunError::Infeasible(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::fork_join;
+    use crate::task::TaskCost;
+    use resched_resv::Dur;
+
+    fn instance() -> (Dag, Calendar) {
+        let c = |s, a| TaskCost::new(Dur::seconds(s), a);
+        let dag = fork_join(c(300, 0.1), &[c(3600, 0.15); 4], c(300, 0.1));
+        let mut cal = Calendar::new(8);
+        cal.try_add(resched_resv::Reservation::new(
+            Time::seconds(100),
+            Time::seconds(4000),
+            5,
+        ))
+        .unwrap();
+        (dag, cal)
+    }
+
+    #[test]
+    fn catalog_covers_everything_with_unique_names() {
+        let cat = Algorithm::catalog();
+        // 16 forward + 7 deadline + 2 extensions.
+        assert_eq!(cat.len(), 25);
+        let mut names: Vec<String> = cat.iter().map(|a| a.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 25, "duplicate algorithm names");
+    }
+
+    #[test]
+    fn by_name_roundtrips() {
+        for a in Algorithm::catalog() {
+            assert_eq!(Algorithm::by_name(&a.name()), Some(a));
+        }
+        assert_eq!(Algorithm::by_name("nope"), None);
+    }
+
+    #[test]
+    fn every_algorithm_runs_and_validates() {
+        let (dag, cal) = instance();
+        let deadline = Some(Time::seconds(500_000));
+        for a in Algorithm::catalog() {
+            let s = a
+                .run(&dag, &cal, Time::ZERO, 4, deadline)
+                .unwrap_or_else(|e| panic!("{a}: {e}"));
+            s.validate(&dag, &cal)
+                .unwrap_or_else(|e| panic!("{a}: invalid schedule: {e}"));
+        }
+    }
+
+    #[test]
+    fn deadline_algorithms_demand_a_deadline() {
+        let (dag, cal) = instance();
+        let a = Algorithm::Deadline(DeadlineAlgo::BdCpa);
+        assert!(a.needs_deadline());
+        assert_eq!(
+            a.run(&dag, &cal, Time::ZERO, 4, None).unwrap_err(),
+            RunError::DeadlineRequired
+        );
+        assert!(!Algorithm::Icaslb.needs_deadline());
+    }
+}

@@ -1,0 +1,716 @@
+//! Backward scheduling: the RESSCHEDDL (deadline-meeting) algorithms of
+//! paper §5.
+//!
+//! Tasks are processed in *increasing* bottom-level order (exit tasks first)
+//! and placed backward in time from the deadline `K`. When task `t_i` is
+//! scheduled, all of its successors already are, so `t_i` must finish by
+//! `dl_i = min(start of successors)` (or `K` for the first task).
+//!
+//! For each task the algorithms pick one `<m, start>` pair among the
+//! per-processor-count *latest fits* before `dl_i`:
+//!
+//! * **Aggressive** (`DL_BD_*`): the pair with the latest start time, with
+//!   `m` bounded by `p`, CPA(`p`) or CPA(`q`) — mirroring the forward
+//!   bounding methods. Aggressive algorithms never try to save processors.
+//! * **Resource-conservative** (`DL_RC_*`): the pair with the *fewest*
+//!   processors whose start time is still no earlier than a CPA-derived
+//!   guideline `S_i`, so the schedule tracks what CPA would have done on a
+//!   dedicated platform (and therefore consumes few CPU-hours). `S_i` is
+//!   obtained by re-mapping the not-yet-scheduled part of the DAG with
+//!   CPA's list scheduler before every decision (paper §5.2.2). If no
+//!   candidate starts late enough, the algorithm falls back to aggressive
+//!   mode to get "back on track".
+//! * **Hybrids** (`DL_RC_CPAR-λ`, `DL_RCBD_CPAR-λ`): relax the guideline to
+//!   `S_i + λ·(dl_i − S_i)` and raise `λ` from 0 to 1 in steps of 0.05
+//!   until the deadline is met (paper §5.4). The `RCBD` variant bounds the
+//!   fallback's processor counts by the CPA(`q`) allocation instead of
+//!   letting it use up to `p` processors.
+
+use crate::bl::{self, BlMethod};
+use crate::cpa::{self, CpaAllocation, StoppingCriterion};
+use crate::dag::{Dag, TaskId};
+use crate::schedule::{Placement, Schedule, ScheduleStats};
+use resched_resv::{Calendar, Reservation, Time};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The deadline-scheduling algorithms of paper §5, by their paper names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeadlineAlgo {
+    /// `DL_BD_ALL` — aggressive, allocations bounded by `p`.
+    BdAll,
+    /// `DL_BD_CPA` — aggressive, bounded by CPA(`p`) allocations.
+    BdCpa,
+    /// `DL_BD_CPAR` — aggressive, bounded by CPA(`q`) allocations.
+    BdCpaR,
+    /// `DL_RC_CPA` — resource-conservative, CPA(`p`) start-time guideline.
+    RcCpa,
+    /// `DL_RC_CPAR` — resource-conservative, CPA(`q`) start-time guideline.
+    RcCpaR,
+    /// `DL_RC_CPAR-λ` — hybrid: raise λ from 0 until the deadline is met.
+    RcCpaRLambda,
+    /// `DL_RCBD_CPAR-λ` — hybrid with CPA-bounded fallback allocations.
+    RcbdCpaRLambda,
+}
+
+impl DeadlineAlgo {
+    /// All seven algorithms in the paper's presentation order.
+    pub const ALL: [DeadlineAlgo; 7] = [
+        DeadlineAlgo::BdAll,
+        DeadlineAlgo::BdCpa,
+        DeadlineAlgo::BdCpaR,
+        DeadlineAlgo::RcCpa,
+        DeadlineAlgo::RcCpaR,
+        DeadlineAlgo::RcCpaRLambda,
+        DeadlineAlgo::RcbdCpaRLambda,
+    ];
+
+    /// The five non-hybrid algorithms compared in the paper's Table 6.
+    pub const TABLE6: [DeadlineAlgo; 5] = [
+        DeadlineAlgo::BdAll,
+        DeadlineAlgo::BdCpa,
+        DeadlineAlgo::BdCpaR,
+        DeadlineAlgo::RcCpa,
+        DeadlineAlgo::RcCpaR,
+    ];
+
+    /// The paper's name for the algorithm.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeadlineAlgo::BdAll => "DL_BD_ALL",
+            DeadlineAlgo::BdCpa => "DL_BD_CPA",
+            DeadlineAlgo::BdCpaR => "DL_BD_CPAR",
+            DeadlineAlgo::RcCpa => "DL_RC_CPA",
+            DeadlineAlgo::RcCpaR => "DL_RC_CPAR",
+            DeadlineAlgo::RcCpaRLambda => "DL_RC_CPAR-L",
+            DeadlineAlgo::RcbdCpaRLambda => "DL_RCBD_CPAR-L",
+        }
+    }
+}
+
+impl fmt::Display for DeadlineAlgo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The deadline cannot be met by the algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineInfeasible {
+    /// The deadline that could not be met.
+    pub deadline: Time,
+}
+
+impl fmt::Display for DeadlineInfeasible {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deadline {} cannot be met", self.deadline)
+    }
+}
+
+impl std::error::Error for DeadlineInfeasible {}
+
+/// Configuration shared by the deadline algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeadlineConfig {
+    /// CPA stopping criterion for all CPA allocations.
+    pub criterion: StoppingCriterion,
+    /// λ step size for the hybrid algorithms (paper: 0.05).
+    pub lambda_step: f64,
+}
+
+impl Default for DeadlineConfig {
+    fn default() -> Self {
+        DeadlineConfig {
+            criterion: StoppingCriterion::default(),
+            lambda_step: 0.05,
+        }
+    }
+}
+
+/// Outcome of a successful deadline-scheduling run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeadlineOutcome {
+    /// The computed schedule.
+    pub schedule: Schedule,
+    /// The λ value that succeeded (hybrid algorithms only).
+    pub lambda: Option<f64>,
+}
+
+/// Try to schedule `dag` so that every task completes by `deadline`.
+///
+/// `competing` describes the platform and its existing reservations, `now`
+/// the scheduling instant, and `q` the historical average availability.
+pub fn schedule_deadline(
+    dag: &Dag,
+    competing: &Calendar,
+    now: Time,
+    q: u32,
+    deadline: Time,
+    algo: DeadlineAlgo,
+    cfg: DeadlineConfig,
+) -> Result<DeadlineOutcome, DeadlineInfeasible> {
+    let p = competing.capacity();
+    let q = q.clamp(1, p);
+    let mut stats = ScheduleStats::default();
+
+    // All algorithms order tasks with BL_CPAR bottom levels (paper §5.2:
+    // "We use the BL_CPAR method ... because it proved the best").
+    stats.cpa_allocations += 1;
+    let bl_exec = bl::exec_times(dag, p, q, BlMethod::CpaR, cfg.criterion);
+    let levels = bl::bottom_levels(dag, &bl_exec);
+    let order = bl::order_by_increasing_bl(dag, &levels);
+
+    let result = match algo {
+        DeadlineAlgo::BdAll => {
+            let bounds = vec![p; dag.num_tasks()];
+            backward_pass(
+                dag, competing, now, deadline, &order,
+                Mode::Aggressive { bounds: &bounds },
+                &mut stats,
+            )
+        }
+        DeadlineAlgo::BdCpa => {
+            stats.cpa_allocations += 1;
+            let bounds = cpa::allocate(dag, p, cfg.criterion).allocs;
+            backward_pass(
+                dag, competing, now, deadline, &order,
+                Mode::Aggressive { bounds: &bounds },
+                &mut stats,
+            )
+        }
+        DeadlineAlgo::BdCpaR => {
+            stats.cpa_allocations += 1;
+            let bounds = cpa::allocate(dag, q, cfg.criterion).allocs;
+            backward_pass(
+                dag, competing, now, deadline, &order,
+                Mode::Aggressive { bounds: &bounds },
+                &mut stats,
+            )
+        }
+        DeadlineAlgo::RcCpa | DeadlineAlgo::RcCpaR => {
+            let pool = if algo == DeadlineAlgo::RcCpa { p } else { q };
+            stats.cpa_allocations += 1;
+            let guide = cpa::allocate(dag, pool, cfg.criterion);
+            backward_pass(
+                dag, competing, now, deadline, &order,
+                Mode::Rc {
+                    guide: &guide,
+                    lambda: 0.0,
+                    fallback_bounds: None,
+                },
+                &mut stats,
+            )
+        }
+        DeadlineAlgo::RcCpaRLambda | DeadlineAlgo::RcbdCpaRLambda => {
+            stats.cpa_allocations += 1;
+            let guide = cpa::allocate(dag, q, cfg.criterion);
+            let fallback = if algo == DeadlineAlgo::RcbdCpaRLambda {
+                Some(guide.allocs.clone())
+            } else {
+                None
+            };
+            let mut found = None;
+            let mut lambda = 0.0f64;
+            while lambda <= 1.0 + 1e-9 {
+                if let Some(placements) = backward_pass(
+                    dag, competing, now, deadline, &order,
+                    Mode::Rc {
+                        guide: &guide,
+                        lambda: lambda.min(1.0),
+                        fallback_bounds: fallback.as_deref(),
+                    },
+                    &mut stats,
+                ) {
+                    found = Some((placements, lambda.min(1.0)));
+                    break;
+                }
+                lambda += cfg.lambda_step;
+            }
+            match found {
+                Some((placements, lambda)) => {
+                    let mut sched = Schedule::new(placements, now);
+                    sched.stats = stats;
+                    return Ok(DeadlineOutcome {
+                        schedule: sched,
+                        lambda: Some(lambda),
+                    });
+                }
+                None => return Err(DeadlineInfeasible { deadline }),
+            }
+        }
+    };
+
+    match result {
+        Some(placements) => {
+            let mut sched = Schedule::new(placements, now);
+            sched.stats = stats;
+            Ok(DeadlineOutcome {
+                schedule: sched,
+                lambda: None,
+            })
+        }
+        None => Err(DeadlineInfeasible { deadline }),
+    }
+}
+
+/// How the backward pass picks among per-`m` latest fits.
+enum Mode<'a> {
+    /// Latest start wins; `m` ranges over `1..=bounds[t]`.
+    Aggressive { bounds: &'a [u32] },
+    /// Fewest processors with `start >= S_i + λ(dl_i − S_i)` wins; fallback
+    /// to latest start over `1..=p` (or `1..=fallback_bounds[t]` for RCBD).
+    Rc {
+        guide: &'a CpaAllocation,
+        lambda: f64,
+        fallback_bounds: Option<&'a [u32]>,
+    },
+}
+
+/// One whole-DAG backward pass. Returns placements for every task, or `None`
+/// if some task cannot be placed between `now` and its deadline.
+fn backward_pass(
+    dag: &Dag,
+    competing: &Calendar,
+    now: Time,
+    deadline: Time,
+    order: &[TaskId],
+    mode: Mode<'_>,
+    stats: &mut ScheduleStats,
+) -> Option<Vec<Placement>> {
+    stats.passes += 1;
+    let p = competing.capacity();
+    let mut cal = competing.clone();
+    let mut placements: Vec<Option<Placement>> = vec![None; dag.num_tasks()];
+
+    for (k, &t) in order.iter().enumerate() {
+        // Successors are already scheduled (they have lower bottom levels).
+        let dl = dag
+            .succs(t)
+            .iter()
+            .map(|&s| {
+                placements[s.idx()]
+                    .expect("increasing-bl order schedules successors first")
+                    .start
+            })
+            .min()
+            .unwrap_or(deadline);
+
+        let cost = dag.cost(t);
+        let chosen = match &mode {
+            Mode::Aggressive { bounds } => latest_start_candidate(
+                &cal,
+                &cost,
+                bounds[t.idx()].clamp(1, p),
+                dl,
+                now,
+                stats,
+            ),
+            Mode::Rc {
+                guide,
+                lambda,
+                fallback_bounds,
+            } => {
+                // CPA guideline start time S_i: re-map the unscheduled part
+                // of the DAG (everything from position k on, which is
+                // predecessor-closed because preds have higher bottom
+                // levels) on an empty `pool`-processor platform.
+                stats.cpa_mappings += 1;
+                let unscheduled: Vec<bool> = {
+                    let mut v = vec![false; dag.num_tasks()];
+                    for &u in &order[k..] {
+                        v[u.idx()] = true;
+                    }
+                    v
+                };
+                let cpa_map = cpa::map_subset(dag, guide, now, |u| unscheduled[u.idx()]);
+                let s_i = cpa_map[t.idx()]
+                    .expect("current task is in the unscheduled subset")
+                    .start;
+                // Threshold: S_i + λ(dl_i − S_i), paper §5.4.
+                let threshold = Time::seconds(
+                    s_i.as_seconds()
+                        + (lambda * (dl.as_seconds() - s_i.as_seconds()) as f64) as i64,
+                );
+
+                // Fewest processors whose latest fit starts at or after the
+                // threshold.
+                let mut conservative: Option<Placement> = None;
+                let mut prev_dur = None;
+                for m in 1..=p {
+                    let dur = cost.exec_time(m);
+                    if prev_dur == Some(dur) {
+                        continue; // plateau: same duration, more procs
+                    }
+                    prev_dur = Some(dur);
+                    stats.slot_queries += 1;
+                    if let Some(s) = cal.latest_fit(m, dur, dl, now) {
+                        if s >= threshold {
+                            conservative = Some(Placement {
+                                start: s,
+                                end: s + dur,
+                                procs: m,
+                            });
+                            break; // smallest m wins
+                        }
+                    }
+                }
+                conservative.or_else(|| {
+                    // Back-on-track fallback: aggressive.
+                    let bound = fallback_bounds
+                        .map(|b| b[t.idx()])
+                        .unwrap_or(p)
+                        .clamp(1, p);
+                    latest_start_candidate(&cal, &cost, bound, dl, now, stats)
+                })
+            }
+        };
+
+        let chosen = chosen?;
+        cal.add_unchecked(Reservation::new(chosen.start, chosen.end, chosen.procs));
+        placements[t.idx()] = Some(chosen);
+    }
+
+    Some(
+        placements
+            .into_iter()
+            .map(|p| p.expect("all tasks placed"))
+            .collect(),
+    )
+}
+
+/// The `<m, start>` pair with the latest start among `m ∈ 1..=bound`, or
+/// `None` if no processor count fits between `now` and `dl`.
+fn latest_start_candidate(
+    cal: &Calendar,
+    cost: &crate::task::TaskCost,
+    bound: u32,
+    dl: Time,
+    now: Time,
+    stats: &mut ScheduleStats,
+) -> Option<Placement> {
+    let mut best: Option<Placement> = None;
+    let mut prev_dur = None;
+    for m in 1..=bound {
+        let dur = cost.exec_time(m);
+        if prev_dur == Some(dur) {
+            continue; // same duration with more procs can't start later
+        }
+        prev_dur = Some(dur);
+        stats.slot_queries += 1;
+        if let Some(s) = cal.latest_fit(m, dur, dl, now) {
+            let better = match &best {
+                None => true,
+                Some(b) => s > b.start, // tie keeps smaller m
+            };
+            if better {
+                best = Some(Placement {
+                    start: s,
+                    end: s + dur,
+                    procs: m,
+                });
+            }
+        }
+    }
+    best
+}
+
+/// The tightest deadline an algorithm can meet, found by exponential +
+/// binary search (paper §5.3), together with the schedule that meets it.
+///
+/// `precision` is the search resolution in seconds. Returns `None` if even
+/// an astronomically loose deadline cannot be met (which only happens if the
+/// platform is too small for some task).
+pub fn tightest_deadline(
+    dag: &Dag,
+    competing: &Calendar,
+    now: Time,
+    q: u32,
+    algo: DeadlineAlgo,
+    cfg: DeadlineConfig,
+    precision: resched_resv::Dur,
+) -> Option<(Time, DeadlineOutcome)> {
+    assert!(precision.is_positive());
+    let feasible = |k: Time| schedule_deadline(dag, competing, now, q, k, algo, cfg).ok();
+
+    // Initial guess: the forward BD_CPAR completion time.
+    let guess = crate::forward::schedule_forward(
+        dag,
+        competing,
+        now,
+        q,
+        crate::forward::ForwardConfig::recommended(),
+    )
+    .completion();
+    let mut hi = guess.max(now + resched_resv::Dur::seconds(1));
+    let mut hi_outcome = None;
+    for _ in 0..48 {
+        if let Some(out) = feasible(hi) {
+            hi_outcome = Some(out);
+            break;
+        }
+        hi = now + (hi - now) * 2;
+    }
+    let mut hi_outcome = hi_outcome?;
+
+    let mut lo = now; // trivially infeasible (tasks take time)
+    while hi - lo > precision {
+        let mid = lo.midpoint(hi);
+        if mid == lo || mid == hi {
+            break;
+        }
+        match feasible(mid) {
+            Some(out) => {
+                hi = mid;
+                hi_outcome = out;
+            }
+            None => lo = mid,
+        }
+    }
+    Some((hi, hi_outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::{chain, fork_join};
+    use crate::task::TaskCost;
+    use resched_resv::Dur;
+
+    fn c(s: i64, a: f64) -> TaskCost {
+        TaskCost::new(Dur::seconds(s), a)
+    }
+
+    fn small_dag() -> Dag {
+        fork_join(c(300, 0.1), &[c(3600, 0.15); 4], c(300, 0.1))
+    }
+
+    fn busy_calendar() -> Calendar {
+        let mut cal = Calendar::new(8);
+        cal.try_add(Reservation::new(Time::seconds(200), Time::seconds(4000), 5))
+            .unwrap();
+        cal.try_add(Reservation::new(
+            Time::seconds(9000),
+            Time::seconds(15_000),
+            3,
+        ))
+        .unwrap();
+        cal
+    }
+
+    #[test]
+    fn all_algorithms_meet_loose_deadline_with_valid_schedules() {
+        let dag = small_dag();
+        let cal = busy_calendar();
+        let deadline = Time::seconds(400_000);
+        for algo in DeadlineAlgo::ALL {
+            let out = schedule_deadline(
+                &dag,
+                &cal,
+                Time::ZERO,
+                4,
+                deadline,
+                algo,
+                DeadlineConfig::default(),
+            )
+            .unwrap_or_else(|e| panic!("{algo} failed on loose deadline: {e}"));
+            out.schedule
+                .validate(&dag, &cal)
+                .unwrap_or_else(|e| panic!("{algo} produced invalid schedule: {e}"));
+            assert!(out.schedule.completion() <= deadline);
+        }
+    }
+
+    #[test]
+    fn impossible_deadline_is_reported() {
+        let dag = small_dag();
+        let cal = busy_calendar();
+        // The entry task alone takes ~300s; 10s is impossible.
+        for algo in DeadlineAlgo::ALL {
+            assert!(
+                schedule_deadline(
+                    &dag,
+                    &cal,
+                    Time::ZERO,
+                    4,
+                    Time::seconds(10),
+                    algo,
+                    DeadlineConfig::default(),
+                )
+                .is_err(),
+                "{algo} claimed to meet an impossible deadline"
+            );
+        }
+    }
+
+    #[test]
+    fn rc_uses_fewer_cpu_hours_than_aggressive_on_loose_deadline() {
+        // The paper's headline Table 6 effect.
+        let dag = small_dag();
+        let cal = busy_calendar();
+        let deadline = Time::seconds(500_000);
+        let cfg = DeadlineConfig::default();
+        let agg = schedule_deadline(&dag, &cal, Time::ZERO, 4, deadline, DeadlineAlgo::BdAll, cfg)
+            .unwrap();
+        let rc =
+            schedule_deadline(&dag, &cal, Time::ZERO, 4, deadline, DeadlineAlgo::RcCpaR, cfg)
+                .unwrap();
+        assert!(
+            rc.schedule.cpu_hours() < agg.schedule.cpu_hours(),
+            "RC {} CPU-h should be below aggressive {} CPU-h",
+            rc.schedule.cpu_hours(),
+            agg.schedule.cpu_hours()
+        );
+    }
+
+    #[test]
+    fn aggressive_places_tasks_late() {
+        // With a loose deadline the aggressive algorithm pushes the exit
+        // task right against the deadline.
+        let dag = chain(&[c(600, 0.0)]);
+        let cal = Calendar::new(4);
+        let deadline = Time::seconds(100_000);
+        let out = schedule_deadline(
+            &dag,
+            &cal,
+            Time::ZERO,
+            4,
+            deadline,
+            DeadlineAlgo::BdAll,
+            DeadlineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.schedule.completion(), deadline);
+    }
+
+    #[test]
+    fn hybrid_reports_lambda() {
+        let dag = small_dag();
+        let cal = busy_calendar();
+        let out = schedule_deadline(
+            &dag,
+            &cal,
+            Time::ZERO,
+            4,
+            Time::seconds(400_000),
+            DeadlineAlgo::RcCpaRLambda,
+            DeadlineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.lambda, Some(0.0)); // loose deadline: λ = 0 suffices
+        let non_hybrid = schedule_deadline(
+            &dag,
+            &cal,
+            Time::ZERO,
+            4,
+            Time::seconds(400_000),
+            DeadlineAlgo::RcCpaR,
+            DeadlineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(non_hybrid.lambda, None);
+    }
+
+    #[test]
+    fn hybrid_lambda_meets_deadlines_rc_misses() {
+        // Find a deadline the plain RC algorithm misses but the hybrid
+        // meets (the paper's §5.4 motivation). The tightest deadline of the
+        // hybrid is never looser than that of plain RC.
+        let dag = small_dag();
+        let cal = busy_calendar();
+        let cfg = DeadlineConfig::default();
+        let prec = Dur::seconds(30);
+        let (k_rc, _) =
+            tightest_deadline(&dag, &cal, Time::ZERO, 4, DeadlineAlgo::RcCpaR, cfg, prec)
+                .unwrap();
+        let (k_hy, _) = tightest_deadline(
+            &dag,
+            &cal,
+            Time::ZERO,
+            4,
+            DeadlineAlgo::RcCpaRLambda,
+            cfg,
+            prec,
+        )
+        .unwrap();
+        assert!(
+            k_hy <= k_rc + prec,
+            "hybrid tightest deadline {k_hy:?} should not exceed RC's {k_rc:?}"
+        );
+    }
+
+    #[test]
+    fn tightest_deadline_is_feasible_and_near_tight() {
+        let dag = small_dag();
+        let cal = busy_calendar();
+        let cfg = DeadlineConfig::default();
+        let prec = Dur::seconds(30);
+        for algo in [DeadlineAlgo::BdCpa, DeadlineAlgo::RcCpaR] {
+            let (k, out) =
+                tightest_deadline(&dag, &cal, Time::ZERO, 4, algo, cfg, prec).unwrap();
+            assert!(out.schedule.completion() <= k);
+            out.schedule.validate(&dag, &cal).unwrap();
+            // The search's lower bound witnessed infeasibility within
+            // `prec` of k; spot-check that a much tighter deadline (half
+            // the slack) is indeed infeasible for this algorithm.
+            let much_tighter = Time::ZERO + (k - Time::ZERO) / 2;
+            assert!(
+                schedule_deadline(&dag, &cal, Time::ZERO, 4, much_tighter, algo, cfg)
+                    .is_err(),
+                "{algo} met half the tightest deadline"
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_equal_to_forward_completion_is_usually_feasible() {
+        let dag = small_dag();
+        let cal = busy_calendar();
+        let fwd = crate::forward::schedule_forward(
+            &dag,
+            &cal,
+            Time::ZERO,
+            4,
+            crate::forward::ForwardConfig::recommended(),
+        );
+        // Give a little slack (2x) — backward scheduling is not guaranteed
+        // to reproduce the forward schedule exactly.
+        let k = Time::ZERO + fwd.turnaround() * 2;
+        let out = schedule_deadline(
+            &dag,
+            &cal,
+            Time::ZERO,
+            4,
+            k,
+            DeadlineAlgo::BdCpa,
+            DeadlineConfig::default(),
+        );
+        assert!(out.is_ok());
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(DeadlineAlgo::BdAll.name(), "DL_BD_ALL");
+        assert_eq!(DeadlineAlgo::RcbdCpaRLambda.name(), "DL_RCBD_CPAR-L");
+        assert_eq!(DeadlineAlgo::ALL.len(), 7);
+        assert_eq!(DeadlineAlgo::TABLE6.len(), 5);
+    }
+
+    #[test]
+    fn deterministic() {
+        let dag = small_dag();
+        let cal = busy_calendar();
+        let run = || {
+            schedule_deadline(
+                &dag,
+                &cal,
+                Time::ZERO,
+                4,
+                Time::seconds(300_000),
+                DeadlineAlgo::RcCpaR,
+                DeadlineConfig::default(),
+            )
+            .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,229 @@
+//! Bottom levels, top levels, and the list-scheduling orders derived from
+//! them.
+//!
+//! The *bottom level* of a task is the maximum sum of task execution times
+//! along any path from the task (inclusive) to the DAG's exit. Computing it
+//! requires an execution time per task, which in turn requires a processor
+//! count per task — the paper's four options (§4.2):
+//!
+//! * [`BlMethod::One`] (`BL_1`) — every task on one processor;
+//! * [`BlMethod::All`] (`BL_ALL`) — every task on all `p` processors;
+//! * [`BlMethod::Cpa`] (`BL_CPA`) — CPA-phase-1 allocations with pool `p`;
+//! * [`BlMethod::CpaR`] (`BL_CPAR`) — CPA-phase-1 allocations with pool `q`,
+//!   the historical average number of available processors.
+
+use crate::cpa::{self, StoppingCriterion};
+use crate::dag::{Dag, TaskId};
+use resched_resv::Dur;
+use serde::{Deserialize, Serialize};
+
+/// How to derive the per-task execution times used for bottom levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlMethod {
+    /// `BL_1`: single-processor execution times.
+    One,
+    /// `BL_ALL`: all-`p`-processor execution times.
+    All,
+    /// `BL_CPA`: CPA allocations computed with pool `p`.
+    Cpa,
+    /// `BL_CPAR`: CPA allocations computed with pool `q`.
+    CpaR,
+}
+
+impl BlMethod {
+    /// All four methods, in the paper's order.
+    pub const ALL: [BlMethod; 4] = [BlMethod::One, BlMethod::All, BlMethod::Cpa, BlMethod::CpaR];
+
+    /// The paper's name for the method.
+    pub fn name(self) -> &'static str {
+        match self {
+            BlMethod::One => "BL_1",
+            BlMethod::All => "BL_ALL",
+            BlMethod::Cpa => "BL_CPA",
+            BlMethod::CpaR => "BL_CPAR",
+        }
+    }
+}
+
+/// Per-task execution times under a bottom-level method.
+///
+/// `p` is the platform size, `q` the historical average availability.
+/// Returns the execution time vector (indexed by task id).
+pub fn exec_times(
+    dag: &Dag,
+    p: u32,
+    q: u32,
+    method: BlMethod,
+    criterion: StoppingCriterion,
+) -> Vec<Dur> {
+    match method {
+        BlMethod::One => dag.costs().iter().map(|c| c.exec_time(1)).collect(),
+        BlMethod::All => dag.costs().iter().map(|c| c.exec_time(p)).collect(),
+        BlMethod::Cpa => cpa::allocate(dag, p, criterion).exec,
+        BlMethod::CpaR => cpa::allocate(dag, q, criterion).exec,
+    }
+}
+
+/// Bottom levels (including the task's own execution time), given per-task
+/// execution times.
+pub fn bottom_levels(dag: &Dag, exec: &[Dur]) -> Vec<Dur> {
+    assert_eq!(exec.len(), dag.num_tasks());
+    let mut bl = vec![Dur::ZERO; dag.num_tasks()];
+    for &t in dag.topo_order().iter().rev() {
+        let succ_max = dag
+            .succs(t)
+            .iter()
+            .map(|&s| bl[s.idx()])
+            .max()
+            .unwrap_or(Dur::ZERO);
+        bl[t.idx()] = exec[t.idx()] + succ_max;
+    }
+    bl
+}
+
+/// Top levels (excluding the task's own execution time), given per-task
+/// execution times.
+pub fn top_levels(dag: &Dag, exec: &[Dur]) -> Vec<Dur> {
+    assert_eq!(exec.len(), dag.num_tasks());
+    let mut tl = vec![Dur::ZERO; dag.num_tasks()];
+    for &t in dag.topo_order() {
+        let pred_max = dag
+            .preds(t)
+            .iter()
+            .map(|&p| tl[p.idx()] + exec[p.idx()])
+            .max()
+            .unwrap_or(Dur::ZERO);
+        tl[t.idx()] = pred_max;
+    }
+    tl
+}
+
+/// The critical-path length: the maximum bottom level over entry tasks
+/// (equivalently over all tasks).
+pub fn critical_path_length(bl: &[Dur]) -> Dur {
+    bl.iter().copied().max().unwrap_or(Dur::ZERO)
+}
+
+/// Task ids sorted by *decreasing* bottom level (the forward list-scheduling
+/// order). Ties are broken by task id for determinism.
+///
+/// Because every task's execution time is positive, a predecessor always has
+/// a strictly larger bottom level than its successors, so this order is also
+/// a topological order.
+pub fn order_by_decreasing_bl(dag: &Dag, bl: &[Dur]) -> Vec<TaskId> {
+    let mut order: Vec<TaskId> = dag.task_ids().collect();
+    order.sort_by_key(|t| (std::cmp::Reverse(bl[t.idx()]), t.0));
+    order
+}
+
+/// Task ids sorted by *increasing* bottom level (the backward, deadline
+/// scheduling order: exit tasks first).
+pub fn order_by_increasing_bl(dag: &Dag, bl: &[Dur]) -> Vec<TaskId> {
+    let mut order = order_by_decreasing_bl(dag, bl);
+    order.reverse();
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::{chain, DagBuilder};
+    use crate::task::TaskCost;
+
+    fn c(s: i64) -> TaskCost {
+        TaskCost::new(Dur::seconds(s), 0.0)
+    }
+
+    fn diamond() -> Dag {
+        // a -> {x, y} -> z with costs 10, 20, 30, 40
+        let mut b = DagBuilder::new();
+        let a = b.add_task(c(10));
+        let x = b.add_task(c(20));
+        let y = b.add_task(c(30));
+        let z = b.add_task(c(40));
+        b.add_edge(a, x).add_edge(a, y).add_edge(x, z).add_edge(y, z);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bottom_levels_on_diamond() {
+        let dag = diamond();
+        let exec: Vec<Dur> = dag.costs().iter().map(|c| c.exec_time(1)).collect();
+        let bl = bottom_levels(&dag, &exec);
+        assert_eq!(bl[3], Dur::seconds(40)); // z
+        assert_eq!(bl[1], Dur::seconds(60)); // x: 20 + 40
+        assert_eq!(bl[2], Dur::seconds(70)); // y: 30 + 40
+        assert_eq!(bl[0], Dur::seconds(80)); // a: 10 + max(60, 70)
+        assert_eq!(critical_path_length(&bl), Dur::seconds(80));
+    }
+
+    #[test]
+    fn top_levels_on_diamond() {
+        let dag = diamond();
+        let exec: Vec<Dur> = dag.costs().iter().map(|c| c.exec_time(1)).collect();
+        let tl = top_levels(&dag, &exec);
+        assert_eq!(tl[0], Dur::ZERO);
+        assert_eq!(tl[1], Dur::seconds(10));
+        assert_eq!(tl[2], Dur::seconds(10));
+        assert_eq!(tl[3], Dur::seconds(40)); // 10 + 30 via y
+    }
+
+    #[test]
+    fn tl_plus_bl_identifies_critical_path() {
+        let dag = diamond();
+        let exec: Vec<Dur> = dag.costs().iter().map(|c| c.exec_time(1)).collect();
+        let bl = bottom_levels(&dag, &exec);
+        let tl = top_levels(&dag, &exec);
+        let cp = critical_path_length(&bl);
+        let on_cp: Vec<bool> = dag
+            .task_ids()
+            .map(|t| tl[t.idx()] + bl[t.idx()] == cp)
+            .collect();
+        // Critical path is a -> y -> z.
+        assert_eq!(on_cp, vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn decreasing_bl_is_topological() {
+        let dag = diamond();
+        let exec: Vec<Dur> = dag.costs().iter().map(|c| c.exec_time(1)).collect();
+        let bl = bottom_levels(&dag, &exec);
+        let order = order_by_decreasing_bl(&dag, &bl);
+        let pos: Vec<usize> = dag
+            .task_ids()
+            .map(|t| order.iter().position(|&u| u == t).unwrap())
+            .collect();
+        for t in dag.task_ids() {
+            for &s in dag.succs(t) {
+                assert!(pos[t.idx()] < pos[s.idx()]);
+            }
+        }
+        let rev = order_by_increasing_bl(&dag, &bl);
+        assert_eq!(rev.first(), order.last());
+    }
+
+    #[test]
+    fn exec_times_methods_differ_as_expected() {
+        let dag = chain(&[
+            TaskCost::new(Dur::seconds(1000), 0.0),
+            TaskCost::new(Dur::seconds(1000), 0.0),
+        ]);
+        let one = exec_times(&dag, 8, 4, BlMethod::One, StoppingCriterion::Stringent);
+        let all = exec_times(&dag, 8, 4, BlMethod::All, StoppingCriterion::Stringent);
+        assert_eq!(one[0], Dur::seconds(1000));
+        assert_eq!(all[0], Dur::seconds(125));
+        // CPA-based methods land between the two extremes.
+        let cpa = exec_times(&dag, 8, 4, BlMethod::Cpa, StoppingCriterion::Stringent);
+        assert!(cpa[0] <= one[0] && cpa[0] >= all[0]);
+        let cpar = exec_times(&dag, 8, 4, BlMethod::CpaR, StoppingCriterion::Stringent);
+        assert!(cpar[0] >= all[0]);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(BlMethod::One.name(), "BL_1");
+        assert_eq!(BlMethod::All.name(), "BL_ALL");
+        assert_eq!(BlMethod::Cpa.name(), "BL_CPA");
+        assert_eq!(BlMethod::CpaR.name(), "BL_CPAR");
+    }
+}

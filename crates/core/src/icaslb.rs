@@ -1,0 +1,268 @@
+//! A one-step scheduling algorithm adapted to advance reservations —
+//! the paper's first future-work direction (§7: "it would be interesting
+//! to use the iCASLB algorithm instead of CPA. In fact, iCASLB could
+//! perhaps be adapted directly to advance reservation scenarios").
+//!
+//! iCASLB (Vydyanathan et al., ICPP 2006) interleaves allocation and
+//! mapping: starting from one processor per task it repeatedly grows the
+//! allocation of a critical-path task, rebuilding the schedule after each
+//! step, with a *look-ahead* over several candidates to avoid local minima.
+//! Backfilling is inherited here from the reservation calendar's
+//! earliest-fit query, which slides tasks into any hole left by competing
+//! reservations or earlier placements.
+//!
+//! This adaptation evaluates every candidate growth step against the real
+//! reservation schedule, so allocation decisions see reservation-induced
+//! delays — exactly what the two-step CPA-based algorithms cannot do.
+//! The `ext_icaslb` bench compares it with `BL_CPAR_BD_CPAR`.
+
+use crate::bl::{self};
+use crate::dag::{Dag, TaskId};
+use crate::schedule::{Placement, Schedule, ScheduleStats};
+use resched_resv::{Calendar, Dur, Reservation, Time};
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs for [`schedule_icaslb`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IcaslbConfig {
+    /// How many critical-path candidates to evaluate per iteration
+    /// (the look-ahead width; the paper's iCASLB uses a small constant).
+    pub lookahead: usize,
+    /// Stop after this many consecutive non-improving iterations.
+    pub patience: usize,
+    /// Hard cap on growth iterations (a safety net; the algorithm
+    /// normally stops via `patience`).
+    pub max_iterations: usize,
+}
+
+impl Default for IcaslbConfig {
+    fn default() -> Self {
+        IcaslbConfig {
+            lookahead: 3,
+            patience: 4,
+            max_iterations: 2000,
+        }
+    }
+}
+
+/// Build the full reservation-aware schedule for a fixed allocation vector:
+/// list scheduling by decreasing bottom level, earliest-fit per task.
+fn build_schedule(
+    dag: &Dag,
+    competing: &Calendar,
+    now: Time,
+    allocs: &[u32],
+    stats: &mut ScheduleStats,
+) -> Vec<Placement> {
+    let exec: Vec<Dur> = dag
+        .task_ids()
+        .map(|t| dag.cost(t).exec_time(allocs[t.idx()]))
+        .collect();
+    let levels = bl::bottom_levels(dag, &exec);
+    let order = bl::order_by_decreasing_bl(dag, &levels);
+    let mut cal = competing.clone();
+    let mut placements: Vec<Option<Placement>> = vec![None; dag.num_tasks()];
+    for t in order {
+        let ready = dag
+            .preds(t)
+            .iter()
+            .map(|&p| placements[p.idx()].expect("preds first").end)
+            .max()
+            .unwrap_or(now)
+            .max(now);
+        let m = allocs[t.idx()];
+        let dur = exec[t.idx()];
+        stats.slot_queries += 1;
+        let s = cal.earliest_fit(m, dur, ready);
+        cal.add_unchecked(Reservation::for_duration(s, dur, m));
+        placements[t.idx()] = Some(Placement {
+            start: s,
+            end: s + dur,
+            procs: m,
+        });
+    }
+    placements.into_iter().map(|p| p.expect("all placed")).collect()
+}
+
+fn makespan(placements: &[Placement]) -> Time {
+    placements.iter().map(|p| p.end).max().expect("non-empty")
+}
+
+/// Critical-path candidates under the current allocation: tasks with
+/// `tl + bl == CP`, ordered by decreasing marginal gain from one extra
+/// processor.
+fn cp_candidates(dag: &Dag, allocs: &[u32], cap: u32) -> Vec<TaskId> {
+    let exec: Vec<Dur> = dag
+        .task_ids()
+        .map(|t| dag.cost(t).exec_time(allocs[t.idx()]))
+        .collect();
+    let bls = bl::bottom_levels(dag, &exec);
+    let tls = bl::top_levels(dag, &exec);
+    let cp = bl::critical_path_length(&bls);
+    let mut cands: Vec<(TaskId, f64)> = dag
+        .task_ids()
+        .filter(|&t| tls[t.idx()] + bls[t.idx()] == cp)
+        .filter(|&t| allocs[t.idx()] < cap)
+        .filter(|&t| dag.cost(t).exec_time(allocs[t.idx()] + 1) < exec[t.idx()])
+        .map(|t| (t, dag.cost(t).marginal_gain(allocs[t.idx()])))
+        .collect();
+    cands.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0 .0.cmp(&b.0 .0)));
+    cands.into_iter().map(|(t, _)| t).collect()
+}
+
+/// Schedule `dag` with the reservation-aware one-step iCASLB adaptation.
+///
+/// Returns the best schedule found. Allocations are capped at `q` (the
+/// historical average availability) — growing past the processors that are
+/// typically free only delays start times.
+pub fn schedule_icaslb(
+    dag: &Dag,
+    competing: &Calendar,
+    now: Time,
+    q: u32,
+    cfg: IcaslbConfig,
+) -> Schedule {
+    let p = competing.capacity();
+    let cap = q.clamp(1, p);
+    let mut stats = ScheduleStats {
+        passes: 1,
+        ..ScheduleStats::default()
+    };
+
+    let mut allocs = vec![1u32; dag.num_tasks()];
+    let mut best_placements = build_schedule(dag, competing, now, &allocs, &mut stats);
+    let mut best_makespan = makespan(&best_placements);
+    let mut best_cpu: i64 = best_placements
+        .iter()
+        .map(|pl| pl.procs as i64 * pl.duration().as_seconds())
+        .sum();
+    let mut stalls = 0usize;
+
+    for _ in 0..cfg.max_iterations {
+        if stalls >= cfg.patience {
+            break;
+        }
+        let cands = cp_candidates(dag, &allocs, cap);
+        if cands.is_empty() {
+            break;
+        }
+        // Look-ahead: evaluate the real makespan of each candidate growth.
+        let mut best_step: Option<(TaskId, Time, Vec<Placement>)> = None;
+        for &t in cands.iter().take(cfg.lookahead) {
+            allocs[t.idx()] += 1;
+            let placements = build_schedule(dag, competing, now, &allocs, &mut stats);
+            let m = makespan(&placements);
+            allocs[t.idx()] -= 1;
+            match &best_step {
+                Some((_, bm, _)) if m >= *bm => {}
+                _ => best_step = Some((t, m, placements)),
+            }
+        }
+        let Some((t, m, placements)) = best_step else {
+            break;
+        };
+        // Commit the best step even if it does not improve (escaping local
+        // minima), but count the stall.
+        allocs[t.idx()] += 1;
+        let cpu: i64 = placements
+            .iter()
+            .map(|pl| pl.procs as i64 * pl.duration().as_seconds())
+            .sum();
+        if m < best_makespan || (m == best_makespan && cpu < best_cpu) {
+            best_makespan = m;
+            best_cpu = cpu;
+            best_placements = placements;
+            stalls = 0;
+        } else {
+            stalls += 1;
+        }
+    }
+
+    let mut sched = Schedule::new(best_placements, now);
+    sched.stats = stats;
+    sched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::{chain, fork_join};
+    use crate::forward::{schedule_forward, ForwardConfig};
+    use crate::task::TaskCost;
+
+    fn c(s: i64, a: f64) -> TaskCost {
+        TaskCost::new(Dur::seconds(s), a)
+    }
+
+    #[test]
+    fn produces_valid_schedules() {
+        let dag = fork_join(c(300, 0.1), &[c(3600, 0.1); 5], c(300, 0.1));
+        let mut cal = Calendar::new(16);
+        cal.try_add(Reservation::new(Time::seconds(100), Time::seconds(4000), 10))
+            .unwrap();
+        let s = schedule_icaslb(&dag, &cal, Time::ZERO, 12, IcaslbConfig::default());
+        s.validate(&dag, &cal).expect("valid");
+    }
+
+    #[test]
+    fn improves_over_all_sequential() {
+        // The all-1-processor starting point is strictly improvable here.
+        let dag = chain(&[c(10_000, 0.0), c(10_000, 0.0)]);
+        let cal = Calendar::new(8);
+        let s = schedule_icaslb(&dag, &cal, Time::ZERO, 8, IcaslbConfig::default());
+        assert!(
+            s.turnaround() < Dur::seconds(20_000),
+            "iCASLB should beat the sequential baseline, got {}",
+            s.turnaround()
+        );
+    }
+
+    #[test]
+    fn competitive_with_cpa_based_forward() {
+        let dag = fork_join(c(600, 0.1), &[c(7200, 0.15); 6], c(600, 0.1));
+        let mut cal = Calendar::new(16);
+        cal.try_add(Reservation::new(Time::ZERO, Time::seconds(7200), 12))
+            .unwrap();
+        let ic = schedule_icaslb(&dag, &cal, Time::ZERO, 10, IcaslbConfig::default());
+        let fw = schedule_forward(&dag, &cal, Time::ZERO, 10, ForwardConfig::recommended());
+        ic.validate(&dag, &cal).unwrap();
+        // One-step with look-ahead should be within 50% of the two-step
+        // algorithm on this simple instance (usually it is better).
+        assert!(
+            ic.turnaround().as_seconds() as f64
+                <= fw.turnaround().as_seconds() as f64 * 1.5,
+            "iCASLB {} vs forward {}",
+            ic.turnaround(),
+            fw.turnaround()
+        );
+    }
+
+    #[test]
+    fn respects_capacity_cap() {
+        let dag = chain(&[c(100_000, 0.0)]);
+        let cal = Calendar::new(32);
+        let s = schedule_icaslb(&dag, &cal, Time::ZERO, 4, IcaslbConfig::default());
+        assert!(s.placement(crate::dag::TaskId(0)).procs <= 4);
+    }
+
+    #[test]
+    fn deterministic() {
+        let dag = fork_join(c(300, 0.1), &[c(3600, 0.1); 4], c(300, 0.1));
+        let cal = Calendar::new(8);
+        let a = schedule_icaslb(&dag, &cal, Time::ZERO, 8, IcaslbConfig::default());
+        let b = schedule_icaslb(&dag, &cal, Time::ZERO, 8, IcaslbConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lookahead_zero_is_safe() {
+        let dag = chain(&[c(1000, 0.0)]);
+        let cal = Calendar::new(4);
+        let cfg = IcaslbConfig {
+            lookahead: 0,
+            ..IcaslbConfig::default()
+        };
+        let s = schedule_icaslb(&dag, &cal, Time::ZERO, 4, cfg);
+        s.validate(&dag, &cal).unwrap();
+    }
+}

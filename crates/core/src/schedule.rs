@@ -1,0 +1,465 @@
+//! Application schedules: one reservation per task, plus the metrics and the
+//! validation oracle used throughout the workspace.
+
+use crate::dag::{Dag, TaskId};
+use resched_resv::{Calendar, Dur, Reservation, Time};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The reservation chosen for one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Start of the task's reservation.
+    pub start: Time,
+    /// End of the task's reservation (start + execution time on `procs`).
+    pub end: Time,
+    /// Number of processors reserved.
+    pub procs: u32,
+}
+
+impl Placement {
+    /// The reservation corresponding to this placement.
+    pub fn reservation(&self) -> Reservation {
+        Reservation::new(self.start, self.end, self.procs)
+    }
+
+    /// Duration of the placement.
+    pub fn duration(&self) -> Dur {
+        self.end - self.start
+    }
+}
+
+/// Counters describing the work a scheduling algorithm performed. Used by the
+/// empirical complexity experiments (paper §6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleStats {
+    /// Number of `earliest_fit` / `latest_fit` calendar queries issued.
+    pub slot_queries: u64,
+    /// Number of CPA allocation-phase runs.
+    pub cpa_allocations: u64,
+    /// Number of CPA mapping (list-scheduling) runs.
+    pub cpa_mappings: u64,
+    /// Number of whole-DAG backward passes (λ retries count individually).
+    pub passes: u64,
+}
+
+impl ScheduleStats {
+    /// Merge counters from another run into this one.
+    pub fn absorb(&mut self, other: ScheduleStats) {
+        self.slot_queries += other.slot_queries;
+        self.cpa_allocations += other.cpa_allocations;
+        self.cpa_mappings += other.cpa_mappings;
+        self.passes += other.passes;
+    }
+}
+
+/// A complete schedule: one [`Placement`] per task of the DAG, plus the
+/// scheduling instant `now` against which turn-around time is measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    placements: Vec<Placement>,
+    now: Time,
+    /// Work counters from the algorithm that produced this schedule.
+    pub stats: ScheduleStats,
+}
+
+impl Schedule {
+    /// Assemble a schedule from per-task placements (indexed by task id).
+    pub fn new(placements: Vec<Placement>, now: Time) -> Schedule {
+        Schedule {
+            placements,
+            now,
+            stats: ScheduleStats::default(),
+        }
+    }
+
+    /// The placement of task `t`.
+    #[inline]
+    pub fn placement(&self, t: TaskId) -> Placement {
+        self.placements[t.idx()]
+    }
+
+    /// All placements, indexed by task id.
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// The instant the application was scheduled ("now").
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Completion time of the whole application (latest placement end).
+    pub fn completion(&self) -> Time {
+        self.placements
+            .iter()
+            .map(|p| p.end)
+            .max()
+            .expect("schedule of an empty DAG")
+    }
+
+    /// Start of the earliest placement.
+    pub fn first_start(&self) -> Time {
+        self.placements
+            .iter()
+            .map(|p| p.start)
+            .min()
+            .expect("schedule of an empty DAG")
+    }
+
+    /// Turn-around time: completion minus the scheduling instant
+    /// (the paper's RESSCHED objective).
+    pub fn turnaround(&self) -> Dur {
+        self.completion() - self.now
+    }
+
+    /// Total CPU-hours consumed (the paper's resource-consumption metric).
+    pub fn cpu_hours(&self) -> f64 {
+        self.placements
+            .iter()
+            .map(|p| p.reservation().cpu_hours())
+            .sum()
+    }
+
+    /// Total processor-seconds consumed.
+    pub fn proc_seconds(&self) -> i64 {
+        self.placements
+            .iter()
+            .map(|p| p.reservation().proc_seconds())
+            .sum()
+    }
+
+    /// Mean parallel efficiency across tasks: for each task, the speedup
+    /// achieved on its reserved processors divided by the processor count,
+    /// averaged unweighted.
+    ///
+    /// 1.0 means no Amdahl loss anywhere; aggressive over-allocation pushes
+    /// this toward 0 — the mechanism behind the paper's CPU-hour gaps.
+    pub fn mean_parallel_efficiency(&self, dag: &Dag) -> f64 {
+        let n = dag.num_tasks();
+        if n == 0 {
+            return 1.0;
+        }
+        dag.task_ids()
+            .map(|t| dag.cost(t).efficiency(self.placement(t).procs))
+            .sum::<f64>()
+            / n as f64
+    }
+
+    /// Packing density: the application's useful work (1-processor
+    /// seconds) divided by the processor-seconds it reserved.
+    pub fn packing_density(&self, dag: &Dag) -> f64 {
+        let reserved = self.proc_seconds();
+        if reserved == 0 {
+            return 0.0;
+        }
+        dag.total_seq_work() as f64 / reserved as f64
+    }
+
+    /// Maximum number of processors this schedule holds simultaneously.
+    pub fn peak_procs(&self) -> u32 {
+        // Sweep over placement boundaries.
+        let mut events: Vec<(Time, i64)> = Vec::with_capacity(self.placements.len() * 2);
+        for p in &self.placements {
+            events.push((p.start, p.procs as i64));
+            events.push((p.end, -(p.procs as i64)));
+        }
+        events.sort();
+        let mut cur = 0i64;
+        let mut peak = 0i64;
+        for (_, d) in events {
+            cur += d;
+            peak = peak.max(cur);
+        }
+        peak as u32
+    }
+
+    /// Check the schedule against its DAG and the competing-reservation
+    /// calendar that was in force when it was computed.
+    ///
+    /// Verifies, for every task:
+    /// 1. the reservation is well-formed and long enough for the task's
+    ///    execution time on the reserved processor count;
+    /// 2. no task starts before `now`;
+    /// 3. precedence: a task starts no earlier than every predecessor's end;
+    /// 4. capacity: all placements plus all competing reservations fit within
+    ///    the platform simultaneously.
+    pub fn validate(&self, dag: &Dag, competing: &Calendar) -> Result<(), ScheduleError> {
+        if self.placements.len() != dag.num_tasks() {
+            return Err(ScheduleError::WrongTaskCount {
+                expected: dag.num_tasks(),
+                actual: self.placements.len(),
+            });
+        }
+        let mut cal = competing.clone();
+        for t in dag.task_ids() {
+            let pl = self.placement(t);
+            if pl.end <= pl.start || pl.procs == 0 {
+                return Err(ScheduleError::MalformedPlacement { task: t });
+            }
+            if pl.procs > competing.capacity() {
+                return Err(ScheduleError::TooManyProcs {
+                    task: t,
+                    procs: pl.procs,
+                    capacity: competing.capacity(),
+                });
+            }
+            if pl.start < self.now {
+                return Err(ScheduleError::StartsInPast { task: t });
+            }
+            let need = dag.cost(t).exec_time(pl.procs);
+            if pl.duration() < need {
+                return Err(ScheduleError::ReservationTooShort {
+                    task: t,
+                    have: pl.duration(),
+                    need,
+                });
+            }
+            for &p in dag.preds(t) {
+                if self.placement(p).end > pl.start {
+                    return Err(ScheduleError::PrecedenceViolation {
+                        pred: p,
+                        succ: t,
+                    });
+                }
+            }
+            cal.try_add(pl.reservation())
+                .map_err(|_| ScheduleError::CapacityViolation { task: t })?;
+        }
+        Ok(())
+    }
+}
+
+/// Violations detected by [`Schedule::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The schedule covers a different number of tasks than the DAG.
+    WrongTaskCount {
+        /// Tasks in the DAG.
+        expected: usize,
+        /// Placements in the schedule.
+        actual: usize,
+    },
+    /// Empty interval or zero processors.
+    MalformedPlacement {
+        /// Offending task.
+        task: TaskId,
+    },
+    /// A placement requests more processors than the platform has.
+    TooManyProcs {
+        /// Offending task.
+        task: TaskId,
+        /// Processors requested.
+        procs: u32,
+        /// Platform capacity.
+        capacity: u32,
+    },
+    /// A task is placed before the scheduling instant.
+    StartsInPast {
+        /// Offending task.
+        task: TaskId,
+    },
+    /// A reservation is shorter than the task's execution time.
+    ReservationTooShort {
+        /// Offending task.
+        task: TaskId,
+        /// Reserved duration.
+        have: Dur,
+        /// Required duration.
+        need: Dur,
+    },
+    /// A task starts before one of its predecessors ends.
+    PrecedenceViolation {
+        /// Predecessor task.
+        pred: TaskId,
+        /// Successor task.
+        succ: TaskId,
+    },
+    /// Placements plus competing reservations exceed platform capacity.
+    CapacityViolation {
+        /// Offending task.
+        task: TaskId,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::WrongTaskCount { expected, actual } => {
+                write!(f, "schedule has {actual} placements for {expected} tasks")
+            }
+            ScheduleError::MalformedPlacement { task } => {
+                write!(f, "malformed placement for {task}")
+            }
+            ScheduleError::TooManyProcs {
+                task,
+                procs,
+                capacity,
+            } => write!(f, "{task} reserves {procs} procs on a {capacity}-proc platform"),
+            ScheduleError::StartsInPast { task } => {
+                write!(f, "{task} starts before the scheduling instant")
+            }
+            ScheduleError::ReservationTooShort { task, have, need } => {
+                write!(f, "{task} reserved {have} but needs {need}")
+            }
+            ScheduleError::PrecedenceViolation { pred, succ } => {
+                write!(f, "{succ} starts before predecessor {pred} ends")
+            }
+            ScheduleError::CapacityViolation { task } => {
+                write!(f, "placing {task} exceeds platform capacity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::chain;
+    use crate::task::TaskCost;
+
+    fn two_task_dag() -> Dag {
+        chain(&[
+            TaskCost::new(Dur::seconds(100), 0.0),
+            TaskCost::new(Dur::seconds(200), 0.0),
+        ])
+    }
+
+    fn pl(s: i64, e: i64, m: u32) -> Placement {
+        Placement {
+            start: Time::seconds(s),
+            end: Time::seconds(e),
+            procs: m,
+        }
+    }
+
+    #[test]
+    fn metrics() {
+        let sched = Schedule::new(vec![pl(0, 100, 1), pl(100, 300, 1)], Time::ZERO);
+        assert_eq!(sched.turnaround(), Dur::seconds(300));
+        assert_eq!(sched.completion(), Time::seconds(300));
+        assert_eq!(sched.first_start(), Time::ZERO);
+        assert_eq!(sched.proc_seconds(), 300);
+        assert!((sched.cpu_hours() - 300.0 / 3600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_accepts_good_schedule() {
+        let dag = two_task_dag();
+        let cal = Calendar::new(4);
+        let sched = Schedule::new(vec![pl(0, 100, 1), pl(100, 300, 1)], Time::ZERO);
+        assert_eq!(sched.validate(&dag, &cal), Ok(()));
+    }
+
+    #[test]
+    fn validate_catches_precedence_violation() {
+        let dag = two_task_dag();
+        let cal = Calendar::new(4);
+        let sched = Schedule::new(vec![pl(0, 100, 1), pl(50, 250, 1)], Time::ZERO);
+        assert!(matches!(
+            sched.validate(&dag, &cal),
+            Err(ScheduleError::PrecedenceViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_short_reservation() {
+        let dag = two_task_dag();
+        let cal = Calendar::new(4);
+        // Task 0 needs 100s on 1 proc but reserved 50s.
+        let sched = Schedule::new(vec![pl(0, 50, 1), pl(100, 300, 1)], Time::ZERO);
+        assert!(matches!(
+            sched.validate(&dag, &cal),
+            Err(ScheduleError::ReservationTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_capacity_violation() {
+        let dag = two_task_dag();
+        let mut cal = Calendar::new(2);
+        cal.try_add(Reservation::new(Time::ZERO, Time::seconds(500), 2))
+            .unwrap();
+        // Platform is fully reserved; any placement conflicts.
+        let sched = Schedule::new(vec![pl(0, 100, 1), pl(100, 300, 1)], Time::ZERO);
+        assert!(matches!(
+            sched.validate(&dag, &cal),
+            Err(ScheduleError::CapacityViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_start_in_past() {
+        let dag = two_task_dag();
+        let cal = Calendar::new(4);
+        let sched = Schedule::new(vec![pl(-10, 100, 1), pl(100, 300, 1)], Time::ZERO);
+        assert!(matches!(
+            sched.validate(&dag, &cal),
+            Err(ScheduleError::StartsInPast { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_wrong_count() {
+        let dag = two_task_dag();
+        let cal = Calendar::new(4);
+        let sched = Schedule::new(vec![pl(0, 100, 1)], Time::ZERO);
+        assert!(matches!(
+            sched.validate(&dag, &cal),
+            Err(ScheduleError::WrongTaskCount { .. })
+        ));
+    }
+
+    #[test]
+    fn amdahl_speedup_makes_shorter_reservation_valid() {
+        let dag = two_task_dag();
+        let cal = Calendar::new(4);
+        // Task 0 on 2 procs (alpha = 0) needs only 50s.
+        let sched = Schedule::new(vec![pl(0, 50, 2), pl(50, 150, 2)], Time::ZERO);
+        assert_eq!(sched.validate(&dag, &cal), Ok(()));
+    }
+
+    #[test]
+    fn efficiency_statistics() {
+        let dag = two_task_dag(); // alpha = 0 everywhere
+        let sched = Schedule::new(vec![pl(0, 50, 2), pl(50, 150, 2)], Time::ZERO);
+        // alpha = 0 tasks at any allocation are perfectly efficient.
+        assert!((sched.mean_parallel_efficiency(&dag) - 1.0).abs() < 1e-9);
+        // Useful work 300s; reserved 2x50 + 2x100 = 300 proc-seconds.
+        assert!((sched.packing_density(&dag) - 1.0).abs() < 1e-9);
+        assert_eq!(sched.peak_procs(), 2);
+        // Overlapping placements raise the peak.
+        let overlap = Schedule::new(vec![pl(0, 100, 2), pl(50, 150, 3)], Time::ZERO);
+        assert_eq!(overlap.peak_procs(), 5);
+    }
+
+    #[test]
+    fn padding_reduces_packing_density() {
+        let dag = two_task_dag();
+        // Same placements but each reservation padded 2x longer.
+        let padded = Schedule::new(vec![pl(0, 100, 2), pl(100, 300, 2)], Time::ZERO);
+        assert!(padded.packing_density(&dag) < 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn stats_absorb_accumulates() {
+        let mut a = ScheduleStats {
+            slot_queries: 1,
+            cpa_allocations: 2,
+            cpa_mappings: 3,
+            passes: 4,
+        };
+        a.absorb(ScheduleStats {
+            slot_queries: 10,
+            cpa_allocations: 20,
+            cpa_mappings: 30,
+            passes: 40,
+        });
+        assert_eq!(a.slot_queries, 11);
+        assert_eq!(a.cpa_allocations, 22);
+        assert_eq!(a.cpa_mappings, 33);
+        assert_eq!(a.passes, 44);
+    }
+}

@@ -1,0 +1,243 @@
+//! The moldable (data-parallel) task model.
+//!
+//! Following the paper (§3.1), each DAG vertex is a data-parallel task that
+//! can run on any number of processors `1..=p`, with execution time given by
+//! Amdahl's law: a fraction `alpha` of the work is sequential, the rest
+//! scales perfectly:
+//!
+//! ```text
+//! t(m) = T * (alpha + (1 - alpha) / m)
+//! ```
+//!
+//! where `T` is the sequential execution time. Communication between tasks is
+//! not modeled separately — each task runs in its own reservation and data is
+//! staged through files, an overhead folded into `alpha` (paper §3.1).
+
+use resched_resv::Dur;
+use serde::{Deserialize, Serialize};
+
+/// Cost model of a single moldable task: sequential time plus Amdahl
+/// sequential fraction, optionally with a per-processor coordination
+/// overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskCost {
+    /// Sequential (1-processor) execution time.
+    pub seq: Dur,
+    /// Non-parallelizable fraction, in `[0, 1]`.
+    pub alpha: f64,
+    /// Coordination overhead added per extra processor (`(m-1) ×
+    /// overhead`). The paper folds all communication into `alpha`
+    /// (overhead 0, the default); a positive overhead yields the richer
+    /// model of the mixed-parallel literature where execution time
+    /// eventually *grows* again with `m`.
+    #[serde(default)]
+    pub overhead: Dur,
+}
+
+impl TaskCost {
+    /// Build a task cost with the paper's pure-Amdahl model.
+    ///
+    /// # Panics
+    /// Panics if `seq` is not positive or `alpha` is outside `[0, 1]`.
+    pub fn new(seq: Dur, alpha: f64) -> TaskCost {
+        TaskCost::with_overhead(seq, alpha, Dur::ZERO)
+    }
+
+    /// Build a task cost with a per-processor coordination overhead.
+    ///
+    /// # Panics
+    /// Panics on invalid `seq`/`alpha` or negative `overhead`.
+    pub fn with_overhead(seq: Dur, alpha: f64, overhead: Dur) -> TaskCost {
+        assert!(seq.is_positive(), "sequential time must be positive: {seq}");
+        assert!(
+            (0.0..=1.0).contains(&alpha),
+            "alpha must be within [0, 1]: {alpha}"
+        );
+        assert!(!overhead.is_negative(), "overhead must be non-negative");
+        TaskCost {
+            seq,
+            alpha,
+            overhead,
+        }
+    }
+
+    /// Execution time on `m` processors, rounded up to a whole second.
+    ///
+    /// Rounding up guarantees a reservation sized with this value always
+    /// contains the modeled execution. With zero overhead (the paper's
+    /// model) the result is monotonically non-increasing in `m`; with a
+    /// positive overhead it is U-shaped, and the schedulers' exhaustive
+    /// `m`-scans handle that correctly (the plateau skip only elides
+    /// *equal* durations).
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    pub fn exec_time(&self, m: u32) -> Dur {
+        assert!(m > 0, "a task needs at least one processor");
+        let t = self.seq.as_seconds() as f64 * (self.alpha + (1.0 - self.alpha) / m as f64)
+            + self.overhead.as_seconds() as f64 * (m - 1) as f64;
+        // Clamp to at least one second: a zero-length reservation is
+        // meaningless to a batch scheduler.
+        Dur::from_secs_f64_ceil(t).max(Dur::seconds(1))
+    }
+
+    /// The processor count minimizing execution time (the smallest such
+    /// count on ties). For zero overhead this is unbounded growth, so the
+    /// search is capped at `cap`.
+    pub fn best_procs(&self, cap: u32) -> u32 {
+        assert!(cap >= 1);
+        (1..=cap)
+            .min_by_key(|&m| (self.exec_time(m), m))
+            .expect("cap >= 1")
+    }
+
+    /// Work area `m * t(m)` on `m` processors, in processor-seconds.
+    ///
+    /// By Amdahl's law this is non-decreasing in `m`: parallelism never
+    /// reduces total resource consumption.
+    pub fn work(&self, m: u32) -> i64 {
+        m as i64 * self.exec_time(m).as_seconds()
+    }
+
+    /// Absolute speedup `t(1) / t(m)`.
+    pub fn speedup(&self, m: u32) -> f64 {
+        self.exec_time(1).as_seconds() as f64 / self.exec_time(m).as_seconds() as f64
+    }
+
+    /// Parallel efficiency `speedup(m) / m`.
+    pub fn efficiency(&self, m: u32) -> f64 {
+        self.speedup(m) / m as f64
+    }
+
+    /// The relative execution-time reduction from granting one more
+    /// processor: `(t(m) - t(m+1)) / t(m)`.
+    ///
+    /// This is the gain CPA's allocation phase maximizes over critical-path
+    /// tasks (paper §4.2: "the task on the critical path whose execution
+    /// time would be reduced the most (relatively) when given an extra
+    /// processor").
+    pub fn marginal_gain(&self, m: u32) -> f64 {
+        let t_m = self.exec_time(m).as_seconds() as f64;
+        let t_m1 = self.exec_time(m + 1).as_seconds() as f64;
+        (t_m - t_m1) / t_m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(seq_s: i64, alpha: f64) -> TaskCost {
+        TaskCost::new(Dur::seconds(seq_s), alpha)
+    }
+
+    #[test]
+    fn fully_parallel_task_scales_linearly() {
+        let t = c(1000, 0.0);
+        assert_eq!(t.exec_time(1), Dur::seconds(1000));
+        assert_eq!(t.exec_time(2), Dur::seconds(500));
+        assert_eq!(t.exec_time(10), Dur::seconds(100));
+        assert_eq!(t.exec_time(1000), Dur::seconds(1));
+    }
+
+    #[test]
+    fn fully_sequential_task_never_scales() {
+        let t = c(1000, 1.0);
+        for m in [1u32, 2, 7, 100] {
+            assert_eq!(t.exec_time(m), Dur::seconds(1000));
+        }
+    }
+
+    #[test]
+    fn amdahl_formula_matches() {
+        let t = c(3600, 0.2);
+        // 3600 * (0.2 + 0.8/4) = 3600 * 0.4 = 1440
+        assert_eq!(t.exec_time(4), Dur::seconds(1440));
+        // Asymptote: 3600 * 0.2 = 720 (plus ceil)
+        assert_eq!(t.exec_time(100_000), Dur::seconds(721));
+    }
+
+    #[test]
+    fn exec_time_monotone_nonincreasing() {
+        let t = c(7231, 0.13);
+        let mut prev = t.exec_time(1);
+        for m in 2..=512 {
+            let cur = t.exec_time(m);
+            assert!(cur <= prev, "exec time increased at m={m}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn work_monotone_nondecreasing() {
+        let t = c(7231, 0.13);
+        let mut prev = t.work(1);
+        for m in 2..=512 {
+            let cur = t.work(m);
+            assert!(cur >= prev, "work decreased at m={m}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn exec_time_never_below_one_second() {
+        let t = c(1, 0.0);
+        assert_eq!(t.exec_time(64), Dur::seconds(1));
+    }
+
+    #[test]
+    fn speedup_and_efficiency() {
+        let t = c(10_000, 0.0);
+        assert!((t.speedup(10) - 10.0).abs() < 1e-9);
+        assert!((t.efficiency(10) - 1.0).abs() < 1e-9);
+        let seq = c(10_000, 1.0);
+        assert!((seq.speedup(10) - 1.0).abs() < 1e-9);
+        assert!((seq.efficiency(10) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marginal_gain_diminishes() {
+        let t = c(100_000, 0.05);
+        assert!(t.marginal_gain(1) > t.marginal_gain(4));
+        assert!(t.marginal_gain(4) > t.marginal_gain(32));
+        assert!(t.marginal_gain(1) > 0.0);
+    }
+
+    #[test]
+    fn overhead_makes_exec_time_u_shaped() {
+        let t = TaskCost::with_overhead(Dur::seconds(10_000), 0.0, Dur::seconds(20));
+        // Small m: parallelism wins. Large m: overhead dominates.
+        assert!(t.exec_time(4) < t.exec_time(1));
+        assert!(t.exec_time(64) > t.exec_time(16));
+        let best = t.best_procs(128);
+        assert!(best > 1 && best < 128, "U-shape minimum interior, got {best}");
+        // The minimum of T/m + o(m-1) is near sqrt(T/o) ~ 22.
+        assert!((10..=40).contains(&best), "minimum at {best}");
+    }
+
+    #[test]
+    fn zero_overhead_best_procs_is_cap_for_parallel_tasks() {
+        let t = c(100_000, 0.0);
+        assert_eq!(t.best_procs(32), 32);
+        let seq = c(100_000, 1.0);
+        assert_eq!(seq.best_procs(32), 1); // ties resolve to fewest
+    }
+
+    #[test]
+    #[should_panic(expected = "overhead")]
+    fn rejects_negative_overhead() {
+        let _ = TaskCost::with_overhead(Dur::seconds(10), 0.1, Dur::seconds(-1));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        let _ = c(100, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn rejects_zero_procs() {
+        let _ = c(100, 0.5).exec_time(0);
+    }
+}

@@ -1,0 +1,24 @@
+//! # resched-daggen — synthetic mixed-parallel application generator
+//!
+//! Reimplementation of the DAG generation scheme the paper uses (Suter's
+//! `daggen` parameterization, §3.1 and Table 1): random layered DAGs shaped
+//! by *width*, *regularity*, *density* and *jump*, with Amdahl task costs
+//! drawn from `T_i ~ U(1 min, 10 h)` and `alpha_i ~ U(0, alpha_max)`.
+//!
+//! ```
+//! use resched_daggen::{generate, DagParams};
+//!
+//! let dag = generate(&DagParams::paper_default(), 42);
+//! assert_eq!(dag.num_tasks(), 50);
+//! assert_eq!(dag.entries().len(), 1);
+//! assert_eq!(dag.exits().len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod generate;
+mod params;
+
+pub use generate::{generate, generate_with, SEQ_TIME_RANGE_SECS};
+pub use params::{DagParams, Sweep, Table1};

@@ -1,0 +1,200 @@
+//! The application-model parameter space of the paper's Table 1.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters describing a random mixed-parallel application (paper §3.1,
+/// Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DagParams {
+    /// Total number of tasks, including the single entry and exit tasks.
+    pub num_tasks: usize,
+    /// Upper bound of the per-task Amdahl sequential fraction; each task
+    /// draws `alpha_i ~ U(0, alpha_max)`.
+    pub alpha_max: f64,
+    /// Width parameter in `(0, 1]`: mean level width is `n^width`, so small
+    /// values yield chains and large values fork-joins.
+    pub width: f64,
+    /// Regularity in `[0, 1]`: how uniform level sizes are (1 = all levels
+    /// the same size).
+    pub regularity: f64,
+    /// Density in `[0, 1]`: probability of an edge between tasks in
+    /// consecutive levels.
+    pub density: f64,
+    /// Maximum level span of edges; `jump = 1` yields a layered DAG.
+    pub jump: u32,
+}
+
+impl DagParams {
+    /// Table 1's default (boldface) values: 50 tasks, α ≤ 0.20, width /
+    /// density / regularity 0.5, jump 1.
+    pub fn paper_default() -> DagParams {
+        DagParams {
+            num_tasks: 50,
+            alpha_max: 0.20,
+            width: 0.5,
+            regularity: 0.5,
+            density: 0.5,
+            jump: 1,
+        }
+    }
+
+    /// Basic sanity checks on the parameter values.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_tasks == 0 {
+            return Err("num_tasks must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.alpha_max) {
+            return Err(format!("alpha_max out of range: {}", self.alpha_max));
+        }
+        for (name, v) in [
+            ("width", self.width),
+            ("regularity", self.regularity),
+            ("density", self.density),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} out of range: {v}"));
+            }
+        }
+        if self.jump == 0 {
+            return Err("jump must be at least 1".into());
+        }
+        Ok(())
+    }
+
+    /// Table 1's value grid for each parameter.
+    pub fn table1_values() -> Table1 {
+        Table1 {
+            num_tasks: vec![10, 25, 50, 75, 100],
+            alpha_max: vec![0.05, 0.10, 0.15, 0.20],
+            width: (1..=9).map(|i| i as f64 / 10.0).collect(),
+            density: (1..=9).map(|i| i as f64 / 10.0).collect(),
+            regularity: (1..=9).map(|i| i as f64 / 10.0).collect(),
+            jump: vec![1, 2, 3, 4],
+        }
+    }
+
+    /// The paper's 40 application specifications: five of the six parameters
+    /// fixed to their defaults, one swept over its Table 1 values
+    /// (`5 + 4 + 9 + 9 + 9 + 4 = 40`).
+    pub fn paper_sweeps() -> Vec<Sweep> {
+        let t = Self::table1_values();
+        let d = Self::paper_default();
+        let mut out = Vec::with_capacity(40);
+        for &n in &t.num_tasks {
+            out.push(Sweep {
+                varied: "num_tasks",
+                value: n as f64,
+                params: DagParams { num_tasks: n, ..d },
+            });
+        }
+        for &a in &t.alpha_max {
+            out.push(Sweep {
+                varied: "alpha",
+                value: a,
+                params: DagParams { alpha_max: a, ..d },
+            });
+        }
+        for &w in &t.width {
+            out.push(Sweep {
+                varied: "width",
+                value: w,
+                params: DagParams { width: w, ..d },
+            });
+        }
+        for &x in &t.density {
+            out.push(Sweep {
+                varied: "density",
+                value: x,
+                params: DagParams { density: x, ..d },
+            });
+        }
+        for &r in &t.regularity {
+            out.push(Sweep {
+                varied: "regularity",
+                value: r,
+                params: DagParams { regularity: r, ..d },
+            });
+        }
+        for &j in &t.jump {
+            out.push(Sweep {
+                varied: "jump",
+                value: j as f64,
+                params: DagParams { jump: j, ..d },
+            });
+        }
+        out
+    }
+}
+
+impl Default for DagParams {
+    fn default() -> Self {
+        DagParams::paper_default()
+    }
+}
+
+/// The full value grid of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1 {
+    /// Number-of-tasks values.
+    pub num_tasks: Vec<usize>,
+    /// α upper bounds.
+    pub alpha_max: Vec<f64>,
+    /// Width values.
+    pub width: Vec<f64>,
+    /// Density values.
+    pub density: Vec<f64>,
+    /// Regularity values.
+    pub regularity: Vec<f64>,
+    /// Jump values.
+    pub jump: Vec<u32>,
+}
+
+/// One entry of the paper's 40-specification sweep: which parameter is
+/// varied, its value, and the full parameter set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sweep {
+    /// Name of the varied parameter.
+    pub varied: &'static str,
+    /// Value of the varied parameter (numeric for uniform tabulation).
+    pub value: f64,
+    /// The complete parameter set.
+    pub params: DagParams,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1_boldface() {
+        let d = DagParams::paper_default();
+        assert_eq!(d.num_tasks, 50);
+        assert!((d.alpha_max - 0.20).abs() < 1e-12);
+        assert!((d.width - 0.5).abs() < 1e-12);
+        assert!((d.density - 0.5).abs() < 1e-12);
+        assert!((d.regularity - 0.5).abs() < 1e-12);
+        assert_eq!(d.jump, 1);
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn paper_sweeps_has_40_specs() {
+        let sweeps = DagParams::paper_sweeps();
+        assert_eq!(sweeps.len(), 40);
+        for s in &sweeps {
+            s.params.validate().expect("every sweep spec is valid");
+        }
+        assert_eq!(sweeps.iter().filter(|s| s.varied == "width").count(), 9);
+        assert_eq!(sweeps.iter().filter(|s| s.varied == "num_tasks").count(), 5);
+        assert_eq!(sweeps.iter().filter(|s| s.varied == "jump").count(), 4);
+    }
+
+    #[test]
+    fn validate_rejects_bad_values() {
+        let d = DagParams::paper_default();
+        assert!(DagParams { num_tasks: 0, ..d }.validate().is_err());
+        assert!(DagParams { alpha_max: 1.5, ..d }.validate().is_err());
+        assert!(DagParams { width: -0.1, ..d }.validate().is_err());
+        assert!(DagParams { jump: 0, ..d }.validate().is_err());
+    }
+}

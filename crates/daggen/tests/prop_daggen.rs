@@ -1,0 +1,106 @@
+//! Property tests for the DAG generator over the full Table 1 parameter
+//! space.
+
+use proptest::prelude::*;
+use resched_daggen::{generate, DagParams};
+use resched_resv::Dur;
+
+fn params() -> impl Strategy<Value = DagParams> {
+    (
+        1usize..120,
+        0.0..1.0f64,
+        0.01..1.0f64,
+        0.0..1.0f64,
+        0.0..1.0f64,
+        1u32..=4,
+    )
+        .prop_map(|(n, a, w, r, d, j)| DagParams {
+            num_tasks: n,
+            alpha_max: a,
+            width: w,
+            regularity: r,
+            density: d,
+            jump: j,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn always_requested_size_and_single_terminals(p in params(), seed in 0u64..500) {
+        let dag = generate(&p, seed);
+        prop_assert_eq!(dag.num_tasks(), p.num_tasks);
+        if p.num_tasks >= 3 {
+            prop_assert_eq!(dag.entries().len(), 1);
+            prop_assert_eq!(dag.exits().len(), 1);
+        }
+    }
+
+    #[test]
+    fn costs_always_in_table1_ranges(p in params(), seed in 0u64..500) {
+        let dag = generate(&p, seed);
+        for c in dag.costs() {
+            prop_assert!(c.seq >= Dur::minutes(1));
+            prop_assert!(c.seq <= Dur::hours(10));
+            prop_assert!(c.alpha >= 0.0 && c.alpha <= p.alpha_max);
+        }
+    }
+
+    #[test]
+    fn weakly_connected_through_entry_and_exit(p in params(), seed in 0u64..500) {
+        let dag = generate(&p, seed);
+        if p.num_tasks < 3 {
+            return Ok(());
+        }
+        let entry = dag.entries()[0];
+        let mut reach = vec![false; dag.num_tasks()];
+        reach[entry.idx()] = true;
+        for &t in dag.topo_order() {
+            if reach[t.idx()] {
+                for &s in dag.succs(t) {
+                    reach[s.idx()] = true;
+                }
+            }
+        }
+        prop_assert!(reach.iter().all(|&r| r), "unreachable tasks exist");
+        let exit = dag.exits()[0];
+        let mut coreach = vec![false; dag.num_tasks()];
+        coreach[exit.idx()] = true;
+        for &t in dag.topo_order().iter().rev() {
+            if coreach[t.idx()] {
+                for &pr in dag.preds(t) {
+                    coreach[pr.idx()] = true;
+                }
+            }
+        }
+        prop_assert!(coreach.iter().all(|&r| r), "tasks that cannot reach exit");
+    }
+
+    #[test]
+    fn jump_bounds_edge_spans(p in params(), seed in 0u64..500) {
+        let dag = generate(&p, seed);
+        if p.num_tasks < 3 {
+            return Ok(());
+        }
+        let exit = dag.exits()[0];
+        for t in dag.task_ids() {
+            for &s in dag.succs(t) {
+                if s == exit {
+                    continue; // sink-drain edges may span arbitrarily
+                }
+                let span = dag.depth(s).saturating_sub(dag.depth(t));
+                prop_assert!(
+                    span >= 1 && span <= p.jump,
+                    "edge {t}->{s} spans {span} levels with jump={}",
+                    p.jump
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed(p in params(), seed in 0u64..500) {
+        prop_assert_eq!(generate(&p, seed), generate(&p, seed));
+    }
+}

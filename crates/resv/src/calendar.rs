@@ -1,0 +1,687 @@
+//! The reservation calendar: a step function of processors-in-use over time,
+//! with the slot queries every scheduling algorithm in the paper relies on.
+//!
+//! The calendar answers three questions:
+//!
+//! 1. *Earliest fit* — the earliest start `s >= not_before` such that `m`
+//!    processors are free throughout `[s, s + d)` (forward / RESSCHED
+//!    scheduling, paper §4.2).
+//! 2. *Latest fit* — the latest start `s` with `s + d <= end_by` and `m`
+//!    processors free throughout (backward / RESSCHEDDL scheduling, §5.2).
+//! 3. *Historical average availability* — the time-average number of free
+//!    processors over a past window, the paper's estimate `q` used by the
+//!    `*_CPAR` algorithm variants (§4.2).
+//!
+//! Representation: a sorted vector of breakpoints `(time, used)`; `used`
+//! holds from that breakpoint until the next one. Usage before the first
+//! breakpoint is 0, and the structural invariant that every reservation is
+//! finite guarantees the last breakpoint's `used` is 0 as well. Queries are
+//! linear scans over breakpoints (with a binary-search entry point), which is
+//! exactly the cost model the paper assumes when it charges `O(R)` per
+//! placement attempt.
+
+use crate::reservation::{Reservation, ReservationError};
+use crate::time::{Dur, Time};
+use serde::{Deserialize, Serialize};
+
+/// One breakpoint of the usage step function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Step {
+    /// Instant at which `used` takes effect.
+    time: Time,
+    /// Processors in use over `[time, next.time)`.
+    used: u32,
+}
+
+/// A homogeneous platform of `capacity` processors plus the step function of
+/// processors already promised to reservations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Calendar {
+    capacity: u32,
+    steps: Vec<Step>,
+    /// Total processor-seconds across all accepted reservations.
+    reserved_proc_seconds: i64,
+    /// Number of accepted reservations (the paper's `R`).
+    num_reservations: usize,
+}
+
+impl Calendar {
+    /// An empty calendar for a platform with `capacity` processors.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: u32) -> Calendar {
+        assert!(capacity > 0, "a platform needs at least one processor");
+        Calendar {
+            capacity,
+            steps: Vec::new(),
+            reserved_proc_seconds: 0,
+            num_reservations: 0,
+        }
+    }
+
+    /// Build a calendar from a list of reservations.
+    ///
+    /// Fails on the first reservation that does not fit.
+    pub fn with_reservations<I>(capacity: u32, resvs: I) -> Result<Calendar, ReservationError>
+    where
+        I: IntoIterator<Item = Reservation>,
+    {
+        let mut cal = Calendar::new(capacity);
+        for r in resvs {
+            cal.try_add(r)?;
+        }
+        Ok(cal)
+    }
+
+    /// Total number of processors on the platform (the paper's `p`).
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Number of reservations accepted so far (the paper's `R`).
+    pub fn num_reservations(&self) -> usize {
+        self.num_reservations
+    }
+
+    /// Number of breakpoints in the step function.
+    pub fn num_breakpoints(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Total processor-seconds promised to reservations.
+    pub fn reserved_proc_seconds(&self) -> i64 {
+        self.reserved_proc_seconds
+    }
+
+    /// Processors in use at instant `t`.
+    pub fn used_at(&self, t: Time) -> u32 {
+        match self.steps.binary_search_by_key(&t, |s| s.time) {
+            Ok(i) => self.steps[i].used,
+            Err(0) => 0,
+            Err(i) => self.steps[i - 1].used,
+        }
+    }
+
+    /// Free processors at instant `t`.
+    pub fn available_at(&self, t: Time) -> u32 {
+        self.capacity - self.used_at(t)
+    }
+
+    /// Peak usage over `[from, to)`.
+    pub fn peak_used(&self, from: Time, to: Time) -> u32 {
+        assert!(from < to, "empty window");
+        let mut peak = self.used_at(from);
+        let start_idx = match self.steps.binary_search_by_key(&from, |s| s.time) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        for s in &self.steps[start_idx..] {
+            if s.time >= to {
+                break;
+            }
+            peak = peak.max(s.used);
+        }
+        peak
+    }
+
+    /// Minimum free processors over `[from, to)`.
+    pub fn min_available(&self, from: Time, to: Time) -> u32 {
+        self.capacity - self.peak_used(from, to)
+    }
+
+    /// Insert a reservation, checking capacity throughout its interval.
+    pub fn try_add(&mut self, r: Reservation) -> Result<(), ReservationError> {
+        if r.procs > self.capacity {
+            return Err(ReservationError::ExceedsCapacity {
+                requested: r.procs,
+                capacity: self.capacity,
+            });
+        }
+        if let Some(idx) = self.first_blocker(r.start, r.end, self.capacity - r.procs) {
+            let at = self.steps[idx].time.max(r.start);
+            return Err(ReservationError::Conflict {
+                at,
+                free: self.capacity - self.steps[idx].used,
+                requested: r.procs,
+            });
+        }
+        self.add_unchecked(r);
+        Ok(())
+    }
+
+    /// Insert a reservation that is already known to fit.
+    ///
+    /// # Panics
+    /// In debug builds, panics if the reservation overbooks the platform.
+    pub fn add_unchecked(&mut self, r: Reservation) {
+        debug_assert!(r.procs <= self.capacity);
+        // Ensure breakpoints exist at r.start and r.end, then bump `used`
+        // on every step in [start_idx, end_idx).
+        let start_idx = self.ensure_breakpoint(r.start);
+        let end_idx = self.ensure_breakpoint(r.end);
+        for s in &mut self.steps[start_idx..end_idx] {
+            s.used += r.procs;
+            debug_assert!(
+                s.used <= self.capacity,
+                "overbooked: {} used > {} capacity at {}",
+                s.used,
+                self.capacity,
+                s.time
+            );
+        }
+        self.coalesce_around(start_idx, end_idx);
+        self.reserved_proc_seconds += r.proc_seconds();
+        self.num_reservations += 1;
+    }
+
+    /// Earliest start `s >= not_before` such that `procs` processors are free
+    /// throughout `[s, s + dur)`.
+    ///
+    /// Always succeeds (the calendar eventually drains), provided
+    /// `procs <= capacity`.
+    ///
+    /// # Panics
+    /// Panics if `procs == 0`, `procs > capacity`, or `dur <= 0`.
+    pub fn earliest_fit(&self, procs: u32, dur: Dur, not_before: Time) -> Time {
+        assert!(procs > 0 && procs <= self.capacity, "bad procs {procs}");
+        assert!(dur.is_positive(), "bad duration {dur}");
+        let max_used = self.capacity - procs;
+        let mut s = not_before;
+        loop {
+            match self.first_blocker(s, s + dur, max_used) {
+                None => return s,
+                Some(block_idx) => {
+                    // Window is blocked by segment `block_idx`; restart at the
+                    // first later breakpoint where usage drops low enough.
+                    let mut i = block_idx + 1;
+                    while i < self.steps.len() && self.steps[i].used > max_used {
+                        i += 1;
+                    }
+                    s = if i < self.steps.len() {
+                        self.steps[i].time
+                    } else {
+                        // Past the final breakpoint usage is 0 (< max_used
+                        // can't fail because the last step always has used==0,
+                        // so we never get here; keep it total anyway).
+                        self.steps.last().expect("blocked implies steps").time
+                    };
+                }
+            }
+        }
+    }
+
+    /// Latest start `s` with `s + dur <= end_by`, `s >= not_before`, and
+    /// `procs` processors free throughout `[s, s + dur)`. `None` if no such
+    /// start exists.
+    ///
+    /// # Panics
+    /// Panics if `procs == 0`, `procs > capacity`, or `dur <= 0`.
+    pub fn latest_fit(&self, procs: u32, dur: Dur, end_by: Time, not_before: Time) -> Option<Time> {
+        assert!(procs > 0 && procs <= self.capacity, "bad procs {procs}");
+        assert!(dur.is_positive(), "bad duration {dur}");
+        let max_used = self.capacity - procs;
+        let mut e = end_by;
+        loop {
+            let s = e - dur;
+            if s < not_before {
+                return None;
+            }
+            match self.last_blocker(s, e, max_used) {
+                None => return Some(s),
+                Some(block_idx) => {
+                    // Window must end no later than the blocking segment's
+                    // start.
+                    e = self.steps[block_idx].time;
+                }
+            }
+        }
+    }
+
+    /// Time-average number of *free* processors over `[from, to)` — the
+    /// paper's historical average availability `q` (rounded to nearest, at
+    /// least 1).
+    pub fn average_available(&self, from: Time, to: Time) -> u32 {
+        assert!(from < to, "empty window");
+        let span = (to - from).as_seconds();
+        let used_integral = self.used_integral(from, to);
+        let avail = self.capacity as f64 - used_integral as f64 / span as f64;
+        (avail.round() as i64).clamp(1, self.capacity as i64) as u32
+    }
+
+    /// Integral of processors-in-use over `[from, to)`, in processor-seconds.
+    pub fn used_integral(&self, from: Time, to: Time) -> i64 {
+        assert!(from <= to);
+        if from == to || self.steps.is_empty() {
+            return 0;
+        }
+        let mut total = 0i64;
+        // Segment covering `from`.
+        let mut idx = match self.steps.binary_search_by_key(&from, |s| s.time) {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        };
+        // If `from` precedes the first breakpoint, usage is 0 until steps[0].
+        if self.steps[idx].time > from {
+            // idx == 0 here
+            if self.steps[0].time >= to {
+                return 0;
+            }
+        }
+        let mut cursor = from;
+        if self.steps[idx].time <= from {
+            let seg_end = self.next_time_after_idx(idx).min(to);
+            total += self.steps[idx].used as i64 * (seg_end - cursor).as_seconds();
+            cursor = seg_end;
+            idx += 1;
+        }
+        while idx < self.steps.len() && self.steps[idx].time < to {
+            let seg_start = self.steps[idx].time.max(cursor);
+            let seg_end = self.next_time_after_idx(idx).min(to);
+            if seg_end > seg_start {
+                total += self.steps[idx].used as i64 * (seg_end - seg_start).as_seconds();
+                cursor = seg_end;
+            }
+            idx += 1;
+        }
+        total
+    }
+
+    /// Average *utilization* (fraction of capacity in use) over `[from, to)`.
+    pub fn average_utilization(&self, from: Time, to: Time) -> f64 {
+        assert!(from < to);
+        let span = (to - from).as_seconds() as f64;
+        self.used_integral(from, to) as f64 / (span * self.capacity as f64)
+    }
+
+    /// Iterate the usage segments as `(start, end, used)` triples.
+    /// The implicit zero-usage segments before the first and after the last
+    /// breakpoint are not yielded.
+    pub fn segments(&self) -> impl Iterator<Item = (Time, Time, u32)> + '_ {
+        self.steps.windows(2).map(|w| (w[0].time, w[1].time, w[0].used))
+    }
+
+    /// The time of the last breakpoint (when the calendar drains), if any.
+    pub fn horizon(&self) -> Option<Time> {
+        self.steps.last().map(|s| s.time)
+    }
+
+    /// Iterate the maximal windows within `[from, to)` during which at
+    /// least `procs` processors are free, as `(start, end)` pairs.
+    ///
+    /// Useful for visualization and capacity planning; the scheduling
+    /// algorithms use the targeted [`Calendar::earliest_fit`] /
+    /// [`Calendar::latest_fit`] queries instead.
+    pub fn free_windows(&self, procs: u32, from: Time, to: Time) -> Vec<(Time, Time)> {
+        assert!(procs > 0 && procs <= self.capacity, "bad procs {procs}");
+        assert!(from < to, "empty window");
+        let max_used = self.capacity - procs;
+        let mut out = Vec::new();
+        let mut open: Option<Time> = if self.used_at(from) <= max_used {
+            Some(from)
+        } else {
+            None
+        };
+        let start_idx = match self.steps.binary_search_by_key(&from, |s| s.time) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        for s in &self.steps[start_idx..] {
+            if s.time >= to {
+                break;
+            }
+            match (&open, s.used <= max_used) {
+                (None, true) => open = Some(s.time),
+                (Some(st), false) => {
+                    if s.time > *st {
+                        out.push((*st, s.time));
+                    }
+                    open = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(st) = open {
+            if to > st {
+                out.push((st, to));
+            }
+        }
+        out
+    }
+
+    // ----- internals ---------------------------------------------------
+
+    /// Index of the first segment intersecting `[from, to)` whose usage
+    /// exceeds `max_used`, or `None` if the window fits.
+    fn first_blocker(&self, from: Time, to: Time, max_used: u32) -> Option<usize> {
+        if self.steps.is_empty() {
+            return None;
+        }
+        let mut idx = match self.steps.binary_search_by_key(&from, |s| s.time) {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        };
+        // Skip the segment entirely before `from` if it doesn't cover it.
+        if self.steps[idx].time < from && self.next_time_after_idx(idx) <= from {
+            idx += 1;
+        }
+        while idx < self.steps.len() && self.steps[idx].time < to {
+            let seg_end = self.next_time_after_idx(idx);
+            if seg_end > from && self.steps[idx].used > max_used {
+                return Some(idx);
+            }
+            idx += 1;
+        }
+        None
+    }
+
+    /// Index of the *last* segment intersecting `[from, to)` whose usage
+    /// exceeds `max_used`, or `None` if the window fits.
+    fn last_blocker(&self, from: Time, to: Time, max_used: u32) -> Option<usize> {
+        if self.steps.is_empty() {
+            return None;
+        }
+        // Find the last segment that starts before `to`.
+        let mut idx = match self.steps.binary_search_by_key(&to, |s| s.time) {
+            Ok(i) | Err(i) => i,
+        };
+        // steps[idx-1] is the last segment with time < to.
+        while idx > 0 {
+            let i = idx - 1;
+            let seg_start = self.steps[i].time;
+            let seg_end = self.next_time_after_idx(i);
+            if seg_end <= from {
+                break;
+            }
+            if seg_start < to && seg_end > from && self.steps[i].used > max_used {
+                return Some(i);
+            }
+            idx -= 1;
+        }
+        None
+    }
+
+    fn next_time_after_idx(&self, idx: usize) -> Time {
+        self.steps
+            .get(idx + 1)
+            .map(|s| s.time)
+            .unwrap_or(Time::MAX)
+    }
+
+    /// Ensure a breakpoint exists exactly at `t`; return its index.
+    fn ensure_breakpoint(&mut self, t: Time) -> usize {
+        match self.steps.binary_search_by_key(&t, |s| s.time) {
+            Ok(i) => i,
+            Err(i) => {
+                let used = if i == 0 { 0 } else { self.steps[i - 1].used };
+                self.steps.insert(i, Step { time: t, used });
+                i
+            }
+        }
+    }
+
+    /// Remove redundant breakpoints (equal `used` to their predecessor)
+    /// around a mutated range.
+    fn coalesce_around(&mut self, start_idx: usize, end_idx: usize) {
+        // Only breakpoints at the boundary of the mutated range can have
+        // become redundant, but a full-range retain is simpler and the
+        // mutated range is usually tiny. Check just the two boundaries.
+        let mut remove = Vec::with_capacity(2);
+        for &i in &[end_idx, start_idx] {
+            if i < self.steps.len() {
+                let prev_used = if i == 0 { 0 } else { self.steps[i - 1].used };
+                if self.steps[i].used == prev_used {
+                    remove.push(i);
+                }
+            }
+        }
+        // Remove in descending index order (end_idx first, already ordered
+        // descending because end_idx > start_idx).
+        for i in remove {
+            self.steps.remove(i);
+        }
+        debug_assert!(self.check_invariants());
+    }
+
+    #[allow(dead_code)]
+    fn check_invariants(&self) -> bool {
+        for w in self.steps.windows(2) {
+            if w[0].time >= w[1].time {
+                return false;
+            }
+            if w[0].used == w[1].used {
+                return false;
+            }
+        }
+        if let Some(first) = self.steps.first() {
+            if first.used == 0 {
+                return false;
+            }
+        }
+        if let Some(last) = self.steps.last() {
+            if last.used != 0 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: i64) -> Time {
+        Time::seconds(s)
+    }
+    fn d(s: i64) -> Dur {
+        Dur::seconds(s)
+    }
+    fn r(s: i64, e: i64, p: u32) -> Reservation {
+        Reservation::new(t(s), t(e), p)
+    }
+
+    #[test]
+    fn empty_calendar_everything_fits_now() {
+        let cal = Calendar::new(8);
+        assert_eq!(cal.earliest_fit(8, d(100), t(0)), t(0));
+        assert_eq!(cal.used_at(t(12345)), 0);
+        assert_eq!(cal.available_at(t(0)), 8);
+        assert_eq!(cal.latest_fit(8, d(10), t(100), t(0)), Some(t(90)));
+    }
+
+    #[test]
+    fn add_and_query_usage() {
+        let mut cal = Calendar::new(10);
+        cal.try_add(r(10, 20, 4)).unwrap();
+        cal.try_add(r(15, 30, 3)).unwrap();
+        assert_eq!(cal.used_at(t(9)), 0);
+        assert_eq!(cal.used_at(t(10)), 4);
+        assert_eq!(cal.used_at(t(15)), 7);
+        assert_eq!(cal.used_at(t(20)), 3);
+        assert_eq!(cal.used_at(t(30)), 0);
+        assert_eq!(cal.num_reservations(), 2);
+        assert_eq!(cal.reserved_proc_seconds(), 4 * 10 + 3 * 15);
+    }
+
+    #[test]
+    fn conflict_detection() {
+        let mut cal = Calendar::new(4);
+        cal.try_add(r(0, 100, 3)).unwrap();
+        assert!(cal.try_add(r(50, 60, 2)).is_err());
+        assert!(cal.try_add(r(50, 60, 1)).is_ok());
+        // Now full over [50,60).
+        assert!(cal.try_add(r(59, 61, 1)).is_err());
+        assert!(cal.try_add(r(100, 101, 4)).is_ok()); // abuts, fine
+        assert!(matches!(
+            cal.try_add(r(0, 1, 5)),
+            Err(ReservationError::ExceedsCapacity { .. })
+        ));
+    }
+
+    #[test]
+    fn earliest_fit_skips_busy_regions() {
+        let mut cal = Calendar::new(4);
+        cal.try_add(r(0, 100, 3)).unwrap();
+        // Only 1 free until 100.
+        assert_eq!(cal.earliest_fit(1, d(10), t(0)), t(0));
+        assert_eq!(cal.earliest_fit(2, d(10), t(0)), t(100));
+        // A window that must straddle the busy region.
+        assert_eq!(cal.earliest_fit(2, d(10), t(95)), t(100));
+        // not_before respected.
+        assert_eq!(cal.earliest_fit(1, d(10), t(42)), t(42));
+    }
+
+    #[test]
+    fn earliest_fit_finds_holes() {
+        let mut cal = Calendar::new(4);
+        cal.try_add(r(0, 10, 4)).unwrap();
+        cal.try_add(r(20, 30, 4)).unwrap();
+        // Hole [10,20) fits a 10s window exactly.
+        assert_eq!(cal.earliest_fit(4, d(10), t(0)), t(10));
+        // 11s window does not fit in the hole.
+        assert_eq!(cal.earliest_fit(4, d(11), t(0)), t(30));
+        // 2-processor job never fits before 30 either (reservations take all 4).
+        assert_eq!(cal.earliest_fit(1, d(25), t(0)), t(30));
+    }
+
+    #[test]
+    fn latest_fit_basics() {
+        let mut cal = Calendar::new(4);
+        cal.try_add(r(50, 100, 4)).unwrap();
+        // Latest 10s window for 1 proc ending by 200 is [190, 200).
+        assert_eq!(cal.latest_fit(1, d(10), t(200), t(0)), Some(t(190)));
+        // Ending by 100 must finish before the busy region: [40, 50).
+        assert_eq!(cal.latest_fit(1, d(10), t(100), t(0)), Some(t(40)));
+        // Window longer than the pre-busy region: impossible before 50.
+        assert_eq!(cal.latest_fit(1, d(60), t(100), t(0)), None);
+        // not_before binds.
+        assert_eq!(cal.latest_fit(1, d(10), t(100), t(45)), None);
+        assert_eq!(cal.latest_fit(1, d(10), t(100), t(40)), Some(t(40)));
+    }
+
+    #[test]
+    fn latest_fit_lands_in_hole() {
+        let mut cal = Calendar::new(2);
+        cal.try_add(r(0, 10, 2)).unwrap();
+        cal.try_add(r(20, 30, 2)).unwrap();
+        cal.try_add(r(40, 50, 1)).unwrap();
+        // 2-proc 5s window ending by 45: [40,50) has only 1 free, hole
+        // [30,40) works -> latest start 35.
+        assert_eq!(cal.latest_fit(2, d(5), t(45), t(0)), Some(t(35)));
+        // 1-proc can end at 45.
+        assert_eq!(cal.latest_fit(1, d(5), t(45), t(0)), Some(t(40)));
+    }
+
+    #[test]
+    fn average_available_integrates() {
+        let mut cal = Calendar::new(10);
+        cal.try_add(r(0, 50, 10)).unwrap();
+        // Over [0, 100): used integral = 500 of 1000 -> avg avail 5.
+        assert_eq!(cal.used_integral(t(0), t(100)), 500);
+        assert_eq!(cal.average_available(t(0), t(100)), 5);
+        assert!((cal.average_utilization(t(0), t(100)) - 0.5).abs() < 1e-12);
+        // Window fully inside the busy region.
+        assert_eq!(cal.average_available(t(0), t(50)), 1); // clamped to >= 1
+        // Window fully outside.
+        assert_eq!(cal.average_available(t(50), t(100)), 10);
+    }
+
+    #[test]
+    fn used_integral_partial_segments() {
+        let mut cal = Calendar::new(8);
+        cal.try_add(r(10, 20, 4)).unwrap();
+        assert_eq!(cal.used_integral(t(0), t(10)), 0);
+        assert_eq!(cal.used_integral(t(12), t(18)), 24);
+        assert_eq!(cal.used_integral(t(15), t(25)), 20);
+        assert_eq!(cal.used_integral(t(20), t(30)), 0);
+        assert_eq!(cal.used_integral(t(0), t(30)), 40);
+    }
+
+    #[test]
+    fn segments_iterate_in_order() {
+        let mut cal = Calendar::new(8);
+        cal.try_add(r(10, 20, 4)).unwrap();
+        cal.try_add(r(20, 25, 2)).unwrap();
+        let segs: Vec<_> = cal.segments().collect();
+        assert_eq!(segs, vec![(t(10), t(20), 4), (t(20), t(25), 2)]);
+        assert_eq!(cal.horizon(), Some(t(25)));
+    }
+
+    #[test]
+    fn coalescing_keeps_breakpoints_minimal() {
+        let mut cal = Calendar::new(8);
+        cal.try_add(r(0, 10, 2)).unwrap();
+        cal.try_add(r(10, 20, 2)).unwrap(); // same usage level, should merge
+        assert_eq!(cal.num_breakpoints(), 2); // one at 0, one at 20
+        assert_eq!(cal.used_at(t(5)), 2);
+        assert_eq!(cal.used_at(t(15)), 2);
+        assert_eq!(cal.used_at(t(20)), 0);
+    }
+
+    #[test]
+    fn earliest_fit_full_capacity_after_everything() {
+        let mut cal = Calendar::new(4);
+        cal.try_add(r(0, 10, 1)).unwrap();
+        cal.try_add(r(5, 25, 2)).unwrap();
+        cal.try_add(r(30, 35, 4)).unwrap();
+        assert_eq!(cal.earliest_fit(4, d(10), t(0)), t(35));
+    }
+
+    #[test]
+    fn with_reservations_builder() {
+        let cal =
+            Calendar::with_reservations(4, vec![r(0, 10, 2), r(5, 15, 2)]).expect("fits");
+        assert_eq!(cal.used_at(t(7)), 4);
+        assert!(Calendar::with_reservations(4, vec![r(0, 10, 3), r(5, 15, 2)]).is_err());
+    }
+
+    #[test]
+    fn free_windows_basic() {
+        let mut cal = Calendar::new(4);
+        cal.try_add(r(10, 20, 3)).unwrap();
+        cal.try_add(r(30, 40, 4)).unwrap();
+        // 2-processor windows in [0, 50): blocked during [10,20) and [30,40).
+        assert_eq!(
+            cal.free_windows(2, t(0), t(50)),
+            vec![(t(0), t(10)), (t(20), t(30)), (t(40), t(50))]
+        );
+        // 1-processor windows: only [30,40) blocks.
+        assert_eq!(
+            cal.free_windows(1, t(0), t(50)),
+            vec![(t(0), t(30)), (t(40), t(50))]
+        );
+        // Fully free calendar: one window.
+        assert_eq!(Calendar::new(4).free_windows(4, t(5), t(9)), vec![(t(5), t(9))]);
+    }
+
+    #[test]
+    fn free_windows_starting_inside_busy_region() {
+        let mut cal = Calendar::new(2);
+        cal.try_add(r(0, 100, 2)).unwrap();
+        assert_eq!(cal.free_windows(1, t(10), t(150)), vec![(t(100), t(150))]);
+        assert!(cal.free_windows(1, t(10), t(90)).is_empty());
+    }
+
+    #[test]
+    fn free_windows_agree_with_earliest_fit() {
+        let mut cal = Calendar::new(8);
+        cal.try_add(r(5, 25, 6)).unwrap();
+        cal.try_add(r(40, 60, 8)).unwrap();
+        let windows = cal.free_windows(4, t(0), t(100));
+        // earliest_fit for a 1-second task must land in the first window.
+        let s = cal.earliest_fit(4, d(1), t(0));
+        assert_eq!(s, windows[0].0);
+    }
+
+    #[test]
+    fn peak_and_min_available() {
+        let mut cal = Calendar::new(10);
+        cal.try_add(r(0, 10, 3)).unwrap();
+        cal.try_add(r(5, 15, 4)).unwrap();
+        assert_eq!(cal.peak_used(t(0), t(20)), 7);
+        assert_eq!(cal.min_available(t(0), t(20)), 3);
+        assert_eq!(cal.peak_used(t(10), t(20)), 4);
+        assert_eq!(cal.peak_used(t(15), t(20)), 0);
+    }
+}

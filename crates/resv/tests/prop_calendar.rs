@@ -1,0 +1,236 @@
+//! Property tests for the reservation calendar against a brute-force
+//! per-second reference model.
+
+use proptest::prelude::*;
+use resched_resv::{Calendar, Dur, Reservation, Time};
+
+const HORIZON: i64 = 400;
+
+/// Brute-force model: an array of used-processor counts, one per second.
+#[derive(Clone)]
+struct Brute {
+    capacity: u32,
+    used: Vec<u32>, // index = second in [0, HORIZON)
+}
+
+impl Brute {
+    fn new(capacity: u32) -> Brute {
+        Brute {
+            capacity,
+            used: vec![0; HORIZON as usize],
+        }
+    }
+
+    fn can_add(&self, start: i64, end: i64, procs: u32) -> bool {
+        if procs > self.capacity {
+            return false;
+        }
+        (start..end).all(|s| self.used[s as usize] + procs <= self.capacity)
+    }
+
+    fn add(&mut self, start: i64, end: i64, procs: u32) {
+        for s in start..end {
+            self.used[s as usize] += procs;
+        }
+    }
+
+    fn fits(&self, start: i64, dur: i64, procs: u32) -> bool {
+        (start..start + dur).all(|s| {
+            let u = if (0..HORIZON).contains(&s) {
+                self.used[s as usize]
+            } else {
+                0
+            };
+            u + procs <= self.capacity
+        })
+    }
+
+    fn earliest_fit(&self, procs: u32, dur: i64, not_before: i64) -> i64 {
+        let mut s = not_before;
+        loop {
+            if self.fits(s, dur, procs) {
+                return s;
+            }
+            s += 1;
+            assert!(s < 2 * HORIZON, "brute-force search ran away");
+        }
+    }
+
+    fn latest_fit(&self, procs: u32, dur: i64, end_by: i64, not_before: i64) -> Option<i64> {
+        let mut s = end_by - dur;
+        while s >= not_before {
+            if self.fits(s, dur, procs) {
+                return Some(s);
+            }
+            s -= 1;
+        }
+        None
+    }
+
+    fn used_integral(&self, from: i64, to: i64) -> i64 {
+        (from..to)
+            .map(|s| {
+                if (0..HORIZON).contains(&s) {
+                    self.used[s as usize] as i64
+                } else {
+                    0
+                }
+            })
+            .sum()
+    }
+}
+
+/// A random batch of candidate reservations within the horizon.
+fn resv_batch(capacity: u32) -> impl Strategy<Value = Vec<(i64, i64, u32)>> {
+    prop::collection::vec(
+        (0..HORIZON - 1, 1..80i64, 1..=capacity).prop_map(|(s, d, p)| (s, (s + d).min(HORIZON), p)),
+        0..25,
+    )
+}
+
+/// Build the calendar and brute model together, skipping conflicting adds.
+fn build_pair(capacity: u32, batch: &[(i64, i64, u32)]) -> (Calendar, Brute) {
+    let mut cal = Calendar::new(capacity);
+    let mut brute = Brute::new(capacity);
+    for &(s, e, p) in batch {
+        let r = Reservation::new(Time::seconds(s), Time::seconds(e), p);
+        let fits_brute = brute.can_add(s, e, p);
+        let added = cal.try_add(r).is_ok();
+        assert_eq!(
+            added, fits_brute,
+            "try_add admission disagrees with brute force for {r:?}"
+        );
+        if added {
+            brute.add(s, e, p);
+        }
+    }
+    (cal, brute)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn usage_matches_brute_force(batch in resv_batch(8)) {
+        let (cal, brute) = build_pair(8, &batch);
+        for s in 0..HORIZON {
+            prop_assert_eq!(
+                cal.used_at(Time::seconds(s)),
+                brute.used[s as usize],
+                "usage differs at second {}", s
+            );
+        }
+        // Outside the horizon usage is zero.
+        prop_assert_eq!(cal.used_at(Time::seconds(HORIZON + 5)), 0);
+        prop_assert_eq!(cal.used_at(Time::seconds(-5)), 0);
+    }
+
+    #[test]
+    fn earliest_fit_matches_brute_force(
+        batch in resv_batch(8),
+        procs in 1u32..=8,
+        dur in 1i64..60,
+        not_before in 0i64..HORIZON,
+    ) {
+        let (cal, brute) = build_pair(8, &batch);
+        let got = cal.earliest_fit(procs, Dur::seconds(dur), Time::seconds(not_before));
+        let want = brute.earliest_fit(procs, dur, not_before);
+        prop_assert_eq!(got, Time::seconds(want));
+    }
+
+    #[test]
+    fn latest_fit_matches_brute_force(
+        batch in resv_batch(8),
+        procs in 1u32..=8,
+        dur in 1i64..60,
+        end_by in 1i64..HORIZON + 50,
+        not_before in 0i64..50,
+    ) {
+        let (cal, brute) = build_pair(8, &batch);
+        let got = cal.latest_fit(
+            procs,
+            Dur::seconds(dur),
+            Time::seconds(end_by),
+            Time::seconds(not_before),
+        );
+        let want = brute.latest_fit(procs, dur, end_by, not_before);
+        prop_assert_eq!(got, want.map(Time::seconds));
+    }
+
+    #[test]
+    fn used_integral_matches_brute_force(
+        batch in resv_batch(8),
+        a in -10i64..HORIZON,
+        span in 0i64..HORIZON,
+    ) {
+        let (cal, brute) = build_pair(8, &batch);
+        let b = a + span;
+        prop_assert_eq!(
+            cal.used_integral(Time::seconds(a), Time::seconds(b)),
+            brute.used_integral(a, b)
+        );
+    }
+
+    #[test]
+    fn earliest_fit_is_actually_feasible_and_tight(
+        batch in resv_batch(16),
+        procs in 1u32..=16,
+        dur in 1i64..60,
+        not_before in 0i64..HORIZON,
+    ) {
+        let (cal, brute) = build_pair(16, &batch);
+        let s = cal.earliest_fit(procs, Dur::seconds(dur), Time::seconds(not_before));
+        // Feasible.
+        prop_assert!(brute.fits(s.as_seconds(), dur, procs));
+        // Not before the bound.
+        prop_assert!(s >= Time::seconds(not_before));
+        // Tight: one second earlier must be infeasible (unless at the bound).
+        if s > Time::seconds(not_before) {
+            prop_assert!(!brute.fits(s.as_seconds() - 1, dur, procs));
+        }
+    }
+
+    #[test]
+    fn latest_fit_is_feasible_and_tight(
+        batch in resv_batch(16),
+        procs in 1u32..=16,
+        dur in 1i64..60,
+        end_by in 1i64..HORIZON,
+    ) {
+        let (cal, brute) = build_pair(16, &batch);
+        if let Some(s) = cal.latest_fit(procs, Dur::seconds(dur), Time::seconds(end_by), Time::MIN)
+        {
+            prop_assert!(brute.fits(s.as_seconds(), dur, procs));
+            prop_assert!(s + Dur::seconds(dur) <= Time::seconds(end_by));
+            // Tight: one second later must violate feasibility or the bound.
+            let later = s.as_seconds() + 1;
+            prop_assert!(
+                later + dur > end_by || !brute.fits(later, dur, procs)
+            );
+        }
+    }
+
+    #[test]
+    fn reserving_the_earliest_fit_always_succeeds(
+        batch in resv_batch(8),
+        procs in 1u32..=8,
+        dur in 1i64..60,
+    ) {
+        let (mut cal, _) = build_pair(8, &batch);
+        // Repeatedly placing at the earliest fit must never conflict.
+        let mut cursor = Time::ZERO;
+        for _ in 0..5 {
+            let s = cal.earliest_fit(procs, Dur::seconds(dur), cursor);
+            cal.try_add(Reservation::for_duration(s, Dur::seconds(dur), procs))
+                .expect("earliest_fit slot must be reservable");
+            cursor = s;
+        }
+    }
+
+    #[test]
+    fn average_available_bounds(batch in resv_batch(8)) {
+        let (cal, _) = build_pair(8, &batch);
+        let q = cal.average_available(Time::ZERO, Time::seconds(HORIZON));
+        prop_assert!((1..=8).contains(&q));
+    }
+}

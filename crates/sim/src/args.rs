@@ -1,0 +1,157 @@
+//! Minimal command-line argument parsing for the `resched` CLI binary —
+//! `--key value` and `--flag` styles, no external dependency.
+
+use std::collections::HashMap;
+
+/// Parsed arguments: a subcommand plus `--key value` options and `--flag`
+/// switches.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    /// The first positional argument.
+    pub command: String,
+    opts: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Errors from argument parsing or lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// `--key` given without a value.
+    MissingValue(String),
+    /// A required option is absent.
+    Required(String),
+    /// A value failed to parse.
+    BadValue {
+        /// Option name.
+        key: String,
+        /// Offending value.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "missing subcommand"),
+            ArgError::MissingValue(k) => write!(f, "--{k} needs a value"),
+            ArgError::Required(k) => write!(f, "--{k} is required"),
+            ArgError::BadValue { key, value } => write!(f, "--{key}: cannot parse '{value}'"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse a raw argument list (without the program name).
+    ///
+    /// An option is `--key value`; a trailing `--key` with no value, or one
+    /// followed by another `--...` token, is treated as a boolean flag.
+    pub fn parse<I, S>(raw: I) -> Result<Args, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let tokens: Vec<String> = raw.into_iter().map(Into::into).collect();
+        let mut it = tokens.into_iter().peekable();
+        let command = it.next().ok_or(ArgError::MissingCommand)?;
+        let mut args = Args {
+            command,
+            ..Args::default()
+        };
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let v = it.next().expect("peeked");
+                        args.opts.insert(key.to_string(), v);
+                    }
+                    _ => args.flags.push(key.to_string()),
+                }
+            }
+            // bare positionals after the command are ignored
+        }
+        Ok(args)
+    }
+
+    /// Whether `--name` was given as a flag.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// An optional string option.
+    pub fn opt(&self, name: &str) -> Option<&str> {
+        self.opts.get(name).map(String::as_str)
+    }
+
+    /// A required string option.
+    pub fn req(&self, name: &str) -> Result<&str, ArgError> {
+        self.opt(name).ok_or_else(|| ArgError::Required(name.into()))
+    }
+
+    /// A typed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.opt(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                key: name.into(),
+                value: v.into(),
+            }),
+        }
+    }
+
+    /// A required typed option.
+    pub fn get_req<T: std::str::FromStr>(&self, name: &str) -> Result<T, ArgError> {
+        let v = self.req(name)?;
+        v.parse().map_err(|_| ArgError::BadValue {
+            key: name.into(),
+            value: v.into(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_opts_and_flags() {
+        let a = Args::parse(["schedule", "--dag", "d.json", "--gantt", "--seed", "42"]).unwrap();
+        assert_eq!(a.command, "schedule");
+        assert_eq!(a.opt("dag"), Some("d.json"));
+        assert!(a.flag("gantt"));
+        assert_eq!(a.get_or::<u64>("seed", 0).unwrap(), 42);
+        assert_eq!(a.get_or::<u64>("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn trailing_flag() {
+        let a = Args::parse(["x", "--verbose"]).unwrap();
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn missing_command_is_an_error() {
+        assert_eq!(
+            Args::parse(Vec::<String>::new()).unwrap_err(),
+            ArgError::MissingCommand
+        );
+    }
+
+    #[test]
+    fn required_and_bad_values() {
+        let a = Args::parse(["x", "--n", "abc"]).unwrap();
+        assert!(matches!(a.get_req::<u32>("n"), Err(ArgError::BadValue { .. })));
+        assert!(matches!(a.req("absent"), Err(ArgError::Required(_))));
+    }
+
+    #[test]
+    fn negative_numbers_are_values_not_flags() {
+        // "-5" does not start with "--" so it is consumed as a value.
+        let a = Args::parse(["x", "--offset", "-5"]).unwrap();
+        assert_eq!(a.get_req::<i64>("offset").unwrap(), -5);
+    }
+}

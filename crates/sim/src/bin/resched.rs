@@ -1,0 +1,266 @@
+//! `resched` — command-line front end to the library.
+//!
+//! ```text
+//! resched generate-dag  --tasks 50 --width 0.5 --density 0.5 --regularity 0.5
+//!                       --alpha 0.2 --jump 1 --seed 42 [--dot] > dag.json
+//! resched generate-log  --preset sdsc_blue --days 30 --seed 1 [--swf] > log.json
+//! resched extract       --log log.json --phi 0.2 --method expo --seed 3
+//!                       [--at <secs>] > resv.json
+//! resched schedule      --dag dag.json --resv resv.json [--bd CPAR] [--bl CPAR]
+//!                       [--gantt] [--svg out.svg]
+//! resched deadline      --dag dag.json --resv resv.json --k <secs>
+//!                       [--algo DL_RCBD_CPAR-L]
+//! resched tightest      --dag dag.json --resv resv.json [--algo DL_RC_CPAR-L]
+//! ```
+//!
+//! JSON files use the crates' serde formats, so artifacts are
+//! interchangeable with library users.
+
+use resched_core::backward::{schedule_deadline, tightest_deadline, DeadlineAlgo, DeadlineConfig};
+use resched_core::bl::BlMethod;
+use resched_core::forward::{schedule_forward, BdMethod, ForwardConfig};
+use resched_core::prelude::*;
+use resched_daggen::DagParams;
+use resched_sim::args::Args;
+use resched_workloads::extract::{extract, sample_start_times, ExtractSpec, ThinMethod};
+use resched_workloads::job::JobLog;
+use resched_workloads::swf_write::write_swf;
+use resched_workloads::synth::{generate_log, LogSpec};
+use std::error::Error;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        eprintln!("run with no arguments for usage");
+        std::process::exit(1);
+    }
+}
+
+fn usage() -> &'static str {
+    "subcommands: generate-dag | generate-log | extract | schedule | deadline | tightest\n\
+     see crates/sim/src/bin/resched.rs header for options"
+}
+
+fn run() -> Result<(), Box<dyn Error>> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        println!("{}", usage());
+        return Ok(());
+    }
+    let args = Args::parse(argv)?;
+    match args.command.as_str() {
+        "generate-dag" => generate_dag(&args),
+        "generate-log" => generate_log_cmd(&args),
+        "extract" => extract_cmd(&args),
+        "schedule" => schedule_cmd(&args),
+        "deadline" => deadline_cmd(&args, false),
+        "tightest" => deadline_cmd(&args, true),
+        other => Err(format!("unknown subcommand '{other}'\n{}", usage()).into()),
+    }
+}
+
+fn generate_dag(args: &Args) -> Result<(), Box<dyn Error>> {
+    let params = DagParams {
+        num_tasks: args.get_or("tasks", 50usize)?,
+        alpha_max: args.get_or("alpha", 0.2f64)?,
+        width: args.get_or("width", 0.5f64)?,
+        regularity: args.get_or("regularity", 0.5f64)?,
+        density: args.get_or("density", 0.5f64)?,
+        jump: args.get_or("jump", 1u32)?,
+    };
+    params.validate()?;
+    let dag = resched_daggen::generate(&params, args.get_or("seed", 42u64)?);
+    if args.flag("dot") {
+        println!("{}", dag.to_dot());
+    } else {
+        println!("{}", serde_json::to_string_pretty(&dag)?);
+    }
+    eprintln!(
+        "generated {} tasks, {} edges, {} levels, max width {}",
+        dag.num_tasks(),
+        dag.num_edges(),
+        dag.num_levels(),
+        dag.max_width()
+    );
+    Ok(())
+}
+
+fn preset(name: &str) -> Result<LogSpec, Box<dyn Error>> {
+    Ok(match name {
+        "ctc_sp2" => LogSpec::ctc_sp2(),
+        "osc_cluster" => LogSpec::osc_cluster(),
+        "sdsc_blue" => LogSpec::sdsc_blue(),
+        "sdsc_ds" => LogSpec::sdsc_ds(),
+        "grid5000" => LogSpec::grid5000(),
+        other => return Err(format!("unknown preset '{other}'").into()),
+    })
+}
+
+fn generate_log_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
+    let mut spec = preset(args.opt("preset").unwrap_or("sdsc_blue"))?;
+    if let Some(days) = args.opt("days") {
+        let days: i64 = days.parse().map_err(|_| "bad --days")?;
+        spec = spec.with_duration(Dur::days(days));
+    }
+    let log = generate_log(&spec, args.get_or("seed", 1u64)?);
+    if args.flag("swf") {
+        println!("{}", write_swf(&log));
+    } else {
+        println!("{}", serde_json::to_string(&log)?);
+    }
+    eprintln!(
+        "generated {}: {} jobs, steady utilization {:.1}%",
+        log.name,
+        log.jobs.len(),
+        log.steady_utilization() * 100.0
+    );
+    Ok(())
+}
+
+fn read_json<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, Box<dyn Error>> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    Ok(serde_json::from_str(&text)?)
+}
+
+fn extract_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
+    let log: JobLog = read_json(args.req("log")?)?;
+    let method = match args.opt("method").unwrap_or("expo") {
+        "linear" => ThinMethod::Linear,
+        "expo" => ThinMethod::Expo,
+        "real" => ThinMethod::Real,
+        other => return Err(format!("unknown method '{other}'").into()),
+    };
+    let seed = args.get_or("seed", 3u64)?;
+    let at = match args.opt("at") {
+        Some(v) => Time::seconds(v.parse().map_err(|_| "bad --at")?),
+        None => sample_start_times(&log, 1, seed ^ 0x5eed)[0],
+    };
+    let spec = ExtractSpec::new(args.get_or("phi", 0.2f64)?, method);
+    let rs = extract(&log, at, &spec, seed);
+    println!("{}", serde_json::to_string(&rs)?);
+    eprintln!(
+        "extracted {} reservations at t={} (q = {} of {} procs)",
+        rs.reservations.len(),
+        at,
+        rs.q,
+        rs.procs
+    );
+    Ok(())
+}
+
+fn load_problem(
+    args: &Args,
+) -> Result<
+    (
+        resched_core::dag::Dag,
+        resched_workloads::extract::ReservationSchedule,
+        Calendar,
+    ),
+    Box<dyn Error>,
+> {
+    let dag: resched_core::dag::Dag = read_json(args.req("dag")?)?;
+    let rs: resched_workloads::extract::ReservationSchedule = read_json(args.req("resv")?)?;
+    let cal = rs.calendar();
+    Ok((dag, rs, cal))
+}
+
+fn schedule_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
+    let (dag, rs, cal) = load_problem(args)?;
+    let bd = match args.opt("bd").unwrap_or("CPAR") {
+        "ALL" => BdMethod::All,
+        "HALF" => BdMethod::Half,
+        "CPA" => BdMethod::Cpa,
+        "CPAR" => BdMethod::CpaR,
+        other => return Err(format!("unknown --bd '{other}'").into()),
+    };
+    let bl = match args.opt("bl").unwrap_or("CPAR") {
+        "1" => BlMethod::One,
+        "ALL" => BlMethod::All,
+        "CPA" => BlMethod::Cpa,
+        "CPAR" => BlMethod::CpaR,
+        other => return Err(format!("unknown --bl '{other}'").into()),
+    };
+    let sched = schedule_forward(&dag, &cal, Time::ZERO, rs.q, ForwardConfig::new(bl, bd));
+    sched.validate(&dag, &cal)?;
+    println!("{}", serde_json::to_string(&sched)?);
+    eprintln!(
+        "{}: turn-around {}, {:.2} CPU-hours",
+        ForwardConfig::new(bl, bd).name(),
+        sched.turnaround(),
+        sched.cpu_hours()
+    );
+    if args.flag("gantt") {
+        eprintln!(
+            "{}",
+            resched_sim::gantt::render(
+                &sched,
+                &dag,
+                &cal,
+                resched_sim::gantt::GanttOptions::default()
+            )
+        );
+    }
+    if let Some(path) = args.opt("svg") {
+        let svg = resched_sim::svg::render_svg(
+            &sched,
+            &dag,
+            &cal,
+            resched_sim::svg::SvgOptions::default(),
+        );
+        std::fs::write(path, svg).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn parse_algo(name: &str) -> Result<DeadlineAlgo, Box<dyn Error>> {
+    DeadlineAlgo::ALL
+        .into_iter()
+        .find(|a| a.name() == name)
+        .ok_or_else(|| format!("unknown --algo '{name}'").into())
+}
+
+fn deadline_cmd(args: &Args, tightest: bool) -> Result<(), Box<dyn Error>> {
+    let (dag, rs, cal) = load_problem(args)?;
+    let algo = parse_algo(args.opt("algo").unwrap_or("DL_RCBD_CPAR-L"))?;
+    let cfg = DeadlineConfig::default();
+    if tightest {
+        let Some((k, out)) = tightest_deadline(
+            &dag,
+            &cal,
+            Time::ZERO,
+            rs.q,
+            algo,
+            cfg,
+            Dur::seconds(60),
+        ) else {
+            return Err("no achievable deadline".into());
+        };
+        out.schedule.validate(&dag, &cal)?;
+        println!("{}", serde_json::to_string(&out.schedule)?);
+        eprintln!(
+            "{algo}: tightest deadline {} ({:.2} CPU-hours, lambda {:?})",
+            k - Time::ZERO,
+            out.schedule.cpu_hours(),
+            out.lambda
+        );
+    } else {
+        let k = Time::seconds(args.get_req::<i64>("k")?);
+        match schedule_deadline(&dag, &cal, Time::ZERO, rs.q, k, algo, cfg) {
+            Ok(out) => {
+                out.schedule.validate(&dag, &cal)?;
+                println!("{}", serde_json::to_string(&out.schedule)?);
+                eprintln!(
+                    "{algo}: meets {} with completion {} and {:.2} CPU-hours (lambda {:?})",
+                    k,
+                    out.schedule.completion(),
+                    out.schedule.cpu_hours(),
+                    out.lambda
+                );
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,194 @@
+//! Workload-facing experiments: Table 2 (the four batch logs), Table 3
+//! (Grid'5000 vs. batch-log statistics) and the §3.2.1 correlation check
+//! between synthetic thinning methods and Grid'5000-like schedules.
+
+use crate::scenario::{derive_seed, LogCache};
+use crate::table::{fnum, Table};
+use resched_workloads::extract::{extract, sample_start_times, ExtractSpec, ThinMethod};
+use resched_workloads::prelude::*;
+use resched_workloads::stats::{correlation, log_stats, LogStats};
+use serde::{Deserialize, Serialize};
+
+/// Generate the four synthetic batch logs and compute their Table 2 / 3
+/// statistics.
+pub fn run_log_stats(seed: u64) -> Vec<LogStats> {
+    let mut cache = LogCache::new();
+    let mut out = Vec::new();
+    for spec in LogSpec::paper_logs() {
+        let log = cache.get(&spec, seed);
+        out.push(log_stats(log, 20, derive_seed(seed, &spec.name, 1)));
+    }
+    // Grid'5000-like reservation log for Table 3.
+    let g5k_spec = LogSpec::grid5000();
+    let g5k = cache.get(&g5k_spec, seed);
+    out.push(log_stats(g5k, 20, derive_seed(seed, "g5k", 1)));
+    out
+}
+
+/// Render Table 2: the machine/duration/utilization columns.
+pub fn table2(stats: &[LogStats]) -> Table {
+    let mut t = Table::new(
+        "Table 2 - synthetic batch logs (paper targets in DESIGN.md)",
+        &["Name", "#CPUs", "Duration [days]", "Jobs", "Avg utilization [%]"],
+    );
+    for s in stats.iter().filter(|s| s.name != "Grid5000") {
+        t.row(vec![
+            s.name.clone(),
+            s.procs.to_string(),
+            fnum(s.span_days, 1),
+            s.num_jobs.to_string(),
+            fnum(s.utilization_pct, 1),
+        ]);
+    }
+    t
+}
+
+/// Render Table 3: execution time and time-to-start statistics, Grid'5000
+/// first like the paper.
+pub fn table3(stats: &[LogStats]) -> Table {
+    let mut t = Table::new(
+        "Table 3 - job statistics (CVs are across sampled windows)",
+        &[
+            "Log",
+            "Avg exec [h]",
+            "CV exec [%]",
+            "Avg time-to-exec [h]",
+            "CV time-to-exec [%]",
+        ],
+    );
+    let ordered = stats
+        .iter()
+        .filter(|s| s.name == "Grid5000")
+        .chain(stats.iter().filter(|s| s.name != "Grid5000"));
+    for s in ordered {
+        t.row(vec![
+            s.name.clone(),
+            fnum(s.avg_exec_hours, 2),
+            fnum(s.cv_exec_pct, 2),
+            fnum(s.avg_wait_hours, 2),
+            fnum(s.cv_wait_pct, 2),
+        ]);
+    }
+    t
+}
+
+/// §3.2.1 correlation experiment: per thinning method, the correlation of
+/// the future reserved-processor profile against a Grid'5000-like profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrelationResult {
+    /// Method name.
+    pub method: String,
+    /// Mean correlation coefficient across samples.
+    pub mean_correlation: f64,
+}
+
+/// Hourly reserved-processor profile (fraction of capacity) over the 7-day
+/// future horizon of a reservation schedule.
+fn density_profile(rs: &resched_workloads::extract::ReservationSchedule) -> Vec<f64> {
+    let cal = rs.calendar();
+    let hours = 7 * 24;
+    (0..hours)
+        .map(|h| {
+            cal.used_integral(
+                resched_resv::Time::seconds(h * 3600),
+                resched_resv::Time::seconds((h + 1) * 3600),
+            ) as f64
+                / (3600.0 * rs.procs as f64)
+        })
+        .collect()
+}
+
+/// Compute mean correlations of the linear/expo/real methods against
+/// Grid'5000-like reservation profiles (paper reports 0.27 / 0.54 / 0.44).
+pub fn run_correlations(seed: u64, samples: usize) -> Vec<CorrelationResult> {
+    let mut cache = LogCache::new();
+    let g5k_spec = LogSpec::grid5000();
+    let g5k = cache.get(&g5k_spec, seed).clone();
+    let batch_spec = LogSpec::sdsc_blue();
+    let batch = cache.get(&batch_spec, seed).clone();
+
+    let g5k_times = sample_start_times(&g5k, samples, derive_seed(seed, "g5kT", 0));
+    let batch_times = sample_start_times(&batch, samples, derive_seed(seed, "batchT", 0));
+
+    let g5k_profiles: Vec<Vec<f64>> = g5k_times
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            let rs = extract(
+                &g5k,
+                t,
+                &ExtractSpec::new(1.0, ThinMethod::Real),
+                derive_seed(seed, "g5kE", i as u64),
+            );
+            density_profile(&rs)
+        })
+        .collect();
+
+    ThinMethod::ALL
+        .iter()
+        .map(|&method| {
+            let mut corrs = Vec::new();
+            for (i, &t) in batch_times.iter().enumerate() {
+                let rs = extract(
+                    &batch,
+                    t,
+                    &ExtractSpec::new(0.2, method),
+                    derive_seed(seed, method.name(), i as u64),
+                );
+                let prof = density_profile(&rs);
+                for g in &g5k_profiles {
+                    corrs.push(correlation(&prof, g));
+                }
+            }
+            CorrelationResult {
+                method: method.name().to_string(),
+                mean_correlation: crate::metrics::mean(&corrs),
+            }
+        })
+        .collect()
+}
+
+/// Render the correlation results.
+pub fn correlation_table(results: &[CorrelationResult]) -> Table {
+    let mut t = Table::new(
+        "Sec 3.2.1 - thinning-method profiles vs Grid'5000-like profiles",
+        &["Method", "Mean correlation"],
+    );
+    for r in results {
+        t.row(vec![r.method.clone(), fnum(r.mean_correlation, 3)]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_stats_cover_all_five_logs() {
+        // Use the real presets but this is a slow-ish test (~seconds).
+        let stats = run_log_stats(99);
+        assert_eq!(stats.len(), 5);
+        let names: Vec<&str> = stats.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"CTC_SP2"));
+        assert!(names.contains(&"Grid5000"));
+        let t2 = table2(&stats);
+        assert!(t2.render().contains("SDSC_BLUE"));
+        let t3 = table3(&stats);
+        let render = t3.render();
+        // Grid5000 row comes first in Table 3.
+        let g = render.find("Grid5000").unwrap();
+        let c = render.find("CTC_SP2").unwrap();
+        assert!(g < c);
+    }
+
+    #[test]
+    fn correlations_are_finite() {
+        let rs = run_correlations(7, 2);
+        assert_eq!(rs.len(), 3);
+        for r in &rs {
+            assert!(r.mean_correlation.is_finite());
+            assert!((-1.0..=1.0).contains(&r.mean_correlation));
+        }
+    }
+}

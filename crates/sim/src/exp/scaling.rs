@@ -1,0 +1,231 @@
+//! Table 8 — worst-case asymptotic complexities, verified empirically.
+//!
+//! The symbolic complexities live in [`resched_core::complexity`]. This
+//! experiment checks the two growth claims that matter in practice using
+//! the `ScheduleStats` work counters:
+//!
+//! 1. slot queries grow roughly linearly in `V` for the aggressive
+//!    algorithms;
+//! 2. the resource-conservative algorithms perform `Θ(V)` CPA mappings per
+//!    schedule (one per task decision), which the aggressive ones never do.
+
+use crate::scenario::{derive_seed, instances_for, LogCache, ResvSpec, Scale};
+use crate::table::{fnum, Table};
+use resched_core::backward::{schedule_deadline, DeadlineAlgo, DeadlineConfig};
+use resched_core::complexity::complexity_of;
+use resched_core::forward::{schedule_forward, ForwardConfig};
+use resched_core::prelude::Time;
+use resched_daggen::{DagParams, Sweep};
+use serde::{Deserialize, Serialize};
+
+/// Work counters for one algorithm at one problem size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    /// Number of tasks.
+    pub n: usize,
+    /// Average slot queries per schedule.
+    pub slot_queries: f64,
+    /// Average CPA mappings per schedule.
+    pub cpa_mappings: f64,
+}
+
+/// Counter growth for one algorithm across problem sizes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingResult {
+    /// Algorithm name.
+    pub name: String,
+    /// Symbolic worst-case complexity (paper's Table 8).
+    pub complexity: String,
+    /// Measured points.
+    pub points: Vec<ScalingPoint>,
+}
+
+/// Measure counter growth for the recommended forward algorithm and a
+/// resource-conservative deadline algorithm as `n` grows.
+pub fn run_scaling(scale: Scale, seed: u64) -> Vec<ScalingResult> {
+    let sizes = [10usize, 25, 50, 100];
+    let spec = ResvSpec::grid5000();
+    let mut cache = LogCache::new();
+    let log = cache.get(&spec.log, seed).clone();
+
+    let mut fwd_all = ScalingResult {
+        name: "BD_ALL".into(),
+        complexity: complexity_of("BD_ALL").into(),
+        points: Vec::new(),
+    };
+    let mut fwd = ScalingResult {
+        name: "BD_CPAR".into(),
+        complexity: complexity_of("BD_CPAR").into(),
+        points: Vec::new(),
+    };
+    let mut rc = ScalingResult {
+        name: "DL_RC_CPAR".into(),
+        complexity: complexity_of("DL_RC_CPAR").into(),
+        points: Vec::new(),
+    };
+
+    for &n in &sizes {
+        let sweep = Sweep {
+            varied: "scaling",
+            value: n as f64,
+            params: DagParams {
+                num_tasks: n,
+                ..DagParams::paper_default()
+            },
+        };
+        let instances = instances_for(&sweep, &spec, &log, scale, derive_seed(seed, "scal", n as u64));
+        let mut fa_q = 0.0;
+        let mut fa_m = 0.0;
+        let mut fwd_q = 0.0;
+        let mut fwd_m = 0.0;
+        let mut rc_q = 0.0;
+        let mut rc_m = 0.0;
+        let mut count = 0usize;
+        for inst in &instances {
+            let cal = inst.resv.calendar();
+            let sa = schedule_forward(
+                &inst.dag,
+                &cal,
+                Time::ZERO,
+                inst.resv.q,
+                ForwardConfig::new(
+                    resched_core::bl::BlMethod::CpaR,
+                    resched_core::forward::BdMethod::All,
+                ),
+            );
+            fa_q += sa.stats.slot_queries as f64;
+            fa_m += sa.stats.cpa_mappings as f64;
+            let s = schedule_forward(
+                &inst.dag,
+                &cal,
+                Time::ZERO,
+                inst.resv.q,
+                ForwardConfig::recommended(),
+            );
+            fwd_q += s.stats.slot_queries as f64;
+            fwd_m += s.stats.cpa_mappings as f64;
+            let deadline = Time::ZERO + s.turnaround() * 2;
+            if let Ok(out) = schedule_deadline(
+                &inst.dag,
+                &cal,
+                Time::ZERO,
+                inst.resv.q,
+                deadline,
+                DeadlineAlgo::RcCpaR,
+                DeadlineConfig::default(),
+            ) {
+                rc_q += out.schedule.stats.slot_queries as f64;
+                rc_m += out.schedule.stats.cpa_mappings as f64;
+            }
+            count += 1;
+        }
+        let c = count.max(1) as f64;
+        fwd_all.points.push(ScalingPoint {
+            n,
+            slot_queries: fa_q / c,
+            cpa_mappings: fa_m / c,
+        });
+        fwd.points.push(ScalingPoint {
+            n,
+            slot_queries: fwd_q / c,
+            cpa_mappings: fwd_m / c,
+        });
+        rc.points.push(ScalingPoint {
+            n,
+            slot_queries: rc_q / c,
+            cpa_mappings: rc_m / c,
+        });
+    }
+    vec![fwd_all, fwd, rc]
+}
+
+/// Render the symbolic Table 8 plus the measured counters.
+pub fn scaling_table(results: &[ScalingResult]) -> Table {
+    let mut t = Table::new(
+        "Table 8 - complexities (symbolic) with measured work counters",
+        &[
+            "Algorithm",
+            "Complexity",
+            "n",
+            "slot queries/run",
+            "CPA mappings/run",
+        ],
+    );
+    for r in results {
+        for p in &r.points {
+            t.row(vec![
+                r.name.clone(),
+                r.complexity.clone(),
+                p.n.to_string(),
+                fnum(p.slot_queries, 1),
+                fnum(p.cpa_mappings, 1),
+            ]);
+        }
+    }
+    t
+}
+
+/// Render the paper's full symbolic Table 8.
+pub fn symbolic_table8() -> Table {
+    let mut t = Table::new(
+        "Table 8 - worst-case asymptotic complexities",
+        &["Algorithm", "Complexity"],
+    );
+    for name in [
+        "BD_ALL",
+        "BD_CPA",
+        "BD_CPAR",
+        "DL_BD_ALL",
+        "DL_BD_CPA",
+        "DL_BD_CPAR",
+        "DL_RC_CPA",
+        "DL_RC_CPAR",
+        "DL_RC_CPAR-L",
+        "DL_RCBD_CPAR-L",
+    ] {
+        t.row(vec![name.into(), complexity_of(name).into()]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_counters_grow_with_n() {
+        let scale = Scale {
+            dags: 1,
+            starts: 1,
+            tags: 1,
+        };
+        let results = run_scaling(scale, 5);
+        assert_eq!(results.len(), 3);
+        // BD_ALL scans 1..=p per task, so its query count must grow ~V.
+        let fwd_all = &results[0];
+        let first = &fwd_all.points[0];
+        let last = &fwd_all.points[fwd_all.points.len() - 1];
+        assert!(
+            last.slot_queries > first.slot_queries * 2.0,
+            "BD_ALL queries should grow with n: {} -> {}",
+            first.slot_queries,
+            last.slot_queries
+        );
+        // RC performs ~one mapping per task; the forward algorithms none.
+        let fwd = &results[1];
+        let rc = &results[2];
+        assert!(fwd.points.iter().all(|p| p.cpa_mappings == 0.0));
+        assert!(fwd_all.points.iter().all(|p| p.cpa_mappings == 0.0));
+        for p in &rc.points {
+            assert!(
+                p.cpa_mappings >= p.n as f64 * 0.9,
+                "RC mappings {} should be ~n={}",
+                p.cpa_mappings,
+                p.n
+            );
+        }
+        let t = scaling_table(&results);
+        assert!(t.render().contains("BD_CPAR"));
+        assert!(symbolic_table8().render().contains("DL_RCBD_CPAR-L"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Multi-application stream: a closed-loop scenario where the "competing
+//! reservations" are themselves mixed-parallel applications scheduled with
+//! this library. Applications arrive as a Poisson process; each schedules
+//! with `BL_CPAR_BD_CPAR` against the live calendar and its reservations
+//! persist for everyone after it.
+//!
+//! This goes beyond the paper (whose competition is replayed from logs) and
+//! measures how the recommended algorithm behaves as the offered load
+//! grows: per-application turn-around, achieved utilization, and the
+//! evolution of the availability estimate `q`.
+
+use crate::scenario::derive_seed;
+use crate::table::{fnum, Table};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use resched_core::forward::{schedule_forward, ForwardConfig};
+use resched_core::prelude::*;
+use resched_daggen::DagParams;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a stream simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Platform size.
+    pub procs: u32,
+    /// Simulated submission horizon.
+    pub horizon: Dur,
+    /// Mean inter-arrival time between applications.
+    pub mean_interarrival: Dur,
+    /// Tasks per application.
+    pub tasks_per_app: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            procs: 256,
+            horizon: Dur::days(2),
+            mean_interarrival: Dur::hours(2),
+            tasks_per_app: 25,
+        }
+    }
+}
+
+/// Aggregate result of one stream simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamResult {
+    /// Applications admitted.
+    pub apps: usize,
+    /// Mean per-application turn-around in hours.
+    pub avg_turnaround_h: f64,
+    /// 95th percentile turn-around in hours.
+    pub p95_turnaround_h: f64,
+    /// Calendar utilization over the submission horizon.
+    pub utilization: f64,
+    /// Mean availability estimate `q` (as a fraction of `p`) seen by
+    /// arriving applications.
+    pub avg_q_fraction: f64,
+}
+
+/// Run one stream simulation.
+pub fn run_stream(cfg: &StreamConfig, seed: u64) -> StreamResult {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut cal = Calendar::new(cfg.procs);
+    let params = DagParams {
+        num_tasks: cfg.tasks_per_app,
+        ..DagParams::paper_default()
+    };
+    let mut turnarounds = Vec::new();
+    let mut q_fracs = Vec::new();
+    let mut now = Time::ZERO;
+    let horizon = Time::ZERO + cfg.horizon;
+    let window = Dur::days(1);
+    let mut app = 0u64;
+    while now < horizon {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        now += Dur::from_secs_f64_ceil(-u.ln() * cfg.mean_interarrival.as_seconds() as f64);
+        if now >= horizon {
+            break;
+        }
+        app += 1;
+        let dag = resched_daggen::generate(&params, derive_seed(seed, "stream", app));
+        // Availability estimate from the recent past, exactly as the
+        // paper's q (the window is clamped to the simulated past).
+        let from = (now - window).max(Time::ZERO - window);
+        let q = if now > from {
+            cal.average_available(from, now)
+        } else {
+            cfg.procs
+        };
+        q_fracs.push(q as f64 / cfg.procs as f64);
+        let sched = schedule_forward(&dag, &cal, now, q, ForwardConfig::recommended());
+        debug_assert!(sched.validate(&dag, &cal).is_ok());
+        for t in dag.task_ids() {
+            cal.add_unchecked(sched.placement(t).reservation());
+        }
+        turnarounds.push(sched.turnaround().as_hours());
+    }
+    turnarounds.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = turnarounds.len();
+    let p95 = if n == 0 {
+        0.0
+    } else {
+        turnarounds[((n as f64 * 0.95) as usize).min(n - 1)]
+    };
+    StreamResult {
+        apps: n,
+        avg_turnaround_h: crate::metrics::mean(&turnarounds),
+        p95_turnaround_h: p95,
+        utilization: cal.average_utilization(Time::ZERO, horizon),
+        avg_q_fraction: crate::metrics::mean(&q_fracs),
+    }
+}
+
+/// Sweep arrival intensity and render the results.
+pub fn stream_table(cfg: &StreamConfig, interarrivals_h: &[f64], seed: u64) -> Table {
+    let mut t = Table::new(
+        "Extension - multi-application stream (BL_CPAR_BD_CPAR, closed loop)",
+        &[
+            "Mean interarrival [h]",
+            "Apps",
+            "Avg TAT [h]",
+            "p95 TAT [h]",
+            "Utilization [%]",
+            "Avg q/p [%]",
+        ],
+    );
+    for &ia in interarrivals_h {
+        let cfg = StreamConfig {
+            mean_interarrival: Dur::seconds((ia * 3600.0) as i64),
+            ..*cfg
+        };
+        let r = run_stream(&cfg, seed);
+        t.row(vec![
+            fnum(ia, 1),
+            r.apps.to_string(),
+            fnum(r.avg_turnaround_h, 2),
+            fnum(r.p95_turnaround_h, 2),
+            fnum(r.utilization * 100.0, 1),
+            fnum(r.avg_q_fraction * 100.0, 1),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_runs_and_load_raises_turnaround() {
+        let base = StreamConfig {
+            horizon: Dur::hours(24),
+            tasks_per_app: 10,
+            ..StreamConfig::default()
+        };
+        let light = run_stream(
+            &StreamConfig {
+                mean_interarrival: Dur::hours(6),
+                ..base
+            },
+            7,
+        );
+        let heavy = run_stream(
+            &StreamConfig {
+                mean_interarrival: Dur::minutes(30),
+                ..base
+            },
+            7,
+        );
+        assert!(light.apps > 0 && heavy.apps > light.apps);
+        assert!(heavy.utilization > light.utilization);
+        assert!(
+            heavy.avg_turnaround_h >= light.avg_turnaround_h,
+            "more load should not reduce turn-around: {} vs {}",
+            heavy.avg_turnaround_h,
+            light.avg_turnaround_h
+        );
+        // q estimates react to the load.
+        assert!(heavy.avg_q_fraction <= light.avg_q_fraction);
+    }
+
+    #[test]
+    fn table_renders() {
+        let cfg = StreamConfig {
+            horizon: Dur::hours(12),
+            tasks_per_app: 8,
+            ..StreamConfig::default()
+        };
+        let t = stream_table(&cfg, &[4.0], 3);
+        assert!(t.render().contains("Avg TAT"));
+    }
+}

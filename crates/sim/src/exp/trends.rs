@@ -1,0 +1,128 @@
+//! The paper's *textual* trend claims, turned into checkable experiments:
+//!
+//! * §4.3.1 — "the gap between the BL_1 method and the other three methods
+//!   decreases when the total number of processors in the platform
+//!   decreases or when the number of reservations increases";
+//! * §4.3.2 — "as the number of competing reservations in the reservation
+//!   schedule increases the gap between the BD_ALL algorithm and the other
+//!   algorithms decreases (but their ranking is preserved)".
+
+use crate::metrics::mean;
+use crate::scenario::{default_sweep, instances_for, LogCache, ResvSpec, Scale};
+use crate::table::{fnum, Table};
+use resched_core::bl::BlMethod;
+use resched_core::forward::{schedule_forward, BdMethod, ForwardConfig};
+use resched_core::prelude::Time;
+use resched_workloads::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One measured trend point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrendPoint {
+    /// Log name (machine size proxy).
+    pub log: String,
+    /// Tagged fraction.
+    pub phi: f64,
+    /// Mean turn-around gap of BL_1 relative to BL_CPAR, percent
+    /// (positive = BL_CPAR better).
+    pub bl_gap_pct: f64,
+    /// Mean turn-around gap of BD_ALL relative to BD_CPAR, percent.
+    pub bd_all_gap_pct: f64,
+}
+
+/// Measure the trend grid: two machine sizes × two reservation loads.
+pub fn run_trends(scale: Scale, seed: u64) -> Vec<TrendPoint> {
+    let mut cache = LogCache::new();
+    let sweep = default_sweep();
+    let mut out = Vec::new();
+    for log_spec in [LogSpec::sdsc_blue(), LogSpec::osc_cluster()] {
+        let log = cache.get(&log_spec, seed).clone();
+        for phi in [0.1, 0.5] {
+            let spec = ResvSpec {
+                log: log_spec.clone(),
+                phi,
+                method: ThinMethod::Expo,
+            };
+            let instances = instances_for(&sweep, &spec, &log, scale, seed);
+            let mut bl_gaps = Vec::new();
+            let mut bd_gaps = Vec::new();
+            for inst in &instances {
+                let cal = inst.resv.calendar();
+                let run = |bl, bd| {
+                    schedule_forward(
+                        &inst.dag,
+                        &cal,
+                        Time::ZERO,
+                        inst.resv.q,
+                        ForwardConfig::new(bl, bd),
+                    )
+                    .turnaround()
+                    .as_seconds() as f64
+                };
+                let bl1 = run(BlMethod::One, BdMethod::CpaR);
+                let blc = run(BlMethod::CpaR, BdMethod::CpaR);
+                bl_gaps.push((bl1 - blc) / blc * 100.0);
+                let bdall = run(BlMethod::CpaR, BdMethod::All);
+                bd_gaps.push((bdall - blc) / blc * 100.0);
+            }
+            out.push(TrendPoint {
+                log: log_spec.name.clone(),
+                phi,
+                bl_gap_pct: mean(&bl_gaps),
+                bd_all_gap_pct: mean(&bd_gaps),
+            });
+        }
+    }
+    out
+}
+
+/// Render the trend table.
+pub fn trends_table(points: &[TrendPoint]) -> Table {
+    let mut t = Table::new(
+        "Sec 4.3 trends - method gaps vs machine size and reservation load",
+        &[
+            "Log (machine)",
+            "phi",
+            "BL_1 vs BL_CPAR TAT gap [%]",
+            "BD_ALL vs BD_CPAR TAT gap [%]",
+        ],
+    );
+    for p in points {
+        t.row(vec![
+            p.log.clone(),
+            fnum(p.phi, 1),
+            fnum(p.bl_gap_pct, 2),
+            fnum(p.bd_all_gap_pct, 2),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trends_measure_all_grid_points() {
+        let scale = Scale {
+            dags: 2,
+            starts: 2,
+            tags: 1,
+        };
+        let points = run_trends(scale, 11);
+        assert_eq!(points.len(), 4);
+        for p in &points {
+            assert!(p.bl_gap_pct.is_finite());
+            assert!(p.bd_all_gap_pct.is_finite());
+            // BD_ALL never beats BD_CPAR on average in any cell of the
+            // grid (the paper's ranking claim, which is scale-robust).
+            assert!(
+                p.bd_all_gap_pct > -5.0,
+                "BD_ALL implausibly beats BD_CPAR: {p:?}"
+            );
+        }
+        let t = trends_table(&points);
+        assert!(t.render().contains("OSC_Cluster"));
+        assert!(t.render().contains("SDSC_BLUE"));
+    }
+}

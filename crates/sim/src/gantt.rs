@@ -1,0 +1,118 @@
+//! Text Gantt rendering of schedules against their reservation calendar —
+//! used by examples and handy when debugging scheduling decisions.
+
+use resched_core::dag::Dag;
+use resched_core::prelude::{Calendar, Schedule};
+
+/// Options for [`render`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GanttOptions {
+    /// Character columns available for the time axis.
+    pub width: usize,
+    /// Show the competing-reservation load strip.
+    pub show_competing: bool,
+}
+
+impl Default for GanttOptions {
+    fn default() -> Self {
+        GanttOptions {
+            width: 72,
+            show_competing: true,
+        }
+    }
+}
+
+/// Render the schedule as a per-task strip chart plus (optionally) the
+/// competing-reservation load, one character per time bucket.
+///
+/// Task rows use `#` where the task's reservation is active; the competing
+/// strip shows load deciles `0`–`9` (fraction of platform in use).
+pub fn render(sched: &Schedule, dag: &Dag, competing: &Calendar, opts: GanttOptions) -> String {
+    use std::fmt::Write as _;
+    let width = opts.width.max(10);
+    let t0 = sched.now().min(sched.first_start());
+    let t1 = sched.completion();
+    let span = (t1 - t0).as_seconds().max(1);
+    let bucket = (span as f64 / width as f64).ceil().max(1.0) as i64;
+    let cols = ((span + bucket - 1) / bucket) as usize;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "time {} .. {} ({} per column)",
+        t0,
+        t1,
+        resched_core::prelude::Dur::seconds(bucket)
+    );
+
+    for t in dag.task_ids() {
+        let p = sched.placement(t);
+        let mut row = String::with_capacity(cols);
+        for c in 0..cols {
+            let bs = t0 + resched_core::prelude::Dur::seconds(c as i64 * bucket);
+            let be = bs + resched_core::prelude::Dur::seconds(bucket);
+            row.push(if p.start < be && bs < p.end { '#' } else { '.' });
+        }
+        let _ = writeln!(out, "{:>6} x{:<4} |{}|", t.to_string(), p.procs, row);
+    }
+
+    if opts.show_competing {
+        let mut row = String::with_capacity(cols);
+        for c in 0..cols {
+            let bs = t0 + resched_core::prelude::Dur::seconds(c as i64 * bucket);
+            let be = bs + resched_core::prelude::Dur::seconds(bucket);
+            let used = competing.used_integral(bs, be) as f64
+                / (bucket as f64 * competing.capacity() as f64);
+            let decile = (used * 10.0).round().clamp(0.0, 9.0) as u32;
+            row.push(char::from_digit(decile, 10).unwrap());
+        }
+        let _ = writeln!(out, "{:>12} |{}|", "load/10", row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resched_core::dag::chain;
+    use resched_core::forward::{schedule_forward, ForwardConfig};
+    use resched_core::prelude::*;
+
+    #[test]
+    fn renders_every_task_row() {
+        let dag = chain(&[
+            TaskCost::new(Dur::seconds(600), 0.0),
+            TaskCost::new(Dur::seconds(600), 0.0),
+        ]);
+        let mut cal = Calendar::new(4);
+        cal.try_add(Reservation::new(Time::ZERO, Time::seconds(300), 2))
+            .unwrap();
+        let s = schedule_forward(&dag, &cal, Time::ZERO, 4, ForwardConfig::recommended());
+        let g = render(&s, &dag, &cal, GanttOptions::default());
+        assert_eq!(g.lines().count(), 1 + dag.num_tasks() + 1);
+        assert!(g.contains("t0"));
+        assert!(g.contains("t1"));
+        assert!(g.contains('#'));
+        assert!(g.contains("load/10"));
+    }
+
+    #[test]
+    fn rows_have_uniform_width() {
+        let dag = chain(&[TaskCost::new(Dur::seconds(100), 0.0)]);
+        let cal = Calendar::new(2);
+        let s = schedule_forward(&dag, &cal, Time::ZERO, 2, ForwardConfig::recommended());
+        let g = render(
+            &s,
+            &dag,
+            &cal,
+            GanttOptions {
+                width: 40,
+                show_competing: false,
+            },
+        );
+        let bars: Vec<&str> = g.lines().skip(1).collect();
+        assert!(!bars.is_empty());
+        let w = bars[0].len();
+        assert!(bars.iter().all(|l| l.len() == w));
+    }
+}

@@ -1,0 +1,181 @@
+//! SVG rendering of schedules: a real Gantt chart with task bars sized by
+//! processor count, competing-reservation load in the background, and a
+//! time axis. Pure string building, no dependencies.
+
+use resched_core::dag::Dag;
+use resched_core::prelude::{Calendar, Schedule, Time};
+use std::fmt::Write as _;
+
+/// Options for [`render_svg`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvgOptions {
+    /// Drawing width in pixels.
+    pub width: u32,
+    /// Pixel height per processor.
+    pub px_per_proc: f64,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            width: 960,
+            px_per_proc: 6.0,
+        }
+    }
+}
+
+/// Render the schedule as an SVG document.
+///
+/// The vertical axis is processors (platform capacity); competing
+/// reservations are drawn as a grey background profile, application tasks
+/// as colored bars stacked greedily into free vertical space of their time
+/// span (the drawing is a visualization aid — actual processor assignment
+/// is abstract in the reservation model).
+pub fn render_svg(sched: &Schedule, dag: &Dag, competing: &Calendar, opts: SvgOptions) -> String {
+    let t0 = sched.now().min(sched.first_start());
+    let t1 = sched.completion();
+    let span = (t1 - t0).as_seconds().max(1) as f64;
+    let p = competing.capacity();
+    let h = (p as f64 * opts.px_per_proc).ceil() + 40.0;
+    let w = opts.width as f64;
+    let x = |t: Time| ((t - t0).as_seconds() as f64 / span * (w - 80.0)) + 60.0;
+    let y = |procs: f64| h - 20.0 - procs * opts.px_per_proc;
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#
+    );
+    let _ = writeln!(
+        svg,
+        r#"<rect width="{w}" height="{h}" fill="white"/>"#
+    );
+
+    // Competing load as a grey step profile.
+    for (s, e, used) in competing.segments() {
+        let (s, e) = (s.max(t0), e.min(t1));
+        if e <= s {
+            continue;
+        }
+        let _ = writeln!(
+            svg,
+            r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="#d0d0d0"/>"##,
+            x(s),
+            y(used as f64),
+            x(e) - x(s),
+            used as f64 * opts.px_per_proc
+        );
+    }
+
+    // Application tasks, stacked above the competing profile per column.
+    // Simple visualization: draw each task at a vertical offset equal to
+    // the competing usage at its start plus previously drawn overlapping
+    // tasks' processors.
+    let palette = [
+        "#4c78a8", "#f58518", "#54a24b", "#e45756", "#72b7b2", "#b279a2",
+        "#ff9da6", "#9d755d",
+    ];
+    let mut drawn: Vec<(Time, Time, u32, f64)> = Vec::new(); // start,end,procs,offset
+    for t in dag.task_ids() {
+        let pl = sched.placement(t);
+        let base = competing.peak_used(pl.start, pl.end) as f64;
+        let mut offset = base;
+        for &(ds, de, dp, doff) in &drawn {
+            if pl.start < de && ds < pl.end {
+                offset = offset.max(doff + dp as f64);
+            }
+        }
+        drawn.push((pl.start, pl.end, pl.procs, offset));
+        let color = palette[t.idx() % palette.len()];
+        let _ = writeln!(
+            svg,
+            r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="{color}" stroke="black" stroke-width="0.5"><title>{t}: {} procs, {} .. {}</title></rect>"#,
+            x(pl.start),
+            y(offset + pl.procs as f64),
+            (x(pl.end) - x(pl.start)).max(1.0),
+            pl.procs as f64 * opts.px_per_proc,
+            pl.procs,
+            pl.start,
+            pl.end,
+        );
+    }
+
+    // Axes.
+    let _ = writeln!(
+        svg,
+        r#"<line x1="60" y1="{0:.1}" x2="{1:.1}" y2="{0:.1}" stroke="black"/>"#,
+        h - 20.0,
+        w - 20.0
+    );
+    let _ = writeln!(
+        svg,
+        r#"<line x1="60" y1="{:.1}" x2="60" y2="{:.1}" stroke="black"/>"#,
+        y(p as f64),
+        h - 20.0
+    );
+    let _ = writeln!(
+        svg,
+        r#"<text x="8" y="{:.1}" font-size="10">{} procs</text>"#,
+        y(p as f64) + 8.0,
+        p
+    );
+    let _ = writeln!(
+        svg,
+        r#"<text x="60" y="{:.1}" font-size="10">{}</text>"#,
+        h - 6.0,
+        t0
+    );
+    let _ = writeln!(
+        svg,
+        r#"<text x="{:.1}" y="{:.1}" font-size="10" text-anchor="end">{}</text>"#,
+        w - 20.0,
+        h - 6.0,
+        t1
+    );
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resched_core::dag::chain;
+    use resched_core::forward::{schedule_forward, ForwardConfig};
+    use resched_core::prelude::*;
+
+    fn fixture() -> (Dag, Calendar, Schedule) {
+        let dag = chain(&[
+            TaskCost::new(Dur::seconds(600), 0.0),
+            TaskCost::new(Dur::seconds(900), 0.1),
+        ]);
+        let mut cal = Calendar::new(8);
+        cal.try_add(Reservation::new(Time::ZERO, Time::seconds(200), 5))
+            .unwrap();
+        let s = schedule_forward(&dag, &cal, Time::ZERO, 8, ForwardConfig::recommended());
+        (dag, cal, s)
+    }
+
+    #[test]
+    fn produces_wellformed_svg() {
+        let (dag, cal, s) = fixture();
+        let svg = render_svg(&s, &dag, &cal, SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One rect per task (plus background/profile rects).
+        assert!(svg.matches("<rect").count() >= 1 + dag.num_tasks());
+        // Every task bar closes its element and carries a tooltip.
+        assert_eq!(svg.matches("</rect>").count(), dag.num_tasks());
+        assert_eq!(svg.matches("<title>").count(), dag.num_tasks());
+        assert!(svg.contains("<title>t0"));
+        assert!(svg.contains("8 procs"));
+    }
+
+    #[test]
+    fn geometry_scales_with_options() {
+        let (dag, cal, s) = fixture();
+        let small = render_svg(&s, &dag, &cal, SvgOptions { width: 400, px_per_proc: 3.0 });
+        let big = render_svg(&s, &dag, &cal, SvgOptions { width: 1600, px_per_proc: 10.0 });
+        assert!(small.contains(r#"width="400""#));
+        assert!(big.contains(r#"width="1600""#));
+    }
+}

@@ -1,0 +1,174 @@
+//! Batch jobs and job logs.
+
+use resched_resv::{Dur, Reservation, Time};
+use serde::{Deserialize, Serialize};
+
+/// One batch job: submitted at `submit`, started at `start`, ran for
+/// `runtime` on `procs` processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Job {
+    /// Job identifier (unique within its log).
+    pub id: u32,
+    /// Submission instant.
+    pub submit: Time,
+    /// Start instant (`>= submit`).
+    pub start: Time,
+    /// Execution duration.
+    pub runtime: Dur,
+    /// Processors used.
+    pub procs: u32,
+}
+
+impl Job {
+    /// End of execution.
+    pub fn end(&self) -> Time {
+        self.start + self.runtime
+    }
+
+    /// Queue wait (submission to start).
+    pub fn wait(&self) -> Dur {
+        self.start - self.submit
+    }
+
+    /// The reservation footprint of this job.
+    pub fn reservation(&self) -> Reservation {
+        Reservation::new(self.start, self.end(), self.procs)
+    }
+}
+
+/// A whole job log for one machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobLog {
+    /// Human-readable log name (e.g. `CTC_SP2`).
+    pub name: String,
+    /// Machine size in processors.
+    pub procs: u32,
+    /// Jobs, sorted by submission time.
+    pub jobs: Vec<Job>,
+}
+
+impl JobLog {
+    /// Span covered by the log: earliest submit to latest end.
+    pub fn span(&self) -> (Time, Time) {
+        let lo = self.jobs.iter().map(|j| j.submit).min().unwrap_or(Time::ZERO);
+        let hi = self.jobs.iter().map(|j| j.end()).max().unwrap_or(Time::ZERO);
+        (lo, hi)
+    }
+
+    /// Average machine utilization over the log's span.
+    ///
+    /// Note the span runs to the *last job end*, so a trace with a long
+    /// drain tail reads slightly lower than its steady-state utilization;
+    /// use [`JobLog::utilization_in`] to measure a steady-state window.
+    pub fn utilization(&self) -> f64 {
+        let (lo, hi) = self.span();
+        if hi <= lo {
+            return 0.0;
+        }
+        self.utilization_in(lo, hi)
+    }
+
+    /// Average utilization over `[lo, hi)`, clamping each job's execution
+    /// interval to the window.
+    pub fn utilization_in(&self, lo: Time, hi: Time) -> f64 {
+        let span = (hi - lo).as_seconds();
+        if span <= 0 {
+            return 0.0;
+        }
+        let used: i64 = self
+            .jobs
+            .iter()
+            .map(|j| {
+                let s = j.start.max(lo);
+                let e = j.end().min(hi);
+                if e > s {
+                    j.procs as i64 * (e - s).as_seconds()
+                } else {
+                    0
+                }
+            })
+            .sum();
+        used as f64 / (span as f64 * self.procs as f64)
+    }
+
+    /// The steady-state utilization: measured from the first to the last
+    /// *submission*, excluding the drain tail after arrivals stop.
+    pub fn steady_utilization(&self) -> f64 {
+        let lo = self.jobs.iter().map(|j| j.submit).min();
+        let hi = self.jobs.iter().map(|j| j.submit).max();
+        match (lo, hi) {
+            (Some(lo), Some(hi)) if hi > lo => self.utilization_in(lo, hi),
+            _ => 0.0,
+        }
+    }
+
+    /// Average job runtime, in hours.
+    pub fn avg_runtime_hours(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.jobs
+            .iter()
+            .map(|j| j.runtime.as_hours())
+            .sum::<f64>()
+            / self.jobs.len() as f64
+    }
+
+    /// Average submit-to-start wait, in hours.
+    pub fn avg_wait_hours(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.jobs.iter().map(|j| j.wait().as_hours()).sum::<f64>() / self.jobs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j(id: u32, submit: i64, start: i64, run: i64, procs: u32) -> Job {
+        Job {
+            id,
+            submit: Time::seconds(submit),
+            start: Time::seconds(start),
+            runtime: Dur::seconds(run),
+            procs,
+        }
+    }
+
+    #[test]
+    fn job_accessors() {
+        let job = j(1, 100, 160, 3600, 8);
+        assert_eq!(job.end(), Time::seconds(3760));
+        assert_eq!(job.wait(), Dur::seconds(60));
+        assert_eq!(job.reservation().procs, 8);
+    }
+
+    #[test]
+    fn log_metrics() {
+        let log = JobLog {
+            name: "test".into(),
+            procs: 10,
+            jobs: vec![j(1, 0, 0, 100, 5), j(2, 0, 100, 100, 5)],
+        };
+        let (lo, hi) = log.span();
+        assert_eq!(lo, Time::ZERO);
+        assert_eq!(hi, Time::seconds(200));
+        // 2 jobs * 5 procs * 100 s = 1000 of 2000 proc-seconds.
+        assert!((log.utilization() - 0.5).abs() < 1e-12);
+        assert!((log.avg_runtime_hours() - 100.0 / 3600.0).abs() < 1e-12);
+        assert!((log.avg_wait_hours() - 50.0 / 3600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_log_is_safe() {
+        let log = JobLog {
+            name: "empty".into(),
+            procs: 4,
+            jobs: vec![],
+        };
+        assert_eq!(log.utilization(), 0.0);
+        assert_eq!(log.avg_runtime_hours(), 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Parser for the Standard Workload Format (SWF) of the Parallel Workloads
+//! Archive.
+//!
+//! The paper draws its reservation schedules from four archive logs
+//! (CTC_SP2, OSC_Cluster, SDSC_BLUE, SDSC_DS). Those traces are not
+//! redistributable with this repository, so experiments default to the
+//! calibrated synthetic logs in [`crate::synth`] — but genuine `.swf` files
+//! can be dropped in through this parser.
+//!
+//! SWF lines have 18 whitespace-separated fields; `;`-prefixed lines are
+//! header comments. Fields used here: 1 job number, 2 submit time, 3 wait
+//! time, 4 run time, 5 allocated processors. A `-1` marks a missing value.
+
+use crate::job::{Job, JobLog};
+use resched_resv::{Dur, Time};
+use std::fmt;
+
+/// Errors from SWF parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwfError {
+    /// A data line had fewer than 5 fields.
+    TooFewFields {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A field failed to parse as an integer.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based field number.
+        field: usize,
+    },
+}
+
+impl fmt::Display for SwfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwfError::TooFewFields { line } => write!(f, "line {line}: too few fields"),
+            SwfError::BadNumber { line, field } => {
+                write!(f, "line {line}: field {field} is not a number")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SwfError {}
+
+/// Parse SWF text into a [`JobLog`].
+///
+/// Jobs with unknown or non-positive runtime or processor counts are
+/// skipped, matching common archive-cleaning practice. `max_procs` is taken
+/// from the `; MaxProcs:` header when present, otherwise from the largest
+/// allocation seen.
+pub fn parse_swf(name: &str, text: &str) -> Result<JobLog, SwfError> {
+    let mut jobs = Vec::new();
+    let mut max_procs_header: Option<u32> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(';') {
+            let rest = rest.trim();
+            if let Some(v) = rest.strip_prefix("MaxProcs:") {
+                max_procs_header = v.trim().parse().ok();
+            }
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 5 {
+            return Err(SwfError::TooFewFields { line: lineno + 1 });
+        }
+        let num = |i: usize| -> Result<i64, SwfError> {
+            fields[i].parse().map_err(|_| SwfError::BadNumber {
+                line: lineno + 1,
+                field: i + 1,
+            })
+        };
+        let id = num(0)? as u32;
+        let submit = num(1)?;
+        let wait = num(2)?;
+        let runtime = num(3)?;
+        let procs = num(4)?;
+        if runtime <= 0 || procs <= 0 {
+            continue; // cancelled / malformed job
+        }
+        let wait = wait.max(0);
+        jobs.push(Job {
+            id,
+            submit: Time::seconds(submit),
+            start: Time::seconds(submit + wait),
+            runtime: Dur::seconds(runtime),
+            procs: procs as u32,
+        });
+    }
+    jobs.sort_by_key(|j| j.submit);
+    let procs = max_procs_header
+        .or_else(|| jobs.iter().map(|j| j.procs).max())
+        .unwrap_or(1);
+    Ok(JobLog {
+        name: name.to_string(),
+        procs,
+        jobs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+; Version: 2.2
+; MaxProcs: 128
+; Note: synthetic sample
+1 0 10 3600 16 -1 -1 16 -1 -1 1 1 1 1 1 -1 -1 -1
+2 100 0 60 4 -1 -1 4 -1 -1 1 1 1 1 1 -1 -1 -1
+3 200 -1 -1 8 -1 -1 8 -1 -1 0 1 1 1 1 -1 -1 -1
+";
+
+    #[test]
+    fn parses_sample() {
+        let log = parse_swf("sample", SAMPLE).unwrap();
+        assert_eq!(log.procs, 128);
+        // Job 3 has unknown runtime and is skipped.
+        assert_eq!(log.jobs.len(), 2);
+        let j1 = &log.jobs[0];
+        assert_eq!(j1.id, 1);
+        assert_eq!(j1.submit, Time::seconds(0));
+        assert_eq!(j1.start, Time::seconds(10));
+        assert_eq!(j1.runtime, Dur::seconds(3600));
+        assert_eq!(j1.procs, 16);
+    }
+
+    #[test]
+    fn infers_max_procs_without_header() {
+        let log = parse_swf("x", "1 0 0 100 32 0 0 32 0 0 1 1 1 1 1 0 0 0\n").unwrap();
+        assert_eq!(log.procs, 32);
+    }
+
+    #[test]
+    fn reports_malformed_lines() {
+        assert!(matches!(
+            parse_swf("x", "1 2 3\n"),
+            Err(SwfError::TooFewFields { line: 1 })
+        ));
+        assert!(matches!(
+            parse_swf("x", "1 zero 3 4 5\n"),
+            Err(SwfError::BadNumber { line: 1, field: 2 })
+        ));
+    }
+
+    #[test]
+    fn sorts_by_submit() {
+        let text = "2 500 0 10 1 0 0 1 0 0 1 1 1 1 1 0 0 0\n1 0 0 10 1 0 0 1 0 0 1 1 1 1 1 0 0 0\n";
+        let log = parse_swf("x", text).unwrap();
+        assert_eq!(log.jobs[0].id, 1);
+        assert_eq!(log.jobs[1].id, 2);
+    }
+
+    #[test]
+    fn negative_wait_clamped() {
+        let log = parse_swf("x", "1 100 -5 10 1 0 0 1 0 0 1 1 1 1 1 0 0 0\n").unwrap();
+        assert_eq!(log.jobs[0].start, Time::seconds(100));
+    }
+}

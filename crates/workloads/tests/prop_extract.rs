@@ -1,0 +1,68 @@
+//! Property tests of reservation-schedule extraction: whatever the log,
+//! the φ, the method, and the instant, the result must be feasible and
+//! internally consistent.
+
+use proptest::prelude::*;
+use resched_resv::{Dur, Time};
+use resched_workloads::extract::{extract, ExtractSpec, ThinMethod};
+use resched_workloads::synth::{generate_log, LogSpec};
+
+fn spec_strategy() -> impl Strategy<Value = (LogSpec, f64, ThinMethod)> {
+    (
+        prop::sample::select(vec![
+            LogSpec::ctc_sp2().with_duration(Dur::days(12)),
+            LogSpec::osc_cluster().with_duration(Dur::days(12)),
+            LogSpec::sdsc_ds().with_duration(Dur::days(12)),
+            LogSpec::grid5000().with_duration(Dur::days(12)),
+        ]),
+        0.0..=1.0f64,
+        prop::sample::select(vec![ThinMethod::Linear, ThinMethod::Expo, ThinMethod::Real]),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn extraction_always_feasible(
+        (log_spec, phi, method) in spec_strategy(),
+        log_seed in 0u64..20,
+        ex_seed in 0u64..100,
+        at_days in 3i64..9,
+    ) {
+        let log = generate_log(&log_spec, log_seed);
+        let t = Time::seconds(Dur::days(at_days).as_seconds());
+        let rs = extract(&log, t, &ExtractSpec::new(phi, method), ex_seed);
+        // Calendar construction performs full conflict checking.
+        let cal = rs.calendar();
+        prop_assert_eq!(cal.capacity(), log.procs);
+        prop_assert!(rs.q >= 1 && rs.q <= log.procs);
+        // All reservations are ongoing or future relative to now = 0.
+        for r in &rs.reservations {
+            prop_assert!(r.end > Time::ZERO);
+            prop_assert!(r.procs >= 1 && r.procs <= log.procs);
+        }
+        // Sorted by (start, end, procs).
+        for w in rs.reservations.windows(2) {
+            prop_assert!(
+                (w[0].start, w[0].end, w[0].procs) <= (w[1].start, w[1].end, w[1].procs)
+            );
+        }
+    }
+
+    #[test]
+    fn linear_never_keeps_future_starts_past_horizon(
+        log_seed in 0u64..20,
+        ex_seed in 0u64..100,
+    ) {
+        let log = generate_log(&LogSpec::sdsc_ds().with_duration(Dur::days(12)), log_seed);
+        let t = Time::seconds(Dur::days(6).as_seconds());
+        let spec = ExtractSpec::new(0.7, ThinMethod::Linear);
+        let rs = extract(&log, t, &spec, ex_seed);
+        for r in &rs.reservations {
+            if r.start > Time::ZERO {
+                prop_assert!(r.start < Time::ZERO + spec.horizon);
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! How does competing reservation load affect turn-around time? Sweep the
+//! tagged fraction φ and compare the paper's four bounding policies.
+//!
+//! Run with: `cargo run --release -p resched-sim --example capacity_sweep`
+
+use resched_core::bl::BlMethod;
+use resched_core::forward::{schedule_forward, BdMethod, ForwardConfig};
+use resched_core::prelude::*;
+use resched_daggen::{generate, DagParams};
+use resched_sim::scenario::{derive_seed, DEFAULT_ROOT_SEED};
+use resched_workloads::prelude::*;
+
+fn main() {
+    let spec = LogSpec::ctc_sp2().with_duration(Dur::days(30));
+    let log = generate_log(&spec, DEFAULT_ROOT_SEED);
+    let dag = generate(&DagParams::paper_default(), 3);
+    let starts = sample_start_times(&log, 3, derive_seed(DEFAULT_ROOT_SEED, "cap", 0));
+
+    println!("turn-around time [h] (mean over {} scheduling instants)\n", starts.len());
+    print!("{:>6}", "phi");
+    for bd in BdMethod::ALL {
+        print!("{:>10}", bd.name());
+    }
+    println!("{:>8}", "q/p");
+
+    for phi in [0.0, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9] {
+        let mut ta = [0.0f64; 4];
+        let mut qf = 0.0;
+        for (i, &t) in starts.iter().enumerate() {
+            let rs = extract(
+                &log,
+                t,
+                &ExtractSpec::new(phi, ThinMethod::Expo),
+                derive_seed(DEFAULT_ROOT_SEED, "cape", i as u64),
+            );
+            let cal = rs.calendar();
+            qf += rs.q as f64 / cal.capacity() as f64 / starts.len() as f64;
+            for (j, bd) in BdMethod::ALL.into_iter().enumerate() {
+                let s = schedule_forward(
+                    &dag,
+                    &cal,
+                    Time::ZERO,
+                    rs.q,
+                    ForwardConfig::new(BlMethod::CpaR, bd),
+                );
+                ta[j] += s.turnaround().as_hours() / starts.len() as f64;
+            }
+        }
+        print!("{:>6.1}", phi);
+        for v in ta {
+            print!("{:>10.2}", v);
+        }
+        println!("{:>8.2}", qf);
+    }
+    println!("\nreading: as reservation load rises, every algorithm slows down, and the");
+    println!("advantage of CPA-bounded allocations over BD_ALL narrows (paper Sec 4.3.2).");
+}

@@ -1,0 +1,142 @@
+//! Property tests of the scheduling algorithms over random DAGs and random
+//! reservation calendars.
+
+use proptest::prelude::*;
+use resched_core::bl::BlMethod;
+use resched_core::forward::{schedule_forward, BdMethod, ForwardConfig, TieBreak};
+use resched_core::prelude::*;
+use resched_daggen::{generate, DagParams};
+
+/// Strategy: arbitrary-but-valid DAG parameters.
+fn dag_params() -> impl Strategy<Value = DagParams> {
+    (
+        3usize..30,
+        0.0..0.5f64,
+        0.1..0.9f64,
+        0.1..0.9f64,
+        0.1..0.9f64,
+        1u32..4,
+    )
+        .prop_map(|(n, a, w, r, d, j)| DagParams {
+            num_tasks: n,
+            alpha_max: a,
+            width: w,
+            regularity: r,
+            density: d,
+            jump: j,
+        })
+}
+
+/// Strategy: a random feasible calendar on `p` processors.
+fn calendar(p: u32) -> impl Strategy<Value = Calendar> {
+    prop::collection::vec((0i64..50_000, 60i64..20_000, 1u32..=p), 0..12).prop_map(
+        move |resvs| {
+            let mut cal = Calendar::new(p);
+            for (s, d, m) in resvs {
+                // Skip conflicting candidates; the survivors are feasible.
+                let _ = cal.try_add(Reservation::new(
+                    Time::seconds(s),
+                    Time::seconds(s + d),
+                    m,
+                ));
+            }
+            cal
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_forward_schedules_are_valid(
+        params in dag_params(),
+        cal in calendar(16),
+        seed in 0u64..1000,
+        q in 1u32..=16,
+        bl_i in 0usize..4,
+        bd_i in 0usize..4,
+    ) {
+        let dag = generate(&params, seed);
+        let cfg = ForwardConfig::new(BlMethod::ALL[bl_i], BdMethod::ALL[bd_i]);
+        let s = schedule_forward(&dag, &cal, Time::ZERO, q, cfg);
+        prop_assert!(s.validate(&dag, &cal).is_ok());
+    }
+
+    #[test]
+    fn tie_break_choice_never_changes_validity(
+        params in dag_params(),
+        cal in calendar(8),
+        seed in 0u64..1000,
+    ) {
+        let dag = generate(&params, seed);
+        for tie in [TieBreak::FewestProcs, TieBreak::MostProcs] {
+            let cfg = ForwardConfig { tie, ..ForwardConfig::recommended() };
+            let s = schedule_forward(&dag, &cal, Time::ZERO, 8, cfg);
+            prop_assert!(s.validate(&dag, &cal).is_ok());
+        }
+    }
+
+    #[test]
+    fn random_deadline_schedules_are_valid_and_meet_k(
+        params in dag_params(),
+        cal in calendar(16),
+        seed in 0u64..1000,
+        algo_i in 0usize..7,
+    ) {
+        let dag = generate(&params, seed);
+        let fwd = schedule_forward(&dag, &cal, Time::ZERO, 16, ForwardConfig::recommended());
+        let k = Time::ZERO + fwd.turnaround() * 3;
+        let algo = DeadlineAlgo::ALL[algo_i];
+        if let Ok(out) = schedule_deadline(
+            &dag, &cal, Time::ZERO, 16, k, algo, DeadlineConfig::default(),
+        ) {
+            prop_assert!(out.schedule.validate(&dag, &cal).is_ok());
+            prop_assert!(out.schedule.completion() <= k);
+        }
+    }
+
+    #[test]
+    fn forward_schedule_starts_and_bounds(
+        params in dag_params(),
+        cal in calendar(8),
+        seed in 0u64..1000,
+        now_s in 0i64..100_000,
+    ) {
+        let dag = generate(&params, seed);
+        let now = Time::seconds(now_s);
+        let s = schedule_forward(&dag, &cal, now, 8, ForwardConfig::recommended());
+        prop_assert!(s.first_start() >= now);
+        prop_assert_eq!(s.now(), now);
+        // CPU-hours >= total work at one processor is impossible; but it
+        // must be at least total work at infinite processors.
+        prop_assert!(s.proc_seconds() > 0);
+    }
+
+    #[test]
+    fn cpa_allocations_bounded_and_exec_consistent(
+        params in dag_params(),
+        seed in 0u64..1000,
+        pool in 1u32..64,
+    ) {
+        let dag = generate(&params, seed);
+        for crit in [StoppingCriterion::Classic, StoppingCriterion::Stringent] {
+            let a = resched_core::cpa::allocate(&dag, pool, crit);
+            for t in dag.task_ids() {
+                prop_assert!(a.alloc(t) >= 1 && a.alloc(t) <= pool);
+                prop_assert_eq!(a.exec_time(t), dag.cost(t).exec_time(a.alloc(t)));
+            }
+        }
+    }
+
+    #[test]
+    fn cpa_dedicated_schedule_valid(
+        params in dag_params(),
+        seed in 0u64..1000,
+        pool in 1u32..64,
+    ) {
+        let dag = generate(&params, seed);
+        let s = resched_core::cpa::schedule(&dag, pool, StoppingCriterion::default(), Time::ZERO);
+        prop_assert!(s.validate(&dag, &Calendar::new(pool)).is_ok());
+    }
+}
