@@ -3,9 +3,7 @@
 
 use resched_core::backward::{schedule_deadline, tightest_deadline, DeadlineAlgo, DeadlineConfig};
 use resched_core::prelude::{Dur, Time};
-use resched_sim::scenario::{
-    instances_for, LogCache, ResvSpec, Scale, DEFAULT_ROOT_SEED,
-};
+use resched_sim::scenario::{instances_for, LogCache, ResvSpec, Scale, DEFAULT_ROOT_SEED};
 use resched_sim::table::{fnum, Table};
 
 fn main() {

@@ -13,11 +13,20 @@ fn main() {
     let spec = LogSpec::sdsc_blue();
     let mut cache = LogCache::new();
     let log = cache.get(&spec, DEFAULT_ROOT_SEED).clone();
-    let starts = sample_start_times(&log, scale.starts.max(3), derive_seed(DEFAULT_ROOT_SEED, "qw", 0));
+    let starts = sample_start_times(
+        &log,
+        scale.starts.max(3),
+        derive_seed(DEFAULT_ROOT_SEED, "qw", 0),
+    );
 
     let mut t = Table::new(
         "Ablation - q estimation window (BL_CPAR_BD_CPAR, SDSC_BLUE-like, phi=0.5)",
-        &["Window [days]", "Avg q", "Avg turn-around [h]", "Avg CPU-hours"],
+        &[
+            "Window [days]",
+            "Avg q",
+            "Avg turn-around [h]",
+            "Avg CPU-hours",
+        ],
     );
     for days in [1i64, 7, 14] {
         let mut qsum = 0.0;
@@ -30,14 +39,20 @@ fn main() {
                 method: ThinMethod::Expo,
                 horizon: Dur::days(days),
             };
-            let rs = extract(&log, st, &ex, derive_seed(DEFAULT_ROOT_SEED, "qx", i as u64));
+            let rs = extract(
+                &log,
+                st,
+                &ex,
+                derive_seed(DEFAULT_ROOT_SEED, "qx", i as u64),
+            );
             let cal = rs.calendar();
             for d in 0..scale.dags {
                 let dag = resched_daggen::generate(
                     &resched_daggen::DagParams::paper_default(),
                     derive_seed(DEFAULT_ROOT_SEED, "qd", d as u64),
                 );
-                let s = schedule_forward(&dag, &cal, Time::ZERO, rs.q, ForwardConfig::recommended());
+                let s =
+                    schedule_forward(&dag, &cal, Time::ZERO, rs.q, ForwardConfig::recommended());
                 qsum += rs.q as f64;
                 ta += s.turnaround().as_hours();
                 cpu += s.cpu_hours();

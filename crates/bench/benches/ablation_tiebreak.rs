@@ -4,9 +4,7 @@
 
 use resched_core::forward::{schedule_forward, ForwardConfig, TieBreak};
 use resched_core::prelude::Time;
-use resched_sim::scenario::{
-    instances_for, LogCache, ResvSpec, Scale, DEFAULT_ROOT_SEED,
-};
+use resched_sim::scenario::{instances_for, LogCache, ResvSpec, Scale, DEFAULT_ROOT_SEED};
 use resched_sim::table::{fnum, Table};
 
 fn main() {

@@ -48,6 +48,38 @@ fn bench_calendar(c: &mut Criterion) {
     });
 }
 
+/// A calendar whose usage stays above `capacity - procs` across `r`
+/// staircase reservations: the first feasible slot sits past the final
+/// breakpoint, so a linear restart scan walks all ~`r` breakpoints while
+/// the segment-tree descent finds the slot in O(log r).
+fn staircase_calendar(r: usize) -> Calendar {
+    let mut cal = Calendar::new(64);
+    for i in 0..r {
+        let procs = if i % 2 == 0 { 33 } else { 34 };
+        let s = Time::seconds(i as i64 * 10);
+        cal.try_add(Reservation::for_duration(s, Dur::seconds(10), procs))
+            .expect("staircase reservations never overlap");
+    }
+    cal
+}
+
+fn bench_earliest_fit_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("earliest_fit");
+    for &r in &[100usize, 1_000, 10_000] {
+        let cal = staircase_calendar(r);
+        // Build the lazily cached index outside the timed region.
+        let _ = cal.earliest_fit(33, Dur::seconds(100), Time::ZERO);
+        group.bench_function(format!("indexed/{r}"), |b| {
+            b.iter(|| black_box(cal.earliest_fit(black_box(33), Dur::seconds(100), Time::ZERO)))
+        });
+        let lin = cal.linear();
+        group.bench_function(format!("linear/{r}"), |b| {
+            b.iter(|| black_box(lin.earliest_fit(black_box(33), Dur::seconds(100), Time::ZERO)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_cpa(c: &mut Criterion) {
     let dag = generate(&DagParams::paper_default(), 42);
     c.bench_function("cpa/allocate_n50_p512", |b| {
@@ -106,6 +138,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_calendar, bench_cpa, bench_schedulers
+    targets = bench_calendar, bench_earliest_fit_scaling, bench_cpa, bench_schedulers
 }
 criterion_main!(benches);

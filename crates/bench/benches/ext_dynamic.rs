@@ -9,9 +9,7 @@ use rand_chacha::ChaCha12Rng;
 use resched_core::dynamic::schedule_forward_dynamic;
 use resched_core::forward::{schedule_forward, ForwardConfig};
 use resched_core::prelude::{Dur, Reservation, Time};
-use resched_sim::scenario::{
-    instances_for, LogCache, ResvSpec, Scale, DEFAULT_ROOT_SEED,
-};
+use resched_sim::scenario::{instances_for, LogCache, ResvSpec, Scale, DEFAULT_ROOT_SEED};
 use resched_sim::table::{fnum, Table};
 
 fn main() {
@@ -46,8 +44,8 @@ fn main() {
                     ForwardConfig::recommended(),
                     |cal, _ev| {
                         // Poisson-ish: expected `per_placement` arrivals.
-                        let arrivals =
-                            (per_placement + rng.gen_range(-0.5..0.5)).round().max(0.0) as usize;
+                        let jitter: f64 = rng.gen_range(-0.5..0.5);
+                        let arrivals = (per_placement + jitter).round().max(0.0) as usize;
                         for _ in 0..arrivals {
                             let start = Time::seconds(rng.gen_range(0..36_000));
                             let dur = Dur::seconds(rng.gen_range(600..14_400));

@@ -5,9 +5,7 @@
 use resched_core::forward::{schedule_forward, ForwardConfig};
 use resched_core::icaslb::{schedule_icaslb, IcaslbConfig};
 use resched_core::prelude::Time;
-use resched_sim::scenario::{
-    instances_for, LogCache, ResvSpec, Scale, DEFAULT_ROOT_SEED,
-};
+use resched_sim::scenario::{instances_for, LogCache, ResvSpec, Scale, DEFAULT_ROOT_SEED};
 use resched_sim::table::{fnum, Table};
 use std::time::Instant;
 
@@ -60,9 +58,21 @@ fn main() {
         "Extension - reservation-aware iCASLB vs BL_CPAR_BD_CPAR",
         &["Metric", "BL_CPAR_BD_CPAR", "iCASLB-AR"],
     );
-    t.row(vec!["Avg turn-around [h]".into(), fnum(sum(|r| r.0), 2), fnum(sum(|r| r.1), 2)]);
-    t.row(vec!["Avg CPU-hours".into(), fnum(sum(|r| r.2), 1), fnum(sum(|r| r.3), 1)]);
-    t.row(vec!["Avg runtime [ms]".into(), fnum(sum(|r| r.4), 2), fnum(sum(|r| r.5), 2)]);
+    t.row(vec![
+        "Avg turn-around [h]".into(),
+        fnum(sum(|r| r.0), 2),
+        fnum(sum(|r| r.1), 2),
+    ]);
+    t.row(vec![
+        "Avg CPU-hours".into(),
+        fnum(sum(|r| r.2), 1),
+        fnum(sum(|r| r.3), 1),
+    ]);
+    t.row(vec![
+        "Avg runtime [ms]".into(),
+        fnum(sum(|r| r.4), 2),
+        fnum(sum(|r| r.5), 2),
+    ]);
     t.row(vec![
         "iCASLB strictly-better TAT".into(),
         "-".into(),

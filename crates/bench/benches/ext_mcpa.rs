@@ -7,9 +7,7 @@ use resched_core::bl;
 use resched_core::mcpa;
 use resched_core::prelude::*;
 use resched_core::schedule::Placement;
-use resched_sim::scenario::{
-    instances_for, LogCache, ResvSpec, Scale, DEFAULT_ROOT_SEED,
-};
+use resched_sim::scenario::{instances_for, LogCache, ResvSpec, Scale, DEFAULT_ROOT_SEED};
 use resched_sim::table::{fnum, Table};
 
 /// Forward schedule with externally supplied allocation bounds (replicates
@@ -49,15 +47,22 @@ fn schedule_with_bounds(
             prev = Some(dur);
             let s = live.earliest_fit(m, dur, ready);
             let end = s + dur;
-            if best.map_or(true, |b: Placement| end < b.end) {
-                best = Some(Placement { start: s, end, procs: m });
+            if best.is_none_or(|b: Placement| end < b.end) {
+                best = Some(Placement {
+                    start: s,
+                    end,
+                    procs: m,
+                });
             }
         }
         let chosen = best.unwrap();
         live.add_unchecked(Reservation::new(chosen.start, chosen.end, chosen.procs));
         placements[t.idx()] = Some(chosen);
     }
-    Schedule::new(placements.into_iter().map(Option::unwrap).collect(), Time::ZERO)
+    Schedule::new(
+        placements.into_iter().map(Option::unwrap).collect(),
+        Time::ZERO,
+    )
 }
 
 fn main() {
@@ -77,12 +82,8 @@ fn main() {
         for inst in instances_for(sweep, &spec, &log, scale, DEFAULT_ROOT_SEED) {
             let cal = inst.resv.calendar();
             let q = inst.resv.q;
-            let cpa_b = resched_core::cpa::allocate(
-                &inst.dag,
-                q,
-                StoppingCriterion::default(),
-            )
-            .allocs;
+            let cpa_b =
+                resched_core::cpa::allocate(&inst.dag, q, StoppingCriterion::default()).allocs;
             let mcpa_b = mcpa::allocate(&inst.dag, q).allocs;
             for (i, bounds) in [&cpa_b, &mcpa_b].into_iter().enumerate() {
                 let s = schedule_with_bounds(&inst.dag, &cal, q, bounds);
@@ -98,7 +99,15 @@ fn main() {
         "Extension - MCPA vs CPA allocation bounds (layered DAGs, Grid'5000-like)",
         &["Bound source", "Avg turn-around [h]", "Avg CPU-hours"],
     );
-    t.row(vec!["CPA(q)".into(), fnum(rows[0][0] / n, 2), fnum(rows[0][1] / n, 1)]);
-    t.row(vec!["MCPA(q)".into(), fnum(rows[1][0] / n, 2), fnum(rows[1][1] / n, 1)]);
+    t.row(vec![
+        "CPA(q)".into(),
+        fnum(rows[0][0] / n, 2),
+        fnum(rows[0][1] / n, 1),
+    ]);
+    t.row(vec![
+        "MCPA(q)".into(),
+        fnum(rows[1][0] / n, 2),
+        fnum(rows[1][1] / n, 1),
+    ]);
     println!("{}", t.render());
 }

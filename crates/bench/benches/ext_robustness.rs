@@ -10,9 +10,7 @@ use rand_chacha::ChaCha12Rng;
 use resched_core::exec::{execute, OverrunPolicy};
 use resched_core::forward::{schedule_forward, ForwardConfig};
 use resched_core::prelude::Time;
-use resched_sim::scenario::{
-    instances_for, LogCache, ResvSpec, Scale, DEFAULT_ROOT_SEED,
-};
+use resched_sim::scenario::{instances_for, LogCache, ResvSpec, Scale, DEFAULT_ROOT_SEED};
 use resched_sim::table::{fnum, Table};
 
 fn main() {

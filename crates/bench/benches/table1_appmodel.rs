@@ -7,8 +7,14 @@ use resched_sim::table::{fnum, Table};
 
 fn main() {
     let t1 = DagParams::table1_values();
-    let mut grid = Table::new("Table 1 - application model parameter values", &["Parameter", "Values (default in [])"]);
-    grid.row(vec!["Number of tasks".into(), "10, 25, [50], 75, 100".into()]);
+    let mut grid = Table::new(
+        "Table 1 - application model parameter values",
+        &["Parameter", "Values (default in [])"],
+    );
+    grid.row(vec![
+        "Number of tasks".into(),
+        "10, 25, [50], 75, 100".into(),
+    ]);
     grid.row(vec!["alpha".into(), ".05, .10, .15, [.20]".into()]);
     grid.row(vec!["width".into(), ".1 .. [.5] .. .9".into()]);
     grid.row(vec!["density".into(), ".1 .. [.5] .. .9".into()]);
@@ -22,7 +28,10 @@ fn main() {
         &["width", "avg levels", "avg max level width", "avg edges"],
     );
     for &w in &t1.width {
-        let params = DagParams { width: w, ..DagParams::paper_default() };
+        let params = DagParams {
+            width: w,
+            ..DagParams::paper_default()
+        };
         let mut levels = 0.0;
         let mut maxw = 0.0;
         let mut edges = 0.0;
@@ -32,7 +41,12 @@ fn main() {
             maxw += dag.max_width() as f64 / 10.0;
             edges += dag.num_edges() as f64 / 10.0;
         }
-        shapes.row(vec![fnum(w, 1), fnum(levels, 1), fnum(maxw, 1), fnum(edges, 1)]);
+        shapes.row(vec![
+            fnum(w, 1),
+            fnum(levels, 1),
+            fnum(maxw, 1),
+            fnum(edges, 1),
+        ]);
     }
     println!("{}", shapes.render());
 }

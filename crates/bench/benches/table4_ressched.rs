@@ -15,7 +15,10 @@ fn main() {
     println!(
         "{}",
         ressched_table(
-            &format!("Table 4 - RESSCHED, synthetic schedules ({} scenarios)", r.scenarios),
+            &format!(
+                "Table 4 - RESSCHED, synthetic schedules ({} scenarios)",
+                r.scenarios
+            ),
             &r
         )
         .render()

@@ -10,7 +10,10 @@ fn main() {
     println!(
         "{}",
         ressched_table(
-            &format!("Table 5 - RESSCHED, Grid'5000-like schedules ({} scenarios)", r.scenarios),
+            &format!(
+                "Table 5 - RESSCHED, Grid'5000-like schedules ({} scenarios)",
+                r.scenarios
+            ),
             &r
         )
         .render()

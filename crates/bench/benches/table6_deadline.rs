@@ -20,6 +20,10 @@ fn main() {
     let results = run_table6(&sweeps, scale, DEFAULT_ROOT_SEED);
     println!(
         "{}",
-        deadline_table("Table 6 - RESSCHEDDL tightest deadline / loose-deadline CPU-hours", &results).render()
+        deadline_table(
+            "Table 6 - RESSCHEDDL tightest deadline / loose-deadline CPU-hours",
+            &results
+        )
+        .render()
     );
 }

@@ -13,6 +13,10 @@ fn main() {
     let r = run_table7(&sweeps, scale, DEFAULT_ROOT_SEED);
     println!(
         "{}",
-        deadline_table("Table 7 - hybrid deadline algorithms, Grid'5000-like schedules", &[r]).render()
+        deadline_table(
+            "Table 7 - hybrid deadline algorithms, Grid'5000-like schedules",
+            &[r]
+        )
+        .render()
     );
 }

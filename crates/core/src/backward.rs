@@ -30,7 +30,7 @@ use crate::bl::{self, BlMethod};
 use crate::cpa::{self, CpaAllocation, StoppingCriterion};
 use crate::dag::{Dag, TaskId};
 use crate::schedule::{Placement, Schedule, ScheduleStats};
-use resched_resv::{Calendar, Reservation, Time};
+use resched_resv::{Calendar, QueryCost, Reservation, Time};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -164,7 +164,11 @@ pub fn schedule_deadline(
         DeadlineAlgo::BdAll => {
             let bounds = vec![p; dag.num_tasks()];
             backward_pass(
-                dag, competing, now, deadline, &order,
+                dag,
+                competing,
+                now,
+                deadline,
+                &order,
                 Mode::Aggressive { bounds: &bounds },
                 &mut stats,
             )
@@ -173,7 +177,11 @@ pub fn schedule_deadline(
             stats.cpa_allocations += 1;
             let bounds = cpa::allocate(dag, p, cfg.criterion).allocs;
             backward_pass(
-                dag, competing, now, deadline, &order,
+                dag,
+                competing,
+                now,
+                deadline,
+                &order,
                 Mode::Aggressive { bounds: &bounds },
                 &mut stats,
             )
@@ -182,7 +190,11 @@ pub fn schedule_deadline(
             stats.cpa_allocations += 1;
             let bounds = cpa::allocate(dag, q, cfg.criterion).allocs;
             backward_pass(
-                dag, competing, now, deadline, &order,
+                dag,
+                competing,
+                now,
+                deadline,
+                &order,
                 Mode::Aggressive { bounds: &bounds },
                 &mut stats,
             )
@@ -192,7 +204,11 @@ pub fn schedule_deadline(
             stats.cpa_allocations += 1;
             let guide = cpa::allocate(dag, pool, cfg.criterion);
             backward_pass(
-                dag, competing, now, deadline, &order,
+                dag,
+                competing,
+                now,
+                deadline,
+                &order,
                 Mode::Rc {
                     guide: &guide,
                     lambda: 0.0,
@@ -213,7 +229,11 @@ pub fn schedule_deadline(
             let mut lambda = 0.0f64;
             while lambda <= 1.0 + 1e-9 {
                 if let Some(placements) = backward_pass(
-                    dag, competing, now, deadline, &order,
+                    dag,
+                    competing,
+                    now,
+                    deadline,
+                    &order,
                     Mode::Rc {
                         guide: &guide,
                         lambda: lambda.min(1.0),
@@ -297,14 +317,9 @@ fn backward_pass(
 
         let cost = dag.cost(t);
         let chosen = match &mode {
-            Mode::Aggressive { bounds } => latest_start_candidate(
-                &cal,
-                &cost,
-                bounds[t.idx()].clamp(1, p),
-                dl,
-                now,
-                stats,
-            ),
+            Mode::Aggressive { bounds } => {
+                latest_start_candidate(&cal, &cost, bounds[t.idx()].clamp(1, p), dl, now, stats)
+            }
             Mode::Rc {
                 guide,
                 lambda,
@@ -342,8 +357,10 @@ fn backward_pass(
                         continue; // plateau: same duration, more procs
                     }
                     prev_dur = Some(dur);
-                    stats.slot_queries += 1;
-                    if let Some(s) = cal.latest_fit(m, dur, dl, now) {
+                    let mut qc = QueryCost::default();
+                    let fit = cal.latest_fit_with_cost(m, dur, dl, now, &mut qc);
+                    stats.absorb_query_cost(qc);
+                    if let Some(s) = fit {
                         if s >= threshold {
                             conservative = Some(Placement {
                                 start: s,
@@ -356,10 +373,7 @@ fn backward_pass(
                 }
                 conservative.or_else(|| {
                     // Back-on-track fallback: aggressive.
-                    let bound = fallback_bounds
-                        .map(|b| b[t.idx()])
-                        .unwrap_or(p)
-                        .clamp(1, p);
+                    let bound = fallback_bounds.map(|b| b[t.idx()]).unwrap_or(p).clamp(1, p);
                     latest_start_candidate(&cal, &cost, bound, dl, now, stats)
                 })
             }
@@ -396,8 +410,10 @@ fn latest_start_candidate(
             continue; // same duration with more procs can't start later
         }
         prev_dur = Some(dur);
-        stats.slot_queries += 1;
-        if let Some(s) = cal.latest_fit(m, dur, dl, now) {
+        let mut qc = QueryCost::default();
+        let fit = cal.latest_fit_with_cost(m, dur, dl, now, &mut qc);
+        stats.absorb_query_cost(qc);
+        if let Some(s) = fit {
             let better = match &best {
                 None => true,
                 Some(b) => s > b.start, // tie keeps smaller m
@@ -549,11 +565,26 @@ mod tests {
         let cal = busy_calendar();
         let deadline = Time::seconds(500_000);
         let cfg = DeadlineConfig::default();
-        let agg = schedule_deadline(&dag, &cal, Time::ZERO, 4, deadline, DeadlineAlgo::BdAll, cfg)
-            .unwrap();
-        let rc =
-            schedule_deadline(&dag, &cal, Time::ZERO, 4, deadline, DeadlineAlgo::RcCpaR, cfg)
-                .unwrap();
+        let agg = schedule_deadline(
+            &dag,
+            &cal,
+            Time::ZERO,
+            4,
+            deadline,
+            DeadlineAlgo::BdAll,
+            cfg,
+        )
+        .unwrap();
+        let rc = schedule_deadline(
+            &dag,
+            &cal,
+            Time::ZERO,
+            4,
+            deadline,
+            DeadlineAlgo::RcCpaR,
+            cfg,
+        )
+        .unwrap();
         assert!(
             rc.schedule.cpu_hours() < agg.schedule.cpu_hours(),
             "RC {} CPU-h should be below aggressive {} CPU-h",
@@ -620,8 +651,7 @@ mod tests {
         let cfg = DeadlineConfig::default();
         let prec = Dur::seconds(30);
         let (k_rc, _) =
-            tightest_deadline(&dag, &cal, Time::ZERO, 4, DeadlineAlgo::RcCpaR, cfg, prec)
-                .unwrap();
+            tightest_deadline(&dag, &cal, Time::ZERO, 4, DeadlineAlgo::RcCpaR, cfg, prec).unwrap();
         let (k_hy, _) = tightest_deadline(
             &dag,
             &cal,
@@ -645,8 +675,7 @@ mod tests {
         let cfg = DeadlineConfig::default();
         let prec = Dur::seconds(30);
         for algo in [DeadlineAlgo::BdCpa, DeadlineAlgo::RcCpaR] {
-            let (k, out) =
-                tightest_deadline(&dag, &cal, Time::ZERO, 4, algo, cfg, prec).unwrap();
+            let (k, out) = tightest_deadline(&dag, &cal, Time::ZERO, 4, algo, cfg, prec).unwrap();
             assert!(out.schedule.completion() <= k);
             out.schedule.validate(&dag, &cal).unwrap();
             // The search's lower bound witnessed infeasibility within
@@ -654,8 +683,7 @@ mod tests {
             // the slack) is indeed infeasible for this algorithm.
             let much_tighter = Time::ZERO + (k - Time::ZERO) / 2;
             assert!(
-                schedule_deadline(&dag, &cal, Time::ZERO, 4, much_tighter, algo, cfg)
-                    .is_err(),
+                schedule_deadline(&dag, &cal, Time::ZERO, 4, much_tighter, algo, cfg).is_err(),
                 "{algo} met half the tightest deadline"
             );
         }

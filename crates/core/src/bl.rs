@@ -141,7 +141,10 @@ mod tests {
         let x = b.add_task(c(20));
         let y = b.add_task(c(30));
         let z = b.add_task(c(40));
-        b.add_edge(a, x).add_edge(a, y).add_edge(x, z).add_edge(y, z);
+        b.add_edge(a, x)
+            .add_edge(a, y)
+            .add_edge(x, z)
+            .add_edge(y, z);
         b.build().unwrap()
     }
 

@@ -21,7 +21,7 @@ use crate::bl::{self, BlMethod};
 use crate::cpa::{self, StoppingCriterion};
 use crate::dag::Dag;
 use crate::schedule::{Placement, Schedule, ScheduleStats};
-use resched_resv::{Calendar, Dur, Reservation, Time};
+use resched_resv::{Calendar, Dur, QueryCost, Reservation, Time};
 
 /// The narrow batch-system interface available to a blind scheduler.
 pub struct ReservationDesk {
@@ -48,8 +48,21 @@ impl ReservationDesk {
     /// Ask when a reservation of `procs × dur` starting no earlier than
     /// `not_before` could begin. Counts as one probe.
     pub fn probe(&mut self, procs: u32, dur: Dur, not_before: Time) -> Time {
+        let mut cost = QueryCost::default();
+        self.probe_with_cost(procs, dur, not_before, &mut cost)
+    }
+
+    /// [`Self::probe`], tallying the calendar query work into `cost`.
+    pub fn probe_with_cost(
+        &mut self,
+        procs: u32,
+        dur: Dur,
+        not_before: Time,
+        cost: &mut QueryCost,
+    ) -> Time {
         self.probes += 1;
-        self.cal.earliest_fit(procs, dur, not_before)
+        self.cal
+            .earliest_fit_with_cost(procs, dur, not_before, cost)
     }
 
     /// Commit a reservation previously discovered through [`Self::probe`].
@@ -152,8 +165,9 @@ pub fn schedule_blind(
         let mut best: Option<Placement> = None;
         for &m in &ladder {
             let dur = cost.exec_time(m);
-            stats.slot_queries += 1;
-            let s = desk.probe(m, dur, ready);
+            let mut qc = QueryCost::default();
+            let s = desk.probe_with_cost(m, dur, ready, &mut qc);
+            stats.absorb_query_cost(qc);
             let end = s + dur;
             let better = match &best {
                 None => true,
@@ -173,7 +187,10 @@ pub fn schedule_blind(
     }
 
     let mut sched = Schedule::new(
-        placements.into_iter().map(|p| p.expect("all placed")).collect(),
+        placements
+            .into_iter()
+            .map(|p| p.expect("all placed"))
+            .collect(),
         now,
     );
     sched.stats = stats;
@@ -236,8 +253,7 @@ mod tests {
         // Blind probing is a restriction of the full search, so it should
         // not beat it by more than greedy noise.
         assert!(
-            blind.turnaround().as_seconds() as f64
-                >= full.turnaround().as_seconds() as f64 * 0.9,
+            blind.turnaround().as_seconds() as f64 >= full.turnaround().as_seconds() as f64 * 0.9,
             "blind {} suspiciously beats full {}",
             blind.turnaround(),
             full.turnaround()

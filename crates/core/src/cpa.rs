@@ -46,7 +46,7 @@
 use crate::bl::{bottom_levels, critical_path_length, order_by_decreasing_bl, top_levels};
 use crate::dag::{Dag, TaskId};
 use crate::schedule::{Placement, Schedule};
-use resched_resv::{Calendar, Dur, Reservation, Time};
+use resched_resv::{Calendar, Dur, QueryCost, Reservation, Time};
 use serde::{Deserialize, Serialize};
 
 /// Which phase-1 stopping criterion to use.
@@ -153,7 +153,18 @@ pub fn allocate(dag: &Dag, pool: u32, criterion: StoppingCriterion) -> CpaAlloca
 /// empty `alloc.pool`-processor platform, starting no earlier than
 /// `start_at`. Returns one placement per task.
 pub fn map(dag: &Dag, alloc: &CpaAllocation, start_at: Time) -> Vec<Placement> {
-    map_subset(dag, alloc, start_at, |_| true)
+    let mut cost = QueryCost::default();
+    map_with_cost(dag, alloc, start_at, &mut cost)
+}
+
+/// [`map`], tallying the calendar slot-query work into `cost`.
+pub fn map_with_cost(
+    dag: &Dag,
+    alloc: &CpaAllocation,
+    start_at: Time,
+    cost: &mut QueryCost,
+) -> Vec<Placement> {
+    map_subset_with_cost(dag, alloc, start_at, |_| true, cost)
         .into_iter()
         .map(|p| p.expect("map includes every task"))
         .collect()
@@ -173,6 +184,18 @@ pub fn map_subset(
     alloc: &CpaAllocation,
     start_at: Time,
     include: impl Fn(TaskId) -> bool,
+) -> Vec<Option<Placement>> {
+    let mut cost = QueryCost::default();
+    map_subset_with_cost(dag, alloc, start_at, include, &mut cost)
+}
+
+/// [`map_subset`], tallying the calendar slot-query work into `cost`.
+pub fn map_subset_with_cost(
+    dag: &Dag,
+    alloc: &CpaAllocation,
+    start_at: Time,
+    include: impl Fn(TaskId) -> bool,
+    cost: &mut QueryCost,
 ) -> Vec<Option<Placement>> {
     let bl = bottom_levels(dag, &alloc.exec);
     let order = order_by_decreasing_bl(dag, &bl);
@@ -194,7 +217,7 @@ pub fn map_subset(
         }
         let m = alloc.alloc(t).min(alloc.pool);
         let dur = alloc.exec_time(t);
-        let s = platform.earliest_fit(m, dur, ready);
+        let s = platform.earliest_fit_with_cost(m, dur, ready, cost);
         platform.add_unchecked(Reservation::for_duration(s, dur, m));
         out[t.idx()] = Some(Placement {
             start: s,
@@ -211,10 +234,12 @@ pub fn map_subset(
 /// to exactly this schedule when the reservation calendar is empty.
 pub fn schedule(dag: &Dag, pool: u32, criterion: StoppingCriterion, now: Time) -> Schedule {
     let alloc = allocate(dag, pool, criterion);
-    let placements = map(dag, &alloc, now);
+    let mut cost = QueryCost::default();
+    let placements = map_with_cost(dag, &alloc, now, &mut cost);
     let mut s = Schedule::new(placements, now);
     s.stats.cpa_allocations = 1;
     s.stats.cpa_mappings = 1;
+    s.stats.absorb_query_cost(cost);
     s
 }
 
@@ -311,7 +336,10 @@ mod tests {
         let x = b.add_task(c(200, 0.0));
         let y = b.add_task(c(300, 0.0));
         let z = b.add_task(c(400, 0.0));
-        b.add_edge(a, x).add_edge(a, y).add_edge(x, z).add_edge(y, z);
+        b.add_edge(a, x)
+            .add_edge(a, y)
+            .add_edge(x, z)
+            .add_edge(y, z);
         let dag = b.build().unwrap();
         let alloc = allocate(&dag, 4, StoppingCriterion::Stringent);
         let out = map_subset(&dag, &alloc, Time::ZERO, |t| t != z);

@@ -204,10 +204,7 @@ impl Dag {
             let _ = writeln!(
                 s,
                 "  {} [label=\"{}\\nT={} a={:.2}\"];",
-                t.0,
-                t,
-                c.seq,
-                c.alpha
+                t.0, t, c.seq, c.alpha
             );
         }
         for t in self.task_ids() {
@@ -371,7 +368,10 @@ mod tests {
         let x = b.add_task(cost(20));
         let y = b.add_task(cost(30));
         let z = b.add_task(cost(40));
-        b.add_edge(a, x).add_edge(a, y).add_edge(x, z).add_edge(y, z);
+        b.add_edge(a, x)
+            .add_edge(a, y)
+            .add_edge(x, z)
+            .add_edge(y, z);
         let dag = b.build().unwrap();
         assert_eq!(dag.num_tasks(), 4);
         assert_eq!(dag.num_edges(), 4);

@@ -15,10 +15,10 @@
 //! interference rate grows.
 
 use crate::bl::{self, BlMethod};
+use crate::dag::Dag;
 use crate::forward::{allocation_bounds, ForwardConfig};
 use crate::schedule::{Placement, Schedule, ScheduleStats};
-use crate::dag::Dag;
-use resched_resv::{Calendar, Reservation, Time};
+use resched_resv::{Calendar, QueryCost, Reservation, Time};
 
 /// Events passed to the interference callback.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,15 +80,20 @@ pub fn schedule_forward_dynamic(
                 continue;
             }
             prev_dur = Some(dur);
-            stats.slot_queries += 1;
-            let s = cal.earliest_fit(m, dur, ready);
+            let mut qc = QueryCost::default();
+            let s = cal.earliest_fit_with_cost(m, dur, ready, &mut qc);
+            stats.absorb_query_cost(qc);
             let end = s + dur;
             let better = match &best {
                 None => true,
                 Some(b) => end < b.end || (end == b.end && m < b.procs),
             };
             if better {
-                best = Some(Placement { start: s, end, procs: m });
+                best = Some(Placement {
+                    start: s,
+                    end,
+                    procs: m,
+                });
             }
         }
         let chosen = best.expect("bound >= 1");
@@ -105,7 +110,10 @@ pub fn schedule_forward_dynamic(
     }
 
     let mut sched = Schedule::new(
-        placements.into_iter().map(|p| p.expect("all placed")).collect(),
+        placements
+            .into_iter()
+            .map(|p| p.expect("all placed"))
+            .collect(),
         now,
     );
     sched.stats = stats;
@@ -171,8 +179,7 @@ mod tests {
                 "precedence violated between t{a} and t{b}"
             );
         }
-        let static_ =
-            schedule_forward(&dag, &base, Time::ZERO, 4, ForwardConfig::recommended());
+        let static_ = schedule_forward(&dag, &base, Time::ZERO, 4, ForwardConfig::recommended());
         assert!(sched.turnaround() >= static_.turnaround());
         // The injected competitors must actually have delayed something.
         assert!(

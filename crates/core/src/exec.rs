@@ -167,8 +167,12 @@ mod tests {
             TaskCost::new(Dur::seconds(1000), 0.0),
         ]);
         let mut cal = Calendar::new(4);
-        cal.try_add(Reservation::new(Time::seconds(2000), Time::seconds(3000), 4))
-            .unwrap();
+        cal.try_add(Reservation::new(
+            Time::seconds(2000),
+            Time::seconds(3000),
+            4,
+        ))
+        .unwrap();
         let sched = schedule_forward(&dag, &cal, Time::ZERO, 4, ForwardConfig::recommended());
         (dag, cal, sched)
     }
@@ -247,7 +251,10 @@ mod tests {
         assert!(out.completed);
         let e0 = out.actual_end[0].unwrap();
         let e1 = out.actual_end[1].unwrap();
-        assert!(e1 >= e0 + Dur::seconds(1), "successor ran before its input existed");
+        assert!(
+            e1 >= e0 + Dur::seconds(1),
+            "successor ran before its input existed"
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::bl::{self, BlMethod};
 use crate::cpa::{self, StoppingCriterion};
 use crate::dag::Dag;
 use crate::schedule::{Placement, Schedule, ScheduleStats};
-use resched_resv::{Calendar, Reservation, Time};
+use resched_resv::{Calendar, QueryCost, Reservation, Time};
 use serde::{Deserialize, Serialize};
 
 /// How to bound per-task allocations in the slot search (paper §4.2).
@@ -37,12 +37,7 @@ pub enum BdMethod {
 
 impl BdMethod {
     /// The four bounding methods in the paper's presentation order.
-    pub const ALL: [BdMethod; 4] = [
-        BdMethod::All,
-        BdMethod::Half,
-        BdMethod::Cpa,
-        BdMethod::CpaR,
-    ];
+    pub const ALL: [BdMethod; 4] = [BdMethod::All, BdMethod::Half, BdMethod::Cpa, BdMethod::CpaR];
 
     /// The paper's name for the method.
     pub fn name(self) -> &'static str {
@@ -200,8 +195,9 @@ pub fn schedule_forward(
                 continue;
             }
             prev_dur = Some(dur);
-            stats.slot_queries += 1;
-            let s = cal.earliest_fit(m, dur, ready);
+            let mut qc = QueryCost::default();
+            let s = cal.earliest_fit_with_cost(m, dur, ready, &mut qc);
+            stats.absorb_query_cost(qc);
             let end = s + dur;
             let better = match &best {
                 None => true,
@@ -283,12 +279,8 @@ mod tests {
     fn all_configs_produce_valid_schedules() {
         let dag = fork_join(c(300, 0.1), &[c(3600, 0.15); 5], c(300, 0.1));
         let mut cal = Calendar::new(8);
-        cal.try_add(Reservation::new(
-            Time::seconds(100),
-            Time::seconds(5000),
-            6,
-        ))
-        .unwrap();
+        cal.try_add(Reservation::new(Time::seconds(100), Time::seconds(5000), 6))
+            .unwrap();
         cal.try_add(Reservation::new(
             Time::seconds(8000),
             Time::seconds(20_000),

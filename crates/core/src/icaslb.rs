@@ -19,7 +19,7 @@
 use crate::bl::{self};
 use crate::dag::{Dag, TaskId};
 use crate::schedule::{Placement, Schedule, ScheduleStats};
-use resched_resv::{Calendar, Dur, Reservation, Time};
+use resched_resv::{Calendar, Dur, QueryCost, Reservation, Time};
 use serde::{Deserialize, Serialize};
 
 /// Tuning knobs for [`schedule_icaslb`].
@@ -72,8 +72,9 @@ fn build_schedule(
             .max(now);
         let m = allocs[t.idx()];
         let dur = exec[t.idx()];
-        stats.slot_queries += 1;
-        let s = cal.earliest_fit(m, dur, ready);
+        let mut qc = QueryCost::default();
+        let s = cal.earliest_fit_with_cost(m, dur, ready, &mut qc);
+        stats.absorb_query_cost(qc);
         cal.add_unchecked(Reservation::for_duration(s, dur, m));
         placements[t.idx()] = Some(Placement {
             start: s,
@@ -81,7 +82,10 @@ fn build_schedule(
             procs: m,
         });
     }
-    placements.into_iter().map(|p| p.expect("all placed")).collect()
+    placements
+        .into_iter()
+        .map(|p| p.expect("all placed"))
+        .collect()
 }
 
 fn makespan(placements: &[Placement]) -> Time {
@@ -198,8 +202,12 @@ mod tests {
     fn produces_valid_schedules() {
         let dag = fork_join(c(300, 0.1), &[c(3600, 0.1); 5], c(300, 0.1));
         let mut cal = Calendar::new(16);
-        cal.try_add(Reservation::new(Time::seconds(100), Time::seconds(4000), 10))
-            .unwrap();
+        cal.try_add(Reservation::new(
+            Time::seconds(100),
+            Time::seconds(4000),
+            10,
+        ))
+        .unwrap();
         let s = schedule_icaslb(&dag, &cal, Time::ZERO, 12, IcaslbConfig::default());
         s.validate(&dag, &cal).expect("valid");
     }
@@ -229,8 +237,7 @@ mod tests {
         // One-step with look-ahead should be within 50% of the two-step
         // algorithm on this simple instance (usually it is better).
         assert!(
-            ic.turnaround().as_seconds() as f64
-                <= fw.turnaround().as_seconds() as f64 * 1.5,
+            ic.turnaround().as_seconds() as f64 <= fw.turnaround().as_seconds() as f64 * 1.5,
             "iCASLB {} vs forward {}",
             ic.turnaround(),
             fw.turnaround()

@@ -31,10 +31,7 @@ pub fn allocate(dag: &Dag, pool: u32) -> CpaAllocation {
     let n = dag.num_tasks();
     let mut allocs = vec![1u32; n];
     let mut exec: Vec<Dur> = dag.costs().iter().map(|c| c.exec_time(1)).collect();
-    let mut total_work: i64 = dag
-        .task_ids()
-        .map(|t| dag.cost(t).work(1))
-        .sum();
+    let mut total_work: i64 = dag.task_ids().map(|t| dag.cost(t).work(1)).sum();
 
     // Per-level allocation totals (levels = longest-path depth).
     let mut level_total: Vec<u32> = vec![0; dag.num_levels() as usize];
@@ -118,8 +115,7 @@ mod tests {
         let mcpa = allocate(&dag, 16);
         let mids: u32 = (1..17).map(|i| mcpa.allocs[i]).sum();
         assert!(mids <= 16);
-        let classic: u32 = cpa::allocate(&dag, 16, cpa::StoppingCriterion::Classic)
-            .allocs[1..17]
+        let classic: u32 = cpa::allocate(&dag, 16, cpa::StoppingCriterion::Classic).allocs[1..17]
             .iter()
             .sum();
         assert!(

@@ -35,6 +35,12 @@ impl Placement {
 pub struct ScheduleStats {
     /// Number of `earliest_fit` / `latest_fit` calendar queries issued.
     pub slot_queries: u64,
+    /// Work done answering those queries: calendar breakpoints visited by
+    /// the linear backend, or segment-tree nodes visited by the indexed
+    /// backend (see `resched_resv::QueryCost`). Both count memory touches
+    /// proportional to search effort, so the two backends are directly
+    /// comparable through this field.
+    pub slot_steps: u64,
     /// Number of CPA allocation-phase runs.
     pub cpa_allocations: u64,
     /// Number of CPA mapping (list-scheduling) runs.
@@ -47,9 +53,16 @@ impl ScheduleStats {
     /// Merge counters from another run into this one.
     pub fn absorb(&mut self, other: ScheduleStats) {
         self.slot_queries += other.slot_queries;
+        self.slot_steps += other.slot_steps;
         self.cpa_allocations += other.cpa_allocations;
         self.cpa_mappings += other.cpa_mappings;
         self.passes += other.passes;
+    }
+
+    /// Fold a calendar query-cost tally into these stats.
+    pub fn absorb_query_cost(&mut self, cost: resched_resv::QueryCost) {
+        self.slot_queries += cost.queries;
+        self.slot_steps += cost.steps;
     }
 }
 
@@ -217,10 +230,7 @@ impl Schedule {
             }
             for &p in dag.preds(t) {
                 if self.placement(p).end > pl.start {
-                    return Err(ScheduleError::PrecedenceViolation {
-                        pred: p,
-                        succ: t,
-                    });
+                    return Err(ScheduleError::PrecedenceViolation { pred: p, succ: t });
                 }
             }
             cal.try_add(pl.reservation())
@@ -295,7 +305,10 @@ impl fmt::Display for ScheduleError {
                 task,
                 procs,
                 capacity,
-            } => write!(f, "{task} reserves {procs} procs on a {capacity}-proc platform"),
+            } => write!(
+                f,
+                "{task} reserves {procs} procs on a {capacity}-proc platform"
+            ),
             ScheduleError::StartsInPast { task } => {
                 write!(f, "{task} starts before the scheduling instant")
             }
@@ -447,19 +460,33 @@ mod tests {
     fn stats_absorb_accumulates() {
         let mut a = ScheduleStats {
             slot_queries: 1,
+            slot_steps: 5,
             cpa_allocations: 2,
             cpa_mappings: 3,
             passes: 4,
         };
         a.absorb(ScheduleStats {
             slot_queries: 10,
+            slot_steps: 50,
             cpa_allocations: 20,
             cpa_mappings: 30,
             passes: 40,
         });
         assert_eq!(a.slot_queries, 11);
+        assert_eq!(a.slot_steps, 55);
         assert_eq!(a.cpa_allocations, 22);
         assert_eq!(a.cpa_mappings, 33);
         assert_eq!(a.passes, 44);
+    }
+
+    #[test]
+    fn stats_absorb_query_cost() {
+        let mut a = ScheduleStats::default();
+        a.absorb_query_cost(resched_resv::QueryCost {
+            queries: 3,
+            steps: 17,
+        });
+        assert_eq!(a.slot_queries, 3);
+        assert_eq!(a.slot_steps, 17);
     }
 }

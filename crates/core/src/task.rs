@@ -210,7 +210,10 @@ mod tests {
         assert!(t.exec_time(4) < t.exec_time(1));
         assert!(t.exec_time(64) > t.exec_time(16));
         let best = t.best_procs(128);
-        assert!(best > 1 && best < 128, "U-shape minimum interior, got {best}");
+        assert!(
+            best > 1 && best < 128,
+            "U-shape minimum interior, got {best}"
+        );
         // The minimum of T/m + o(m-1) is near sqrt(T/o) ~ 22.
         assert!((10..=40).contains(&best), "minimum at {best}");
     }

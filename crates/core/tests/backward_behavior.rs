@@ -1,9 +1,7 @@
 //! Behavioral tests of the backward (RESSCHEDDL) schedulers on hand-crafted
 //! scenarios with independently computed expected outcomes.
 
-use resched_core::backward::{
-    schedule_deadline, tightest_deadline, DeadlineAlgo, DeadlineConfig,
-};
+use resched_core::backward::{schedule_deadline, tightest_deadline, DeadlineAlgo, DeadlineConfig};
 use resched_core::prelude::*;
 
 fn cost(seq_s: i64, alpha: f64) -> TaskCost {
@@ -25,8 +23,7 @@ fn aggressive_single_task_lands_on_deadline() {
     let dag = single_task(600, 1.0);
     let cal = Calendar::new(8);
     let k = Time::seconds(10_000);
-    let out =
-        schedule_deadline(&dag, &cal, Time::ZERO, 8, k, DeadlineAlgo::BdAll, cfg()).unwrap();
+    let out = schedule_deadline(&dag, &cal, Time::ZERO, 8, k, DeadlineAlgo::BdAll, cfg()).unwrap();
     let p = out.schedule.placement(TaskId(0));
     assert_eq!(p.end, k);
     assert_eq!(p.start, Time::seconds(9400));
@@ -37,8 +34,7 @@ fn chain_is_packed_backward_without_gaps_by_aggressive() {
     let dag = resched_core::dag::chain(&[cost(300, 1.0), cost(200, 1.0)]);
     let cal = Calendar::new(4);
     let k = Time::seconds(5000);
-    let out =
-        schedule_deadline(&dag, &cal, Time::ZERO, 4, k, DeadlineAlgo::BdAll, cfg()).unwrap();
+    let out = schedule_deadline(&dag, &cal, Time::ZERO, 4, k, DeadlineAlgo::BdAll, cfg()).unwrap();
     let p0 = out.schedule.placement(TaskId(0));
     let p1 = out.schedule.placement(TaskId(1));
     assert_eq!(p1.end, k);
@@ -53,8 +49,12 @@ fn reservation_splits_backward_placement() {
     // K = 5000 must finish by 4000.
     let dag = single_task(600, 1.0);
     let mut cal = Calendar::new(4);
-    cal.try_add(Reservation::new(Time::seconds(4000), Time::seconds(5000), 4))
-        .unwrap();
+    cal.try_add(Reservation::new(
+        Time::seconds(4000),
+        Time::seconds(5000),
+        4,
+    ))
+    .unwrap();
     let out = schedule_deadline(
         &dag,
         &cal,
@@ -79,16 +79,7 @@ fn infeasible_when_now_blocks() {
         .unwrap();
     for algo in DeadlineAlgo::ALL {
         assert!(
-            schedule_deadline(
-                &dag,
-                &cal,
-                Time::ZERO,
-                4,
-                Time::seconds(1000),
-                algo,
-                cfg()
-            )
-            .is_err(),
+            schedule_deadline(&dag, &cal, Time::ZERO, 4, Time::seconds(1000), algo, cfg()).is_err(),
             "{algo} accepted an infeasible instance"
         );
     }
@@ -159,8 +150,16 @@ fn rcbd_fallback_respects_cpa_bound() {
     ))
     .unwrap();
     let k = Time::seconds(20_000);
-    let out = schedule_deadline(&dag, &cal, Time::ZERO, 4, k, DeadlineAlgo::RcbdCpaRLambda, cfg())
-        .unwrap();
+    let out = schedule_deadline(
+        &dag,
+        &cal,
+        Time::ZERO,
+        4,
+        k,
+        DeadlineAlgo::RcbdCpaRLambda,
+        cfg(),
+    )
+    .unwrap();
     let p = out.schedule.placement(TaskId(0));
     // 4000s seq on 4 procs = 1000s <= 1100 window; must start within the
     // prefix.
@@ -175,16 +174,8 @@ fn tightest_deadline_single_task_exact() {
     let dag = single_task(600, 1.0);
     let cal = Calendar::new(4);
     let prec = Dur::seconds(10);
-    let (k, out) = tightest_deadline(
-        &dag,
-        &cal,
-        Time::ZERO,
-        4,
-        DeadlineAlgo::BdCpa,
-        cfg(),
-        prec,
-    )
-    .unwrap();
+    let (k, out) =
+        tightest_deadline(&dag, &cal, Time::ZERO, 4, DeadlineAlgo::BdCpa, cfg(), prec).unwrap();
     assert!(k >= Time::seconds(600));
     assert!(k <= Time::seconds(600) + prec + prec);
     assert!(out.schedule.completion() <= k);
@@ -280,7 +271,10 @@ fn diamond_respects_precedence_backward() {
     let x = b.add_task(cost(200, 1.0));
     let y = b.add_task(cost(300, 1.0));
     let z = b.add_task(cost(100, 1.0));
-    b.add_edge(a, x).add_edge(a, y).add_edge(x, z).add_edge(y, z);
+    b.add_edge(a, x)
+        .add_edge(a, y)
+        .add_edge(x, z)
+        .add_edge(y, z);
     let dag = b.build().unwrap();
     let cal = Calendar::new(4);
     let k = Time::seconds(10_000);

@@ -194,7 +194,10 @@ fn all_bl_methods_give_valid_orders_on_multi_exit_dags() {
     let m = b.add_task(cost(900, 0.1));
     let x1 = b.add_task(cost(300, 0.1));
     let x2 = b.add_task(cost(200, 0.1));
-    b.add_edge(e1, m).add_edge(e2, m).add_edge(m, x1).add_edge(m, x2);
+    b.add_edge(e1, m)
+        .add_edge(e2, m)
+        .add_edge(m, x1)
+        .add_edge(m, x2);
     let dag = b.build().unwrap();
     let mut cal = Calendar::new(8);
     cal.try_add(Reservation::new(Time::seconds(50), Time::seconds(600), 6))

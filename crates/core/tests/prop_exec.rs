@@ -1,70 +1,74 @@
-//! Property tests of the execution simulator.
+//! Property tests of the execution simulator, driven by seeded
+//! `ChaCha12Rng` loops.
 
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
 use resched_core::exec::{execute, OverrunPolicy};
 use resched_core::forward::{schedule_forward, ForwardConfig};
 use resched_core::prelude::*;
 use resched_daggen::{generate, DagParams};
 
-fn params() -> impl Strategy<Value = DagParams> {
-    (3usize..20, 0.0..0.4f64, 0.2..0.8f64).prop_map(|(n, a, w)| DagParams {
-        num_tasks: n,
-        alpha_max: a,
-        width: w,
+fn params<R: Rng>(rng: &mut R) -> DagParams {
+    DagParams {
+        num_tasks: rng.gen_range(3usize..20),
+        alpha_max: rng.gen_range(0.0..0.4f64),
+        width: rng.gen_range(0.2..0.8f64),
         regularity: 0.5,
         density: 0.5,
         jump: 1,
-    })
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn factors_at_most_one_always_complete_without_overruns(
-        p in params(),
-        seed in 0u64..300,
-        factor in 0.1..=1.0f64,
-    ) {
+#[test]
+fn factors_at_most_one_always_complete_without_overruns() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0xE8EC_0001);
+    for _ in 0..48 {
+        let p = params(&mut rng);
+        let seed = rng.gen_range(0u64..300);
+        let factor = rng.gen_range(0.1..=1.0f64);
         let dag = generate(&p, seed);
         let cal = Calendar::new(32);
         let sched = schedule_forward(&dag, &cal, Time::ZERO, 32, ForwardConfig::recommended());
         let factors = vec![factor; dag.num_tasks()];
         let out = execute(&dag, &sched, &cal, &factors, OverrunPolicy::Kill);
-        prop_assert!(out.completed, "factor {factor} <= 1 must complete");
-        prop_assert!(out.overruns.is_empty());
-        prop_assert!(out.makespan.unwrap() <= sched.completion());
+        assert!(out.completed, "factor {factor} <= 1 must complete");
+        assert!(out.overruns.is_empty());
+        assert!(out.makespan.unwrap() <= sched.completion());
         // Paid exactly the reserved CPU-hours.
-        prop_assert!((out.cpu_hours_paid - sched.cpu_hours()).abs() < 1e-9);
+        assert!((out.cpu_hours_paid - sched.cpu_hours()).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn requeue_always_completes_and_never_pays_less(
-        p in params(),
-        seed in 0u64..300,
-        factor in 0.5..=3.0f64,
-    ) {
+#[test]
+fn requeue_always_completes_and_never_pays_less() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0xE8EC_0002);
+    for _ in 0..48 {
+        let p = params(&mut rng);
+        let seed = rng.gen_range(0u64..300);
+        let factor = rng.gen_range(0.5..=3.0f64);
         let dag = generate(&p, seed);
         let cal = Calendar::new(32);
         let sched = schedule_forward(&dag, &cal, Time::ZERO, 32, ForwardConfig::recommended());
         let factors = vec![factor; dag.num_tasks()];
         let out = execute(&dag, &sched, &cal, &factors, OverrunPolicy::Requeue);
-        prop_assert!(out.completed, "requeue must always complete");
-        prop_assert!(out.cpu_hours_paid >= sched.cpu_hours() - 1e-9);
+        assert!(out.completed, "requeue must always complete");
+        assert!(out.cpu_hours_paid >= sched.cpu_hours() - 1e-9);
         // Actual ends respect precedence.
         for t in dag.task_ids() {
             let e = out.actual_end[t.idx()].unwrap();
             for &pr in dag.preds(t) {
-                prop_assert!(out.actual_end[pr.idx()].unwrap() <= e);
+                assert!(out.actual_end[pr.idx()].unwrap() <= e);
             }
         }
     }
+}
 
-    #[test]
-    fn kill_policy_dominates_requeue_on_overrun_sets(
-        p in params(),
-        seed in 0u64..300,
-    ) {
+#[test]
+fn kill_policy_dominates_requeue_on_overrun_sets() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0xE8EC_0003);
+    for _ in 0..48 {
+        let p = params(&mut rng);
+        let seed = rng.gen_range(0u64..300);
         let dag = generate(&p, seed);
         let cal = Calendar::new(32);
         let sched = schedule_forward(&dag, &cal, Time::ZERO, 32, ForwardConfig::recommended());
@@ -78,8 +82,8 @@ proptest! {
         // The direct (non-cascade) overruns under Kill are a subset of the
         // overruns under Requeue (requeues can cascade extra ones).
         for t in &kill.overruns {
-            prop_assert!(requeue.overruns.contains(t));
+            assert!(requeue.overruns.contains(t));
         }
-        prop_assert!(requeue.completed);
+        assert!(requeue.completed);
     }
 }

@@ -53,7 +53,9 @@ pub fn generate_with<R: Rng>(params: &DagParams, rng: &mut R) -> Dag {
 
     // Degenerate sizes: fall back to a chain.
     if n <= 2 {
-        let ids: Vec<TaskId> = (0..n).map(|_| b.add_task(random_cost(params, rng))).collect();
+        let ids: Vec<TaskId> = (0..n)
+            .map(|_| b.add_task(random_cost(params, rng)))
+            .collect();
         for w in ids.windows(2) {
             b.add_edge(w[0], w[1]);
         }
@@ -62,13 +64,11 @@ pub fn generate_with<R: Rng>(params: &DagParams, rng: &mut R) -> Dag {
 
     // Step 1: levels for the n-2 inner tasks.
     let inner = n - 2;
-    let mean_width = (inner as f64)
-        .powf(params.width)
-        .clamp(1.0, inner as f64);
+    let mean_width = (inner as f64).powf(params.width).clamp(1.0, inner as f64);
     let mut level_sizes: Vec<usize> = Vec::new();
     let mut remaining = inner;
     while remaining > 0 {
-        let jitter = 1.0 + (rng.gen_range(-1.0..=1.0)) * (1.0 - params.regularity);
+        let jitter: f64 = 1.0 + (rng.gen_range(-1.0..=1.0)) * (1.0 - params.regularity);
         let size = (mean_width * jitter).round().max(1.0) as usize;
         let size = size.min(remaining);
         level_sizes.push(size);
@@ -91,14 +91,13 @@ pub fn generate_with<R: Rng>(params: &DagParams, rng: &mut R) -> Dag {
     let total = b.num_tasks() + 1; // +1 for the exit, added above
     let mut pred_count = vec![0usize; total];
     let mut succ_count = vec![0usize; total];
-    let mut edge_set: std::collections::HashSet<(u32, u32)> =
-        std::collections::HashSet::new();
+    let mut edge_set: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
     let link = |b: &mut DagBuilder,
-                    edge_set: &mut std::collections::HashSet<(u32, u32)>,
-                    pred_count: &mut Vec<usize>,
-                    succ_count: &mut Vec<usize>,
-                    u: TaskId,
-                    v: TaskId|
+                edge_set: &mut std::collections::HashSet<(u32, u32)>,
+                pred_count: &mut Vec<usize>,
+                succ_count: &mut Vec<usize>,
+                u: TaskId,
+                v: TaskId|
      -> bool {
         if edge_set.insert((u.0, v.0)) {
             b.add_edge(u, v);
@@ -118,7 +117,14 @@ pub fn generate_with<R: Rng>(params: &DagParams, rng: &mut R) -> Dag {
             // Consecutive level: probability `density` per candidate parent.
             for &u in &before[l - 1] {
                 if rng.gen_bool(params.density) {
-                    link(&mut b, &mut edge_set, &mut pred_count, &mut succ_count, u, v);
+                    link(
+                        &mut b,
+                        &mut edge_set,
+                        &mut pred_count,
+                        &mut succ_count,
+                        u,
+                        v,
+                    );
                 }
             }
             // Jump edges from levels l-jump .. l-2.
@@ -129,7 +135,14 @@ pub fn generate_with<R: Rng>(params: &DagParams, rng: &mut R) -> Dag {
                 let p = (params.density * JUMP_EDGE_DAMPING).clamp(0.0, 1.0);
                 for &u in &before[l - d] {
                     if p > 0.0 && rng.gen_bool(p) {
-                        link(&mut b, &mut edge_set, &mut pred_count, &mut succ_count, u, v);
+                        link(
+                            &mut b,
+                            &mut edge_set,
+                            &mut pred_count,
+                            &mut succ_count,
+                            u,
+                            v,
+                        );
                     }
                 }
             }
@@ -150,23 +163,51 @@ pub fn generate_with<R: Rng>(params: &DagParams, rng: &mut R) -> Dag {
             if !has_prev_parent {
                 let prev = &before[l - 1];
                 let u = prev[rng.gen_range(0..prev.len())];
-                link(&mut b, &mut edge_set, &mut pred_count, &mut succ_count, u, v);
+                link(
+                    &mut b,
+                    &mut edge_set,
+                    &mut pred_count,
+                    &mut succ_count,
+                    u,
+                    v,
+                );
             }
         }
     }
     // Step 3b: entry feeds every level-1 task; exit drains every sink.
     if levels.len() > 1 {
         for &v in &levels[1].clone() {
-            link(&mut b, &mut edge_set, &mut pred_count, &mut succ_count, entry, v);
+            link(
+                &mut b,
+                &mut edge_set,
+                &mut pred_count,
+                &mut succ_count,
+                entry,
+                v,
+            );
         }
     } else {
-        link(&mut b, &mut edge_set, &mut pred_count, &mut succ_count, entry, exit);
+        link(
+            &mut b,
+            &mut edge_set,
+            &mut pred_count,
+            &mut succ_count,
+            entry,
+            exit,
+        );
     }
     // Sinks: inner tasks (and the entry, if isolated) with no successors.
     let all_inner: Vec<TaskId> = levels.iter().flatten().copied().collect();
     for &u in &all_inner {
         if succ_count[u.idx()] == 0 {
-            link(&mut b, &mut edge_set, &mut pred_count, &mut succ_count, u, exit);
+            link(
+                &mut b,
+                &mut edge_set,
+                &mut pred_count,
+                &mut succ_count,
+                u,
+                exit,
+            );
         }
     }
 

@@ -82,42 +82,42 @@ impl DagParams {
         let mut out = Vec::with_capacity(40);
         for &n in &t.num_tasks {
             out.push(Sweep {
-                varied: "num_tasks",
+                varied: "num_tasks".into(),
                 value: n as f64,
                 params: DagParams { num_tasks: n, ..d },
             });
         }
         for &a in &t.alpha_max {
             out.push(Sweep {
-                varied: "alpha",
+                varied: "alpha".into(),
                 value: a,
                 params: DagParams { alpha_max: a, ..d },
             });
         }
         for &w in &t.width {
             out.push(Sweep {
-                varied: "width",
+                varied: "width".into(),
                 value: w,
                 params: DagParams { width: w, ..d },
             });
         }
         for &x in &t.density {
             out.push(Sweep {
-                varied: "density",
+                varied: "density".into(),
                 value: x,
                 params: DagParams { density: x, ..d },
             });
         }
         for &r in &t.regularity {
             out.push(Sweep {
-                varied: "regularity",
+                varied: "regularity".into(),
                 value: r,
                 params: DagParams { regularity: r, ..d },
             });
         }
         for &j in &t.jump {
             out.push(Sweep {
-                varied: "jump",
+                varied: "jump".into(),
                 value: j as f64,
                 params: DagParams { jump: j, ..d },
             });
@@ -151,10 +151,10 @@ pub struct Table1 {
 
 /// One entry of the paper's 40-specification sweep: which parameter is
 /// varied, its value, and the full parameter set.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Sweep {
     /// Name of the varied parameter.
-    pub varied: &'static str,
+    pub varied: String,
     /// Value of the varied parameter (numeric for uniform tabulation).
     pub value: f64,
     /// The complete parameter set.
@@ -193,7 +193,12 @@ mod tests {
     fn validate_rejects_bad_values() {
         let d = DagParams::paper_default();
         assert!(DagParams { num_tasks: 0, ..d }.validate().is_err());
-        assert!(DagParams { alpha_max: 1.5, ..d }.validate().is_err());
+        assert!(DagParams {
+            alpha_max: 1.5,
+            ..d
+        }
+        .validate()
+        .is_err());
         assert!(DagParams { width: -0.1, ..d }.validate().is_err());
         assert!(DagParams { jump: 0, ..d }.validate().is_err());
     }

@@ -1,57 +1,61 @@
 //! Property tests for the DAG generator over the full Table 1 parameter
-//! space.
+//! space, driven by seeded `ChaCha12Rng` loops.
 
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
 use resched_daggen::{generate, DagParams};
 use resched_resv::Dur;
 
-fn params() -> impl Strategy<Value = DagParams> {
-    (
-        1usize..120,
-        0.0..1.0f64,
-        0.01..1.0f64,
-        0.0..1.0f64,
-        0.0..1.0f64,
-        1u32..=4,
-    )
-        .prop_map(|(n, a, w, r, d, j)| DagParams {
-            num_tasks: n,
-            alpha_max: a,
-            width: w,
-            regularity: r,
-            density: d,
-            jump: j,
-        })
+fn params<R: Rng>(rng: &mut R) -> DagParams {
+    DagParams {
+        num_tasks: rng.gen_range(1usize..120),
+        alpha_max: rng.gen_range(0.0..1.0f64),
+        width: rng.gen_range(0.01..1.0f64),
+        regularity: rng.gen_range(0.0..1.0f64),
+        density: rng.gen_range(0.0..1.0f64),
+        jump: rng.gen_range(1u32..=4),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn always_requested_size_and_single_terminals(p in params(), seed in 0u64..500) {
+#[test]
+fn always_requested_size_and_single_terminals() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0xDA66_0001);
+    for _ in 0..96 {
+        let p = params(&mut rng);
+        let seed = rng.gen_range(0u64..500);
         let dag = generate(&p, seed);
-        prop_assert_eq!(dag.num_tasks(), p.num_tasks);
+        assert_eq!(dag.num_tasks(), p.num_tasks);
         if p.num_tasks >= 3 {
-            prop_assert_eq!(dag.entries().len(), 1);
-            prop_assert_eq!(dag.exits().len(), 1);
+            assert_eq!(dag.entries().len(), 1);
+            assert_eq!(dag.exits().len(), 1);
         }
     }
+}
 
-    #[test]
-    fn costs_always_in_table1_ranges(p in params(), seed in 0u64..500) {
+#[test]
+fn costs_always_in_table1_ranges() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0xDA66_0002);
+    for _ in 0..96 {
+        let p = params(&mut rng);
+        let seed = rng.gen_range(0u64..500);
         let dag = generate(&p, seed);
         for c in dag.costs() {
-            prop_assert!(c.seq >= Dur::minutes(1));
-            prop_assert!(c.seq <= Dur::hours(10));
-            prop_assert!(c.alpha >= 0.0 && c.alpha <= p.alpha_max);
+            assert!(c.seq >= Dur::minutes(1));
+            assert!(c.seq <= Dur::hours(10));
+            assert!(c.alpha >= 0.0 && c.alpha <= p.alpha_max);
         }
     }
+}
 
-    #[test]
-    fn weakly_connected_through_entry_and_exit(p in params(), seed in 0u64..500) {
+#[test]
+fn weakly_connected_through_entry_and_exit() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0xDA66_0003);
+    for _ in 0..96 {
+        let p = params(&mut rng);
+        let seed = rng.gen_range(0u64..500);
         let dag = generate(&p, seed);
         if p.num_tasks < 3 {
-            return Ok(());
+            continue;
         }
         let entry = dag.entries()[0];
         let mut reach = vec![false; dag.num_tasks()];
@@ -63,7 +67,7 @@ proptest! {
                 }
             }
         }
-        prop_assert!(reach.iter().all(|&r| r), "unreachable tasks exist");
+        assert!(reach.iter().all(|&r| r), "unreachable tasks exist");
         let exit = dag.exits()[0];
         let mut coreach = vec![false; dag.num_tasks()];
         coreach[exit.idx()] = true;
@@ -74,14 +78,19 @@ proptest! {
                 }
             }
         }
-        prop_assert!(coreach.iter().all(|&r| r), "tasks that cannot reach exit");
+        assert!(coreach.iter().all(|&r| r), "tasks that cannot reach exit");
     }
+}
 
-    #[test]
-    fn jump_bounds_edge_spans(p in params(), seed in 0u64..500) {
+#[test]
+fn jump_bounds_edge_spans() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0xDA66_0004);
+    for _ in 0..96 {
+        let p = params(&mut rng);
+        let seed = rng.gen_range(0u64..500);
         let dag = generate(&p, seed);
         if p.num_tasks < 3 {
-            return Ok(());
+            continue;
         }
         let exit = dag.exits()[0];
         for t in dag.task_ids() {
@@ -90,7 +99,7 @@ proptest! {
                     continue; // sink-drain edges may span arbitrarily
                 }
                 let span = dag.depth(s).saturating_sub(dag.depth(t));
-                prop_assert!(
+                assert!(
                     span >= 1 && span <= p.jump,
                     "edge {t}->{s} spans {span} levels with jump={}",
                     p.jump
@@ -98,9 +107,14 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn deterministic_per_seed(p in params(), seed in 0u64..500) {
-        prop_assert_eq!(generate(&p, seed), generate(&p, seed));
+#[test]
+fn deterministic_per_seed() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0xDA66_0005);
+    for _ in 0..96 {
+        let p = params(&mut rng);
+        let seed = rng.gen_range(0u64..500);
+        assert_eq!(generate(&p, seed), generate(&p, seed));
     }
 }

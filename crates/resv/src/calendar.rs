@@ -15,27 +15,54 @@
 //! Representation: a sorted vector of breakpoints `(time, used)`; `used`
 //! holds from that breakpoint until the next one. Usage before the first
 //! breakpoint is 0, and the structural invariant that every reservation is
-//! finite guarantees the last breakpoint's `used` is 0 as well. Queries are
-//! linear scans over breakpoints (with a binary-search entry point), which is
-//! exactly the cost model the paper assumes when it charges `O(R)` per
-//! placement attempt.
+//! finite guarantees the last breakpoint's `used` is 0 as well.
+//!
+//! Queries run against a lazily built min/max segment tree over the
+//! breakpoints (see [`crate::index`]) in `O(log B)` per blocker search,
+//! instead of the `O(R)` linear scan the paper's cost model charges per
+//! placement attempt. The original linear scans are kept, publicly
+//! reachable through [`Calendar::linear`], as the reference implementation
+//! that differential property tests and benchmarks compare against.
 
+use crate::index::UsageIndex;
 use crate::reservation::{Reservation, ReservationError};
 use crate::time::{Dur, Time};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// One breakpoint of the usage step function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-struct Step {
+pub(crate) struct Step {
     /// Instant at which `used` takes effect.
-    time: Time,
+    pub(crate) time: Time,
     /// Processors in use over `[time, next.time)`.
-    used: u32,
+    pub(crate) used: u32,
+}
+
+/// Work performed by calendar slot queries, for scheduler statistics.
+///
+/// `steps` counts breakpoints visited by the linear backend and tree nodes
+/// visited by the indexed backend, so the two are directly comparable:
+/// both measure "memory touches proportional to search effort".
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryCost {
+    /// Number of slot queries issued.
+    pub queries: u64,
+    /// Breakpoints (linear backend) or tree nodes (indexed backend) visited.
+    pub steps: u64,
+}
+
+impl QueryCost {
+    /// Fold another cost tally into this one.
+    pub fn absorb(&mut self, other: QueryCost) {
+        self.queries += other.queries;
+        self.steps += other.steps;
+    }
 }
 
 /// A homogeneous platform of `capacity` processors plus the step function of
 /// processors already promised to reservations.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Calendar {
     capacity: u32,
     steps: Vec<Step>,
@@ -43,6 +70,22 @@ pub struct Calendar {
     reserved_proc_seconds: i64,
     /// Number of accepted reservations (the paper's `R`).
     num_reservations: usize,
+    /// Lazily built segment-tree index over `steps`; invalidated on
+    /// structural mutation, incrementally updated on pure usage bumps.
+    /// Never serialized and never part of equality: it is derived state.
+    #[serde(skip)]
+    index: OnceLock<UsageIndex>,
+}
+
+impl PartialEq for Calendar {
+    fn eq(&self, other: &Self) -> bool {
+        // The index cache is derived state: two calendars are equal iff
+        // their logical content is, regardless of which has been queried.
+        self.capacity == other.capacity
+            && self.steps == other.steps
+            && self.reserved_proc_seconds == other.reserved_proc_seconds
+            && self.num_reservations == other.num_reservations
+    }
 }
 
 impl Calendar {
@@ -57,7 +100,20 @@ impl Calendar {
             steps: Vec::new(),
             reserved_proc_seconds: 0,
             num_reservations: 0,
+            index: OnceLock::new(),
         }
+    }
+
+    /// The linear-scan reference backend: identical results to the indexed
+    /// queries, `O(B)` per query. Kept for differential tests and the
+    /// indexed-vs-linear benchmarks.
+    pub fn linear(&self) -> LinearRef<'_> {
+        LinearRef { cal: self }
+    }
+
+    /// The (lazily built) segment-tree index over the current breakpoints.
+    fn index(&self) -> &UsageIndex {
+        self.index.get_or_init(|| UsageIndex::build(&self.steps))
     }
 
     /// Build a calendar from a list of reservations.
@@ -111,18 +167,16 @@ impl Calendar {
     /// Peak usage over `[from, to)`.
     pub fn peak_used(&self, from: Time, to: Time) -> u32 {
         assert!(from < to, "empty window");
-        let mut peak = self.used_at(from);
+        // Usage at `from` comes from the segment covering it; breakpoints
+        // strictly inside the window come from the tree.
+        let base = self.used_at(from);
         let start_idx = match self.steps.binary_search_by_key(&from, |s| s.time) {
             Ok(i) => i + 1,
             Err(i) => i,
         };
-        for s in &self.steps[start_idx..] {
-            if s.time >= to {
-                break;
-            }
-            peak = peak.max(s.used);
-        }
-        peak
+        let end_idx = self.steps.partition_point(|s| s.time < to);
+        let mut visited = 0u64;
+        base.max(self.index().max_in(start_idx, end_idx, &mut visited))
     }
 
     /// Minimum free processors over `[from, to)`.
@@ -138,7 +192,9 @@ impl Calendar {
                 capacity: self.capacity,
             });
         }
-        if let Some(idx) = self.first_blocker(r.start, r.end, self.capacity - r.procs) {
+        let mut visited = 0u64;
+        if let Some(idx) = self.first_blocker(r.start, r.end, self.capacity - r.procs, &mut visited)
+        {
             let at = self.steps[idx].time.max(r.start);
             return Err(ReservationError::Conflict {
                 at,
@@ -158,8 +214,8 @@ impl Calendar {
         debug_assert!(r.procs <= self.capacity);
         // Ensure breakpoints exist at r.start and r.end, then bump `used`
         // on every step in [start_idx, end_idx).
-        let start_idx = self.ensure_breakpoint(r.start);
-        let end_idx = self.ensure_breakpoint(r.end);
+        let (start_idx, inserted_start) = self.ensure_breakpoint(r.start);
+        let (end_idx, inserted_end) = self.ensure_breakpoint(r.end);
         for s in &mut self.steps[start_idx..end_idx] {
             s.used += r.procs;
             debug_assert!(
@@ -170,7 +226,17 @@ impl Calendar {
                 s.time
             );
         }
-        self.coalesce_around(start_idx, end_idx);
+        let removed = self.coalesce_around(start_idx, end_idx);
+        if inserted_start || inserted_end || removed > 0 {
+            // The breakpoint vector changed shape; the Vec::insert/remove
+            // above already cost O(B), so a lazy rebuild on the next query
+            // keeps the same asymptotics.
+            self.index.take();
+        } else if let Some(ix) = self.index.get_mut() {
+            // Pure usage bump over existing breakpoints: patch the tree
+            // in place instead of rebuilding.
+            ix.range_add(start_idx, end_idx, &self.steps);
+        }
         self.reserved_proc_seconds += r.proc_seconds();
         self.num_reservations += 1;
     }
@@ -184,28 +250,46 @@ impl Calendar {
     /// # Panics
     /// Panics if `procs == 0`, `procs > capacity`, or `dur <= 0`.
     pub fn earliest_fit(&self, procs: u32, dur: Dur, not_before: Time) -> Time {
+        let mut cost = QueryCost::default();
+        self.earliest_fit_with_cost(procs, dur, not_before, &mut cost)
+    }
+
+    /// [`Calendar::earliest_fit`], tallying the work performed into `cost`:
+    /// one query plus the segment-tree nodes visited.
+    pub fn earliest_fit_with_cost(
+        &self,
+        procs: u32,
+        dur: Dur,
+        not_before: Time,
+        cost: &mut QueryCost,
+    ) -> Time {
         assert!(procs > 0 && procs <= self.capacity, "bad procs {procs}");
         assert!(dur.is_positive(), "bad duration {dur}");
+        cost.queries += 1;
         let max_used = self.capacity - procs;
         let mut s = not_before;
         loop {
-            match self.first_blocker(s, s + dur, max_used) {
+            match self.first_blocker(s, s + dur, max_used, &mut cost.steps) {
                 None => return s,
                 Some(block_idx) => {
                     // Window is blocked by segment `block_idx`; restart at the
                     // first later breakpoint where usage drops low enough.
-                    let mut i = block_idx + 1;
-                    while i < self.steps.len() && self.steps[i].used > max_used {
-                        i += 1;
-                    }
-                    s = if i < self.steps.len() {
-                        self.steps[i].time
-                    } else {
-                        // Past the final breakpoint usage is 0 (< max_used
-                        // can't fail because the last step always has used==0,
-                        // so we never get here; keep it total anyway).
-                        self.steps.last().expect("blocked implies steps").time
-                    };
+                    // The final breakpoint always has used == 0 <= max_used,
+                    // so a restart point must exist; its absence means the
+                    // calendar invariants are broken and any answer we could
+                    // return would silently overbook the platform.
+                    let i = self
+                        .index()
+                        .first_at_most(block_idx + 1, max_used, &mut cost.steps)
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "calendar invariant violated: usage never drops to \
+                                 {max_used} after the blocker at {}; the final \
+                                 breakpoint must have used == 0",
+                                self.steps[block_idx].time
+                            )
+                        });
+                    s = self.steps[i].time;
                 }
             }
         }
@@ -218,8 +302,23 @@ impl Calendar {
     /// # Panics
     /// Panics if `procs == 0`, `procs > capacity`, or `dur <= 0`.
     pub fn latest_fit(&self, procs: u32, dur: Dur, end_by: Time, not_before: Time) -> Option<Time> {
+        let mut cost = QueryCost::default();
+        self.latest_fit_with_cost(procs, dur, end_by, not_before, &mut cost)
+    }
+
+    /// [`Calendar::latest_fit`], tallying the work performed into `cost`:
+    /// one query plus the segment-tree nodes visited.
+    pub fn latest_fit_with_cost(
+        &self,
+        procs: u32,
+        dur: Dur,
+        end_by: Time,
+        not_before: Time,
+        cost: &mut QueryCost,
+    ) -> Option<Time> {
         assert!(procs > 0 && procs <= self.capacity, "bad procs {procs}");
         assert!(dur.is_positive(), "bad duration {dur}");
+        cost.queries += 1;
         let max_used = self.capacity - procs;
         let mut e = end_by;
         loop {
@@ -227,20 +326,42 @@ impl Calendar {
             if s < not_before {
                 return None;
             }
-            match self.last_blocker(s, e, max_used) {
+            match self.last_blocker(s, e, max_used, &mut cost.steps) {
                 None => return Some(s),
                 Some(block_idx) => {
                     // Window must end no later than the blocking segment's
-                    // start.
-                    e = self.steps[block_idx].time;
+                    // start. A blocker intersecting [s, e) starts strictly
+                    // before e, so `e` strictly decreases every round and the
+                    // loop terminates; enforce that rather than spin forever
+                    // on a corrupted calendar.
+                    let blocker_start = self.steps[block_idx].time;
+                    assert!(
+                        blocker_start < e,
+                        "latest_fit stalled: blocker at {blocker_start} does not \
+                         precede the window end {e}"
+                    );
+                    e = blocker_start;
                 }
             }
         }
     }
 
     /// Time-average number of *free* processors over `[from, to)` — the
-    /// paper's historical average availability `q` (rounded to nearest, at
-    /// least 1).
+    /// paper's historical average availability `q` used to pick target
+    /// widths in the `*_CPAR` algorithm variants (§4.2).
+    ///
+    /// # Rounding policy
+    ///
+    /// The real-valued average `capacity - used_integral / span` is rounded
+    /// to the **nearest** integer, with exact halves rounding **away from
+    /// zero** (`f64::round`: 2.5 → 3, 3.5 → 4), and the result is then
+    /// clamped to `[1, capacity]`. Consequences worth knowing:
+    ///
+    /// * `q` is never 0 — a task always has at least one processor to
+    ///   target, even over a fully booked window.
+    /// * At half-integer averages the estimate is optimistic by half a
+    ///   processor, which matters when comparing against an exact
+    ///   per-second recomputation of the paper's `q`.
     pub fn average_available(&self, from: Time, to: Time) -> u32 {
         assert!(from < to, "empty window");
         let span = (to - from).as_seconds();
@@ -255,36 +376,21 @@ impl Calendar {
         if from == to || self.steps.is_empty() {
             return 0;
         }
-        let mut total = 0i64;
-        // Segment covering `from`.
-        let mut idx = match self.steps.binary_search_by_key(&from, |s| s.time) {
-            Ok(i) => i,
-            Err(i) => i.saturating_sub(1),
-        };
-        // If `from` precedes the first breakpoint, usage is 0 until steps[0].
-        if self.steps[idx].time > from {
-            // idx == 0 here
-            if self.steps[0].time >= to {
-                return 0;
+        let ix = self.index();
+        self.prefix_area(ix, to) - self.prefix_area(ix, from)
+    }
+
+    /// Integral of processors-in-use over `(-inf, t)` via the index's
+    /// prefix-area table plus the partial segment covering `t`.
+    fn prefix_area(&self, ix: &UsageIndex, t: Time) -> i64 {
+        match self.steps.binary_search_by_key(&t, |s| s.time) {
+            Ok(i) => ix.area_before(i),
+            Err(0) => 0,
+            Err(i) => {
+                let s = &self.steps[i - 1];
+                ix.area_before(i - 1) + s.used as i64 * (t - s.time).as_seconds()
             }
         }
-        let mut cursor = from;
-        if self.steps[idx].time <= from {
-            let seg_end = self.next_time_after_idx(idx).min(to);
-            total += self.steps[idx].used as i64 * (seg_end - cursor).as_seconds();
-            cursor = seg_end;
-            idx += 1;
-        }
-        while idx < self.steps.len() && self.steps[idx].time < to {
-            let seg_start = self.steps[idx].time.max(cursor);
-            let seg_end = self.next_time_after_idx(idx).min(to);
-            if seg_end > seg_start {
-                total += self.steps[idx].used as i64 * (seg_end - seg_start).as_seconds();
-                cursor = seg_end;
-            }
-            idx += 1;
-        }
-        total
     }
 
     /// Average *utilization* (fraction of capacity in use) over `[from, to)`.
@@ -298,7 +404,9 @@ impl Calendar {
     /// The implicit zero-usage segments before the first and after the last
     /// breakpoint are not yielded.
     pub fn segments(&self) -> impl Iterator<Item = (Time, Time, u32)> + '_ {
-        self.steps.windows(2).map(|w| (w[0].time, w[1].time, w[0].used))
+        self.steps
+            .windows(2)
+            .map(|w| (w[0].time, w[1].time, w[0].used))
     }
 
     /// The time of the last breakpoint (when the calendar drains), if any.
@@ -351,78 +459,79 @@ impl Calendar {
 
     // ----- internals ---------------------------------------------------
 
-    /// Index of the first segment intersecting `[from, to)` whose usage
-    /// exceeds `max_used`, or `None` if the window fits.
-    fn first_blocker(&self, from: Time, to: Time, max_used: u32) -> Option<usize> {
-        if self.steps.is_empty() {
-            return None;
-        }
-        let mut idx = match self.steps.binary_search_by_key(&from, |s| s.time) {
+    /// Breakpoint index range `[lo, hi)` of the segments intersecting the
+    /// time window `[from, to)`.
+    fn segment_range(&self, from: Time, to: Time) -> (usize, usize) {
+        let mut lo = match self.steps.binary_search_by_key(&from, |s| s.time) {
             Ok(i) => i,
             Err(i) => i.saturating_sub(1),
         };
         // Skip the segment entirely before `from` if it doesn't cover it.
-        if self.steps[idx].time < from && self.next_time_after_idx(idx) <= from {
-            idx += 1;
+        if !self.steps.is_empty()
+            && self.steps[lo].time < from
+            && self.next_time_after_idx(lo) <= from
+        {
+            lo += 1;
         }
-        while idx < self.steps.len() && self.steps[idx].time < to {
-            let seg_end = self.next_time_after_idx(idx);
-            if seg_end > from && self.steps[idx].used > max_used {
-                return Some(idx);
-            }
-            idx += 1;
-        }
-        None
+        let hi = self.steps.partition_point(|s| s.time < to);
+        (lo, hi)
     }
 
-    /// Index of the *last* segment intersecting `[from, to)` whose usage
-    /// exceeds `max_used`, or `None` if the window fits.
-    fn last_blocker(&self, from: Time, to: Time, max_used: u32) -> Option<usize> {
+    /// Index of the first segment intersecting `[from, to)` whose usage
+    /// exceeds `max_used`, or `None` if the window fits. `O(log B)` via the
+    /// segment tree; `visited` counts tree nodes touched.
+    fn first_blocker(
+        &self,
+        from: Time,
+        to: Time,
+        max_used: u32,
+        visited: &mut u64,
+    ) -> Option<usize> {
         if self.steps.is_empty() {
             return None;
         }
-        // Find the last segment that starts before `to`.
-        let mut idx = match self.steps.binary_search_by_key(&to, |s| s.time) {
-            Ok(i) | Err(i) => i,
-        };
-        // steps[idx-1] is the last segment with time < to.
-        while idx > 0 {
-            let i = idx - 1;
-            let seg_start = self.steps[i].time;
-            let seg_end = self.next_time_after_idx(i);
-            if seg_end <= from {
-                break;
-            }
-            if seg_start < to && seg_end > from && self.steps[i].used > max_used {
-                return Some(i);
-            }
-            idx -= 1;
+        let (lo, hi) = self.segment_range(from, to);
+        self.index().first_above(lo, hi, max_used, visited)
+    }
+
+    /// Index of the *last* segment intersecting `[from, to)` whose usage
+    /// exceeds `max_used`, or `None` if the window fits. `O(log B)` via the
+    /// segment tree; `visited` counts tree nodes touched.
+    fn last_blocker(
+        &self,
+        from: Time,
+        to: Time,
+        max_used: u32,
+        visited: &mut u64,
+    ) -> Option<usize> {
+        if self.steps.is_empty() {
+            return None;
         }
-        None
+        let (lo, hi) = self.segment_range(from, to);
+        self.index().last_above(lo, hi, max_used, visited)
     }
 
     fn next_time_after_idx(&self, idx: usize) -> Time {
-        self.steps
-            .get(idx + 1)
-            .map(|s| s.time)
-            .unwrap_or(Time::MAX)
+        self.steps.get(idx + 1).map(|s| s.time).unwrap_or(Time::MAX)
     }
 
-    /// Ensure a breakpoint exists exactly at `t`; return its index.
-    fn ensure_breakpoint(&mut self, t: Time) -> usize {
+    /// Ensure a breakpoint exists exactly at `t`; return its index and
+    /// whether a new breakpoint was inserted (a structural change that
+    /// invalidates the segment-tree index).
+    fn ensure_breakpoint(&mut self, t: Time) -> (usize, bool) {
         match self.steps.binary_search_by_key(&t, |s| s.time) {
-            Ok(i) => i,
+            Ok(i) => (i, false),
             Err(i) => {
                 let used = if i == 0 { 0 } else { self.steps[i - 1].used };
                 self.steps.insert(i, Step { time: t, used });
-                i
+                (i, true)
             }
         }
     }
 
     /// Remove redundant breakpoints (equal `used` to their predecessor)
-    /// around a mutated range.
-    fn coalesce_around(&mut self, start_idx: usize, end_idx: usize) {
+    /// around a mutated range; returns how many were removed.
+    fn coalesce_around(&mut self, start_idx: usize, end_idx: usize) -> usize {
         // Only breakpoints at the boundary of the mutated range can have
         // become redundant, but a full-range retain is simpler and the
         // mutated range is usually tiny. Check just the two boundaries.
@@ -437,10 +546,12 @@ impl Calendar {
         }
         // Remove in descending index order (end_idx first, already ordered
         // descending because end_idx > start_idx).
+        let removed = remove.len();
         for i in remove {
             self.steps.remove(i);
         }
         debug_assert!(self.check_invariants());
+        removed
     }
 
     #[allow(dead_code)]
@@ -464,6 +575,226 @@ impl Calendar {
             }
         }
         true
+    }
+}
+
+/// Read-only view of a [`Calendar`] answering the slot queries with the
+/// original `O(B)`-per-query linear scans.
+///
+/// Results are identical to the indexed queries on [`Calendar`]; only the
+/// work performed differs. Differential property tests and the
+/// indexed-vs-linear benchmarks use this as the reference implementation.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearRef<'a> {
+    cal: &'a Calendar,
+}
+
+impl LinearRef<'_> {
+    /// Linear-scan [`Calendar::earliest_fit`].
+    pub fn earliest_fit(&self, procs: u32, dur: Dur, not_before: Time) -> Time {
+        let mut cost = QueryCost::default();
+        self.earliest_fit_with_cost(procs, dur, not_before, &mut cost)
+    }
+
+    /// Linear-scan [`Calendar::earliest_fit_with_cost`]; `cost.steps`
+    /// counts breakpoints visited.
+    pub fn earliest_fit_with_cost(
+        &self,
+        procs: u32,
+        dur: Dur,
+        not_before: Time,
+        cost: &mut QueryCost,
+    ) -> Time {
+        let cal = self.cal;
+        assert!(procs > 0 && procs <= cal.capacity, "bad procs {procs}");
+        assert!(dur.is_positive(), "bad duration {dur}");
+        cost.queries += 1;
+        let max_used = cal.capacity - procs;
+        let mut s = not_before;
+        loop {
+            match self.first_blocker(s, s + dur, max_used, &mut cost.steps) {
+                None => return s,
+                Some(block_idx) => {
+                    // Restart at the first later breakpoint where usage
+                    // drops low enough; same hardened invariant check as
+                    // the indexed backend.
+                    let mut i = block_idx + 1;
+                    while i < cal.steps.len() && cal.steps[i].used > max_used {
+                        cost.steps += 1;
+                        i += 1;
+                    }
+                    assert!(
+                        i < cal.steps.len(),
+                        "calendar invariant violated: usage never drops to \
+                         {max_used} after the blocker at {}; the final \
+                         breakpoint must have used == 0",
+                        cal.steps[block_idx].time
+                    );
+                    s = cal.steps[i].time;
+                }
+            }
+        }
+    }
+
+    /// Linear-scan [`Calendar::latest_fit`].
+    pub fn latest_fit(&self, procs: u32, dur: Dur, end_by: Time, not_before: Time) -> Option<Time> {
+        let mut cost = QueryCost::default();
+        self.latest_fit_with_cost(procs, dur, end_by, not_before, &mut cost)
+    }
+
+    /// Linear-scan [`Calendar::latest_fit_with_cost`]; `cost.steps` counts
+    /// breakpoints visited.
+    pub fn latest_fit_with_cost(
+        &self,
+        procs: u32,
+        dur: Dur,
+        end_by: Time,
+        not_before: Time,
+        cost: &mut QueryCost,
+    ) -> Option<Time> {
+        let cal = self.cal;
+        assert!(procs > 0 && procs <= cal.capacity, "bad procs {procs}");
+        assert!(dur.is_positive(), "bad duration {dur}");
+        cost.queries += 1;
+        let max_used = cal.capacity - procs;
+        let mut e = end_by;
+        loop {
+            let s = e - dur;
+            if s < not_before {
+                return None;
+            }
+            match self.last_blocker(s, e, max_used, &mut cost.steps) {
+                None => return Some(s),
+                Some(block_idx) => {
+                    let blocker_start = cal.steps[block_idx].time;
+                    assert!(
+                        blocker_start < e,
+                        "latest_fit stalled: blocker at {blocker_start} does not \
+                         precede the window end {e}"
+                    );
+                    e = blocker_start;
+                }
+            }
+        }
+    }
+
+    /// Linear-scan [`Calendar::peak_used`].
+    pub fn peak_used(&self, from: Time, to: Time) -> u32 {
+        let cal = self.cal;
+        assert!(from < to, "empty window");
+        let mut peak = cal.used_at(from);
+        let start_idx = match cal.steps.binary_search_by_key(&from, |s| s.time) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        for s in &cal.steps[start_idx..] {
+            if s.time >= to {
+                break;
+            }
+            peak = peak.max(s.used);
+        }
+        peak
+    }
+
+    /// Linear-scan [`Calendar::used_integral`].
+    pub fn used_integral(&self, from: Time, to: Time) -> i64 {
+        let cal = self.cal;
+        assert!(from <= to);
+        if from == to || cal.steps.is_empty() {
+            return 0;
+        }
+        let mut total = 0i64;
+        // Segment covering `from`.
+        let mut idx = match cal.steps.binary_search_by_key(&from, |s| s.time) {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        };
+        // If `from` precedes the first breakpoint, usage is 0 until steps[0].
+        if cal.steps[idx].time > from {
+            // idx == 0 here
+            if cal.steps[0].time >= to {
+                return 0;
+            }
+        }
+        let mut cursor = from;
+        if cal.steps[idx].time <= from {
+            let seg_end = cal.next_time_after_idx(idx).min(to);
+            total += cal.steps[idx].used as i64 * (seg_end - cursor).as_seconds();
+            cursor = seg_end;
+            idx += 1;
+        }
+        while idx < cal.steps.len() && cal.steps[idx].time < to {
+            let seg_start = cal.steps[idx].time.max(cursor);
+            let seg_end = cal.next_time_after_idx(idx).min(to);
+            if seg_end > seg_start {
+                total += cal.steps[idx].used as i64 * (seg_end - seg_start).as_seconds();
+                cursor = seg_end;
+            }
+            idx += 1;
+        }
+        total
+    }
+
+    fn first_blocker(
+        &self,
+        from: Time,
+        to: Time,
+        max_used: u32,
+        visited: &mut u64,
+    ) -> Option<usize> {
+        let cal = self.cal;
+        if cal.steps.is_empty() {
+            return None;
+        }
+        let mut idx = match cal.steps.binary_search_by_key(&from, |s| s.time) {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        };
+        // Skip the segment entirely before `from` if it doesn't cover it.
+        if cal.steps[idx].time < from && cal.next_time_after_idx(idx) <= from {
+            idx += 1;
+        }
+        while idx < cal.steps.len() && cal.steps[idx].time < to {
+            *visited += 1;
+            let seg_end = cal.next_time_after_idx(idx);
+            if seg_end > from && cal.steps[idx].used > max_used {
+                return Some(idx);
+            }
+            idx += 1;
+        }
+        None
+    }
+
+    fn last_blocker(
+        &self,
+        from: Time,
+        to: Time,
+        max_used: u32,
+        visited: &mut u64,
+    ) -> Option<usize> {
+        let cal = self.cal;
+        if cal.steps.is_empty() {
+            return None;
+        }
+        // Find the last segment that starts before `to`.
+        let mut idx = match cal.steps.binary_search_by_key(&to, |s| s.time) {
+            Ok(i) | Err(i) => i,
+        };
+        // steps[idx-1] is the last segment with time < to.
+        while idx > 0 {
+            *visited += 1;
+            let i = idx - 1;
+            let seg_start = cal.steps[i].time;
+            let seg_end = cal.next_time_after_idx(i);
+            if seg_end <= from {
+                break;
+            }
+            if seg_start < to && seg_end > from && cal.steps[i].used > max_used {
+                return Some(i);
+            }
+            idx -= 1;
+        }
+        None
     }
 }
 
@@ -583,7 +914,7 @@ mod tests {
         assert!((cal.average_utilization(t(0), t(100)) - 0.5).abs() < 1e-12);
         // Window fully inside the busy region.
         assert_eq!(cal.average_available(t(0), t(50)), 1); // clamped to >= 1
-        // Window fully outside.
+                                                           // Window fully outside.
         assert_eq!(cal.average_available(t(50), t(100)), 10);
     }
 
@@ -630,8 +961,7 @@ mod tests {
 
     #[test]
     fn with_reservations_builder() {
-        let cal =
-            Calendar::with_reservations(4, vec![r(0, 10, 2), r(5, 15, 2)]).expect("fits");
+        let cal = Calendar::with_reservations(4, vec![r(0, 10, 2), r(5, 15, 2)]).expect("fits");
         assert_eq!(cal.used_at(t(7)), 4);
         assert!(Calendar::with_reservations(4, vec![r(0, 10, 3), r(5, 15, 2)]).is_err());
     }
@@ -652,7 +982,10 @@ mod tests {
             vec![(t(0), t(30)), (t(40), t(50))]
         );
         // Fully free calendar: one window.
-        assert_eq!(Calendar::new(4).free_windows(4, t(5), t(9)), vec![(t(5), t(9))]);
+        assert_eq!(
+            Calendar::new(4).free_windows(4, t(5), t(9)),
+            vec![(t(5), t(9))]
+        );
     }
 
     #[test]
@@ -683,5 +1016,152 @@ mod tests {
         assert_eq!(cal.min_available(t(0), t(20)), 3);
         assert_eq!(cal.peak_used(t(10), t(20)), 4);
         assert_eq!(cal.peak_used(t(15), t(20)), 0);
+    }
+
+    #[test]
+    fn earliest_fit_when_last_segment_blocks_through_horizon() {
+        // The final busy segment runs right up to the horizon; the only
+        // fit starts exactly there. Exercises the restart-past-the-last-
+        // blocker path in both backends.
+        let mut cal = Calendar::new(4);
+        cal.try_add(r(0, 50, 4)).unwrap();
+        assert_eq!(cal.earliest_fit(4, d(10), t(0)), t(50));
+        assert_eq!(cal.earliest_fit(1, d(1), t(49)), t(50));
+        assert_eq!(cal.linear().earliest_fit(4, d(10), t(0)), t(50));
+        assert_eq!(cal.linear().earliest_fit(1, d(1), t(49)), t(50));
+    }
+
+    #[test]
+    fn earliest_fit_window_abutting_busy_region() {
+        let mut cal = Calendar::new(4);
+        cal.try_add(r(10, 20, 4)).unwrap();
+        // A window ending exactly where the busy region starts fits.
+        assert_eq!(cal.earliest_fit(4, d(10), t(0)), t(0));
+        // Starting exactly where the busy region ends also fits.
+        assert_eq!(cal.earliest_fit(4, d(10), t(20)), t(20));
+        // not_before exactly on the blocked breakpoint skips past it.
+        assert_eq!(cal.earliest_fit(4, d(10), t(10)), t(20));
+        assert_eq!(cal.linear().earliest_fit(4, d(10), t(10)), t(20));
+    }
+
+    #[test]
+    fn latest_fit_exact_size_hole() {
+        let mut cal = Calendar::new(2);
+        cal.try_add(r(0, 10, 2)).unwrap();
+        cal.try_add(r(20, 30, 2)).unwrap();
+        // The hole [10, 20) exactly fits a 10s window.
+        assert_eq!(cal.latest_fit(2, d(10), t(30), t(0)), Some(t(10)));
+        assert_eq!(cal.linear().latest_fit(2, d(10), t(30), t(0)), Some(t(10)));
+        // One second longer cannot fit anywhere ending by 30.
+        assert_eq!(cal.latest_fit(2, d(11), t(30), t(0)), None);
+        assert_eq!(cal.linear().latest_fit(2, d(11), t(30), t(0)), None);
+        // A window whose start abuts not_before exactly still counts.
+        assert_eq!(cal.latest_fit(2, d(10), t(30), t(10)), Some(t(10)));
+    }
+
+    #[test]
+    fn latest_fit_terminates_on_dense_calendar() {
+        // Alternating full/free pattern forces one restart per busy block.
+        let mut cal = Calendar::new(2);
+        for i in 0..50 {
+            cal.try_add(r(20 * i, 20 * i + 10, 2)).unwrap();
+        }
+        assert_eq!(cal.latest_fit(2, d(5), t(1000), t(0)), Some(t(995)));
+        assert_eq!(cal.latest_fit(2, d(10), t(1000), t(0)), Some(t(990)));
+        // end_by inside the last busy region walks back one hole.
+        assert_eq!(cal.latest_fit(2, d(10), t(985), t(0)), Some(t(970)));
+        assert_eq!(
+            cal.linear().latest_fit(2, d(10), t(985), t(0)),
+            Some(t(970))
+        );
+        // Impossible request walks all the way back and gives up.
+        assert_eq!(cal.latest_fit(2, d(15), t(990), t(0)), None);
+    }
+
+    #[test]
+    fn average_available_half_integer_rounding() {
+        // Average free = 7.5 -> rounds away from zero -> 8.
+        let mut cal = Calendar::new(10);
+        cal.try_add(r(0, 50, 5)).unwrap();
+        assert_eq!(cal.used_integral(t(0), t(100)), 250);
+        assert_eq!(cal.average_available(t(0), t(100)), 8);
+        // Average free = 2.5 -> 3.
+        let mut cal = Calendar::new(10);
+        cal.try_add(r(0, 50, 10)).unwrap();
+        cal.try_add(r(50, 100, 5)).unwrap();
+        assert_eq!(cal.used_integral(t(0), t(100)), 750);
+        assert_eq!(cal.average_available(t(0), t(100)), 3);
+        // Average free = 0.5 -> 1; coincides with the >= 1 clamp.
+        let mut cal = Calendar::new(1);
+        cal.try_add(r(0, 50, 1)).unwrap();
+        assert_eq!(cal.average_available(t(0), t(100)), 1);
+    }
+
+    #[test]
+    fn index_survives_incremental_updates() {
+        let mut cal = Calendar::new(8);
+        cal.try_add(r(0, 100, 2)).unwrap();
+        cal.try_add(r(50, 80, 2)).unwrap();
+        // Force the index to build, then add a reservation whose endpoints
+        // already exist as breakpoints (pure usage bump -> range_add path).
+        assert_eq!(cal.peak_used(t(0), t(100)), 4);
+        cal.try_add(r(50, 80, 3)).unwrap();
+        assert_eq!(cal.peak_used(t(0), t(100)), 7);
+        assert_eq!(cal.earliest_fit(8, d(5), t(0)), t(100));
+        assert_eq!(cal.earliest_fit(2, d(60), t(0)), t(80));
+        // And one that inserts breakpoints (structural -> rebuild path).
+        cal.try_add(r(10, 20, 1)).unwrap();
+        assert_eq!(cal.peak_used(t(10), t(20)), 3);
+        assert_eq!(
+            cal.used_integral(t(0), t(100)),
+            cal.linear().used_integral(t(0), t(100))
+        );
+    }
+
+    #[test]
+    fn query_costs_are_tallied_for_both_backends() {
+        let mut cal = Calendar::new(4);
+        for i in 0..20 {
+            cal.try_add(r(10 * i, 10 * i + 5, 4)).unwrap();
+        }
+        let mut indexed = QueryCost::default();
+        let mut linear = QueryCost::default();
+        let a = cal.earliest_fit_with_cost(4, d(10), t(0), &mut indexed);
+        let b = cal
+            .linear()
+            .earliest_fit_with_cost(4, d(10), t(0), &mut linear);
+        assert_eq!(a, b);
+        assert_eq!(indexed.queries, 1);
+        assert_eq!(linear.queries, 1);
+        assert!(indexed.steps > 0);
+        assert!(linear.steps > 0);
+
+        let mut cost = QueryCost::default();
+        let lf = cal.latest_fit_with_cost(4, d(5), t(500), t(0), &mut cost);
+        assert!(lf.is_some());
+        assert_eq!(cost.queries, 1);
+        assert!(cost.steps > 0);
+
+        let mut total = QueryCost::default();
+        total.absorb(indexed);
+        total.absorb(cost);
+        assert_eq!(total.queries, 2);
+        assert_eq!(total.steps, indexed.steps + cost.steps);
+    }
+
+    #[test]
+    fn serde_round_trip_ignores_index_cache() {
+        let mut cal = Calendar::new(8);
+        cal.try_add(r(10, 20, 4)).unwrap();
+        cal.try_add(r(15, 30, 3)).unwrap();
+        // Query to force the cache on one side only.
+        let _ = cal.peak_used(t(0), t(40));
+        let json = serde_json::to_string(&cal).unwrap();
+        let back: Calendar = serde_json::from_str(&json).unwrap();
+        assert_eq!(cal, back);
+        assert_eq!(
+            back.earliest_fit(8, d(5), t(0)),
+            cal.earliest_fit(8, d(5), t(0))
+        );
     }
 }

@@ -1,0 +1,392 @@
+//! Segment-tree index over the calendar's breakpoint vector.
+//!
+//! Stores, for every node covering a range of breakpoints, the min and max
+//! of `used` over that range, plus a prefix-area array for O(log B)
+//! usage integrals. This turns the calendar's slot queries from linear
+//! scans into logarithmic tree walks:
+//!
+//! * `first_above` / `last_above` — the first/last breakpoint in a range
+//!   whose usage exceeds a threshold (blocker search for `earliest_fit` /
+//!   `latest_fit`),
+//! * `first_at_most` — the first breakpoint at or after an index whose
+//!   usage drops to a threshold (the restart point after a blocker),
+//! * `max_in` — peak usage over a range,
+//! * `prefix_area` — processor-seconds accumulated up to a breakpoint.
+//!
+//! The index is rebuilt from scratch when the breakpoint vector changes
+//! structurally (a `Vec::insert`/`remove` already costs O(B) there, so the
+//! rebuild does not change `add_unchecked`'s asymptotics) and updated
+//! incrementally — leaves plus their ancestor paths — when a reservation
+//! only bumps `used` over an existing run of breakpoints.
+//!
+//! Every query threads a `visited` counter (tree nodes touched) so callers
+//! can surface real query work through scheduling statistics.
+
+use crate::calendar::Step;
+
+/// Min/max segment tree plus prefix areas over a breakpoint snapshot.
+#[derive(Debug, Clone)]
+pub(crate) struct UsageIndex {
+    /// Number of breakpoints covered.
+    n: usize,
+    /// Max of `used` per node; 1-based heap layout, `4n` slots.
+    tmax: Vec<u32>,
+    /// Min of `used` per node; same layout as `tmax`.
+    tmin: Vec<u32>,
+    /// `area[i]` = processor-seconds accumulated over `(-inf, steps[i].time)`.
+    area: Vec<i64>,
+}
+
+impl UsageIndex {
+    /// Build the index for the given breakpoint vector.
+    pub(crate) fn build(steps: &[Step]) -> UsageIndex {
+        let n = steps.len();
+        let slots = if n == 0 { 0 } else { 4 * n };
+        let mut ix = UsageIndex {
+            n,
+            tmax: vec![0; slots],
+            tmin: vec![0; slots],
+            area: Vec::with_capacity(n),
+        };
+        if n > 0 {
+            ix.build_node(steps, 1, 0, n);
+        }
+        ix.rebuild_area(steps);
+        ix
+    }
+
+    fn build_node(&mut self, steps: &[Step], node: usize, l: usize, r: usize) {
+        if r - l == 1 {
+            self.tmax[node] = steps[l].used;
+            self.tmin[node] = steps[l].used;
+            return;
+        }
+        let mid = l + (r - l) / 2;
+        self.build_node(steps, 2 * node, l, mid);
+        self.build_node(steps, 2 * node + 1, mid, r);
+        self.pull(node);
+    }
+
+    fn pull(&mut self, node: usize) {
+        self.tmax[node] = self.tmax[2 * node].max(self.tmax[2 * node + 1]);
+        self.tmin[node] = self.tmin[2 * node].min(self.tmin[2 * node + 1]);
+    }
+
+    fn rebuild_area(&mut self, steps: &[Step]) {
+        self.area.clear();
+        let mut acc = 0i64;
+        for (i, s) in steps.iter().enumerate() {
+            self.area.push(acc);
+            if let Some(next) = steps.get(i + 1) {
+                acc += s.used as i64 * (next.time - s.time).as_seconds();
+            }
+        }
+    }
+
+    /// Add `delta` to `used` over the breakpoint range `[l, r)` after the
+    /// same range was bumped in the step vector. `steps` must already hold
+    /// the updated values (they are the source of truth for the leaves and
+    /// the area rebuild).
+    pub(crate) fn range_add(&mut self, l: usize, r: usize, steps: &[Step]) {
+        debug_assert_eq!(
+            self.n,
+            steps.len(),
+            "structural change requires a full rebuild"
+        );
+        if l < r && self.n > 0 {
+            self.update_range(steps, 1, 0, self.n, l, r);
+        }
+        self.rebuild_area(steps);
+    }
+
+    fn update_range(
+        &mut self,
+        steps: &[Step],
+        node: usize,
+        nl: usize,
+        nr: usize,
+        l: usize,
+        r: usize,
+    ) {
+        if r <= nl || nr <= l {
+            return;
+        }
+        if nr - nl == 1 {
+            self.tmax[node] = steps[nl].used;
+            self.tmin[node] = steps[nl].used;
+            return;
+        }
+        let mid = nl + (nr - nl) / 2;
+        self.update_range(steps, 2 * node, nl, mid, l, r);
+        self.update_range(steps, 2 * node + 1, mid, nr, l, r);
+        self.pull(node);
+    }
+
+    /// Max of `used` over breakpoint indices `[l, r)`; 0 for an empty range.
+    pub(crate) fn max_in(&self, l: usize, r: usize, visited: &mut u64) -> u32 {
+        if l >= r || self.n == 0 {
+            return 0;
+        }
+        self.max_node(1, 0, self.n, l, r.min(self.n), visited)
+    }
+
+    fn max_node(
+        &self,
+        node: usize,
+        nl: usize,
+        nr: usize,
+        l: usize,
+        r: usize,
+        visited: &mut u64,
+    ) -> u32 {
+        *visited += 1;
+        if r <= nl || nr <= l {
+            return 0;
+        }
+        if l <= nl && nr <= r {
+            return self.tmax[node];
+        }
+        let mid = nl + (nr - nl) / 2;
+        self.max_node(2 * node, nl, mid, l, r, visited)
+            .max(self.max_node(2 * node + 1, mid, nr, l, r, visited))
+    }
+
+    /// First index in `[l, r)` with `used > threshold`.
+    pub(crate) fn first_above(
+        &self,
+        l: usize,
+        r: usize,
+        threshold: u32,
+        visited: &mut u64,
+    ) -> Option<usize> {
+        if l >= r || self.n == 0 {
+            return None;
+        }
+        self.first_above_node(1, 0, self.n, l, r.min(self.n), threshold, visited)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn first_above_node(
+        &self,
+        node: usize,
+        nl: usize,
+        nr: usize,
+        l: usize,
+        r: usize,
+        threshold: u32,
+        visited: &mut u64,
+    ) -> Option<usize> {
+        *visited += 1;
+        if r <= nl || nr <= l || self.tmax[node] <= threshold {
+            return None;
+        }
+        if nr - nl == 1 {
+            return Some(nl);
+        }
+        let mid = nl + (nr - nl) / 2;
+        self.first_above_node(2 * node, nl, mid, l, r, threshold, visited)
+            .or_else(|| self.first_above_node(2 * node + 1, mid, nr, l, r, threshold, visited))
+    }
+
+    /// Last index in `[l, r)` with `used > threshold`.
+    pub(crate) fn last_above(
+        &self,
+        l: usize,
+        r: usize,
+        threshold: u32,
+        visited: &mut u64,
+    ) -> Option<usize> {
+        if l >= r || self.n == 0 {
+            return None;
+        }
+        self.last_above_node(1, 0, self.n, l, r.min(self.n), threshold, visited)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn last_above_node(
+        &self,
+        node: usize,
+        nl: usize,
+        nr: usize,
+        l: usize,
+        r: usize,
+        threshold: u32,
+        visited: &mut u64,
+    ) -> Option<usize> {
+        *visited += 1;
+        if r <= nl || nr <= l || self.tmax[node] <= threshold {
+            return None;
+        }
+        if nr - nl == 1 {
+            return Some(nl);
+        }
+        let mid = nl + (nr - nl) / 2;
+        self.last_above_node(2 * node + 1, mid, nr, l, r, threshold, visited)
+            .or_else(|| self.last_above_node(2 * node, nl, mid, l, r, threshold, visited))
+    }
+
+    /// First index at or after `from` with `used <= threshold` — the
+    /// "descend to the first segment where usage drops low enough" query
+    /// that restarts `earliest_fit` after a blocker.
+    pub(crate) fn first_at_most(
+        &self,
+        from: usize,
+        threshold: u32,
+        visited: &mut u64,
+    ) -> Option<usize> {
+        if from >= self.n {
+            return None;
+        }
+        self.first_at_most_node(1, 0, self.n, from, threshold, visited)
+    }
+
+    fn first_at_most_node(
+        &self,
+        node: usize,
+        nl: usize,
+        nr: usize,
+        from: usize,
+        threshold: u32,
+        visited: &mut u64,
+    ) -> Option<usize> {
+        *visited += 1;
+        if nr <= from || self.tmin[node] > threshold {
+            return None;
+        }
+        if nr - nl == 1 {
+            return Some(nl);
+        }
+        let mid = nl + (nr - nl) / 2;
+        self.first_at_most_node(2 * node, nl, mid, from, threshold, visited)
+            .or_else(|| self.first_at_most_node(2 * node + 1, mid, nr, from, threshold, visited))
+    }
+
+    /// Processor-seconds accumulated over `(-inf, steps[i].time)`.
+    pub(crate) fn area_before(&self, i: usize) -> i64 {
+        self.area[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Time;
+
+    fn steps(spec: &[(i64, u32)]) -> Vec<Step> {
+        spec.iter()
+            .map(|&(t, used)| Step {
+                time: Time::seconds(t),
+                used,
+            })
+            .collect()
+    }
+
+    /// Linear reference for every tree query.
+    fn check_against_linear(sv: &[Step]) {
+        let ix = UsageIndex::build(sv);
+        let n = sv.len();
+        let mut v = 0u64;
+        for l in 0..=n {
+            for r in l..=n {
+                let want_max = sv[l..r].iter().map(|s| s.used).max().unwrap_or(0);
+                assert_eq!(ix.max_in(l, r, &mut v), want_max, "max_in({l},{r})");
+                for thr in 0..=6u32 {
+                    let want_first = (l..r).find(|&i| sv[i].used > thr);
+                    assert_eq!(
+                        ix.first_above(l, r, thr, &mut v),
+                        want_first,
+                        "first_above({l},{r},{thr})"
+                    );
+                    let want_last = (l..r).rev().find(|&i| sv[i].used > thr);
+                    assert_eq!(
+                        ix.last_above(l, r, thr, &mut v),
+                        want_last,
+                        "last_above({l},{r},{thr})"
+                    );
+                }
+            }
+            for thr in 0..=6u32 {
+                let want = (l..n).find(|&i| sv[i].used <= thr);
+                assert_eq!(
+                    ix.first_at_most(l, thr, &mut v),
+                    want,
+                    "first_at_most({l},{thr})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_index() {
+        let ix = UsageIndex::build(&[]);
+        let mut v = 0;
+        assert_eq!(ix.max_in(0, 0, &mut v), 0);
+        assert_eq!(ix.first_above(0, 0, 0, &mut v), None);
+        assert_eq!(ix.first_at_most(0, 0, &mut v), None);
+    }
+
+    #[test]
+    fn queries_match_linear_reference() {
+        check_against_linear(&steps(&[(0, 3)]));
+        check_against_linear(&steps(&[(0, 2), (10, 0)]));
+        check_against_linear(&steps(&[(0, 1), (5, 4), (9, 2), (12, 6), (20, 0)]));
+        check_against_linear(&steps(&[
+            (0, 5),
+            (3, 1),
+            (7, 2),
+            (11, 6),
+            (13, 6),
+            (17, 3),
+            (23, 4),
+            (29, 0),
+        ]));
+    }
+
+    #[test]
+    fn range_add_matches_fresh_build() {
+        let mut sv = steps(&[(0, 1), (5, 4), (9, 2), (12, 6), (20, 0)]);
+        let mut ix = UsageIndex::build(&sv);
+        // Bump used over breakpoints [1, 4) as add_unchecked does.
+        for s in &mut sv[1..4] {
+            s.used += 2;
+        }
+        ix.range_add(1, 4, &sv);
+        let fresh = UsageIndex::build(&sv);
+        let mut v = 0;
+        for l in 0..=sv.len() {
+            for r in l..=sv.len() {
+                assert_eq!(ix.max_in(l, r, &mut v), fresh.max_in(l, r, &mut v));
+            }
+            assert_eq!(
+                ix.area_before(l.min(sv.len() - 1)),
+                fresh.area_before(l.min(sv.len() - 1))
+            );
+        }
+    }
+
+    #[test]
+    fn area_accumulates_processor_seconds() {
+        let sv = steps(&[(0, 2), (10, 5), (14, 0)]);
+        let ix = UsageIndex::build(&sv);
+        assert_eq!(ix.area_before(0), 0);
+        assert_eq!(ix.area_before(1), 20); // 2 procs * 10 s
+        assert_eq!(ix.area_before(2), 20 + 5 * 4);
+    }
+
+    #[test]
+    fn visit_counts_are_logarithmic() {
+        let sv: Vec<Step> = (0..1024)
+            .map(|i| Step {
+                time: Time::seconds(i * 10),
+                used: (i % 7) as u32 + 1,
+            })
+            .collect();
+        let ix = UsageIndex::build(&sv);
+        let mut v = 0u64;
+        ix.max_in(100, 900, &mut v);
+        assert!(v <= 64, "max_in visited {v} nodes for n=1024");
+        let mut v = 0u64;
+        ix.first_above(0, 1024, 3, &mut v);
+        assert!(v <= 64, "first_above visited {v} nodes for n=1024");
+    }
+}

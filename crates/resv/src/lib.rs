@@ -31,9 +31,10 @@
 #![forbid(unsafe_code)]
 
 mod calendar;
+mod index;
 mod reservation;
 pub mod time;
 
-pub use calendar::Calendar;
+pub use calendar::{Calendar, LinearRef, QueryCost};
 pub use reservation::{Reservation, ReservationError};
 pub use time::{Dur, Time, DAY, HOUR, MINUTE, SECOND};

@@ -1,8 +1,13 @@
 //! Property tests for the reservation calendar against a brute-force
-//! per-second reference model.
+//! per-second reference model, plus differential tests pitting the indexed
+//! backend against the linear-scan reference backend.
+//!
+//! Randomness is driven by seeded `ChaCha12Rng` loops so every run explores
+//! the same cases; bump the iteration counts locally when hunting bugs.
 
-use proptest::prelude::*;
-use resched_resv::{Calendar, Dur, Reservation, Time};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use resched_resv::{Calendar, Dur, QueryCost, Reservation, Time};
 
 const HORIZON: i64 = 400;
 
@@ -81,11 +86,16 @@ impl Brute {
 }
 
 /// A random batch of candidate reservations within the horizon.
-fn resv_batch(capacity: u32) -> impl Strategy<Value = Vec<(i64, i64, u32)>> {
-    prop::collection::vec(
-        (0..HORIZON - 1, 1..80i64, 1..=capacity).prop_map(|(s, d, p)| (s, (s + d).min(HORIZON), p)),
-        0..25,
-    )
+fn resv_batch<R: Rng>(rng: &mut R, capacity: u32) -> Vec<(i64, i64, u32)> {
+    let n = rng.gen_range(0..25usize);
+    (0..n)
+        .map(|_| {
+            let s = rng.gen_range(0..HORIZON - 1);
+            let d = rng.gen_range(1..80i64);
+            let p = rng.gen_range(1..=capacity);
+            (s, (s + d).min(HORIZON), p)
+        })
+        .collect()
 }
 
 /// Build the calendar and brute model together, skipping conflicting adds.
@@ -107,46 +117,50 @@ fn build_pair(capacity: u32, batch: &[(i64, i64, u32)]) -> (Calendar, Brute) {
     (cal, brute)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn usage_matches_brute_force(batch in resv_batch(8)) {
+#[test]
+fn usage_matches_brute_force() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0xCA1_0001);
+    for _ in 0..128 {
+        let batch = resv_batch(&mut rng, 8);
         let (cal, brute) = build_pair(8, &batch);
         for s in 0..HORIZON {
-            prop_assert_eq!(
+            assert_eq!(
                 cal.used_at(Time::seconds(s)),
                 brute.used[s as usize],
-                "usage differs at second {}", s
+                "usage differs at second {s}"
             );
         }
         // Outside the horizon usage is zero.
-        prop_assert_eq!(cal.used_at(Time::seconds(HORIZON + 5)), 0);
-        prop_assert_eq!(cal.used_at(Time::seconds(-5)), 0);
+        assert_eq!(cal.used_at(Time::seconds(HORIZON + 5)), 0);
+        assert_eq!(cal.used_at(Time::seconds(-5)), 0);
     }
+}
 
-    #[test]
-    fn earliest_fit_matches_brute_force(
-        batch in resv_batch(8),
-        procs in 1u32..=8,
-        dur in 1i64..60,
-        not_before in 0i64..HORIZON,
-    ) {
+#[test]
+fn earliest_fit_matches_brute_force() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0xCA1_0002);
+    for _ in 0..128 {
+        let batch = resv_batch(&mut rng, 8);
         let (cal, brute) = build_pair(8, &batch);
+        let procs = rng.gen_range(1u32..=8);
+        let dur = rng.gen_range(1i64..60);
+        let not_before = rng.gen_range(0i64..HORIZON);
         let got = cal.earliest_fit(procs, Dur::seconds(dur), Time::seconds(not_before));
         let want = brute.earliest_fit(procs, dur, not_before);
-        prop_assert_eq!(got, Time::seconds(want));
+        assert_eq!(got, Time::seconds(want));
     }
+}
 
-    #[test]
-    fn latest_fit_matches_brute_force(
-        batch in resv_batch(8),
-        procs in 1u32..=8,
-        dur in 1i64..60,
-        end_by in 1i64..HORIZON + 50,
-        not_before in 0i64..50,
-    ) {
+#[test]
+fn latest_fit_matches_brute_force() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0xCA1_0003);
+    for _ in 0..128 {
+        let batch = resv_batch(&mut rng, 8);
         let (cal, brute) = build_pair(8, &batch);
+        let procs = rng.gen_range(1u32..=8);
+        let dur = rng.gen_range(1i64..60);
+        let end_by = rng.gen_range(1i64..HORIZON + 50);
+        let not_before = rng.gen_range(0i64..50);
         let got = cal.latest_fit(
             procs,
             Dur::seconds(dur),
@@ -154,69 +168,75 @@ proptest! {
             Time::seconds(not_before),
         );
         let want = brute.latest_fit(procs, dur, end_by, not_before);
-        prop_assert_eq!(got, want.map(Time::seconds));
+        assert_eq!(got, want.map(Time::seconds));
     }
+}
 
-    #[test]
-    fn used_integral_matches_brute_force(
-        batch in resv_batch(8),
-        a in -10i64..HORIZON,
-        span in 0i64..HORIZON,
-    ) {
+#[test]
+fn used_integral_matches_brute_force() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0xCA1_0004);
+    for _ in 0..128 {
+        let batch = resv_batch(&mut rng, 8);
         let (cal, brute) = build_pair(8, &batch);
+        let a = rng.gen_range(-10i64..HORIZON);
+        let span = rng.gen_range(0i64..HORIZON);
         let b = a + span;
-        prop_assert_eq!(
+        assert_eq!(
             cal.used_integral(Time::seconds(a), Time::seconds(b)),
             brute.used_integral(a, b)
         );
     }
+}
 
-    #[test]
-    fn earliest_fit_is_actually_feasible_and_tight(
-        batch in resv_batch(16),
-        procs in 1u32..=16,
-        dur in 1i64..60,
-        not_before in 0i64..HORIZON,
-    ) {
+#[test]
+fn earliest_fit_is_actually_feasible_and_tight() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0xCA1_0005);
+    for _ in 0..128 {
+        let batch = resv_batch(&mut rng, 16);
         let (cal, brute) = build_pair(16, &batch);
+        let procs = rng.gen_range(1u32..=16);
+        let dur = rng.gen_range(1i64..60);
+        let not_before = rng.gen_range(0i64..HORIZON);
         let s = cal.earliest_fit(procs, Dur::seconds(dur), Time::seconds(not_before));
         // Feasible.
-        prop_assert!(brute.fits(s.as_seconds(), dur, procs));
+        assert!(brute.fits(s.as_seconds(), dur, procs));
         // Not before the bound.
-        prop_assert!(s >= Time::seconds(not_before));
+        assert!(s >= Time::seconds(not_before));
         // Tight: one second earlier must be infeasible (unless at the bound).
         if s > Time::seconds(not_before) {
-            prop_assert!(!brute.fits(s.as_seconds() - 1, dur, procs));
+            assert!(!brute.fits(s.as_seconds() - 1, dur, procs));
         }
     }
+}
 
-    #[test]
-    fn latest_fit_is_feasible_and_tight(
-        batch in resv_batch(16),
-        procs in 1u32..=16,
-        dur in 1i64..60,
-        end_by in 1i64..HORIZON,
-    ) {
+#[test]
+fn latest_fit_is_feasible_and_tight() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0xCA1_0006);
+    for _ in 0..128 {
+        let batch = resv_batch(&mut rng, 16);
         let (cal, brute) = build_pair(16, &batch);
+        let procs = rng.gen_range(1u32..=16);
+        let dur = rng.gen_range(1i64..60);
+        let end_by = rng.gen_range(1i64..HORIZON);
         if let Some(s) = cal.latest_fit(procs, Dur::seconds(dur), Time::seconds(end_by), Time::MIN)
         {
-            prop_assert!(brute.fits(s.as_seconds(), dur, procs));
-            prop_assert!(s + Dur::seconds(dur) <= Time::seconds(end_by));
+            assert!(brute.fits(s.as_seconds(), dur, procs));
+            assert!(s + Dur::seconds(dur) <= Time::seconds(end_by));
             // Tight: one second later must violate feasibility or the bound.
             let later = s.as_seconds() + 1;
-            prop_assert!(
-                later + dur > end_by || !brute.fits(later, dur, procs)
-            );
+            assert!(later + dur > end_by || !brute.fits(later, dur, procs));
         }
     }
+}
 
-    #[test]
-    fn reserving_the_earliest_fit_always_succeeds(
-        batch in resv_batch(8),
-        procs in 1u32..=8,
-        dur in 1i64..60,
-    ) {
+#[test]
+fn reserving_the_earliest_fit_always_succeeds() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0xCA1_0007);
+    for _ in 0..128 {
+        let batch = resv_batch(&mut rng, 8);
         let (mut cal, _) = build_pair(8, &batch);
+        let procs = rng.gen_range(1u32..=8);
+        let dur = rng.gen_range(1i64..60);
         // Repeatedly placing at the earliest fit must never conflict.
         let mut cursor = Time::ZERO;
         for _ in 0..5 {
@@ -226,11 +246,114 @@ proptest! {
             cursor = s;
         }
     }
+}
 
-    #[test]
-    fn average_available_bounds(batch in resv_batch(8)) {
+#[test]
+fn average_available_bounds() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0xCA1_0008);
+    for _ in 0..128 {
+        let batch = resv_batch(&mut rng, 8);
         let (cal, _) = build_pair(8, &batch);
         let q = cal.average_available(Time::ZERO, Time::seconds(HORIZON));
-        prop_assert!((1..=8).contains(&q));
+        assert!((1..=8).contains(&q));
+    }
+}
+
+/// Differential test: on >= 1000 random calendars, the indexed backend and
+/// the linear-scan reference backend must agree on every slot query —
+/// `earliest_fit`, `latest_fit`, `peak_used`, and `used_integral` — and the
+/// indexed backend must not do more work than the linear one on any
+/// non-trivial calendar.
+#[test]
+fn indexed_backend_matches_linear_reference() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0xD1FF_0001);
+    let mut total_indexed = QueryCost::default();
+    let mut total_linear = QueryCost::default();
+    for case in 0..1000 {
+        let capacity = rng.gen_range(1u32..=16);
+        let batch = resv_batch(&mut rng, capacity);
+        let (cal, _) = build_pair(capacity, &batch);
+        let lin = cal.linear();
+
+        for _ in 0..4 {
+            let procs = rng.gen_range(1u32..=capacity);
+            let dur = Dur::seconds(rng.gen_range(1i64..60));
+            let not_before = Time::seconds(rng.gen_range(-10i64..HORIZON));
+            let mut ci = QueryCost::default();
+            let mut cl = QueryCost::default();
+            assert_eq!(
+                cal.earliest_fit_with_cost(procs, dur, not_before, &mut ci),
+                lin.earliest_fit_with_cost(procs, dur, not_before, &mut cl),
+                "earliest_fit disagrees (case {case}, procs {procs}, dur {dur}, \
+                 not_before {not_before})"
+            );
+            total_indexed.absorb(ci);
+            total_linear.absorb(cl);
+
+            let end_by = Time::seconds(rng.gen_range(1i64..HORIZON + 50));
+            let nb = Time::seconds(rng.gen_range(0i64..50));
+            let mut ci = QueryCost::default();
+            let mut cl = QueryCost::default();
+            assert_eq!(
+                cal.latest_fit_with_cost(procs, dur, end_by, nb, &mut ci),
+                lin.latest_fit_with_cost(procs, dur, end_by, nb, &mut cl),
+                "latest_fit disagrees (case {case}, procs {procs}, dur {dur}, \
+                 end_by {end_by}, not_before {nb})"
+            );
+            total_indexed.absorb(ci);
+            total_linear.absorb(cl);
+
+            let a = rng.gen_range(-10i64..HORIZON);
+            let b = a + rng.gen_range(1i64..HORIZON);
+            assert_eq!(
+                cal.peak_used(Time::seconds(a), Time::seconds(b)),
+                lin.peak_used(Time::seconds(a), Time::seconds(b)),
+                "peak_used disagrees (case {case}, window [{a}, {b}))"
+            );
+            assert_eq!(
+                cal.used_integral(Time::seconds(a), Time::seconds(b)),
+                lin.used_integral(Time::seconds(a), Time::seconds(b)),
+                "used_integral disagrees (case {case}, window [{a}, {b}))"
+            );
+        }
+    }
+    assert_eq!(total_indexed.queries, total_linear.queries);
+    assert!(total_indexed.steps > 0 && total_linear.steps > 0);
+}
+
+/// The admission decision itself (`try_add`) goes through the indexed
+/// blocker search; cross-check a long add/query interleaving against a
+/// freshly built (never-incrementally-updated) clone.
+#[test]
+fn incremental_index_matches_fresh_rebuild() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0xD1FF_0002);
+    for _ in 0..200 {
+        let capacity = rng.gen_range(2u32..=16);
+        let mut cal = Calendar::new(capacity);
+        for _ in 0..30 {
+            let s = rng.gen_range(0..HORIZON - 1);
+            let d = rng.gen_range(1..80i64);
+            let p = rng.gen_range(1..=capacity);
+            let r = Reservation::new(Time::seconds(s), Time::seconds((s + d).min(HORIZON)), p);
+            let _ = cal.try_add(r);
+            // Interleave queries so the incremental range_add path runs
+            // against a live index, then compare with a clone whose index
+            // is rebuilt from scratch (clone copies the cache state, so
+            // round-trip through serde to drop it).
+            let procs = rng.gen_range(1..=capacity);
+            let dur = Dur::seconds(rng.gen_range(1i64..40));
+            let nb = Time::seconds(rng.gen_range(0i64..HORIZON));
+            let fresh: Calendar =
+                serde_json::from_str(&serde_json::to_string(&cal).unwrap()).unwrap();
+            assert_eq!(cal, fresh);
+            assert_eq!(
+                cal.earliest_fit(procs, dur, nb),
+                fresh.earliest_fit(procs, dur, nb)
+            );
+            assert_eq!(
+                cal.latest_fit(procs, dur, nb + dur + dur, Time::ZERO),
+                fresh.latest_fit(procs, dur, nb + dur + dur, Time::ZERO)
+            );
+        }
     }
 }

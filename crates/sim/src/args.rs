@@ -88,7 +88,8 @@ impl Args {
 
     /// A required string option.
     pub fn req(&self, name: &str) -> Result<&str, ArgError> {
-        self.opt(name).ok_or_else(|| ArgError::Required(name.into()))
+        self.opt(name)
+            .ok_or_else(|| ArgError::Required(name.into()))
     }
 
     /// A typed option with a default.
@@ -144,7 +145,10 @@ mod tests {
     #[test]
     fn required_and_bad_values() {
         let a = Args::parse(["x", "--n", "abc"]).unwrap();
-        assert!(matches!(a.get_req::<u32>("n"), Err(ArgError::BadValue { .. })));
+        assert!(matches!(
+            a.get_req::<u32>("n"),
+            Err(ArgError::BadValue { .. })
+        ));
         assert!(matches!(a.req("absent"), Err(ArgError::Required(_))));
     }
 

@@ -118,8 +118,7 @@ fn generate_log_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
 }
 
 fn read_json<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, Box<dyn Error>> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     Ok(serde_json::from_str(&text)?)
 }
 
@@ -226,15 +225,9 @@ fn deadline_cmd(args: &Args, tightest: bool) -> Result<(), Box<dyn Error>> {
     let algo = parse_algo(args.opt("algo").unwrap_or("DL_RCBD_CPAR-L"))?;
     let cfg = DeadlineConfig::default();
     if tightest {
-        let Some((k, out)) = tightest_deadline(
-            &dag,
-            &cal,
-            Time::ZERO,
-            rs.q,
-            algo,
-            cfg,
-            Dur::seconds(60),
-        ) else {
+        let Some((k, out)) =
+            tightest_deadline(&dag, &cal, Time::ZERO, rs.q, algo, cfg, Dur::seconds(60))
+        else {
             return Err("no achievable deadline".into());
         };
         out.schedule.validate(&dag, &cal)?;

@@ -80,7 +80,9 @@ fn main() {
         let (rc_k, rc_c) = algo(r, "DL_RC_CPAR");
         c.check(
             all_k > 20.0 && all_c > 300.0,
-            &format!("Table6[{label}]: DL_BD_ALL far worst on both metrics ({all_k:.0}%, {all_c:.0}%)"),
+            &format!(
+                "Table6[{label}]: DL_BD_ALL far worst on both metrics ({all_k:.0}%, {all_c:.0}%)"
+            ),
         );
         c.check(
             rc_c < cpa_c / 5.0 + 1.0,
@@ -89,7 +91,9 @@ fn main() {
         if label == "phi=0.1" {
             c.check(
                 rc_k < 5.0,
-                &format!("Table6[{label}]: DL_RC_CPAR (near-)best tightness at low load ({rc_k:.2}%)"),
+                &format!(
+                    "Table6[{label}]: DL_RC_CPAR (near-)best tightness at low load ({rc_k:.2}%)"
+                ),
             );
         }
         if label == "phi=0.5" {

@@ -6,9 +6,7 @@ use crate::metrics::{AlgoSummary, DegradationTracker};
 use crate::scenario::{instances_for, Instance, LogCache, ResvSpec, Scale};
 use crate::table::{fnum, Table};
 use rayon::prelude::*;
-use resched_core::backward::{
-    schedule_deadline, tightest_deadline, DeadlineAlgo, DeadlineConfig,
-};
+use resched_core::backward::{schedule_deadline, tightest_deadline, DeadlineAlgo, DeadlineConfig};
 use resched_core::prelude::{Dur, Time};
 use resched_daggen::Sweep;
 use resched_workloads::prelude::LogSpec;
@@ -59,13 +57,11 @@ fn eval_instance(inst: &Instance, algos: &[DeadlineAlgo]) -> Option<(Vec<f64>, V
     }
     // Loose deadline: LOOSE_FACTOR x the latest tightest deadline.
     let latest = tightest_t.iter().copied().max()?;
-    let loose = Time::seconds(
-        ((latest - Time::ZERO).as_seconds() as f64 * LOOSE_FACTOR) as i64,
-    );
+    let loose = Time::seconds(((latest - Time::ZERO).as_seconds() as f64 * LOOSE_FACTOR) as i64);
     let mut cpu = Vec::with_capacity(algos.len());
     for &algo in algos {
-        let out = schedule_deadline(&inst.dag, &cal, Time::ZERO, inst.resv.q, loose, algo, cfg)
-            .ok()?;
+        let out =
+            schedule_deadline(&inst.dag, &cal, Time::ZERO, inst.resv.q, loose, algo, cfg).ok()?;
         debug_assert!(out.schedule.validate(&inst.dag, &cal).is_ok());
         cpu.push(out.schedule.cpu_hours());
     }

@@ -74,7 +74,7 @@ pub fn time_algorithms(params: &DagParams, label: &str, scale: Scale, seed: u64)
     let mut cache = LogCache::new();
     let log = cache.get(&spec.log, seed).clone();
     let sweep = Sweep {
-        varied: "timing",
+        varied: "timing".into(),
         value: 0.0,
         params: *params,
     };
@@ -86,13 +86,8 @@ pub fn time_algorithms(params: &DagParams, label: &str, scale: Scale, seed: u64)
         let cal = inst.resv.calendar();
         let q = inst.resv.q;
         // Reference deadline for the DL_* rows.
-        let reference = schedule_forward(
-            &inst.dag,
-            &cal,
-            Time::ZERO,
-            q,
-            ForwardConfig::recommended(),
-        );
+        let reference =
+            schedule_forward(&inst.dag, &cal, Time::ZERO, q, ForwardConfig::recommended());
         let deadline = Time::ZERO + reference.turnaround() * 2;
         for (i, algo) in algos.iter().enumerate() {
             let t0 = Instant::now();

@@ -29,7 +29,13 @@ pub fn run_log_stats(seed: u64) -> Vec<LogStats> {
 pub fn table2(stats: &[LogStats]) -> Table {
     let mut t = Table::new(
         "Table 2 - synthetic batch logs (paper targets in DESIGN.md)",
-        &["Name", "#CPUs", "Duration [days]", "Jobs", "Avg utilization [%]"],
+        &[
+            "Name",
+            "#CPUs",
+            "Duration [days]",
+            "Jobs",
+            "Avg utilization [%]",
+        ],
     );
     for s in stats.iter().filter(|s| s.name != "Grid5000") {
         t.row(vec![

@@ -3,9 +3,7 @@
 //! method comparison.
 
 use crate::metrics::{AlgoSummary, DegradationTracker};
-use crate::scenario::{
-    default_sweep, instances_for, Instance, LogCache, ResvSpec, Scale,
-};
+use crate::scenario::{default_sweep, instances_for, Instance, LogCache, ResvSpec, Scale};
 use crate::table::{fnum, Table};
 use rayon::prelude::*;
 use resched_core::bl::BlMethod;
@@ -35,10 +33,7 @@ pub fn table4_algorithms() -> Vec<ForwardConfig> {
         .collect()
 }
 
-fn run_instances(
-    instances: &[Instance],
-    cfgs: &[ForwardConfig],
-) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+fn run_instances(instances: &[Instance], cfgs: &[ForwardConfig]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
     let rows: Vec<(Vec<f64>, Vec<f64>)> = instances
         .par_iter()
         .map(|inst| {
@@ -294,10 +289,7 @@ mod tests {
         assert!(r.turnaround.iter().any(|s| s.wins > 0));
         assert!(r.cpu_hours.iter().any(|s| s.wins > 0));
         // Degradations are non-negative.
-        assert!(r
-            .turnaround
-            .iter()
-            .all(|s| s.avg_degradation_pct >= 0.0));
+        assert!(r.turnaround.iter().all(|s| s.avg_degradation_pct >= 0.0));
         let table = ressched_table("t", &r);
         assert!(table.render().contains("BD_CPAR"));
     }

@@ -25,6 +25,8 @@ pub struct ScalingPoint {
     pub n: usize,
     /// Average slot queries per schedule.
     pub slot_queries: f64,
+    /// Average slot-query work per schedule (segment-tree nodes visited).
+    pub slot_steps: f64,
     /// Average CPA mappings per schedule.
     pub cpa_mappings: f64,
 }
@@ -66,19 +68,28 @@ pub fn run_scaling(scale: Scale, seed: u64) -> Vec<ScalingResult> {
 
     for &n in &sizes {
         let sweep = Sweep {
-            varied: "scaling",
+            varied: "scaling".into(),
             value: n as f64,
             params: DagParams {
                 num_tasks: n,
                 ..DagParams::paper_default()
             },
         };
-        let instances = instances_for(&sweep, &spec, &log, scale, derive_seed(seed, "scal", n as u64));
+        let instances = instances_for(
+            &sweep,
+            &spec,
+            &log,
+            scale,
+            derive_seed(seed, "scal", n as u64),
+        );
         let mut fa_q = 0.0;
+        let mut fa_s = 0.0;
         let mut fa_m = 0.0;
         let mut fwd_q = 0.0;
+        let mut fwd_s = 0.0;
         let mut fwd_m = 0.0;
         let mut rc_q = 0.0;
+        let mut rc_s = 0.0;
         let mut rc_m = 0.0;
         let mut count = 0usize;
         for inst in &instances {
@@ -94,6 +105,7 @@ pub fn run_scaling(scale: Scale, seed: u64) -> Vec<ScalingResult> {
                 ),
             );
             fa_q += sa.stats.slot_queries as f64;
+            fa_s += sa.stats.slot_steps as f64;
             fa_m += sa.stats.cpa_mappings as f64;
             let s = schedule_forward(
                 &inst.dag,
@@ -103,6 +115,7 @@ pub fn run_scaling(scale: Scale, seed: u64) -> Vec<ScalingResult> {
                 ForwardConfig::recommended(),
             );
             fwd_q += s.stats.slot_queries as f64;
+            fwd_s += s.stats.slot_steps as f64;
             fwd_m += s.stats.cpa_mappings as f64;
             let deadline = Time::ZERO + s.turnaround() * 2;
             if let Ok(out) = schedule_deadline(
@@ -115,6 +128,7 @@ pub fn run_scaling(scale: Scale, seed: u64) -> Vec<ScalingResult> {
                 DeadlineConfig::default(),
             ) {
                 rc_q += out.schedule.stats.slot_queries as f64;
+                rc_s += out.schedule.stats.slot_steps as f64;
                 rc_m += out.schedule.stats.cpa_mappings as f64;
             }
             count += 1;
@@ -123,16 +137,19 @@ pub fn run_scaling(scale: Scale, seed: u64) -> Vec<ScalingResult> {
         fwd_all.points.push(ScalingPoint {
             n,
             slot_queries: fa_q / c,
+            slot_steps: fa_s / c,
             cpa_mappings: fa_m / c,
         });
         fwd.points.push(ScalingPoint {
             n,
             slot_queries: fwd_q / c,
+            slot_steps: fwd_s / c,
             cpa_mappings: fwd_m / c,
         });
         rc.points.push(ScalingPoint {
             n,
             slot_queries: rc_q / c,
+            slot_steps: rc_s / c,
             cpa_mappings: rc_m / c,
         });
     }
@@ -148,6 +165,7 @@ pub fn scaling_table(results: &[ScalingResult]) -> Table {
             "Complexity",
             "n",
             "slot queries/run",
+            "slot steps/run",
             "CPA mappings/run",
         ],
     );
@@ -158,6 +176,7 @@ pub fn scaling_table(results: &[ScalingResult]) -> Table {
                 r.complexity.clone(),
                 p.n.to_string(),
                 fnum(p.slot_queries, 1),
+                fnum(p.slot_steps, 1),
                 fnum(p.cpa_mappings, 1),
             ]);
         }
@@ -211,6 +230,17 @@ mod tests {
             first.slot_queries,
             last.slot_queries
         );
+        // The work tally must accompany every query on every algorithm.
+        for r in &results {
+            for p in &r.points {
+                assert!(
+                    p.slot_queries == 0.0 || p.slot_steps > 0.0,
+                    "{}: queries without recorded work at n={}",
+                    r.name,
+                    p.n
+                );
+            }
+        }
         // RC performs ~one mapping per task; the forward algorithms none.
         let fwd = &results[1];
         let rc = &results[2];

@@ -21,7 +21,7 @@
 pub mod args;
 pub mod exp;
 pub mod gantt;
-pub mod svg;
 pub mod metrics;
 pub mod scenario;
+pub mod svg;
 pub mod table;

@@ -51,7 +51,12 @@ impl ResvSpec {
 
     /// A short human-readable label.
     pub fn label(&self) -> String {
-        format!("{}/phi{:.1}/{}", self.log.name, self.phi, self.method.name())
+        format!(
+            "{}/phi{:.1}/{}",
+            self.log.name,
+            self.phi,
+            self.method.name()
+        )
     }
 }
 
@@ -220,7 +225,7 @@ pub fn sweeps_with_stride(default_stride: usize) -> Vec<Sweep> {
 /// per varied parameter at its default value.
 pub fn default_sweep() -> Sweep {
     Sweep {
-        varied: "default",
+        varied: "default".into(),
         value: 0.0,
         params: DagParams::paper_default(),
     }

@@ -258,7 +258,8 @@ mod tests {
             rs.reservations
                 .iter()
                 .filter(|r| {
-                    r.start >= Time::seconds(d * 86_400) && r.start < Time::seconds((d + 1) * 86_400)
+                    r.start >= Time::seconds(d * 86_400)
+                        && r.start < Time::seconds((d + 1) * 86_400)
                 })
                 .count()
         };
@@ -274,9 +275,10 @@ mod tests {
         // With phi = 1 every kept reservation maps to a job submitted by t.
         for r in &rs.reservations {
             let abs_start = Time::seconds(r.start.as_seconds() + t.as_seconds());
-            let found = log.jobs.iter().any(|j| {
-                j.start == abs_start && j.procs == r.procs && j.submit <= t
-            });
+            let found = log
+                .jobs
+                .iter()
+                .any(|j| j.start == abs_start && j.procs == r.procs && j.submit <= t);
             assert!(found, "reservation {r:?} has no submitted-by-t source job");
         }
     }

@@ -50,8 +50,18 @@ pub struct JobLog {
 impl JobLog {
     /// Span covered by the log: earliest submit to latest end.
     pub fn span(&self) -> (Time, Time) {
-        let lo = self.jobs.iter().map(|j| j.submit).min().unwrap_or(Time::ZERO);
-        let hi = self.jobs.iter().map(|j| j.end()).max().unwrap_or(Time::ZERO);
+        let lo = self
+            .jobs
+            .iter()
+            .map(|j| j.submit)
+            .min()
+            .unwrap_or(Time::ZERO);
+        let hi = self
+            .jobs
+            .iter()
+            .map(|j| j.end())
+            .max()
+            .unwrap_or(Time::ZERO);
         (lo, hi)
     }
 
@@ -107,11 +117,7 @@ impl JobLog {
         if self.jobs.is_empty() {
             return 0.0;
         }
-        self.jobs
-            .iter()
-            .map(|j| j.runtime.as_hours())
-            .sum::<f64>()
-            / self.jobs.len() as f64
+        self.jobs.iter().map(|j| j.runtime.as_hours()).sum::<f64>() / self.jobs.len() as f64
     }
 
     /// Average submit-to-start wait, in hours.

@@ -171,7 +171,10 @@ fn easy_backfill(requests: &[Request], machine: u32) -> Vec<Time> {
             }
         }
     }
-    starts.into_iter().map(|s| s.expect("all jobs started")).collect()
+    starts
+        .into_iter()
+        .map(|s| s.expect("all jobs started"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -388,7 +388,12 @@ mod tests {
         }
         // FCFS never waits less than conservative backfilling (same
         // arrival stream, strictly fewer scheduling opportunities).
-        assert!(waits[0] >= waits[1] - 1e-9, "fcfs {} vs cons {}", waits[0], waits[1]);
+        assert!(
+            waits[0] >= waits[1] - 1e-9,
+            "fcfs {} vs cons {}",
+            waits[0],
+            waits[1]
+        );
     }
 
     #[test]

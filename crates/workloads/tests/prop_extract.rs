@@ -1,67 +1,68 @@
 //! Property tests of reservation-schedule extraction: whatever the log,
 //! the φ, the method, and the instant, the result must be feasible and
-//! internally consistent.
+//! internally consistent. Driven by seeded `ChaCha12Rng` loops.
 
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
 use resched_resv::{Dur, Time};
 use resched_workloads::extract::{extract, ExtractSpec, ThinMethod};
 use resched_workloads::synth::{generate_log, LogSpec};
 
-fn spec_strategy() -> impl Strategy<Value = (LogSpec, f64, ThinMethod)> {
+fn pick_spec<R: Rng>(rng: &mut R) -> (LogSpec, f64, ThinMethod) {
+    let specs = [
+        LogSpec::ctc_sp2().with_duration(Dur::days(12)),
+        LogSpec::osc_cluster().with_duration(Dur::days(12)),
+        LogSpec::sdsc_ds().with_duration(Dur::days(12)),
+        LogSpec::grid5000().with_duration(Dur::days(12)),
+    ];
+    let methods = [ThinMethod::Linear, ThinMethod::Expo, ThinMethod::Real];
     (
-        prop::sample::select(vec![
-            LogSpec::ctc_sp2().with_duration(Dur::days(12)),
-            LogSpec::osc_cluster().with_duration(Dur::days(12)),
-            LogSpec::sdsc_ds().with_duration(Dur::days(12)),
-            LogSpec::grid5000().with_duration(Dur::days(12)),
-        ]),
-        0.0..=1.0f64,
-        prop::sample::select(vec![ThinMethod::Linear, ThinMethod::Expo, ThinMethod::Real]),
+        specs[rng.gen_range(0..specs.len())].clone(),
+        rng.gen_range(0.0..=1.0f64),
+        methods[rng.gen_range(0..methods.len())],
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn extraction_always_feasible(
-        (log_spec, phi, method) in spec_strategy(),
-        log_seed in 0u64..20,
-        ex_seed in 0u64..100,
-        at_days in 3i64..9,
-    ) {
+#[test]
+fn extraction_always_feasible() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0xE874_0001);
+    for _ in 0..40 {
+        let (log_spec, phi, method) = pick_spec(&mut rng);
+        let log_seed = rng.gen_range(0u64..20);
+        let ex_seed = rng.gen_range(0u64..100);
+        let at_days = rng.gen_range(3i64..9);
         let log = generate_log(&log_spec, log_seed);
         let t = Time::seconds(Dur::days(at_days).as_seconds());
         let rs = extract(&log, t, &ExtractSpec::new(phi, method), ex_seed);
         // Calendar construction performs full conflict checking.
         let cal = rs.calendar();
-        prop_assert_eq!(cal.capacity(), log.procs);
-        prop_assert!(rs.q >= 1 && rs.q <= log.procs);
+        assert_eq!(cal.capacity(), log.procs);
+        assert!(rs.q >= 1 && rs.q <= log.procs);
         // All reservations are ongoing or future relative to now = 0.
         for r in &rs.reservations {
-            prop_assert!(r.end > Time::ZERO);
-            prop_assert!(r.procs >= 1 && r.procs <= log.procs);
+            assert!(r.end > Time::ZERO);
+            assert!(r.procs >= 1 && r.procs <= log.procs);
         }
         // Sorted by (start, end, procs).
         for w in rs.reservations.windows(2) {
-            prop_assert!(
-                (w[0].start, w[0].end, w[0].procs) <= (w[1].start, w[1].end, w[1].procs)
-            );
+            assert!((w[0].start, w[0].end, w[0].procs) <= (w[1].start, w[1].end, w[1].procs));
         }
     }
+}
 
-    #[test]
-    fn linear_never_keeps_future_starts_past_horizon(
-        log_seed in 0u64..20,
-        ex_seed in 0u64..100,
-    ) {
+#[test]
+fn linear_never_keeps_future_starts_past_horizon() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0xE874_0002);
+    for _ in 0..40 {
+        let log_seed = rng.gen_range(0u64..20);
+        let ex_seed = rng.gen_range(0u64..100);
         let log = generate_log(&LogSpec::sdsc_ds().with_duration(Dur::days(12)), log_seed);
         let t = Time::seconds(Dur::days(6).as_seconds());
         let spec = ExtractSpec::new(0.7, ThinMethod::Linear);
         let rs = extract(&log, t, &spec, ex_seed);
         for r in &rs.reservations {
             if r.start > Time::ZERO {
-                prop_assert!(r.start < Time::ZERO + spec.horizon);
+                assert!(r.start < Time::ZERO + spec.horizon);
             }
         }
     }

@@ -16,7 +16,10 @@ fn main() {
     let dag = generate(&DagParams::paper_default(), 3);
     let starts = sample_start_times(&log, 3, derive_seed(DEFAULT_ROOT_SEED, "cap", 0));
 
-    println!("turn-around time [h] (mean over {} scheduling instants)\n", starts.len());
+    println!(
+        "turn-around time [h] (mean over {} scheduling instants)\n",
+        starts.len()
+    );
     print!("{:>6}", "phi");
     for bd in BdMethod::ALL {
         print!("{:>10}", bd.name());

@@ -74,7 +74,10 @@ fn main() {
     let q = 64;
 
     // Compare the paper's four bounding policies.
-    println!("\n{:<10} {:>14} {:>12}", "algorithm", "turn-around", "CPU-hours");
+    println!(
+        "\n{:<10} {:>14} {:>12}",
+        "algorithm", "turn-around", "CPU-hours"
+    );
     for bd in BdMethod::ALL {
         let cfg = ForwardConfig::new(BlMethod::CpaR, bd);
         let s = schedule_forward(&dag, &cal, Time::ZERO, q, cfg);

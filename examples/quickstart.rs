@@ -64,7 +64,12 @@ fn main() {
     println!("  CPU-hours: {:.2}\n", sched.cpu_hours());
     println!(
         "{}",
-        resched_sim::gantt::render(&sched, &dag, &cal, resched_sim::gantt::GanttOptions::default())
+        resched_sim::gantt::render(
+            &sched,
+            &dag,
+            &cal,
+            resched_sim::gantt::GanttOptions::default()
+        )
     );
 
     // ------------------------------------------------------------------
@@ -84,8 +89,7 @@ fn main() {
         Ok(out) => {
             println!(
                 "RESSCHEDDL schedule meeting deadline {} (lambda = {:?}):",
-                deadline,
-                out.lambda
+                deadline, out.lambda
             );
             println!(
                 "  completion {} with {:.2} CPU-hours (vs {:.2} for RESSCHED)",

@@ -106,11 +106,9 @@ fn rc_schedules_cost_at_most_aggressive_on_loose_deadlines() {
         let fwd = schedule_forward(&dag, &cal, Time::ZERO, q, ForwardConfig::recommended());
         let loose = Time::ZERO + fwd.turnaround() * 5;
         let agg =
-            schedule_deadline(&dag, &cal, Time::ZERO, q, loose, DeadlineAlgo::BdAll, cfg)
-                .unwrap();
+            schedule_deadline(&dag, &cal, Time::ZERO, q, loose, DeadlineAlgo::BdAll, cfg).unwrap();
         let rc =
-            schedule_deadline(&dag, &cal, Time::ZERO, q, loose, DeadlineAlgo::RcCpaR, cfg)
-                .unwrap();
+            schedule_deadline(&dag, &cal, Time::ZERO, q, loose, DeadlineAlgo::RcCpaR, cfg).unwrap();
         assert!(
             rc.schedule.cpu_hours() <= agg.schedule.cpu_hours() * 1.05,
             "seed {seed}: RC {} CPU-h vs aggressive {}",

@@ -1,142 +1,202 @@
 //! Property tests of the scheduling algorithms over random DAGs and random
-//! reservation calendars.
+//! reservation calendars, driven by seeded `ChaCha12Rng` loops.
 
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
 use resched_core::bl::BlMethod;
 use resched_core::forward::{schedule_forward, BdMethod, ForwardConfig, TieBreak};
 use resched_core::prelude::*;
 use resched_daggen::{generate, DagParams};
+use resched_resv::QueryCost;
 
-/// Strategy: arbitrary-but-valid DAG parameters.
-fn dag_params() -> impl Strategy<Value = DagParams> {
-    (
-        3usize..30,
-        0.0..0.5f64,
-        0.1..0.9f64,
-        0.1..0.9f64,
-        0.1..0.9f64,
-        1u32..4,
-    )
-        .prop_map(|(n, a, w, r, d, j)| DagParams {
-            num_tasks: n,
-            alpha_max: a,
-            width: w,
-            regularity: r,
-            density: d,
-            jump: j,
-        })
+/// Arbitrary-but-valid DAG parameters.
+fn dag_params<R: Rng>(rng: &mut R) -> DagParams {
+    DagParams {
+        num_tasks: rng.gen_range(3usize..30),
+        alpha_max: rng.gen_range(0.0..0.5f64),
+        width: rng.gen_range(0.1..0.9f64),
+        regularity: rng.gen_range(0.1..0.9f64),
+        density: rng.gen_range(0.1..0.9f64),
+        jump: rng.gen_range(1u32..4),
+    }
 }
 
-/// Strategy: a random feasible calendar on `p` processors.
-fn calendar(p: u32) -> impl Strategy<Value = Calendar> {
-    prop::collection::vec((0i64..50_000, 60i64..20_000, 1u32..=p), 0..12).prop_map(
-        move |resvs| {
-            let mut cal = Calendar::new(p);
-            for (s, d, m) in resvs {
-                // Skip conflicting candidates; the survivors are feasible.
-                let _ = cal.try_add(Reservation::new(
-                    Time::seconds(s),
-                    Time::seconds(s + d),
-                    m,
-                ));
-            }
-            cal
-        },
-    )
+/// A random feasible calendar on `p` processors.
+fn calendar<R: Rng>(rng: &mut R, p: u32) -> Calendar {
+    let mut cal = Calendar::new(p);
+    let n = rng.gen_range(0..12usize);
+    for _ in 0..n {
+        let s = rng.gen_range(0i64..50_000);
+        let d = rng.gen_range(60i64..20_000);
+        let m = rng.gen_range(1u32..=p);
+        // Skip conflicting candidates; the survivors are feasible.
+        let _ = cal.try_add(Reservation::new(Time::seconds(s), Time::seconds(s + d), m));
+    }
+    cal
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn random_forward_schedules_are_valid(
-        params in dag_params(),
-        cal in calendar(16),
-        seed in 0u64..1000,
-        q in 1u32..=16,
-        bl_i in 0usize..4,
-        bd_i in 0usize..4,
-    ) {
+#[test]
+fn random_forward_schedules_are_valid() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0x5CED_0001);
+    for _ in 0..48 {
+        let params = dag_params(&mut rng);
+        let cal = calendar(&mut rng, 16);
+        let seed = rng.gen_range(0u64..1000);
+        let q = rng.gen_range(1u32..=16);
+        let bl_i = rng.gen_range(0usize..4);
+        let bd_i = rng.gen_range(0usize..4);
         let dag = generate(&params, seed);
         let cfg = ForwardConfig::new(BlMethod::ALL[bl_i], BdMethod::ALL[bd_i]);
         let s = schedule_forward(&dag, &cal, Time::ZERO, q, cfg);
-        prop_assert!(s.validate(&dag, &cal).is_ok());
+        assert!(s.validate(&dag, &cal).is_ok());
     }
+}
 
-    #[test]
-    fn tie_break_choice_never_changes_validity(
-        params in dag_params(),
-        cal in calendar(8),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn tie_break_choice_never_changes_validity() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0x5CED_0002);
+    for _ in 0..48 {
+        let params = dag_params(&mut rng);
+        let cal = calendar(&mut rng, 8);
+        let seed = rng.gen_range(0u64..1000);
         let dag = generate(&params, seed);
         for tie in [TieBreak::FewestProcs, TieBreak::MostProcs] {
-            let cfg = ForwardConfig { tie, ..ForwardConfig::recommended() };
+            let cfg = ForwardConfig {
+                tie,
+                ..ForwardConfig::recommended()
+            };
             let s = schedule_forward(&dag, &cal, Time::ZERO, 8, cfg);
-            prop_assert!(s.validate(&dag, &cal).is_ok());
+            assert!(s.validate(&dag, &cal).is_ok());
         }
     }
+}
 
-    #[test]
-    fn random_deadline_schedules_are_valid_and_meet_k(
-        params in dag_params(),
-        cal in calendar(16),
-        seed in 0u64..1000,
-        algo_i in 0usize..7,
-    ) {
+#[test]
+fn random_deadline_schedules_are_valid_and_meet_k() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0x5CED_0003);
+    for _ in 0..48 {
+        let params = dag_params(&mut rng);
+        let cal = calendar(&mut rng, 16);
+        let seed = rng.gen_range(0u64..1000);
+        let algo_i = rng.gen_range(0usize..7);
         let dag = generate(&params, seed);
         let fwd = schedule_forward(&dag, &cal, Time::ZERO, 16, ForwardConfig::recommended());
         let k = Time::ZERO + fwd.turnaround() * 3;
         let algo = DeadlineAlgo::ALL[algo_i];
         if let Ok(out) = schedule_deadline(
-            &dag, &cal, Time::ZERO, 16, k, algo, DeadlineConfig::default(),
+            &dag,
+            &cal,
+            Time::ZERO,
+            16,
+            k,
+            algo,
+            DeadlineConfig::default(),
         ) {
-            prop_assert!(out.schedule.validate(&dag, &cal).is_ok());
-            prop_assert!(out.schedule.completion() <= k);
+            assert!(out.schedule.validate(&dag, &cal).is_ok());
+            assert!(out.schedule.completion() <= k);
         }
     }
+}
 
-    #[test]
-    fn forward_schedule_starts_and_bounds(
-        params in dag_params(),
-        cal in calendar(8),
-        seed in 0u64..1000,
-        now_s in 0i64..100_000,
-    ) {
+#[test]
+fn forward_schedule_starts_and_bounds() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0x5CED_0004);
+    for _ in 0..48 {
+        let params = dag_params(&mut rng);
+        let cal = calendar(&mut rng, 8);
+        let seed = rng.gen_range(0u64..1000);
+        let now_s = rng.gen_range(0i64..100_000);
         let dag = generate(&params, seed);
         let now = Time::seconds(now_s);
         let s = schedule_forward(&dag, &cal, now, 8, ForwardConfig::recommended());
-        prop_assert!(s.first_start() >= now);
-        prop_assert_eq!(s.now(), now);
+        assert!(s.first_start() >= now);
+        assert_eq!(s.now(), now);
         // CPU-hours >= total work at one processor is impossible; but it
         // must be at least total work at infinite processors.
-        prop_assert!(s.proc_seconds() > 0);
+        assert!(s.proc_seconds() > 0);
     }
+}
 
-    #[test]
-    fn cpa_allocations_bounded_and_exec_consistent(
-        params in dag_params(),
-        seed in 0u64..1000,
-        pool in 1u32..64,
-    ) {
+#[test]
+fn cpa_allocations_bounded_and_exec_consistent() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0x5CED_0005);
+    for _ in 0..48 {
+        let params = dag_params(&mut rng);
+        let seed = rng.gen_range(0u64..1000);
+        let pool = rng.gen_range(1u32..64);
         let dag = generate(&params, seed);
         for crit in [StoppingCriterion::Classic, StoppingCriterion::Stringent] {
             let a = resched_core::cpa::allocate(&dag, pool, crit);
             for t in dag.task_ids() {
-                prop_assert!(a.alloc(t) >= 1 && a.alloc(t) <= pool);
-                prop_assert_eq!(a.exec_time(t), dag.cost(t).exec_time(a.alloc(t)));
+                assert!(a.alloc(t) >= 1 && a.alloc(t) <= pool);
+                assert_eq!(a.exec_time(t), dag.cost(t).exec_time(a.alloc(t)));
             }
         }
     }
+}
 
-    #[test]
-    fn cpa_dedicated_schedule_valid(
-        params in dag_params(),
-        seed in 0u64..1000,
-        pool in 1u32..64,
-    ) {
+#[test]
+fn cpa_dedicated_schedule_valid() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0x5CED_0006);
+    for _ in 0..48 {
+        let params = dag_params(&mut rng);
+        let seed = rng.gen_range(0u64..1000);
+        let pool = rng.gen_range(1u32..64);
         let dag = generate(&params, seed);
         let s = resched_core::cpa::schedule(&dag, pool, StoppingCriterion::default(), Time::ZERO);
-        prop_assert!(s.validate(&dag, &Calendar::new(pool)).is_ok());
+        assert!(s.validate(&dag, &Calendar::new(pool)).is_ok());
+    }
+}
+
+/// Pipeline-level differential test: replay every placement a real
+/// scheduling run produced as slot queries against both calendar backends;
+/// the indexed segment tree and the linear reference scans must agree at
+/// exactly the query points the algorithms care about, and the schedule's
+/// stats must surface the query work.
+#[test]
+fn scheduling_queries_agree_across_backends() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0x5CED_0007);
+    for _ in 0..48 {
+        let params = dag_params(&mut rng);
+        let cal = calendar(&mut rng, 16);
+        let seed = rng.gen_range(0u64..1000);
+        let q = rng.gen_range(1u32..=16);
+        let dag = generate(&params, seed);
+        let s = schedule_forward(&dag, &cal, Time::ZERO, q, ForwardConfig::recommended());
+        assert!(s.stats.slot_queries > 0, "stats must count slot queries");
+        assert!(s.stats.slot_steps > 0, "stats must count slot-query work");
+
+        let lin = cal.linear();
+        for t in dag.task_ids() {
+            let pl = s.placement(t);
+            let dur = pl.end - pl.start;
+            let mut ic = QueryCost::default();
+            let mut lc = QueryCost::default();
+            // The competing calendar must grant the placement's slot no
+            // later than the schedule chose it, identically per backend.
+            let ei = cal.earliest_fit_with_cost(pl.procs, dur, pl.start, &mut ic);
+            let el = lin.earliest_fit_with_cost(pl.procs, dur, pl.start, &mut lc);
+            assert_eq!(ei, el, "earliest_fit diverges at placement {pl:?}");
+            assert_eq!(ei, pl.start, "placement must be feasible on the calendar");
+            assert_eq!(ic.queries, lc.queries);
+
+            let li = cal.latest_fit(pl.procs, dur, pl.end, Time::ZERO);
+            let ll = lin.latest_fit(pl.procs, dur, pl.end, Time::ZERO);
+            assert_eq!(li, ll, "latest_fit diverges at placement {pl:?}");
+            assert_eq!(
+                li,
+                Some(pl.start),
+                "slot ending at pl.end must be grantable"
+            );
+
+            assert_eq!(
+                cal.peak_used(pl.start, pl.end),
+                lin.peak_used(pl.start, pl.end)
+            );
+            assert_eq!(
+                cal.used_integral(pl.start, pl.end),
+                lin.used_integral(pl.start, pl.end)
+            );
+        }
     }
 }

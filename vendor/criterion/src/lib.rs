@@ -1,0 +1,317 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A wall-clock micro-benchmark harness exposing the criterion API surface
+//! the workspace's benches use: `Criterion` with the builder knobs,
+//! `bench_function`, `benchmark_group`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, and the `criterion_group!` / `criterion_main!` macros.
+//! No statistics engine, no HTML reports — it warms up, samples, and
+//! prints `min / mean / max` per-iteration times to stdout.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark harness configuration + runner.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark (each sample is many iterations).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget for the measurement phase of one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time spent warming up before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark inside the group (`group-name/id`).
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Override the sample count for the rest of the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Override the measurement budget for the rest of the group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Finish the group (report-flush in real criterion; no-op here).
+    pub fn finish(self) {}
+}
+
+/// Hint for `iter_batched` about per-iteration input size; the shim runs
+/// every batch size the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Timing driver handed to the benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Mean per-iteration time of each sample, in seconds.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Benchmark `routine` called back-to-back.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up: also yields a first estimate of the iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let est = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters = ((per_sample / est.max(1e-9)) as u64).max(1);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() / iters as f64);
+        }
+    }
+
+    /// Benchmark `routine` on fresh inputs built by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut est = Duration::ZERO;
+        let mut warm_iters: u64 = 0;
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            est += t0.elapsed();
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let est = est.as_secs_f64() / warm_iters as f64;
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters = ((per_sample / est.max(1e-9)) as u64).clamp(1, 1_000_000);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let mut timed = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                timed += t0.elapsed();
+            }
+            self.samples.push(timed.as_secs_f64() / iters as f64);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<50} (no samples)");
+            return;
+        }
+        let min = self.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = self.samples.iter().cloned().fold(0.0f64, f64::max);
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        println!(
+            "{id:<50} time: [{} {} {}]",
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max)
+        );
+    }
+
+    /// Mean per-iteration seconds over all samples (used by shim tests and
+    /// available to scripted comparisons).
+    pub fn mean_seconds(&self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Define a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = fast();
+        let mut ran = false;
+        c.bench_function("shim/iter", |b| {
+            ran = true;
+            b.iter(|| black_box(1u64 + 2));
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_times_only_the_routine() {
+        let mut c = fast();
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+            assert!(b.mean_seconds() > 0.0);
+        });
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = fast();
+        let mut group = c.benchmark_group("g");
+        group.bench_function("inner", |b| b.iter(|| black_box(0u8)));
+        group.finish();
+    }
+
+    criterion_group!(plain_group, smoke);
+    fn smoke(c: &mut Criterion) {
+        let mut c2 = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        c2.bench_function("shim/smoke", |b| b.iter(|| black_box(7u32 * 6)));
+        let _ = c;
+    }
+
+    #[test]
+    fn macro_expansion_compiles_and_runs() {
+        plain_group();
+    }
+}

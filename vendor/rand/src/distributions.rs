@@ -1,0 +1,75 @@
+//! The `Standard` distribution and the `Distribution` trait, mirroring
+//! `rand::distributions`.
+
+use crate::RngCore;
+
+/// A distribution over values of `T`.
+pub trait Distribution<T> {
+    /// Draw one sample using `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution for a primitive: full range for integers and
+/// bools, `[0, 1)` for floats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u16> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u16 {
+        rng.next_u32() as u16
+    }
+}
+
+impl Distribution<u8> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u8 {
+        rng.next_u32() as u8
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<i64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Distribution<i32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i32 {
+        rng.next_u32() as i32
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}

@@ -1,0 +1,59 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Provides the `par_iter()` surface the workspace uses, backed by plain
+//! sequential std iterators: `map` / `filter_map` / `collect` and friends
+//! then come from `std::iter::Iterator`. Results are identical to rayon's
+//! (the workspace's parallel sections are pure maps); only wall-clock
+//! differs. Swap the path dependency back to upstream rayon to restore
+//! real parallelism — no call sites change.
+
+/// Import surface mirroring `rayon::prelude`.
+pub mod prelude {
+    /// `par_iter()` by shared reference, as in rayon's prelude.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Element type yielded by the iterator.
+        type Item: 'data;
+        /// The (sequential, in this shim) iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Iterate the collection; sequential stand-in for rayon's
+        /// work-stealing parallel iterator.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_on_vec_and_slice() {
+        let v = vec![1u32, 2, 3, 4];
+        let doubled: Vec<u32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let s: &[u32] = &v;
+        let odd: Vec<u32> = s
+            .par_iter()
+            .filter_map(|&x| (x % 2 == 1).then_some(x))
+            .collect();
+        assert_eq!(odd, vec![1, 3]);
+    }
+}

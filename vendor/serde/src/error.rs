@@ -1,0 +1,52 @@
+//! The single error type shared by serialization and deserialization.
+
+use std::fmt;
+
+/// Explains why a [`crate::Value`] tree could not be converted or parsed.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error carrying an arbitrary message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    /// The value had the wrong JSON shape.
+    pub fn expected(what: &str) -> Self {
+        Error {
+            msg: format!("invalid value: expected {what}"),
+        }
+    }
+
+    /// A required struct field was absent.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Error {
+            msg: format!("missing field `{field}` for struct `{ty}`"),
+        }
+    }
+
+    /// An enum tag did not match any known variant.
+    pub fn unknown_variant(ty: &str, variant: &str) -> Self {
+        Error {
+            msg: format!("unknown variant `{variant}` for enum `{ty}`"),
+        }
+    }
+
+    /// A parse error at a byte offset of the input text.
+    pub fn syntax(msg: &str, offset: usize) -> Self {
+        Error {
+            msg: format!("syntax error at byte {offset}: {msg}"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}

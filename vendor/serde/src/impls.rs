@@ -1,0 +1,224 @@
+//! `Serialize` / `Deserialize` implementations for std types.
+
+use crate::{Deserialize, Error, Map, Number, Serialize, Value};
+
+macro_rules! unsigned_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let u = v
+                    .as_u64()
+                    .ok_or_else(|| Error::expected(concat!("a ", stringify!($t))))?;
+                <$t>::try_from(u)
+                    .map_err(|_| Error::expected(concat!("a ", stringify!($t), " in range")))
+            }
+        }
+    )*};
+}
+unsigned_impl!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 {
+                    Value::Number(Number::U64(i as u64))
+                } else {
+                    Value::Number(Number::I64(i))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let i = v
+                    .as_i64()
+                    .ok_or_else(|| Error::expected(concat!("an ", stringify!($t))))?;
+                <$t>::try_from(i)
+                    .map_err(|_| Error::expected(concat!("an ", stringify!($t), " in range")))
+            }
+        }
+    )*};
+}
+signed_impl!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        // Integral JSON numbers deserialize into floats too: the printer
+        // writes `5` for `5.0_f64` (shortest round-trip), so the reader
+        // must accept it back.
+        match v {
+            Value::Null => Ok(f64::NAN), // non-finite floats print as null
+            _ => v.as_f64().ok_or_else(|| Error::expected("an f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::F64(*self as f64))
+    }
+}
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        f64::deserialize_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::expected("a bool"))
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::expected("a string"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(x) => x.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            _ => Err(Error::expected("an array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::deserialize_value(v)?;
+        items
+            .try_into()
+            .map_err(|_| Error::expected("an array of fixed length"))
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        T::deserialize_value(v).map(Box::new)
+    }
+}
+
+macro_rules! tuple_impl {
+    ($len:literal => $($idx:tt : $t:ident),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(a) if a.len() == $len => {
+                        Ok(($($t::deserialize_value(&a[$idx])?,)+))
+                    }
+                    _ => Err(Error::expected(concat!("an array of ", $len, " elements"))),
+                }
+            }
+        }
+    };
+}
+tuple_impl!(2 => 0: A, 1: B);
+tuple_impl!(3 => 0: A, 1: B, 2: C);
+tuple_impl!(4 => 0: A, 1: B, 2: C, 3: D);
+
+impl<V: Serialize> Serialize for Map<String, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for Map<String, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize_value(v)?)))
+                .collect(),
+            _ => Err(Error::expected("an object")),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

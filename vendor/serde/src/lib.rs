@@ -1,0 +1,54 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde's visitor architecture exists to avoid materialising an
+//! intermediate tree. This workspace only (de)serializes small config and
+//! result artifacts through `serde_json`, so the shim takes the simple
+//! route: `Serialize` lowers a type to a [`Value`] tree and `Deserialize`
+//! raises it back. `serde_json` then just prints/parses `Value`s. The
+//! public surface mirrors the subset of serde the workspace uses:
+//! `serde::{Serialize, Deserialize}` (traits + derive macros with the
+//! `derive` feature), `serde::de::DeserializeOwned`, and attribute support
+//! for `#[serde(default)]` / `#[serde(skip)]` in the derive.
+
+mod error;
+mod impls;
+mod value;
+
+pub use error::Error;
+pub use value::{Map, Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can lower itself to a JSON [`Value`] tree.
+pub trait Serialize {
+    /// Build the `Value` representation of `self`.
+    fn serialize_value(&self) -> Value;
+}
+
+/// A type that can be rebuilt from a JSON [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from `v`, or explain why the shape is wrong.
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+/// Mirror of `serde::de` for the idioms the workspace uses
+/// (`T: serde::de::DeserializeOwned` bounds).
+pub mod de {
+    pub use crate::Error;
+
+    /// Owned deserialization marker; every shim `Deserialize` qualifies.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+/// Mirror of `serde::ser` for symmetry with [`de`].
+pub mod ser {
+    pub use crate::{Error, Serialize};
+}

@@ -1,0 +1,187 @@
+//! The JSON data model: [`Value`], [`Number`], and an insertion-ordered
+//! string-keyed [`Map`].
+
+/// A JSON document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object. Keys keep insertion order so output is deterministic.
+    Object(Map<String, Value>),
+}
+
+/// A JSON number: signed, unsigned, or floating point.
+///
+/// `PartialEq` compares numerically, so `I64(5) == U64(5)` — that keeps
+/// round-trip comparisons honest when the writer and the parser pick
+/// different integer representations.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A negative (or any signed) integer.
+    I64(i64),
+    /// A non-negative integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        use Number::*;
+        match (*self, *other) {
+            (I64(a), I64(b)) => a == b,
+            (U64(a), U64(b)) => a == b,
+            (F64(a), F64(b)) => a == b,
+            (I64(a), U64(b)) | (U64(b), I64(a)) => a >= 0 && a as u64 == b,
+            (I64(a), F64(b)) | (F64(b), I64(a)) => a as f64 == b,
+            (U64(a), F64(b)) | (F64(b), U64(a)) => a as f64 == b,
+        }
+    }
+}
+
+/// An insertion-ordered map with string keys, backed by a `Vec`.
+///
+/// The workspace's objects are tiny (config structs, result rows), so
+/// linear-probe `get` beats hashing in practice and keeps field order
+/// stable in the emitted JSON. The key/value type parameters exist only to
+/// mirror `serde_json::Map<String, Value>` spelling.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map<K = String, V = Value> {
+    entries: Vec<(K, V)>,
+}
+
+impl<V> Map<String, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Map {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert, replacing (in place, keeping position) any existing entry
+    /// with the same key. Returns the previous value if there was one.
+    pub fn insert(&mut self, key: String, value: V) -> Option<V> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Look up a value by key.
+    pub fn get(&self, key: &str) -> Option<&V> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Whether the key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &V)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterate keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Iterate values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl<V> FromIterator<(String, V)> for Map<String, V> {
+    fn from_iter<I: IntoIterator<Item = (String, V)>>(iter: I) -> Self {
+        let mut map = Map::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+impl Value {
+    /// Borrow the string if this is `Value::String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Interpret as f64 when numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::I64(i)) => Some(*i as f64),
+            Value::Number(Number::U64(u)) => Some(*u as f64),
+            Value::Number(Number::F64(f)) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Interpret as i64 when an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::I64(i)) => Some(*i),
+            Value::Number(Number::U64(u)) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// Interpret as u64 when a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::I64(i)) => u64::try_from(*i).ok(),
+            Value::Number(Number::U64(u)) => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// Borrow the bool if this is `Value::Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Borrow the array if this is `Value::Array`.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow the object if this is `Value::Object`.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+}

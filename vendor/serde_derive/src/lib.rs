@@ -1,0 +1,488 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored `serde::Serialize` / `serde::Deserialize` traits
+//! (which are `Value`-tree based, not visitor based) for the shapes this
+//! workspace actually uses:
+//!
+//! * structs with named fields (`#[serde(default)]` / `#[serde(skip)]`
+//!   honoured; `Option<T>` fields tolerate being absent),
+//! * tuple structs (arity 1 is transparent/newtype, arity N maps to a JSON
+//!   array),
+//! * unit structs,
+//! * enums whose variants are unit (`"Variant"`) or newtype
+//!   (`{"Variant": payload}`), matching serde's externally-tagged default.
+//!
+//! Generic types and struct-variant enums are rejected at compile time with
+//! a clear panic so nobody silently gets wrong serialization.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[derive(Default, Clone, Copy)]
+struct FieldFlags {
+    default: bool,
+    skip: bool,
+}
+
+struct Field {
+    name: String,
+    flags: FieldFlags,
+    is_option: bool,
+}
+
+struct Variant {
+    name: String,
+    has_payload: bool,
+}
+
+enum Input {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derive the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing (no syn: walk raw token trees)
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Input {
+    let mut it = input.into_iter().peekable();
+    // Skip container attributes and visibility.
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                match it.next() {
+                    Some(TokenTree::Group(g)) => {
+                        let mut flags = FieldFlags::default();
+                        attr_flags(&g, &mut flags);
+                    }
+                    t => panic!("malformed container attribute: {t:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    it.next();
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("expected `struct` or `enum`, got {t:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("expected type name, got {t:?}"),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("generic type `{name}`: not supported by the vendored serde_derive");
+    }
+    match kind.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Input::TupleStruct {
+                    name,
+                    arity: tuple_arity(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Input::UnitStruct { name },
+            t => panic!("unexpected struct body for `{name}`: {t:?}"),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            t => panic!("unexpected enum body for `{name}`: {t:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other}`"),
+    }
+}
+
+/// Record `#[serde(default)]` / `#[serde(skip)]`; ignore non-serde
+/// attributes (doc comments, `#[default]`, ...); reject serde attributes we
+/// do not implement rather than mis-serializing.
+fn attr_flags(group: &Group, flags: &mut FieldFlags) {
+    let mut it = group.stream().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    if let Some(TokenTree::Group(args)) = it.next() {
+        for tt in args.stream() {
+            match tt {
+                TokenTree::Ident(id) => match id.to_string().as_str() {
+                    "default" => flags.default = true,
+                    "skip" => flags.skip = true,
+                    other => panic!("unsupported serde attribute `{other}`"),
+                },
+                TokenTree::Punct(_) => {}
+                t => panic!("unsupported serde attribute syntax: {t:?}"),
+            }
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        let mut flags = FieldFlags::default();
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                    match it.next() {
+                        Some(TokenTree::Group(g)) => attr_flags(&g, &mut flags),
+                        t => panic!("malformed field attribute: {t:?}"),
+                    }
+                }
+                _ => break,
+            }
+        }
+        if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            it.next();
+            if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                it.next();
+            }
+        }
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            t => panic!("expected field name, got {t:?}"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            t => panic!("expected `:` after field `{name}`, got {t:?}"),
+        }
+        // The field type itself is never inspected beyond "is it Option":
+        // deserialization constructs the struct literally, so rustc infers
+        // the target type at the call site. Skip tokens to the next
+        // top-level comma, tracking `<...>` nesting.
+        let is_option =
+            matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "Option");
+        let mut depth = 0i32;
+        loop {
+            match it.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => break,
+                None => break,
+                Some(_) => {}
+            }
+        }
+        fields.push(Field {
+            name,
+            flags,
+            is_option,
+        });
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct / tuple-variant body.
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut slots = 0usize;
+    let mut pending = false;
+    let mut after_hash = false;
+    for tt in body {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                after_hash = true;
+                continue;
+            }
+            TokenTree::Group(g) if after_hash && g.delimiter() == Delimiter::Bracket => {}
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                pending = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                slots += 1;
+                pending = false;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {}
+            _ => pending = true,
+        }
+        after_hash = false;
+    }
+    if pending {
+        slots += 1;
+    }
+    slots
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                    match it.next() {
+                        Some(TokenTree::Group(g)) => {
+                            let mut flags = FieldFlags::default();
+                            attr_flags(&g, &mut flags);
+                            if flags.skip || flags.default {
+                                panic!("serde skip/default is not supported on enum variants");
+                            }
+                        }
+                        t => panic!("malformed variant attribute: {t:?}"),
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            t => panic!("expected variant name, got {t:?}"),
+        };
+        let mut has_payload = false;
+        match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                if tuple_arity(g.stream()) != 1 {
+                    panic!("variant `{name}`: only newtype enum variants are supported");
+                }
+                has_payload = true;
+                it.next();
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("variant `{name}`: struct enum variants are not supported");
+            }
+            _ => {}
+        }
+        loop {
+            match it.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                None => break,
+                _ => {}
+            }
+        }
+        variants.push(Variant { name, has_payload });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (string building, then `.parse()` back to tokens)
+// ---------------------------------------------------------------------------
+
+fn wrap_impl(trait_name: &str, ty: &str, fn_sig: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, unused_variables)]\n\
+         impl ::serde::{trait_name} for {ty} {{ {fn_sig} {{ {body} }} }}"
+    )
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let sig = "fn serialize_value(&self) -> ::serde::Value";
+    match input {
+        Input::NamedStruct { name, fields } => {
+            let mut body = String::from("let mut __map = ::serde::Map::new();\n");
+            for f in fields.iter().filter(|f| !f.flags.skip) {
+                body.push_str(&format!(
+                    "__map.insert(::std::string::String::from(\"{0}\"), \
+                     ::serde::Serialize::serialize_value(&self.{0}));\n",
+                    f.name
+                ));
+            }
+            body.push_str("::serde::Value::Object(__map)");
+            wrap_impl("Serialize", name, sig, &body)
+        }
+        Input::TupleStruct { name, arity: 1 } => wrap_impl(
+            "Serialize",
+            name,
+            sig,
+            "::serde::Serialize::serialize_value(&self.0)",
+        ),
+        Input::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            let body = format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "));
+            wrap_impl("Serialize", name, sig, &body)
+        }
+        Input::UnitStruct { name } => wrap_impl("Serialize", name, sig, "::serde::Value::Null"),
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                if v.has_payload {
+                    arms.push_str(&format!(
+                        "{name}::{v}(__p) => {{ let mut __map = ::serde::Map::new(); \
+                         __map.insert(::std::string::String::from(\"{v}\"), \
+                         ::serde::Serialize::serialize_value(__p)); \
+                         ::serde::Value::Object(__map) }}\n",
+                        v = v.name
+                    ));
+                } else {
+                    arms.push_str(&format!(
+                        "{name}::{v} => \
+                         ::serde::Value::String(::std::string::String::from(\"{v}\")),\n",
+                        v = v.name
+                    ));
+                }
+            }
+            wrap_impl("Serialize", name, sig, &format!("match self {{ {arms} }}"))
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let sig = "fn deserialize_value(__v: &::serde::Value) \
+               -> ::std::result::Result<Self, ::serde::Error>";
+    match input {
+        Input::NamedStruct { name, fields } => {
+            let mut body = format!(
+                "let __map = match __v {{ ::serde::Value::Object(__m) => __m, \
+                 _ => return ::std::result::Result::Err(::serde::Error::expected(\
+                 \"an object for struct `{name}`\")) }};\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                if f.flags.skip {
+                    body.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                    continue;
+                }
+                let missing = if f.flags.default || f.is_option {
+                    "::std::default::Default::default()".to_string()
+                } else {
+                    format!(
+                        "return ::std::result::Result::Err(\
+                         ::serde::Error::missing_field(\"{name}\", \"{}\"))",
+                        f.name
+                    )
+                };
+                body.push_str(&format!(
+                    "{0}: match __map.get(\"{0}\") {{ \
+                     ::std::option::Option::Some(__x) => \
+                     ::serde::Deserialize::deserialize_value(__x)?, \
+                     ::std::option::Option::None => {missing} }},\n",
+                    f.name
+                ));
+            }
+            body.push_str("})");
+            wrap_impl("Deserialize", name, sig, &body)
+        }
+        Input::TupleStruct { name, arity: 1 } => wrap_impl(
+            "Deserialize",
+            name,
+            sig,
+            &format!(
+                "::std::result::Result::Ok({name}(\
+                 ::serde::Deserialize::deserialize_value(__v)?))"
+            ),
+        ),
+        Input::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&__arr[{i}])?"))
+                .collect();
+            let body = format!(
+                "let __arr = match __v {{ ::serde::Value::Array(__a) if __a.len() == {arity} \
+                 => __a, _ => return ::std::result::Result::Err(::serde::Error::expected(\
+                 \"an array of {arity} elements for `{name}`\")) }};\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            );
+            wrap_impl("Deserialize", name, sig, &body)
+        }
+        Input::UnitStruct { name } => wrap_impl(
+            "Deserialize",
+            name,
+            sig,
+            &format!(
+                "match __v {{ ::serde::Value::Null => ::std::result::Result::Ok({name}), \
+                 _ => ::std::result::Result::Err(::serde::Error::expected(\
+                 \"null for unit struct `{name}`\")) }}"
+            ),
+        ),
+        Input::Enum { name, variants } => {
+            let unit: Vec<&Variant> = variants.iter().filter(|v| !v.has_payload).collect();
+            let payload: Vec<&Variant> = variants.iter().filter(|v| v.has_payload).collect();
+            let mut body = String::from("match __v {\n");
+            if !unit.is_empty() {
+                body.push_str("::serde::Value::String(__s) => match __s.as_str() {\n");
+                for v in &unit {
+                    body.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    ));
+                }
+                body.push_str(&format!(
+                    "__other => ::std::result::Result::Err(\
+                     ::serde::Error::unknown_variant(\"{name}\", __other)) }},\n"
+                ));
+            }
+            if !payload.is_empty() {
+                body.push_str(
+                    "::serde::Value::Object(__m) if __m.len() == 1 => {\n\
+                     let (__k, __p) = __m.iter().next().expect(\"len checked\");\n\
+                     match __k.as_str() {\n",
+                );
+                for v in &payload {
+                    body.push_str(&format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::deserialize_value(__p)?)),\n",
+                        v = v.name
+                    ));
+                }
+                body.push_str(&format!(
+                    "__other => ::std::result::Result::Err(\
+                     ::serde::Error::unknown_variant(\"{name}\", __other)) }} }},\n"
+                ));
+            }
+            body.push_str(&format!(
+                "_ => ::std::result::Result::Err(::serde::Error::expected(\
+                 \"a string or single-key object for enum `{name}`\")) }}"
+            ));
+            wrap_impl("Deserialize", name, sig, &body)
+        }
+    }
+}

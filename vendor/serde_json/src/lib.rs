@@ -1,0 +1,135 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Works over the vendored `serde`'s [`Value`] tree: `to_string` /
+//! `to_string_pretty` print it, `from_str` parses it back with a
+//! recursive-descent parser. Float formatting uses Rust's `{}` which is
+//! shortest-round-trip, so `float_roundtrip` semantics hold by
+//! construction. Non-finite floats print as `null`, matching real
+//! serde_json.
+
+mod read;
+mod write;
+
+pub use serde::{Error, Map, Number, Value};
+
+/// Serialize `value` into a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::compact(&value.serialize_value()))
+}
+
+/// Serialize `value` into a pretty-printed JSON string (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::pretty(&value.serialize_value()))
+}
+
+/// Lower `value` to a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.serialize_value())
+}
+
+/// Rebuild a `T` from a [`Value`] tree.
+pub fn from_value<T: serde::de::DeserializeOwned>(value: Value) -> Result<T, Error> {
+    T::deserialize_value(&value)
+}
+
+/// Parse JSON text into a `T`.
+pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let value = read::parse(s)?;
+    T::deserialize_value(&value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for json in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-7",
+            "18446744073709551615",
+            "\"hi\"",
+        ] {
+            let v: Value = from_str(json).unwrap();
+            assert_eq!(to_string(&v).unwrap(), json);
+        }
+    }
+
+    #[test]
+    fn float_round_trip_is_exact() {
+        for f in [
+            0.1,
+            1.5,
+            -2.25,
+            1e300,
+            f64::MIN_POSITIVE,
+            std::f64::consts::PI,
+        ] {
+            let json = to_string(&f).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(back, f);
+        }
+    }
+
+    #[test]
+    fn nonfinite_floats_print_as_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "a\"b\\c\n\t\r\u{8}\u{c}\u{1}é😀";
+        let json = to_string(&s).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let back: String = from_str(r#""Aé😀""#).unwrap();
+        assert_eq!(back, "Aé😀");
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let json = r#"{"a":[1,2.5,null,{"b":true}],"c":"x"}"#;
+        let v: Value = from_str(json).unwrap();
+        assert_eq!(to_string(&v).unwrap(), json);
+        let pretty = to_string_pretty(&v).unwrap();
+        let v2: Value = from_str(&pretty).unwrap();
+        assert_eq!(v2, v);
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+    }
+
+    #[test]
+    fn integer_widths_round_trip() {
+        let json = to_string(&u64::MAX).unwrap();
+        let back: u64 = from_str(&json).unwrap();
+        assert_eq!(back, u64::MAX);
+        let json = to_string(&i64::MIN).unwrap();
+        let back: i64 = from_str(&json).unwrap();
+        assert_eq!(back, i64::MIN);
+    }
+
+    #[test]
+    fn option_and_tuple_round_trip() {
+        let v: Option<u32> = None;
+        assert_eq!(to_string(&v).unwrap(), "null");
+        let back: Option<u32> = from_str("null").unwrap();
+        assert_eq!(back, None);
+        let pair = (1u32, -2i64);
+        let json = to_string(&pair).unwrap();
+        let back: (u32, i64) = from_str(&json).unwrap();
+        assert_eq!(back, pair);
+    }
+}
