@@ -62,6 +62,28 @@ impl Algorithm {
         matches!(self, Algorithm::Deadline(_))
     }
 
+    /// The independent validity oracle configured for this algorithm on
+    /// one problem instance: deadline algorithms get their deadline wired
+    /// in, everything else is checked against the base invariants.
+    ///
+    /// Harnesses (the sim experiment tables, the fuzz driver in `tests/`)
+    /// use this to audit [`Algorithm::run`] output uniformly; the per-task
+    /// `BD_*`/`DL_*` allocation caps are additionally enforced by each
+    /// scheduler's own gated post-pass, which knows the bounds it computed.
+    pub fn validator<'a>(
+        &self,
+        dag: &'a Dag,
+        competing: &'a Calendar,
+        now: Time,
+        deadline: Option<Time>,
+    ) -> crate::validate::ScheduleValidator<'a> {
+        let v = crate::validate::ScheduleValidator::new(dag, competing, now);
+        match (self, deadline) {
+            (Algorithm::Deadline(_), Some(k)) => v.with_deadline(k),
+            _ => v,
+        }
+    }
+
     /// Run the algorithm on one problem instance. Deadline algorithms need
     /// `deadline: Some(k)`; the others ignore it.
     pub fn run(
@@ -176,6 +198,11 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{a}: {e}"));
             s.validate(&dag, &cal)
                 .unwrap_or_else(|e| panic!("{a}: invalid schedule: {e}"));
+            // And through the independent oracle, with the deadline wired
+            // in where the algorithm had to honor one.
+            a.validator(&dag, &cal, Time::ZERO, deadline)
+                .check(&s)
+                .unwrap_or_else(|e| panic!("{a}: oracle rejects schedule: {e}"));
         }
     }
 

@@ -250,6 +250,8 @@ pub fn schedule_deadline(
                 Some((placements, lambda)) => {
                     let mut sched = Schedule::new(placements, now);
                     sched.stats = stats;
+                    #[cfg(any(debug_assertions, feature = "validate"))]
+                    validate_outcome(dag, competing, now, deadline, q, algo, cfg, &sched);
                     return Ok(DeadlineOutcome {
                         schedule: sched,
                         lambda: Some(lambda),
@@ -264,6 +266,8 @@ pub fn schedule_deadline(
         Some(placements) => {
             let mut sched = Schedule::new(placements, now);
             sched.stats = stats;
+            #[cfg(any(debug_assertions, feature = "validate"))]
+            validate_outcome(dag, competing, now, deadline, q, algo, cfg, &sched);
             Ok(DeadlineOutcome {
                 schedule: sched,
                 lambda: None,
@@ -271,6 +275,34 @@ pub fn schedule_deadline(
         }
         None => Err(DeadlineInfeasible { deadline }),
     }
+}
+
+/// Debug/feature-gated post-pass: replay a successful deadline schedule
+/// through the independent oracle, with the declared allocation cap of the
+/// algorithm that produced it (the `DL_BD_*` bounds; the RC family and the
+/// λ-hybrids may fall back to scans over `1..=p`, so their cap is `p`).
+#[cfg(any(debug_assertions, feature = "validate"))]
+#[allow(clippy::too_many_arguments)]
+fn validate_outcome(
+    dag: &Dag,
+    competing: &Calendar,
+    now: Time,
+    deadline: Time,
+    q: u32,
+    algo: DeadlineAlgo,
+    cfg: DeadlineConfig,
+    sched: &Schedule,
+) {
+    let p = competing.capacity();
+    let declared: Vec<u32> = match algo {
+        DeadlineAlgo::BdCpa => cpa::allocate(dag, p, cfg.criterion).allocs,
+        DeadlineAlgo::BdCpaR => cpa::allocate(dag, q, cfg.criterion).allocs,
+        _ => vec![p; dag.num_tasks()],
+    };
+    crate::validate::ScheduleValidator::new(dag, competing, now)
+        .with_declared_bounds(declared.into_iter().map(|b| b.clamp(1, p)).collect())
+        .with_deadline(deadline)
+        .assert_valid(sched, algo.name());
 }
 
 /// How the backward pass picks among per-`m` latest fits.

@@ -126,6 +126,10 @@ pub fn schedule_blind(
 ) -> Schedule {
     let p = desk.capacity();
     let q = q_estimate.clamp(1, p);
+    // Snapshot the calendar before our own commits land in it, so the
+    // post-pass can audit against the competing load alone.
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    let competing_at_entry = desk.cal.clone();
     let mut stats = ScheduleStats {
         passes: 1,
         cpa_allocations: 1,
@@ -194,6 +198,16 @@ pub fn schedule_blind(
         now,
     );
     sched.stats = stats;
+
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    crate::validate::ScheduleValidator::new(dag, &competing_at_entry, now)
+        .with_declared_bounds(
+            dag.task_ids()
+                .map(|t| alloc_q.alloc(t).clamp(1, p))
+                .collect(),
+        )
+        .assert_valid(&sched, "BLIND");
+
     sched
 }
 

@@ -146,7 +146,10 @@ pub fn allocate(dag: &Dag, pool: u32, criterion: StoppingCriterion) -> CpaAlloca
         exec[t.idx()] = dag.cost(t).exec_time(m);
     }
 
-    CpaAllocation { pool, allocs, exec }
+    let out = CpaAllocation { pool, allocs, exec };
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    crate::validate::assert_allocation_valid(dag, &out, "CPA");
+    out
 }
 
 /// CPA phase 2: list-schedule all tasks with the given allocation onto an
@@ -240,6 +243,14 @@ pub fn schedule(dag: &Dag, pool: u32, criterion: StoppingCriterion, now: Time) -
     s.stats.cpa_allocations = 1;
     s.stats.cpa_mappings = 1;
     s.stats.absorb_query_cost(cost);
+
+    // CPA runs on a dedicated platform: audit against an empty calendar,
+    // with phase 1's own allocations as the declared caps.
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    crate::validate::ScheduleValidator::new(dag, &Calendar::new(pool), now)
+        .with_declared_bounds(alloc.allocs.clone())
+        .assert_valid(&s, "CPA");
+
     s
 }
 

@@ -117,6 +117,15 @@ pub fn schedule_forward_dynamic(
         now,
     );
     sched.stats = stats;
+
+    // The live calendar only ever grows (interference cannot remove
+    // reservations), so every placement that fit the live view also fits
+    // the original competing calendar — the full oracle applies.
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    crate::validate::ScheduleValidator::new(dag, competing, now)
+        .with_declared_bounds(bounds.iter().map(|&b| b.clamp(1, p)).collect())
+        .assert_valid(&sched, "dynamic forward");
+
     sched
 }
 

@@ -83,6 +83,13 @@ pub fn execute(
         "factors must be positive and finite"
     );
 
+    // Replaying an infeasible schedule would silently produce nonsense
+    // (reservations that overbook the machine still "execute" here), so
+    // audit the input first in debug builds.
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    crate::validate::ScheduleValidator::new(dag, competing, schedule.now())
+        .assert_valid(schedule, "execute");
+
     // Rebuild the full calendar: competing + the application's own
     // reservations (needed for requeue slot searches).
     let mut cal = competing.clone();

@@ -231,6 +231,14 @@ pub fn schedule_forward(
         now,
     );
     sched.stats = stats;
+
+    // Debug/feature-gated post-pass: replay the finished schedule through
+    // the independent oracle, including the BD_* cap actually in force.
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    crate::validate::ScheduleValidator::new(dag, competing, now)
+        .with_declared_bounds(bounds.iter().map(|&b| b.clamp(1, p)).collect())
+        .assert_valid(&sched, cfg.name().as_str());
+
     sched
 }
 

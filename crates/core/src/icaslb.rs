@@ -184,6 +184,12 @@ pub fn schedule_icaslb(
 
     let mut sched = Schedule::new(best_placements, now);
     sched.stats = stats;
+
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    crate::validate::ScheduleValidator::new(dag, competing, now)
+        .with_declared_bounds(vec![cap; dag.num_tasks()])
+        .assert_valid(&sched, "iCASLB-AR");
+
     sched
 }
 

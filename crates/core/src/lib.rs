@@ -60,7 +60,9 @@
 //!   kill/requeue semantics (completing the paper's §3.1 estimate story);
 //! * [`backward`] — RESSCHEDDL algorithms (`DL_*`, λ-hybrids, tightest
 //!   deadline);
-//! * [`schedule`] — schedules, metrics, and the validation oracle;
+//! * [`schedule`] — schedules, metrics, and the in-band validation oracle;
+//! * [`validate`] — the independent schedule-validity oracle every
+//!   scheduler replays through in debug builds;
 //! * [`complexity`] — the paper's Table 8 complexity inventory.
 
 #![warn(missing_docs)]
@@ -80,6 +82,7 @@ pub mod icaslb;
 pub mod mcpa;
 pub mod schedule;
 pub mod task;
+pub mod validate;
 
 pub use resched_resv as resv;
 
@@ -94,5 +97,6 @@ pub mod prelude {
     pub use crate::forward::{schedule_forward, BdMethod, ForwardConfig, TieBreak};
     pub use crate::schedule::{Placement, Schedule, ScheduleError};
     pub use crate::task::TaskCost;
+    pub use crate::validate::{ScheduleValidator, Violation};
     pub use resched_resv::{Calendar, Dur, Reservation, Time};
 }

@@ -79,7 +79,10 @@ pub fn allocate(dag: &Dag, pool: u32) -> CpaAllocation {
         level_total[dag.depth(t) as usize] += 1;
     }
 
-    CpaAllocation { pool, allocs, exec }
+    let out = CpaAllocation { pool, allocs, exec };
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    crate::validate::assert_allocation_valid(dag, &out, "MCPA");
+    out
 }
 
 #[cfg(test)]

@@ -70,6 +70,25 @@ impl TaskCost {
     /// `m`-scans handle that correctly (the plateau skip only elides
     /// *equal* durations).
     ///
+    /// ## Rounding policy
+    ///
+    /// This is the **single** place the continuous Amdahl model meets the
+    /// integer-second calendar, and every layer agrees on its output:
+    ///
+    /// * the real-valued `t = T·(α + (1-α)/m) + o·(m-1)` is rounded **up**
+    ///   (`ceil`), never to-nearest: an exact half-step like `t = 500.5`
+    ///   becomes 501 s, and already-integral values stay put;
+    /// * the result is clamped to at least one second, so degenerate
+    ///   widths never produce empty (zero-length) reservations;
+    /// * schedulers size placements as exactly `end = start + exec_time(m)`
+    ///   — no scheduler re-rounds, pads, or truncates — and the
+    ///   [`validate`](crate::validate) oracle enforces *equality* between
+    ///   the placed duration and this function, not merely "long enough".
+    ///
+    /// The ceil happens once, on the final sum: summing pre-rounded terms
+    /// (e.g. rounding the overhead separately) would over-reserve by up to
+    /// one second per term and break the oracle's equality check.
+    ///
     /// # Panics
     /// Panics if `m == 0`.
     pub fn exec_time(&self, m: u32) -> Dur {
@@ -155,6 +174,28 @@ mod tests {
         assert_eq!(t.exec_time(4), Dur::seconds(1440));
         // Asymptote: 3600 * 0.2 = 720 (plus ceil)
         assert_eq!(t.exec_time(100_000), Dur::seconds(721));
+    }
+
+    #[test]
+    fn rounding_policy_pins_half_steps() {
+        // Exact half-steps round up, never to-nearest-even.
+        let t = c(1001, 0.0);
+        assert_eq!(t.exec_time(2), Dur::seconds(501)); // 500.5 -> 501
+        let t = c(999, 0.0);
+        assert_eq!(t.exec_time(2), Dur::seconds(500)); // 499.5 -> 500
+                                                       // Already-integral values stay put (no +1 drift from ceil).
+        let t = c(1000, 0.0);
+        assert_eq!(t.exec_time(2), Dur::seconds(500));
+        assert_eq!(t.exec_time(4), Dur::seconds(250));
+        // Fractional alpha: 100 * (0.33 + 0.67/3) = 55.333... -> 56.
+        let t = c(100, 0.33);
+        assert_eq!(t.exec_time(3), Dur::seconds(56));
+        // One ceil on the final sum, not one per term:
+        // 101 * (0.5 + 0.5/2) = 50.5 + 25.25 = 75.75 -> 76, whereas
+        // rounding the sequential and parallel parts separately would
+        // give ceil(50.5) + ceil(25.25) = 77.
+        let t = c(101, 0.5);
+        assert_eq!(t.exec_time(2), Dur::seconds(76));
     }
 
     #[test]

@@ -1,0 +1,854 @@
+//! Independent schedule-validity oracle.
+//!
+//! [`ScheduleValidator`] replays a finished [`Schedule`] against its DAG and
+//! the competing reservation [`Calendar`] and checks every invariant the
+//! paper's model (§2–§4) imposes on a feasible schedule. It deliberately
+//! shares **no placement logic** with the schedulers it audits: capacity is
+//! re-derived from a from-scratch event sweep over placement endpoints and
+//! calendar breakpoints, never from `earliest_fit`/`try_add`, so a bug in
+//! the slot-query machinery cannot hide a bug in a scheduler (and vice
+//! versa). The competing calendar's usage is additionally cross-checked
+//! through *both* query backends (the segment-tree index and the
+//! [`Calendar::linear`] reference scans), so the oracle also acts as a
+//! differential test of the calendar itself at exactly the instants a
+//! schedule cares about.
+//!
+//! The checked invariants:
+//!
+//! 1. one placement per task (task-count match, no malformed placements);
+//! 2. allocation within `[1, p]` for platform capacity `p`;
+//! 3. allocation within the algorithm's declared per-task bound
+//!    (the `BD_*` / `DL_*` caps), when the algorithm declares one;
+//! 4. scheduled duration equals the Amdahl model exactly:
+//!    `end - start == cost.exec_time(procs)`;
+//! 5. every task starts at or after the release instant `now`;
+//! 6. precedence: a child starts no earlier than every parent's finish;
+//! 7. each placement round-trips into its own advance reservation
+//!    (`Placement::reservation()` covers exactly `[start, end)` with
+//!    exactly `procs` processors);
+//! 8. calendar capacity is never exceeded at any breakpoint: at every
+//!    instant, application usage plus competing usage stays within `p`
+//!    (this is the "never runs inside a competing reservation" guarantee —
+//!    processors held by competing reservations are simply not there);
+//! 9. the two calendar backends agree on competing usage over every
+//!    audited interval (backend divergence is reported separately);
+//! 10. the turn-around / deadline bookkeeping is consistent with the exit
+//!     tasks' finish times (`completion()` equals the latest exit finish,
+//!     and meets the deadline when one was required);
+//! 11. [`ScheduleStats`] are internally consistent (slot-step work implies
+//!     slot queries; slot queries imply at least one recorded pass or CPA
+//!     mapping).
+//!
+//! Schedulers invoke the oracle through a `debug_assertions`/`validate`
+//! feature-gated post-pass, and the seeded fuzz driver in `tests/` runs
+//! every registered algorithm through it on random scenarios, shrinking
+//! failures to minimal committed repros (see DESIGN.md, "Schedule validity
+//! invariants").
+
+use crate::dag::{Dag, TaskId};
+use crate::schedule::{Schedule, ScheduleStats};
+use resched_resv::{Calendar, Dur, Time};
+use std::fmt;
+
+/// Cap on capacity-sweep intervals that get the full dual-backend
+/// cross-check; beyond this the cross-check samples evenly (the capacity
+/// *check* itself still covers every interval).
+const DUAL_CHECK_CAP: usize = 128;
+
+/// One violated schedule invariant, as found by [`ScheduleValidator`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Violation {
+    /// The schedule does not hold exactly one placement per DAG task.
+    TaskCountMismatch {
+        /// Number of tasks in the DAG.
+        expected: usize,
+        /// Number of placements in the schedule.
+        actual: usize,
+    },
+    /// A placement has a non-positive duration or zero processors.
+    MalformedPlacement {
+        /// The offending task.
+        task: TaskId,
+    },
+    /// A task is allocated more processors than the platform has.
+    AllocationOutOfRange {
+        /// The offending task.
+        task: TaskId,
+        /// Processors the placement claims.
+        procs: u32,
+        /// Platform capacity `p`.
+        capacity: u32,
+    },
+    /// A task exceeds the allocation bound its algorithm declared for it.
+    AllocationExceedsDeclaredBound {
+        /// The offending task.
+        task: TaskId,
+        /// Processors the placement claims.
+        procs: u32,
+        /// The declared per-task cap.
+        bound: u32,
+    },
+    /// A task's scheduled duration differs from the Amdahl model at its
+    /// allocation.
+    DurationMismatch {
+        /// The offending task.
+        task: TaskId,
+        /// Duration the schedule reserved.
+        scheduled: Dur,
+        /// Duration the task model requires at this allocation.
+        model: Dur,
+    },
+    /// A task starts before the application's release instant.
+    ReleaseViolation {
+        /// The offending task.
+        task: TaskId,
+        /// Its scheduled start.
+        start: Time,
+        /// The release instant (`now`).
+        release: Time,
+    },
+    /// A task starts before one of its predecessors finishes.
+    PrecedenceViolation {
+        /// The predecessor task.
+        pred: TaskId,
+        /// The successor task.
+        succ: TaskId,
+        /// When the predecessor finishes.
+        pred_end: Time,
+        /// When the successor starts.
+        succ_start: Time,
+    },
+    /// A placement's own advance reservation does not cover exactly its
+    /// execution window with exactly its processors.
+    ReservationMismatch {
+        /// The offending task.
+        task: TaskId,
+    },
+    /// Application plus competing usage exceeds platform capacity.
+    CapacityExceeded {
+        /// First instant at which the overflow holds.
+        at: Time,
+        /// Processors used by the application's own placements there.
+        app: u32,
+        /// Processors held by competing reservations there.
+        competing: u32,
+        /// Platform capacity `p`.
+        capacity: u32,
+    },
+    /// The indexed and linear calendar backends disagree about competing
+    /// usage over an audited interval.
+    BackendDivergence {
+        /// Interval start.
+        from: Time,
+        /// Interval end.
+        to: Time,
+        /// Peak usage per the segment-tree index.
+        indexed: u32,
+        /// Peak usage per the linear reference scan.
+        linear: u32,
+    },
+    /// The schedule finishes after the deadline it was built for.
+    DeadlineMissed {
+        /// When the schedule actually completes.
+        completion: Time,
+        /// The deadline `K` it had to meet.
+        deadline: Time,
+    },
+    /// `Schedule::completion()` is not the latest exit-task finish.
+    ExitFinishMismatch {
+        /// What `completion()` reports.
+        completion: Time,
+        /// The latest finish over the DAG's exit tasks.
+        exit_finish: Time,
+    },
+    /// The schedule's [`ScheduleStats`] are internally inconsistent.
+    StatsInconsistent {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::TaskCountMismatch { expected, actual } => {
+                write!(f, "schedule has {actual} placements for {expected} tasks")
+            }
+            Violation::MalformedPlacement { task } => {
+                write!(f, "task {task} has a malformed placement")
+            }
+            Violation::AllocationOutOfRange {
+                task,
+                procs,
+                capacity,
+            } => write!(
+                f,
+                "task {task} allocated {procs} procs on a {capacity}-proc platform"
+            ),
+            Violation::AllocationExceedsDeclaredBound { task, procs, bound } => write!(
+                f,
+                "task {task} allocated {procs} procs above its declared bound {bound}"
+            ),
+            Violation::DurationMismatch {
+                task,
+                scheduled,
+                model,
+            } => write!(
+                f,
+                "task {task} scheduled for {scheduled} but the model needs {model}"
+            ),
+            Violation::ReleaseViolation {
+                task,
+                start,
+                release,
+            } => write!(f, "task {task} starts at {start}, before release {release}"),
+            Violation::PrecedenceViolation {
+                pred,
+                succ,
+                pred_end,
+                succ_start,
+            } => write!(
+                f,
+                "task {succ} starts at {succ_start}, before predecessor {pred} ends at {pred_end}"
+            ),
+            Violation::ReservationMismatch { task } => write!(
+                f,
+                "task {task}'s reservation does not match its placement window"
+            ),
+            Violation::CapacityExceeded {
+                at,
+                app,
+                competing,
+                capacity,
+            } => write!(
+                f,
+                "capacity exceeded at {at}: app {app} + competing {competing} > {capacity}"
+            ),
+            Violation::BackendDivergence {
+                from,
+                to,
+                indexed,
+                linear,
+            } => write!(
+                f,
+                "calendar backends diverge over [{from}, {to}): indexed {indexed} vs linear {linear}"
+            ),
+            Violation::DeadlineMissed {
+                completion,
+                deadline,
+            } => write!(f, "completes at {completion}, after deadline {deadline}"),
+            Violation::ExitFinishMismatch {
+                completion,
+                exit_finish,
+            } => write!(
+                f,
+                "completion() reports {completion} but the last exit finishes at {exit_finish}"
+            ),
+            Violation::StatsInconsistent { detail } => {
+                write!(f, "schedule stats inconsistent: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// The schedule-validity oracle. See the [module docs](self) for the
+/// invariant list.
+///
+/// Construct with [`ScheduleValidator::new`], optionally declare the
+/// algorithm's allocation caps ([`with_declared_bounds`]) and deadline
+/// ([`with_deadline`]), then [`check`] (first violation) or [`report`]
+/// (all violations) a schedule.
+///
+/// [`with_declared_bounds`]: ScheduleValidator::with_declared_bounds
+/// [`with_deadline`]: ScheduleValidator::with_deadline
+/// [`check`]: ScheduleValidator::check
+/// [`report`]: ScheduleValidator::report
+#[derive(Debug, Clone)]
+pub struct ScheduleValidator<'a> {
+    dag: &'a Dag,
+    competing: &'a Calendar,
+    now: Time,
+    declared_bounds: Option<Vec<u32>>,
+    deadline: Option<Time>,
+}
+
+impl<'a> ScheduleValidator<'a> {
+    /// A validator for schedules of `dag` released at `now` against the
+    /// competing calendar.
+    pub fn new(dag: &'a Dag, competing: &'a Calendar, now: Time) -> Self {
+        ScheduleValidator {
+            dag,
+            competing,
+            now,
+            declared_bounds: None,
+            deadline: None,
+        }
+    }
+
+    /// Declare the algorithm's per-task allocation caps (one per task, in
+    /// task-id order, each already clamped to `[1, p]` by the caller).
+    ///
+    /// # Panics
+    /// Panics if `bounds` does not hold exactly one entry per DAG task.
+    pub fn with_declared_bounds(mut self, bounds: Vec<u32>) -> Self {
+        assert_eq!(
+            bounds.len(),
+            self.dag.num_tasks(),
+            "declared bounds must cover every task"
+        );
+        self.declared_bounds = Some(bounds);
+        self
+    }
+
+    /// Declare the deadline `K` the schedule was required to meet.
+    pub fn with_deadline(mut self, deadline: Time) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Check all invariants, returning the first violation found.
+    pub fn check(&self, sched: &Schedule) -> Result<(), Violation> {
+        match self.report(sched).into_iter().next() {
+            Some(v) => Err(v),
+            None => Ok(()),
+        }
+    }
+
+    /// Check all invariants, collecting every violation found.
+    ///
+    /// Structural violations (wrong task count, malformed placements) end
+    /// the audit early: the remaining checks would index out of bounds or
+    /// divide by zero on garbage.
+    pub fn report(&self, sched: &Schedule) -> Vec<Violation> {
+        let mut out = Vec::new();
+
+        let placements = sched.placements();
+        if placements.len() != self.dag.num_tasks() {
+            out.push(Violation::TaskCountMismatch {
+                expected: self.dag.num_tasks(),
+                actual: placements.len(),
+            });
+            return out;
+        }
+        let mut malformed = false;
+        for t in self.dag.task_ids() {
+            let pl = sched.placement(t);
+            if pl.end <= pl.start || pl.procs == 0 {
+                out.push(Violation::MalformedPlacement { task: t });
+                malformed = true;
+            }
+        }
+        if malformed {
+            return out;
+        }
+
+        let p = self.competing.capacity();
+        for t in self.dag.task_ids() {
+            let pl = sched.placement(t);
+            if pl.procs > p {
+                out.push(Violation::AllocationOutOfRange {
+                    task: t,
+                    procs: pl.procs,
+                    capacity: p,
+                });
+            }
+            if let Some(bounds) = &self.declared_bounds {
+                if pl.procs > bounds[t.idx()] {
+                    out.push(Violation::AllocationExceedsDeclaredBound {
+                        task: t,
+                        procs: pl.procs,
+                        bound: bounds[t.idx()],
+                    });
+                }
+            }
+            let model = self.dag.cost(t).exec_time(pl.procs);
+            if pl.duration() != model {
+                out.push(Violation::DurationMismatch {
+                    task: t,
+                    scheduled: pl.duration(),
+                    model,
+                });
+            }
+            if pl.start < self.now {
+                out.push(Violation::ReleaseViolation {
+                    task: t,
+                    start: pl.start,
+                    release: self.now,
+                });
+            }
+            let r = pl.reservation();
+            if r.start != pl.start || r.end != pl.end || r.procs != pl.procs {
+                out.push(Violation::ReservationMismatch { task: t });
+            }
+        }
+
+        for t in self.dag.task_ids() {
+            let pl = sched.placement(t);
+            for &pred in self.dag.preds(t) {
+                let pp = sched.placement(pred);
+                if pl.start < pp.end {
+                    out.push(Violation::PrecedenceViolation {
+                        pred,
+                        succ: t,
+                        pred_end: pp.end,
+                        succ_start: pl.start,
+                    });
+                }
+            }
+        }
+
+        self.sweep_capacity(sched, &mut out);
+
+        let exit_finish = self
+            .dag
+            .exits()
+            .iter()
+            .map(|&t| sched.placement(t).end)
+            .max()
+            .expect("a DAG has at least one exit");
+        if sched.completion() != exit_finish {
+            out.push(Violation::ExitFinishMismatch {
+                completion: sched.completion(),
+                exit_finish,
+            });
+        }
+        if let Some(k) = self.deadline {
+            if sched.completion() > k {
+                out.push(Violation::DeadlineMissed {
+                    completion: sched.completion(),
+                    deadline: k,
+                });
+            }
+        }
+
+        if let Some(detail) = stats_inconsistency(&sched.stats) {
+            out.push(Violation::StatsInconsistent { detail });
+        }
+
+        out
+    }
+
+    /// Panic with a descriptive message if `sched` violates any invariant.
+    ///
+    /// This is the post-pass the schedulers call behind
+    /// `cfg(any(debug_assertions, feature = "validate"))`.
+    pub fn assert_valid(&self, sched: &Schedule, context: &str) {
+        if let Err(v) = self.check(sched) {
+            panic!("{context}: schedule validation failed: {v}");
+        }
+    }
+
+    /// The independent capacity sweep (invariants 8 and 9).
+    ///
+    /// Splits the schedule's span at every placement endpoint and every
+    /// competing-calendar breakpoint; over each resulting interval both
+    /// application and competing usage are constant, so probing the
+    /// interval start suffices. Application usage comes from a from-scratch
+    /// endpoint sweep (no calendar machinery); competing usage is read via
+    /// `used_at` and cross-checked against `peak_used` on both backends.
+    fn sweep_capacity(&self, sched: &Schedule, out: &mut Vec<Violation>) {
+        let placements = sched.placements();
+        if placements.is_empty() {
+            return;
+        }
+        let lo = placements.iter().map(|pl| pl.start).min().unwrap();
+        let hi = placements.iter().map(|pl| pl.end).max().unwrap();
+
+        let mut bounds: Vec<Time> = Vec::with_capacity(2 * placements.len());
+        let mut events: Vec<(Time, i64)> = Vec::with_capacity(2 * placements.len());
+        for pl in placements {
+            bounds.push(pl.start);
+            bounds.push(pl.end);
+            events.push((pl.start, i64::from(pl.procs)));
+            events.push((pl.end, -i64::from(pl.procs)));
+        }
+        for t in self.competing.breakpoints() {
+            if t > lo && t < hi {
+                bounds.push(t);
+            }
+        }
+        bounds.sort();
+        bounds.dedup();
+        events.sort();
+
+        let p = self.competing.capacity();
+        let linear = self.competing.linear();
+        let n_intervals = bounds.len() - 1;
+        let stride = n_intervals.div_ceil(DUAL_CHECK_CAP).max(1);
+
+        let mut acc: i64 = 0;
+        let mut next_event = 0;
+        let mut overflow_reported = false;
+        for (i, w) in bounds.windows(2).enumerate() {
+            let (a, b) = (w[0], w[1]);
+            while next_event < events.len() && events[next_event].0 <= a {
+                acc += events[next_event].1;
+                next_event += 1;
+            }
+            let app = u32::try_from(acc).expect("usage sweep went negative");
+            let competing = self.competing.used_at(a);
+
+            // Dual-backend cross-check on a bounded sample of intervals
+            // (every interval when there are few). No competing breakpoint
+            // lies strictly inside (a, b), so peak over [a, b) must equal
+            // the usage at `a` on both backends.
+            if i % stride == 0 {
+                let indexed_peak = self.competing.peak_used(a, b);
+                let linear_peak = linear.peak_used(a, b);
+                if indexed_peak != linear_peak || indexed_peak != competing {
+                    out.push(Violation::BackendDivergence {
+                        from: a,
+                        to: b,
+                        indexed: indexed_peak,
+                        linear: linear_peak.max(competing),
+                    });
+                }
+            }
+
+            if !overflow_reported && app + competing > p {
+                out.push(Violation::CapacityExceeded {
+                    at: a,
+                    app,
+                    competing,
+                    capacity: p,
+                });
+                // One capacity report per audit: a single oversized
+                // placement would otherwise flood the report with one
+                // violation per interval it covers.
+                overflow_reported = true;
+            }
+        }
+    }
+}
+
+/// Audit a CPA/MCPA phase-1 allocation: one entry per task, every
+/// allocation within `1..=pool`, and every cached execution time equal to
+/// the Amdahl model at the chosen allocation.
+///
+/// Returns a human-readable description of the first inconsistency, or
+/// `Ok(())`. The allocators call this behind the same debug/feature gate
+/// as the schedule post-pass.
+pub fn check_allocation(dag: &Dag, alloc: &crate::cpa::CpaAllocation) -> Result<(), String> {
+    if alloc.allocs.len() != dag.num_tasks() || alloc.exec.len() != dag.num_tasks() {
+        return Err(format!(
+            "allocation covers {} tasks (exec {}) for a {}-task DAG",
+            alloc.allocs.len(),
+            alloc.exec.len(),
+            dag.num_tasks()
+        ));
+    }
+    for t in dag.task_ids() {
+        let m = alloc.alloc(t);
+        if m < 1 || m > alloc.pool {
+            return Err(format!(
+                "task {t} allocated {m} procs for a pool of {}",
+                alloc.pool
+            ));
+        }
+        let model = dag.cost(t).exec_time(m);
+        if alloc.exec_time(t) != model {
+            return Err(format!(
+                "task {t} caches exec {} but the model gives {model} at m={m}",
+                alloc.exec_time(t)
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Panicking wrapper around [`check_allocation`] for allocator post-passes.
+#[cfg(any(debug_assertions, feature = "validate"))]
+pub(crate) fn assert_allocation_valid(dag: &Dag, alloc: &crate::cpa::CpaAllocation, context: &str) {
+    if let Err(e) = check_allocation(dag, alloc) {
+        panic!("{context}: allocation validation failed: {e}");
+    }
+}
+
+/// Internal-consistency check of [`ScheduleStats`]; `None` when consistent.
+fn stats_inconsistency(stats: &ScheduleStats) -> Option<String> {
+    if stats.slot_steps > 0 && stats.slot_queries == 0 {
+        return Some(format!(
+            "{} slot steps recorded without any slot query",
+            stats.slot_steps
+        ));
+    }
+    if stats.slot_queries > 0 && stats.passes == 0 && stats.cpa_mappings == 0 {
+        return Some(format!(
+            "{} slot queries recorded without any pass or CPA mapping",
+            stats.slot_queries
+        ));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::{chain, fork_join, DagBuilder};
+    use crate::forward::{schedule_forward, ForwardConfig};
+    use crate::schedule::Placement;
+    use crate::task::TaskCost;
+    use resched_resv::Reservation;
+
+    fn c(s: i64, a: f64) -> TaskCost {
+        TaskCost::new(Dur::seconds(s), a)
+    }
+
+    fn fixture() -> (Dag, Calendar, Schedule) {
+        let dag = fork_join(c(300, 0.0), &[c(2_000, 0.1); 4], c(300, 0.0));
+        let mut cal = Calendar::new(8);
+        cal.try_add(Reservation::new(
+            Time::seconds(100),
+            Time::seconds(2_000),
+            5,
+        ))
+        .unwrap();
+        cal.try_add(Reservation::new(
+            Time::seconds(4_000),
+            Time::seconds(5_000),
+            3,
+        ))
+        .unwrap();
+        let s = schedule_forward(&dag, &cal, Time::ZERO, 8, ForwardConfig::recommended());
+        (dag, cal, s)
+    }
+
+    /// Rebuild a schedule with one placement swapped out, keeping stats.
+    fn tamper(sched: &Schedule, idx: usize, f: impl FnOnce(&mut Placement)) -> Schedule {
+        let mut pls = sched.placements().to_vec();
+        f(&mut pls[idx]);
+        let mut s = Schedule::new(pls, sched.now());
+        s.stats = sched.stats;
+        s
+    }
+
+    #[test]
+    fn valid_forward_schedule_passes() {
+        let (dag, cal, s) = fixture();
+        let v = ScheduleValidator::new(&dag, &cal, Time::ZERO);
+        assert_eq!(v.report(&s), Vec::new());
+        v.check(&s).unwrap();
+    }
+
+    #[test]
+    fn task_count_mismatch_is_caught() {
+        let (dag, cal, s) = fixture();
+        let mut pls = s.placements().to_vec();
+        pls.pop();
+        let short = Schedule::new(pls, s.now());
+        let v = ScheduleValidator::new(&dag, &cal, Time::ZERO);
+        assert!(matches!(
+            v.check(&short),
+            Err(Violation::TaskCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_placement_is_caught_and_stops_the_audit() {
+        let (dag, cal, s) = fixture();
+        let bad = tamper(&s, 0, |pl| pl.end = pl.start);
+        let v = ScheduleValidator::new(&dag, &cal, Time::ZERO);
+        let report = v.report(&bad);
+        assert_eq!(
+            report,
+            vec![Violation::MalformedPlacement {
+                task: crate::dag::TaskId(0)
+            }]
+        );
+    }
+
+    #[test]
+    fn allocation_out_of_range_is_caught() {
+        let (dag, cal, s) = fixture();
+        // Keep the duration consistent so only the range check fires.
+        let bad = tamper(&s, 1, |pl| pl.procs = 9);
+        let v = ScheduleValidator::new(&dag, &cal, Time::ZERO);
+        let report = v.report(&bad);
+        assert!(report
+            .iter()
+            .any(|v| matches!(v, Violation::AllocationOutOfRange { procs: 9, .. })));
+    }
+
+    #[test]
+    fn declared_bound_is_enforced() {
+        let (dag, cal, s) = fixture();
+        let tight = vec![1u32; dag.num_tasks()];
+        let v = ScheduleValidator::new(&dag, &cal, Time::ZERO).with_declared_bounds(tight);
+        // The forward schedule parallelizes at least one task beyond one
+        // processor, so an all-ones declared bound must trip.
+        assert!(v
+            .report(&s)
+            .iter()
+            .any(|v| matches!(v, Violation::AllocationExceedsDeclaredBound { .. })));
+    }
+
+    #[test]
+    fn duration_mismatch_is_caught() {
+        let (dag, cal, s) = fixture();
+        let bad = tamper(&s, 2, |pl| pl.end += Dur::seconds(1));
+        let v = ScheduleValidator::new(&dag, &cal, Time::ZERO);
+        assert!(v
+            .report(&bad)
+            .iter()
+            .any(|v| matches!(v, Violation::DurationMismatch { .. })));
+    }
+
+    #[test]
+    fn release_violation_is_caught() {
+        let (dag, cal, s) = fixture();
+        let v = ScheduleValidator::new(&dag, &cal, Time::seconds(10_000));
+        assert!(v
+            .report(&s)
+            .iter()
+            .any(|v| matches!(v, Violation::ReleaseViolation { .. })));
+    }
+
+    #[test]
+    fn precedence_violation_is_caught() {
+        let dag = chain(&[c(600, 0.0), c(600, 0.0)]);
+        let cal = Calendar::new(4);
+        let s = schedule_forward(&dag, &cal, Time::ZERO, 4, ForwardConfig::recommended());
+        // Pull the second task back on top of the first.
+        let shift = s.placement(crate::dag::TaskId(1)).start - Time::ZERO;
+        let bad = tamper(&s, 1, |pl| {
+            pl.start -= shift;
+            pl.end -= shift;
+        });
+        let v = ScheduleValidator::new(&dag, &cal, Time::ZERO);
+        assert!(v
+            .report(&bad)
+            .iter()
+            .any(|v| matches!(v, Violation::PrecedenceViolation { .. })));
+    }
+
+    #[test]
+    fn deadline_miss_is_caught() {
+        let (dag, cal, s) = fixture();
+        let v = ScheduleValidator::new(&dag, &cal, Time::ZERO).with_deadline(Time::seconds(1));
+        assert!(v
+            .report(&s)
+            .iter()
+            .any(|v| matches!(v, Violation::DeadlineMissed { .. })));
+    }
+
+    #[test]
+    fn stats_inconsistency_is_caught() {
+        let (dag, cal, s) = fixture();
+        let mut bad = Schedule::new(s.placements().to_vec(), s.now());
+        bad.stats.slot_steps = 7; // steps without queries
+        let v = ScheduleValidator::new(&dag, &cal, Time::ZERO);
+        assert!(matches!(
+            v.check(&bad),
+            Err(Violation::StatsInconsistent { .. })
+        ));
+        // All-zero stats (a hand-built schedule) are fine.
+        let plain = Schedule::new(s.placements().to_vec(), s.now());
+        assert!(!v
+            .report(&plain)
+            .iter()
+            .any(|v| matches!(v, Violation::StatsInconsistent { .. })));
+    }
+
+    /// The acceptance-criteria mutation: widen one placement so that it
+    /// collides with a competing reservation. The independent sweep must
+    /// catch the overflow even though every per-task check still passes.
+    #[test]
+    fn mutation_capacity_overflow_is_caught() {
+        let dag = chain(&[c(1_000, 0.0)]);
+        let mut cal = Calendar::new(8);
+        cal.try_add(Reservation::new(Time::ZERO, Time::seconds(10_000), 5))
+            .unwrap();
+        let s = schedule_forward(&dag, &cal, Time::ZERO, 8, ForwardConfig::recommended());
+        let v = ScheduleValidator::new(&dag, &cal, Time::ZERO);
+        v.check(&s).unwrap();
+        // Sabotage: grow the allocation past the 3 free processors, fixing
+        // up the duration so only the capacity invariant can object.
+        let bad = tamper(&s, 0, |pl| {
+            pl.procs = 6;
+            pl.end = pl.start + dag.cost(crate::dag::TaskId(0)).exec_time(6);
+        });
+        let report = v.report(&bad);
+        assert!(
+            report.iter().any(|v| matches!(
+                v,
+                Violation::CapacityExceeded {
+                    app: 6,
+                    competing: 5,
+                    capacity: 8,
+                    ..
+                }
+            )),
+            "expected a capacity overflow, got {report:?}"
+        );
+        // Exactly one overflow is reported even though the oversized
+        // placement spans many audit intervals.
+        assert_eq!(
+            report
+                .iter()
+                .filter(|v| matches!(v, Violation::CapacityExceeded { .. }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn overlapping_tampered_tasks_overflow_without_competing_load() {
+        // Two independent tasks forced onto the same instant with combined
+        // width above capacity: the sweep must add app usage correctly.
+        let mut b = DagBuilder::new();
+        let a = b.add_task(c(1_000, 0.0));
+        let x = b.add_task(c(1_000, 0.0));
+        let _ = (a, x);
+        let dag = b.build().unwrap();
+        let cal = Calendar::new(4);
+        let pls = vec![
+            Placement {
+                start: Time::ZERO,
+                end: Time::seconds(334),
+                procs: 3,
+            },
+            Placement {
+                start: Time::ZERO,
+                end: Time::seconds(334),
+                procs: 3,
+            },
+        ];
+        let bad = Schedule::new(pls, Time::ZERO);
+        let v = ScheduleValidator::new(&dag, &cal, Time::ZERO);
+        assert!(v
+            .report(&bad)
+            .iter()
+            .any(|v| matches!(v, Violation::CapacityExceeded { app: 6, .. })));
+    }
+
+    #[test]
+    fn exit_finish_matches_completion_on_real_schedules() {
+        let (dag, cal, s) = fixture();
+        let v = ScheduleValidator::new(&dag, &cal, Time::ZERO);
+        // completion() is defined as the max over all placements; with
+        // precedence intact that is always an exit finish, so a valid
+        // schedule can never trip this — tamper an exit to prove the
+        // check is wired: shrink the exit's duration so completion (still
+        // computed over all tasks) matches, then the duration check and
+        // not the exit check fires.
+        assert!(!v
+            .report(&s)
+            .iter()
+            .any(|v| matches!(v, Violation::ExitFinishMismatch { .. })));
+    }
+
+    #[test]
+    fn report_collects_multiple_violations() {
+        let (dag, cal, s) = fixture();
+        let bad = tamper(&s, 3, |pl| {
+            pl.procs = 11; // out of range
+            pl.end += Dur::seconds(5); // and duration mismatch
+        });
+        let v = ScheduleValidator::new(&dag, &cal, Time::ZERO);
+        let report = v.report(&bad);
+        assert!(report.len() >= 2, "got {report:?}");
+    }
+}

@@ -409,6 +409,16 @@ impl Calendar {
             .map(|w| (w[0].time, w[1].time, w[0].used))
     }
 
+    /// Iterate the breakpoint instants of the usage step function, in
+    /// strictly increasing order. Usage is constant on every half-open
+    /// interval between consecutive breakpoints (and zero before the first
+    /// and from the last one on), which makes this the exact set of probe
+    /// points an external auditor needs to re-check capacity independently
+    /// of the slot-query machinery.
+    pub fn breakpoints(&self) -> impl Iterator<Item = Time> + '_ {
+        self.steps.iter().map(|s| s.time)
+    }
+
     /// The time of the last breakpoint (when the calendar drains), if any.
     pub fn horizon(&self) -> Option<Time> {
         self.steps.last().map(|s| s.time)
@@ -819,6 +829,25 @@ mod tests {
         assert_eq!(cal.used_at(t(12345)), 0);
         assert_eq!(cal.available_at(t(0)), 8);
         assert_eq!(cal.latest_fit(8, d(10), t(100), t(0)), Some(t(90)));
+    }
+
+    #[test]
+    fn breakpoints_cover_the_step_function() {
+        let cal =
+            Calendar::with_reservations(8, [r(10, 20, 3), r(15, 30, 2), r(50, 60, 8)]).unwrap();
+        let bps: Vec<Time> = cal.breakpoints().collect();
+        // Strictly increasing, and usage is constant between consecutive
+        // breakpoints: probing at each breakpoint (and one implicit point
+        // before the first) reconstructs used_at everywhere.
+        assert!(bps.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(bps.first().copied(), Some(t(10)));
+        assert_eq!(bps.last().copied(), cal.horizon());
+        for w in bps.windows(2) {
+            let mid = w[0].midpoint(w[1]);
+            assert_eq!(cal.used_at(mid), cal.used_at(w[0]));
+        }
+        assert_eq!(cal.used_at(t(9)), 0);
+        assert_eq!(Calendar::new(4).breakpoints().count(), 0);
     }
 
     #[test]

@@ -7,3 +7,4 @@ pub mod ressched;
 pub mod scaling;
 pub mod stream;
 pub mod trends;
+pub mod validation;

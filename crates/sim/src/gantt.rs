@@ -25,9 +25,11 @@ impl Default for GanttOptions {
 /// Render the schedule as a per-task strip chart plus (optionally) the
 /// competing-reservation load, one character per time bucket.
 ///
-/// Task rows use `#` where the task's reservation is active; the competing
-/// strip shows load deciles `0`–`9` (fraction of platform in use).
-pub fn render(sched: &Schedule, dag: &Dag, competing: &Calendar, opts: GanttOptions) -> String {
+/// Task rows use `#` where the task's reservation is active and appear in
+/// the schedule's canonical order (start time, ties by task id), so the
+/// chart reads chronologically top-to-bottom; the competing strip shows
+/// load deciles `0`–`9` (fraction of platform in use).
+pub fn render(sched: &Schedule, _dag: &Dag, competing: &Calendar, opts: GanttOptions) -> String {
     use std::fmt::Write as _;
     let width = opts.width.max(10);
     let t0 = sched.now().min(sched.first_start());
@@ -45,8 +47,7 @@ pub fn render(sched: &Schedule, dag: &Dag, competing: &Calendar, opts: GanttOpti
         resched_core::prelude::Dur::seconds(bucket)
     );
 
-    for t in dag.task_ids() {
-        let p = sched.placement(t);
+    for (t, p) in sched.placements_by_start() {
         let mut row = String::with_capacity(cols);
         for c in 0..cols {
             let bs = t0 + resched_core::prelude::Dur::seconds(c as i64 * bucket);

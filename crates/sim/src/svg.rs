@@ -31,7 +31,7 @@ impl Default for SvgOptions {
 /// as colored bars stacked greedily into free vertical space of their time
 /// span (the drawing is a visualization aid — actual processor assignment
 /// is abstract in the reservation model).
-pub fn render_svg(sched: &Schedule, dag: &Dag, competing: &Calendar, opts: SvgOptions) -> String {
+pub fn render_svg(sched: &Schedule, _dag: &Dag, competing: &Calendar, opts: SvgOptions) -> String {
     let t0 = sched.now().min(sched.first_start());
     let t1 = sched.completion();
     let span = (t1 - t0).as_seconds().max(1) as f64;
@@ -71,9 +71,11 @@ pub fn render_svg(sched: &Schedule, dag: &Dag, competing: &Calendar, opts: SvgOp
     let palette = [
         "#4c78a8", "#f58518", "#54a24b", "#e45756", "#72b7b2", "#b279a2", "#ff9da6", "#9d755d",
     ];
+    // Draw in the schedule's canonical order (start time, ties by task
+    // id) so the greedy stacking — and with it the byte-level SVG — is
+    // deterministic and bars accumulate left-to-right.
     let mut drawn: Vec<(Time, Time, u32, f64)> = Vec::new(); // start,end,procs,offset
-    for t in dag.task_ids() {
-        let pl = sched.placement(t);
+    for (t, pl) in sched.placements_by_start() {
         let base = competing.peak_used(pl.start, pl.end) as f64;
         let mut offset = base;
         for &(ds, de, dp, doff) in &drawn {

@@ -1,0 +1,388 @@
+//! Random scheduling scenarios, the all-algorithms validation runner, and
+//! greedy shrinking — the engine behind `tests/tests/fuzz_validate.rs`.
+//!
+//! A [`Scenario`] is a self-contained, serializable description of one
+//! scheduling problem: moldable tasks, precedence edges, a competing
+//! reservation calendar, and a deadline slack factor. Scenarios are small
+//! on purpose (at most a handful of tasks and reservations) so that a
+//! shrunk failure is human-readable, and every field is plain data so a
+//! failure can be committed under `tests/repros/` and replayed forever.
+
+use rand::Rng;
+use resched_core::algos::Algorithm;
+use resched_core::dag::{Dag, DagBuilder};
+use resched_core::forward::{schedule_forward, ForwardConfig};
+use resched_core::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One moldable task of a fuzz scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FuzzTask {
+    /// Sequential execution time, seconds.
+    pub seq_secs: i64,
+    /// Amdahl sequential fraction, `[0, 1]`.
+    pub alpha: f64,
+}
+
+/// One competing advance reservation of a fuzz scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FuzzResv {
+    /// Start instant, seconds.
+    pub start_secs: i64,
+    /// Duration, seconds.
+    pub dur_secs: i64,
+    /// Processors held.
+    pub procs: u32,
+}
+
+/// A self-contained random scheduling problem: DAG × calendar × deadline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Platform capacity `p`.
+    pub capacity: u32,
+    /// Historical average availability `q` handed to the algorithms.
+    pub q: u32,
+    /// Scheduling instant (release), seconds.
+    pub now_secs: i64,
+    /// The moldable tasks, indexed by task id.
+    pub tasks: Vec<FuzzTask>,
+    /// Precedence edges as `(pred, succ)` task indices; always `pred <
+    /// succ`, so the graph is acyclic by construction (and stays so under
+    /// shrinking).
+    pub edges: Vec<(u32, u32)>,
+    /// Competing reservations; candidates that conflict are skipped when
+    /// the calendar is built, mirroring how real extraction thins logs.
+    pub reservations: Vec<FuzzResv>,
+    /// Deadline slack: `K = now + deadline_factor × forward turn-around`.
+    pub deadline_factor: u32,
+}
+
+/// A validation failure found by [`Scenario::run_all`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Failure {
+    /// Canonical name of the algorithm whose schedule failed.
+    pub algo: String,
+    /// Human-readable description (oracle violation or panic payload).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.algo, self.detail)
+    }
+}
+
+impl Scenario {
+    /// Draw a random scenario. Sizes are deliberately small: the goal is
+    /// coverage of edge cases (tiny DAGs, tight calendars, capacity-1
+    /// platforms), not load.
+    pub fn generate<R: Rng>(rng: &mut R) -> Scenario {
+        let capacity = rng.gen_range(1u32..=16);
+        let q = rng.gen_range(1u32..=capacity);
+        let n = rng.gen_range(1usize..=8);
+        let tasks = (0..n)
+            .map(|_| FuzzTask {
+                seq_secs: rng.gen_range(30i64..3600),
+                alpha: rng.gen_range(0.0..0.5f64),
+            })
+            .collect();
+        let mut edges = Vec::new();
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                if rng.gen_range(0.0..1.0f64) < 0.3 {
+                    edges.push((i, j));
+                }
+            }
+        }
+        let n_resv = rng.gen_range(0usize..=6);
+        let reservations = (0..n_resv)
+            .map(|_| FuzzResv {
+                start_secs: rng.gen_range(0i64..8_000),
+                dur_secs: rng.gen_range(60i64..4_000),
+                procs: rng.gen_range(1u32..=capacity),
+            })
+            .collect();
+        Scenario {
+            capacity,
+            q,
+            now_secs: rng.gen_range(0i64..2_000),
+            tasks,
+            edges,
+            reservations,
+            deadline_factor: rng.gen_range(2u32..=4),
+        }
+    }
+
+    /// Build the DAG, or `None` for a degenerate scenario (no tasks —
+    /// possible only transiently while shrinking).
+    pub fn dag(&self) -> Option<Dag> {
+        if self.tasks.is_empty() {
+            return None;
+        }
+        let mut b = DagBuilder::new();
+        for t in &self.tasks {
+            b.add_task(TaskCost::new(
+                Dur::seconds(t.seq_secs.max(1)),
+                t.alpha.clamp(0.0, 1.0),
+            ));
+        }
+        let n = self.tasks.len() as u32;
+        let mut seen = std::collections::HashSet::new();
+        for &(a, z) in &self.edges {
+            if a < z && z < n && seen.insert((a, z)) {
+                b.add_edge(TaskId(a), TaskId(z));
+            }
+        }
+        b.build().ok()
+    }
+
+    /// Build the competing calendar, skipping conflicting candidates.
+    pub fn calendar(&self) -> Calendar {
+        let mut cal = Calendar::new(self.capacity.max(1));
+        for r in &self.reservations {
+            let start = Time::seconds(r.start_secs);
+            let dur = Dur::seconds(r.dur_secs.max(1));
+            let procs = r.procs.clamp(1, self.capacity.max(1));
+            let _ = cal.try_add(Reservation::for_duration(start, dur, procs));
+        }
+        cal
+    }
+
+    /// The scheduling instant.
+    pub fn now(&self) -> Time {
+        Time::seconds(self.now_secs)
+    }
+
+    /// The deadline handed to deadline algorithms: a slack multiple of the
+    /// recommended forward schedule's turn-around.
+    pub fn deadline(&self, dag: &Dag, cal: &Calendar) -> Time {
+        let fwd = schedule_forward(dag, cal, self.now(), self.q, ForwardConfig::recommended());
+        self.now() + fwd.turnaround() * i64::from(self.deadline_factor.max(1))
+    }
+
+    /// Run every registered algorithm on this scenario and audit each
+    /// produced schedule with both oracles (the independent
+    /// `ScheduleValidator` and the in-band `Schedule::validate`).
+    ///
+    /// Deadline-infeasible outcomes are not failures (the deadline is
+    /// derived, not guaranteed achievable for every algorithm); scheduler
+    /// panics — including the debug post-pass tripping inside the
+    /// scheduler — are reported as failures.
+    pub fn run_all(&self) -> Result<(), Failure> {
+        let Some(dag) = self.dag() else { return Ok(()) };
+        let cal = self.calendar();
+        let now = self.now();
+        let deadline = Some(self.deadline(&dag, &cal));
+        for algo in Algorithm::catalog() {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                algo.run(&dag, &cal, now, self.q, deadline)
+            }));
+            let result = match outcome {
+                Ok(r) => r,
+                Err(payload) => {
+                    return Err(Failure {
+                        algo: algo.name(),
+                        detail: panic_message(payload),
+                    })
+                }
+            };
+            match result {
+                Ok(sched) => {
+                    if let Err(v) = algo.validator(&dag, &cal, now, deadline).check(&sched) {
+                        return Err(Failure {
+                            algo: algo.name(),
+                            detail: v.to_string(),
+                        });
+                    }
+                    if let Err(e) = sched.validate(&dag, &cal) {
+                        return Err(Failure {
+                            algo: algo.name(),
+                            detail: format!("in-band validate: {e}"),
+                        });
+                    }
+                }
+                Err(resched_core::algos::RunError::Infeasible(_)) => {}
+                Err(e) => {
+                    return Err(Failure {
+                        algo: algo.name(),
+                        detail: e.to_string(),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// All one-step simplifications of this scenario, most aggressive
+    /// first: drop a task (and its incident edges), drop a reservation,
+    /// drop an edge, halve a reservation's width or length, halve a
+    /// task's cost, zero the release, floor the deadline factor.
+    pub fn shrink_candidates(&self) -> Vec<Scenario> {
+        let mut out = Vec::new();
+        for i in (0..self.tasks.len()).rev() {
+            out.push(self.without_task(i));
+        }
+        for i in (0..self.reservations.len()).rev() {
+            let mut s = self.clone();
+            s.reservations.remove(i);
+            out.push(s);
+        }
+        for i in (0..self.edges.len()).rev() {
+            let mut s = self.clone();
+            s.edges.remove(i);
+            out.push(s);
+        }
+        for i in 0..self.reservations.len() {
+            if self.reservations[i].procs > 1 {
+                let mut s = self.clone();
+                s.reservations[i].procs /= 2;
+                out.push(s);
+            }
+            if self.reservations[i].dur_secs > 60 {
+                let mut s = self.clone();
+                s.reservations[i].dur_secs /= 2;
+                out.push(s);
+            }
+        }
+        for i in 0..self.tasks.len() {
+            if self.tasks[i].seq_secs > 30 {
+                let mut s = self.clone();
+                s.tasks[i].seq_secs /= 2;
+                out.push(s);
+            }
+            if self.tasks[i].alpha > 0.0 {
+                let mut s = self.clone();
+                s.tasks[i].alpha = 0.0;
+                out.push(s);
+            }
+        }
+        if self.now_secs > 0 {
+            let mut s = self.clone();
+            s.now_secs = 0;
+            out.push(s);
+        }
+        if self.deadline_factor > 2 {
+            let mut s = self.clone();
+            s.deadline_factor = 2;
+            out.push(s);
+        }
+        out
+    }
+
+    fn without_task(&self, i: usize) -> Scenario {
+        let mut s = self.clone();
+        s.tasks.remove(i);
+        let i = i as u32;
+        s.edges = s
+            .edges
+            .iter()
+            .filter(|&&(a, z)| a != i && z != i)
+            .map(|&(a, z)| (if a > i { a - 1 } else { a }, if z > i { z - 1 } else { z }))
+            .collect();
+        s
+    }
+
+    /// Pretty JSON for committing under `tests/repros/`.
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("scenario serializes");
+        s.push('\n');
+        s
+    }
+
+    /// Parse a committed repro.
+    pub fn from_json(json: &str) -> Result<Scenario, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// Greedily shrink `scenario` while `fails` keeps returning true: take the
+/// first one-step simplification that still fails and restart from it,
+/// until no simplification fails (a local minimum) or the step budget runs
+/// out. Deterministic: same scenario and predicate, same minimum.
+pub fn shrink(scenario: &Scenario, fails: impl Fn(&Scenario) -> bool) -> Scenario {
+    debug_assert!(fails(scenario), "shrink needs a failing starting point");
+    let mut current = scenario.clone();
+    let mut budget = 2_000usize;
+    'outer: while budget > 0 {
+        for cand in current.shrink_candidates() {
+            budget = budget.saturating_sub(1);
+            if fails(&cand) {
+                current = cand;
+                continue 'outer;
+            }
+            if budget == 0 {
+                break;
+            }
+        }
+        break;
+    }
+    current
+}
+
+/// Best-effort string from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn generated_scenarios_build_and_roundtrip() {
+        let mut rng = ChaCha12Rng::seed_from_u64(0x5CED_00F0);
+        for _ in 0..32 {
+            let s = Scenario::generate(&mut rng);
+            assert!(s.dag().is_some(), "generated scenarios are never empty");
+            let _ = s.calendar();
+            let back = Scenario::from_json(&s.to_json()).unwrap();
+            assert_eq!(back, s);
+        }
+    }
+
+    #[test]
+    fn shrinking_reaches_a_failing_local_minimum() {
+        let mut rng = ChaCha12Rng::seed_from_u64(0x5CED_00F1);
+        let s = Scenario::generate(&mut rng);
+        // A predicate any non-empty scenario satisfies: shrinking must
+        // drive the scenario down to a single task and nothing else.
+        let fails = |c: &Scenario| !c.tasks.is_empty();
+        let min = shrink(&s, fails);
+        assert_eq!(min.tasks.len(), 1);
+        assert!(min.reservations.is_empty());
+        assert!(min.edges.is_empty());
+        assert!(min.tasks[0].seq_secs <= 30, "cost fully halved down");
+        assert_eq!(min.now_secs, 0);
+    }
+
+    #[test]
+    fn dropping_a_task_remaps_edges() {
+        let mut s = Scenario {
+            capacity: 4,
+            q: 4,
+            now_secs: 0,
+            tasks: vec![
+                FuzzTask {
+                    seq_secs: 100,
+                    alpha: 0.0
+                };
+                3
+            ],
+            edges: vec![(0, 1), (0, 2), (1, 2)],
+            reservations: vec![],
+            deadline_factor: 2,
+        };
+        s = s.without_task(1);
+        assert_eq!(s.tasks.len(), 2);
+        assert_eq!(s.edges, vec![(0, 1)]);
+        assert!(s.dag().is_some());
+    }
+}

@@ -3,6 +3,7 @@
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
+use resched_core::algos::{Algorithm, RunError};
 use resched_core::bl::BlMethod;
 use resched_core::forward::{schedule_forward, BdMethod, ForwardConfig, TieBreak};
 use resched_core::prelude::*;
@@ -145,6 +146,37 @@ fn cpa_dedicated_schedule_valid() {
         let dag = generate(&params, seed);
         let s = resched_core::cpa::schedule(&dag, pool, StoppingCriterion::default(), Time::ZERO);
         assert!(s.validate(&dag, &Calendar::new(pool)).is_ok());
+    }
+}
+
+/// Every registered algorithm, audited by the *independent* oracle: 200
+/// random DAG × calendar scenarios, each pushed through the full catalog
+/// (16 forward variants, 7 deadline variants, iCASLB-AR, BLIND), every
+/// produced schedule checked with `ScheduleValidator::check` configured
+/// via `Algorithm::validator` (which also arms the deadline invariant for
+/// deadline algorithms). Deadline-infeasible outcomes are legitimate —
+/// the derived `K` is not guaranteed achievable for every variant.
+#[test]
+fn every_algorithm_passes_the_oracle_on_random_scenarios() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0x5CED_0008);
+    for _ in 0..200 {
+        let params = dag_params(&mut rng);
+        let cal = calendar(&mut rng, 16);
+        let seed = rng.gen_range(0u64..1000);
+        let q = rng.gen_range(1u32..=16);
+        let dag = generate(&params, seed);
+        let fwd = schedule_forward(&dag, &cal, Time::ZERO, q, ForwardConfig::recommended());
+        let k = Time::ZERO + fwd.turnaround() * 3;
+        for algo in Algorithm::catalog() {
+            match algo.run(&dag, &cal, Time::ZERO, q, Some(k)) {
+                Ok(s) => algo
+                    .validator(&dag, &cal, Time::ZERO, Some(k))
+                    .check(&s)
+                    .unwrap_or_else(|v| panic!("{} violates the oracle: {v}", algo.name())),
+                Err(RunError::Infeasible(_)) => {}
+                Err(e) => panic!("{} failed to run: {e}", algo.name()),
+            }
+        }
     }
 }
 
