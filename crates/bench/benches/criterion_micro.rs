@@ -128,6 +128,53 @@ fn bench_schedulers(c: &mut Criterion) {
     });
 }
 
+/// Overhead of the observability layer. Without the `obs` feature every
+/// primitive compiles to a no-op and must measure at ~zero (the optimizer
+/// deletes the calls); with it, `span_enter`/`counter_add` outside an
+/// observe scope cost one thread-local check, and a fully observed forward
+/// run must stay within a few percent of the plain one.
+fn bench_obs(c: &mut Criterion) {
+    use resched_core::obs;
+    let mut group = c.benchmark_group("obs");
+    group.bench_function("span_enter_exit", |b| {
+        b.iter(|| {
+            let g = obs::span_enter("bench.span");
+            black_box(&g);
+        })
+    });
+    group.bench_function("counter_add", |b| {
+        b.iter(|| obs::counter_add("bench.counter", black_box(1)))
+    });
+    let (dag, cal, q) = setup();
+    group.bench_function("forward_plain", |b| {
+        b.iter_batched(
+            || cal.clone(),
+            |cal| {
+                black_box(schedule_forward(
+                    &dag,
+                    &cal,
+                    Time::ZERO,
+                    q,
+                    ForwardConfig::recommended(),
+                ))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("forward_observed", |b| {
+        b.iter_batched(
+            || cal.clone(),
+            |cal| {
+                black_box(obs::observe("bench.forward", || {
+                    schedule_forward(&dag, &cal, Time::ZERO, q, ForwardConfig::recommended())
+                }))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(20)
@@ -138,6 +185,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_calendar, bench_earliest_fit_scaling, bench_cpa, bench_schedulers
+    targets = bench_calendar, bench_earliest_fit_scaling, bench_cpa, bench_schedulers, bench_obs
 }
 criterion_main!(benches);

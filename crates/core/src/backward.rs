@@ -29,8 +29,9 @@
 use crate::bl::{self, BlMethod};
 use crate::cpa::{self, CpaAllocation, StoppingCriterion};
 use crate::dag::{Dag, TaskId};
+use crate::obs;
 use crate::schedule::{Placement, Schedule, ScheduleStats};
-use resched_resv::{Calendar, QueryCost, Reservation, Time};
+use resched_resv::{Calendar, Reservation, Time};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -155,10 +156,13 @@ pub fn schedule_deadline(
 
     // All algorithms order tasks with BL_CPAR bottom levels (paper §5.2:
     // "We use the BL_CPAR method ... because it proved the best").
-    stats.cpa_allocations += 1;
-    let bl_exec = bl::exec_times(dag, p, q, BlMethod::CpaR, cfg.criterion);
-    let levels = bl::bottom_levels(dag, &bl_exec);
-    let order = bl::order_by_increasing_bl(dag, &levels);
+    let order = {
+        crate::span!("deadline.prep");
+        stats.count_cpa_allocation();
+        let bl_exec = bl::exec_times(dag, p, q, BlMethod::CpaR, cfg.criterion);
+        let levels = bl::bottom_levels(dag, &bl_exec);
+        bl::order_by_increasing_bl(dag, &levels)
+    };
 
     let result = match algo {
         DeadlineAlgo::BdAll => {
@@ -174,7 +178,7 @@ pub fn schedule_deadline(
             )
         }
         DeadlineAlgo::BdCpa => {
-            stats.cpa_allocations += 1;
+            stats.count_cpa_allocation();
             let bounds = cpa::allocate(dag, p, cfg.criterion).allocs;
             backward_pass(
                 dag,
@@ -187,7 +191,7 @@ pub fn schedule_deadline(
             )
         }
         DeadlineAlgo::BdCpaR => {
-            stats.cpa_allocations += 1;
+            stats.count_cpa_allocation();
             let bounds = cpa::allocate(dag, q, cfg.criterion).allocs;
             backward_pass(
                 dag,
@@ -201,7 +205,7 @@ pub fn schedule_deadline(
         }
         DeadlineAlgo::RcCpa | DeadlineAlgo::RcCpaR => {
             let pool = if algo == DeadlineAlgo::RcCpa { p } else { q };
-            stats.cpa_allocations += 1;
+            stats.count_cpa_allocation();
             let guide = cpa::allocate(dag, pool, cfg.criterion);
             backward_pass(
                 dag,
@@ -218,7 +222,7 @@ pub fn schedule_deadline(
             )
         }
         DeadlineAlgo::RcCpaRLambda | DeadlineAlgo::RcbdCpaRLambda => {
-            stats.cpa_allocations += 1;
+            stats.count_cpa_allocation();
             let guide = cpa::allocate(dag, q, cfg.criterion);
             let fallback = if algo == DeadlineAlgo::RcbdCpaRLambda {
                 Some(guide.allocs.clone())
@@ -329,7 +333,8 @@ fn backward_pass(
     mode: Mode<'_>,
     stats: &mut ScheduleStats,
 ) -> Option<Vec<Placement>> {
-    stats.passes += 1;
+    crate::span!("deadline.pass");
+    stats.count_pass();
     let p = competing.capacity();
     let mut cal = competing.clone();
     let mut placements: Vec<Option<Placement>> = vec![None; dag.num_tasks()];
@@ -361,7 +366,7 @@ fn backward_pass(
                 // of the DAG (everything from position k on, which is
                 // predecessor-closed because preds have higher bottom
                 // levels) on an empty `pool`-processor platform.
-                stats.cpa_mappings += 1;
+                stats.count_cpa_mapping();
                 let unscheduled: Vec<bool> = {
                     let mut v = vec![false; dag.num_tasks()];
                     for &u in &order[k..] {
@@ -369,6 +374,9 @@ fn backward_pass(
                     }
                     v
                 };
+                // NB: the mapping's probe cost is deliberately *not* folded
+                // into `stats` (it runs on a virtual platform); the registry
+                // still sees it under `cpa.map.*` via the mapping's probes.
                 let cpa_map = cpa::map_subset(dag, guide, now, |u| unscheduled[u.idx()]);
                 let s_i = cpa_map[t.idx()]
                     .expect("current task is in the unscheduled subset")
@@ -389,9 +397,7 @@ fn backward_pass(
                         continue; // plateau: same duration, more procs
                     }
                     prev_dur = Some(dur);
-                    let mut qc = QueryCost::default();
-                    let fit = cal.latest_fit_with_cost(m, dur, dl, now, &mut qc);
-                    stats.absorb_query_cost(qc);
+                    let fit = obs::probe::latest_fit(&cal, m, dur, dl, now, stats);
                     if let Some(s) = fit {
                         if s >= threshold {
                             conservative = Some(Placement {
@@ -442,9 +448,7 @@ fn latest_start_candidate(
             continue; // same duration with more procs can't start later
         }
         prev_dur = Some(dur);
-        let mut qc = QueryCost::default();
-        let fit = cal.latest_fit_with_cost(m, dur, dl, now, &mut qc);
-        stats.absorb_query_cost(qc);
+        let fit = obs::probe::latest_fit(cal, m, dur, dl, now, stats);
         if let Some(s) = fit {
             let better = match &best {
                 None => true,

@@ -20,6 +20,7 @@
 use crate::bl::{self, BlMethod};
 use crate::cpa::{self, StoppingCriterion};
 use crate::dag::Dag;
+use crate::obs;
 use crate::schedule::{Placement, Schedule, ScheduleStats};
 use resched_resv::{Calendar, Dur, QueryCost, Reservation, Time};
 
@@ -130,11 +131,9 @@ pub fn schedule_blind(
     // post-pass can audit against the competing load alone.
     #[cfg(any(debug_assertions, feature = "validate"))]
     let competing_at_entry = desk.cal.clone();
-    let mut stats = ScheduleStats {
-        passes: 1,
-        cpa_allocations: 1,
-        ..ScheduleStats::default()
-    };
+    let mut stats = ScheduleStats::default();
+    stats.count_pass();
+    stats.count_cpa_allocation();
 
     // Bottom levels and bounds exactly as BL_CPAR / BD_CPAR would.
     let alloc_q = cpa::allocate(dag, q, cfg.criterion);
@@ -142,6 +141,7 @@ pub fn schedule_blind(
     let levels = bl::bottom_levels(dag, &exec);
     let order = bl::order_by_decreasing_bl(dag, &levels);
 
+    crate::span!("blind.place");
     let mut placements: Vec<Option<Placement>> = vec![None; dag.num_tasks()];
     for t in order {
         let ready = dag
@@ -171,7 +171,7 @@ pub fn schedule_blind(
             let dur = cost.exec_time(m);
             let mut qc = QueryCost::default();
             let s = desk.probe_with_cost(m, dur, ready, &mut qc);
-            stats.absorb_query_cost(qc);
+            obs::probe::record_desk_probe(qc, &mut stats);
             let end = s + dur;
             let better = match &best {
                 None => true,

@@ -45,6 +45,7 @@
 
 use crate::bl::{bottom_levels, critical_path_length, order_by_decreasing_bl, top_levels};
 use crate::dag::{Dag, TaskId};
+use crate::obs;
 use crate::schedule::{Placement, Schedule};
 use resched_resv::{Calendar, Dur, QueryCost, Reservation, Time};
 use serde::{Deserialize, Serialize};
@@ -105,6 +106,8 @@ pub fn allocate(dag: &Dag, pool: u32, criterion: StoppingCriterion) -> CpaAlloca
         StoppingCriterion::Stringent => dag.mean_width().clamp(1.0, pool as f64),
     };
 
+    crate::span!("cpa.alloc_loop");
+    let mut iterations = 0u64;
     loop {
         let bl = bottom_levels(dag, &exec);
         let tl = top_levels(dag, &exec);
@@ -139,12 +142,15 @@ pub fn allocate(dag: &Dag, pool: u32, criterion: StoppingCriterion) -> CpaAlloca
         let Some((t, _)) = best else {
             break; // critical path saturated; cannot improve further
         };
+        iterations += 1;
         let m = allocs[t.idx()] + 1;
         total_work -= dag.cost(t).work(m - 1);
         total_work += dag.cost(t).work(m);
         allocs[t.idx()] = m;
         exec[t.idx()] = dag.cost(t).exec_time(m);
     }
+    obs::counter_add(obs::names::CPA_ALLOC_ITERS, iterations);
+    obs::record_value(obs::names::CPA_ALLOC_ITERS_PER_RUN, iterations);
 
     let out = CpaAllocation { pool, allocs, exec };
     #[cfg(any(debug_assertions, feature = "validate"))]
@@ -200,6 +206,7 @@ pub fn map_subset_with_cost(
     include: impl Fn(TaskId) -> bool,
     cost: &mut QueryCost,
 ) -> Vec<Option<Placement>> {
+    crate::span!("cpa.map");
     let bl = bottom_levels(dag, &alloc.exec);
     let order = order_by_decreasing_bl(dag, &bl);
     let mut platform = Calendar::new(alloc.pool);
@@ -220,7 +227,7 @@ pub fn map_subset_with_cost(
         }
         let m = alloc.alloc(t).min(alloc.pool);
         let dur = alloc.exec_time(t);
-        let s = platform.earliest_fit_with_cost(m, dur, ready, cost);
+        let s = obs::probe::map_earliest_fit(&platform, m, dur, ready, cost);
         platform.add_unchecked(Reservation::for_duration(s, dur, m));
         out[t.idx()] = Some(Placement {
             start: s,
@@ -240,8 +247,8 @@ pub fn schedule(dag: &Dag, pool: u32, criterion: StoppingCriterion, now: Time) -
     let mut cost = QueryCost::default();
     let placements = map_with_cost(dag, &alloc, now, &mut cost);
     let mut s = Schedule::new(placements, now);
-    s.stats.cpa_allocations = 1;
-    s.stats.cpa_mappings = 1;
+    s.stats.count_cpa_allocation();
+    s.stats.count_cpa_mapping();
     s.stats.absorb_query_cost(cost);
 
     // CPA runs on a dedicated platform: audit against an empty calendar,

@@ -17,8 +17,9 @@
 use crate::bl::{self, BlMethod};
 use crate::dag::Dag;
 use crate::forward::{allocation_bounds, ForwardConfig};
+use crate::obs;
 use crate::schedule::{Placement, Schedule, ScheduleStats};
-use resched_resv::{Calendar, QueryCost, Reservation, Time};
+use resched_resv::{Calendar, Reservation, Time};
 
 /// Events passed to the interference callback.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,19 +47,18 @@ pub fn schedule_forward_dynamic(
 ) -> Schedule {
     let p = competing.capacity();
     let q = q.clamp(1, p);
-    let mut stats = ScheduleStats {
-        passes: 1,
-        ..ScheduleStats::default()
-    };
+    let mut stats = ScheduleStats::default();
+    stats.count_pass();
 
     if matches!(cfg.bl, BlMethod::Cpa | BlMethod::CpaR) {
-        stats.cpa_allocations += 1;
+        stats.count_cpa_allocation();
     }
     let exec = bl::exec_times(dag, p, q, cfg.bl, cfg.criterion);
     let levels = bl::bottom_levels(dag, &exec);
     let order = bl::order_by_decreasing_bl(dag, &levels);
     let bounds = allocation_bounds(dag, p, q, cfg.bd, cfg.criterion, &mut stats);
 
+    crate::span!("dynamic.place");
     let mut cal = competing.clone();
     let mut placements: Vec<Option<Placement>> = vec![None; dag.num_tasks()];
     let total = order.len();
@@ -80,9 +80,7 @@ pub fn schedule_forward_dynamic(
                 continue;
             }
             prev_dur = Some(dur);
-            let mut qc = QueryCost::default();
-            let s = cal.earliest_fit_with_cost(m, dur, ready, &mut qc);
-            stats.absorb_query_cost(qc);
+            let s = obs::probe::earliest_fit(&cal, m, dur, ready, &mut stats);
             let end = s + dur;
             let better = match &best {
                 None => true,

@@ -22,6 +22,7 @@
 //! — the trade the paper alludes to.
 
 use crate::dag::{Dag, TaskId};
+use crate::obs;
 use crate::schedule::Schedule;
 use resched_resv::{Calendar, Dur, Reservation, Time};
 use serde::{Deserialize, Serialize};
@@ -97,6 +98,7 @@ pub fn execute(
         cal.add_unchecked(schedule.placement(t).reservation());
     }
 
+    crate::span!("exec.replay");
     let mut actual_end: Vec<Option<Time>> = vec![None; dag.num_tasks()];
     let mut overruns = Vec::new();
     let mut cpu_paid = 0.0f64;
@@ -127,11 +129,13 @@ pub fn execute(
         if start >= pl.end || end > pl.end {
             // Cannot finish inside the reservation.
             overruns.push(t);
+            obs::counter_add(obs::names::EXEC_OVERRUNS, 1);
             match policy {
                 OverrunPolicy::Kill => {
                     completed = false;
                 }
                 OverrunPolicy::Requeue => {
+                    obs::counter_add(obs::names::EXEC_REQUEUES, 1);
                     // Book a right-sized replacement after both the failed
                     // window and data readiness.
                     let not_before = ready.max(pl.end);

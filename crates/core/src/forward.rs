@@ -16,8 +16,9 @@
 use crate::bl::{self, BlMethod};
 use crate::cpa::{self, StoppingCriterion};
 use crate::dag::Dag;
+use crate::obs;
 use crate::schedule::{Placement, Schedule, ScheduleStats};
-use resched_resv::{Calendar, QueryCost, Reservation, Time};
+use resched_resv::{Calendar, Reservation, Time};
 use serde::{Deserialize, Serialize};
 
 /// How to bound per-task allocations in the slot search (paper §4.2).
@@ -122,11 +123,11 @@ pub fn allocation_bounds(
         BdMethod::All => vec![p; dag.num_tasks()],
         BdMethod::Half => vec![(p / 2).max(1); dag.num_tasks()],
         BdMethod::Cpa => {
-            stats.cpa_allocations += 1;
+            stats.count_cpa_allocation();
             cpa::allocate(dag, p, criterion).allocs
         }
         BdMethod::CpaR => {
-            stats.cpa_allocations += 1;
+            stats.count_cpa_allocation();
             cpa::allocate(dag, q.min(p), criterion).allocs
         }
     }
@@ -147,21 +148,24 @@ pub fn schedule_forward(
 ) -> Schedule {
     let p = competing.capacity();
     let q = q.clamp(1, p);
-    let mut stats = ScheduleStats {
-        passes: 1,
-        ..ScheduleStats::default()
-    };
+    let mut stats = ScheduleStats::default();
+    stats.count_pass();
 
     // Phase 1: bottom levels and scheduling order.
-    if matches!(cfg.bl, BlMethod::Cpa | BlMethod::CpaR) {
-        stats.cpa_allocations += 1;
-    }
-    let exec = bl::exec_times(dag, p, q, cfg.bl, cfg.criterion);
-    let levels = bl::bottom_levels(dag, &exec);
-    let order = bl::order_by_decreasing_bl(dag, &levels);
+    let (order, bounds) = {
+        crate::span!("forward.prep");
+        if matches!(cfg.bl, BlMethod::Cpa | BlMethod::CpaR) {
+            stats.count_cpa_allocation();
+        }
+        let exec = bl::exec_times(dag, p, q, cfg.bl, cfg.criterion);
+        let levels = bl::bottom_levels(dag, &exec);
+        let order = bl::order_by_decreasing_bl(dag, &levels);
+        let bounds = allocation_bounds(dag, p, q, cfg.bd, cfg.criterion, &mut stats);
+        (order, bounds)
+    };
 
     // Phase 2: per-task earliest-completion slot search.
-    let bounds = allocation_bounds(dag, p, q, cfg.bd, cfg.criterion, &mut stats);
+    let place_span = obs::span_enter("forward.place");
     let mut cal = competing.clone();
     let mut placements: Vec<Option<Placement>> = vec![None; dag.num_tasks()];
 
@@ -195,9 +199,7 @@ pub fn schedule_forward(
                 continue;
             }
             prev_dur = Some(dur);
-            let mut qc = QueryCost::default();
-            let s = cal.earliest_fit_with_cost(m, dur, ready, &mut qc);
-            stats.absorb_query_cost(qc);
+            let s = obs::probe::earliest_fit(&cal, m, dur, ready, &mut stats);
             let end = s + dur;
             let better = match &best {
                 None => true,
@@ -222,6 +224,7 @@ pub fn schedule_forward(
         cal.add_unchecked(Reservation::new(chosen.start, chosen.end, chosen.procs));
         placements[t.idx()] = Some(chosen);
     }
+    drop(place_span);
 
     let mut sched = Schedule::new(
         placements

@@ -18,8 +18,9 @@
 
 use crate::bl::{self};
 use crate::dag::{Dag, TaskId};
+use crate::obs;
 use crate::schedule::{Placement, Schedule, ScheduleStats};
-use resched_resv::{Calendar, Dur, QueryCost, Reservation, Time};
+use resched_resv::{Calendar, Dur, Reservation, Time};
 use serde::{Deserialize, Serialize};
 
 /// Tuning knobs for [`schedule_icaslb`].
@@ -54,6 +55,7 @@ fn build_schedule(
     allocs: &[u32],
     stats: &mut ScheduleStats,
 ) -> Vec<Placement> {
+    crate::span!("icaslb.build");
     let exec: Vec<Dur> = dag
         .task_ids()
         .map(|t| dag.cost(t).exec_time(allocs[t.idx()]))
@@ -72,9 +74,7 @@ fn build_schedule(
             .max(now);
         let m = allocs[t.idx()];
         let dur = exec[t.idx()];
-        let mut qc = QueryCost::default();
-        let s = cal.earliest_fit_with_cost(m, dur, ready, &mut qc);
-        stats.absorb_query_cost(qc);
+        let s = obs::probe::earliest_fit(&cal, m, dur, ready, stats);
         cal.add_unchecked(Reservation::for_duration(s, dur, m));
         placements[t.idx()] = Some(Placement {
             start: s,
@@ -128,10 +128,8 @@ pub fn schedule_icaslb(
 ) -> Schedule {
     let p = competing.capacity();
     let cap = q.clamp(1, p);
-    let mut stats = ScheduleStats {
-        passes: 1,
-        ..ScheduleStats::default()
-    };
+    let mut stats = ScheduleStats::default();
+    stats.count_pass();
 
     let mut allocs = vec![1u32; dag.num_tasks()];
     let mut best_placements = build_schedule(dag, competing, now, &allocs, &mut stats);
@@ -142,6 +140,7 @@ pub fn schedule_icaslb(
         .sum();
     let mut stalls = 0usize;
 
+    crate::span!("icaslb.grow_loop");
     for _ in 0..cfg.max_iterations {
         if stalls >= cfg.patience {
             break;

@@ -60,6 +60,8 @@
 //!   kill/requeue semantics (completing the paper's §3.1 estimate story);
 //! * [`backward`] — RESSCHEDDL algorithms (`DL_*`, λ-hybrids, tightest
 //!   deadline);
+//! * [`obs`] — feature-gated observability: metrics registry, span timers,
+//!   per-run phase profiles, and JSONL trace reports;
 //! * [`schedule`] — schedules, metrics, and the in-band validation oracle;
 //! * [`validate`] — the independent schedule-validity oracle every
 //!   scheduler replays through in debug builds;
@@ -80,6 +82,7 @@ pub mod exec;
 pub mod forward;
 pub mod icaslb;
 pub mod mcpa;
+pub mod obs;
 pub mod schedule;
 pub mod task;
 pub mod validate;

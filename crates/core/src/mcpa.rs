@@ -17,6 +17,7 @@
 use crate::bl::{bottom_levels, critical_path_length, top_levels};
 use crate::cpa::CpaAllocation;
 use crate::dag::Dag;
+use crate::obs;
 use resched_resv::Dur;
 
 /// MCPA allocation: CPA's loop with a per-level total-allocation cap.
@@ -39,6 +40,8 @@ pub fn allocate(dag: &Dag, pool: u32) -> CpaAllocation {
         level_total[dag.depth(t) as usize] += 1;
     }
 
+    crate::span!("mcpa.alloc_loop");
+    let mut iterations = 0u64;
     loop {
         let bl = bottom_levels(dag, &exec);
         let tl = top_levels(dag, &exec);
@@ -71,6 +74,7 @@ pub fn allocate(dag: &Dag, pool: u32) -> CpaAllocation {
             }
         }
         let Some((t, _)) = best else { break };
+        iterations += 1;
         let m = allocs[t.idx()] + 1;
         total_work -= dag.cost(t).work(m - 1);
         total_work += dag.cost(t).work(m);
@@ -78,6 +82,7 @@ pub fn allocate(dag: &Dag, pool: u32) -> CpaAllocation {
         exec[t.idx()] = dag.cost(t).exec_time(m);
         level_total[dag.depth(t) as usize] += 1;
     }
+    obs::counter_add(obs::names::MCPA_ALLOC_ITERS, iterations);
 
     let out = CpaAllocation { pool, allocs, exec };
     #[cfg(any(debug_assertions, feature = "validate"))]

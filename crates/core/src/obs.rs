@@ -1,0 +1,1013 @@
+//! Observability: metrics registry, span timers, and per-run phase profiles.
+//!
+//! The paper's empirical-complexity story (Tables 7–9) hinges on *why* the
+//! algorithms differ — allocation-loop iterations, placement probes, calendar
+//! fit queries. This module turns every scheduler run into an explainable
+//! trace while being provably inert:
+//!
+//! * **Primitives** ([`MetricsRegistry`], [`Histogram`], [`PhaseProfile`],
+//!   [`RunReport`]) are always compiled and unit-tested in the default build.
+//!   They have no global state; anything can own one.
+//! * **Ambient collection** (the [`observe`] / [`span_enter`] /
+//!   [`counter_add`] / [`record_value`] family and the [`span!`] macro) is
+//!   active only with the crate's `obs` feature. Without the feature every
+//!   ambient call compiles to a no-op (empty inline functions and a guard
+//!   type with no `Drop` impl); with it, events are recorded into a
+//!   thread-local stack of runs opened by [`observe`]. Outside an `observe`
+//!   scope the instrumented code paths stay no-ops even with the feature on.
+//!
+//! Instrumentation must never perturb scheduling decisions: the schedulers
+//! call the [`probe`] wrappers, which feed
+//! [`ScheduleStats`](crate::schedule::ScheduleStats) exactly as the old
+//! bespoke `QueryCost` plumbing did *and* mirror the same tallies into the
+//! ambient registry. A differential test over the whole algorithm catalog
+//! pins byte-identical schedules with and without the feature, and
+//! [`MetricsRegistry::stats_view`] reconstructs `ScheduleStats` from the
+//! registry so the two accountings can be cross-checked.
+//!
+//! Timing is collected per *span*: [`span_enter`] opens a named frame,
+//! dropping the guard closes it. Frames nest; a frame's elapsed time is
+//! charged to its own span as *total* time and subtracted from the enclosing
+//! frame's *self* time, so a phase profile's self-times partition the run's
+//! wall clock (up to measurement noise). [`RunReport`] serializes to one
+//! JSON object — the unit written per line in JSONL trace files.
+
+use crate::schedule::ScheduleStats;
+use serde::{Deserialize, Serialize, Value};
+use std::collections::BTreeMap;
+
+/// Whether ambient collection is compiled into this build (`obs` feature).
+///
+/// Runtime reporting code checks this to explain *why* a phase table is
+/// empty instead of silently printing nothing.
+pub const COMPILED: bool = cfg!(feature = "obs");
+
+/// Canonical metric names recorded by the instrumented schedulers.
+///
+/// Collected in one place so reports, tests, and the
+/// [`stats_view`](MetricsRegistry::stats_view) reconstruction agree on
+/// spelling.
+pub mod names {
+    /// Counter: `earliest_fit` queries issued against a competing calendar.
+    pub const EARLIEST_FIT_QUERIES: &str = "calendar.earliest_fit.queries";
+    /// Counter: steps (breakpoints / tree nodes) spent in `earliest_fit`.
+    pub const EARLIEST_FIT_STEPS: &str = "calendar.earliest_fit.steps";
+    /// Counter: `latest_fit` queries issued against a competing calendar.
+    pub const LATEST_FIT_QUERIES: &str = "calendar.latest_fit.queries";
+    /// Counter: steps spent in `latest_fit`.
+    pub const LATEST_FIT_STEPS: &str = "calendar.latest_fit.steps";
+    /// Histogram: steps per individual fit query (size distribution).
+    pub const FIT_STEPS: &str = "calendar.fit.steps";
+    /// Counter: fit queries issued by the CPA mapping phase against its
+    /// *virtual* platform (not folded into `slot_queries` views).
+    pub const CPA_MAP_QUERIES: &str = "cpa.map.queries";
+    /// Counter: steps spent by CPA mapping-phase fit queries.
+    pub const CPA_MAP_STEPS: &str = "cpa.map.steps";
+    /// Counter: CPA allocation-loop iterations (one processor granted).
+    pub const CPA_ALLOC_ITERS: &str = "cpa.alloc.iterations";
+    /// Histogram: allocation-loop iterations per CPA allocation run.
+    pub const CPA_ALLOC_ITERS_PER_RUN: &str = "cpa.alloc.iterations_per_run";
+    /// Counter: MCPA allocation-loop iterations.
+    pub const MCPA_ALLOC_ITERS: &str = "mcpa.alloc.iterations";
+    /// Counter: mirror of [`ScheduleStats::cpa_allocations`].
+    pub const STATS_CPA_ALLOCATIONS: &str = "sched.cpa_allocations";
+    /// Counter: mirror of [`ScheduleStats::cpa_mappings`].
+    pub const STATS_CPA_MAPPINGS: &str = "sched.cpa_mappings";
+    /// Counter: mirror of [`ScheduleStats::passes`].
+    pub const STATS_PASSES: &str = "sched.passes";
+    /// Counter: probes the BLIND scheduler sent through its reservation desk.
+    pub const BLIND_PROBES: &str = "blind.desk.probes";
+    /// Counter: tasks whose actual runtime overran the reservation.
+    pub const EXEC_OVERRUNS: &str = "exec.overruns";
+    /// Counter: tasks re-queued (re-reserved) during execution replay.
+    pub const EXEC_REQUEUES: &str = "exec.requeues";
+
+    use super::ScheduleStats;
+
+    /// Selects the [`ScheduleStats`] field a registry counter sums into.
+    type StatsField = fn(&mut ScheduleStats) -> &mut u64;
+
+    /// The counters [`super::MetricsRegistry::stats_view`] sums into each
+    /// [`ScheduleStats`] field. `cpa.map.*` is deliberately absent: catalog
+    /// algorithms never absorb mapping-phase probe cost into their stats.
+    pub(super) const STATS_VIEW: [(&str, StatsField); 7] = [
+        (EARLIEST_FIT_QUERIES, |s| &mut s.slot_queries),
+        (LATEST_FIT_QUERIES, |s| &mut s.slot_queries),
+        (EARLIEST_FIT_STEPS, |s| &mut s.slot_steps),
+        (LATEST_FIT_STEPS, |s| &mut s.slot_steps),
+        (STATS_CPA_ALLOCATIONS, |s| &mut s.cpa_allocations),
+        (STATS_CPA_MAPPINGS, |s| &mut s.cpa_mappings),
+        (STATS_PASSES, |s| &mut s.passes),
+    ];
+}
+
+/// Number of histogram buckets: one for zero plus one per power of two.
+const HIST_BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` samples.
+///
+/// Bucket 0 holds the value 0; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i - 1]` (bucket 64 is open-ended at the top). Exact count,
+/// sum, min, and max are tracked alongside the buckets, so quantiles are
+/// approximate (bucket resolution) but the extremes are exact. All
+/// accumulators saturate instead of wrapping.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: vec![0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index of the bucket holding `v`.
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive `[lo, hi]` value range of bucket `i`.
+    ///
+    /// # Panics
+    /// If `i >= 65`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < HIST_BUCKETS, "bucket index {i} out of range");
+        if i == 0 {
+            (0, 0)
+        } else if i == 64 {
+            (1 << 63, u64::MAX)
+        } else {
+            (1 << (i - 1), (1 << i) - 1)
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.counts[Self::bucket_index(v)] = self.counts[Self::bucket_index(v)].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of recorded samples, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Approximate `q`-quantile (`q` clamped to `[0, 1]`): the upper bound
+    /// of the bucket containing the `⌈q·count⌉`-th smallest sample, clamped
+    /// into the exact `[min, max]` range. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= target {
+                let (_, hi) = Self::bucket_bounds(i);
+                return Some(hi.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Fold another histogram into this one (min/max/sum/count and buckets).
+    pub fn absorb(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a = a.saturating_add(*b);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+}
+
+/// Named saturating counters and log-bucketed histograms for one run.
+///
+/// Keys are stored in a `BTreeMap`, so iteration (and serialization) is
+/// deterministic by name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by` to counter `name` (created at zero), saturating at `u64::MAX`.
+    pub fn inc(&mut self, name: &str, by: u64) {
+        match self.counters.get_mut(name) {
+            Some(c) => *c = c.saturating_add(by),
+            None => {
+                self.counters.insert(name.to_string(), by);
+            }
+        }
+    }
+
+    /// Current value of counter `name` (zero when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record a sample into histogram `name` (created empty).
+    pub fn record(&mut self, name: &str, v: u64) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.record(v),
+            None => {
+                let mut h = Histogram::new();
+                h.record(v);
+                self.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Histogram `name`, if any sample was ever recorded under it.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterate counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterate histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// `true` when no counter or histogram was ever touched.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Fold another registry into this one.
+    pub fn absorb(&mut self, other: &MetricsRegistry) {
+        for (name, v) in other.counters() {
+            self.inc(name, v);
+        }
+        for (name, h) in other.histograms() {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.absorb(h),
+                None => {
+                    self.histograms.insert(name.to_string(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Reconstruct [`ScheduleStats`] from the registry's mirror counters.
+    ///
+    /// For every catalog algorithm the instrumented probe wrappers keep this
+    /// view equal to the `ScheduleStats` the scheduler returned — the
+    /// differential tests assert exactly that. One documented divergence:
+    /// standalone `cpa::schedule` folds its mapping-phase probe cost into
+    /// `slot_queries`/`slot_steps`, while the registry keeps that cost
+    /// separate under `cpa.map.*` (see [`names::STATS_VIEW`]); its view
+    /// therefore under-counts `slot_*` by exactly the `cpa.map.*` tallies.
+    pub fn stats_view(&self) -> ScheduleStats {
+        let mut out = ScheduleStats::default();
+        for (name, field) in names::STATS_VIEW {
+            *field(&mut out) += self.counter(name);
+        }
+        out
+    }
+}
+
+impl Serialize for MetricsRegistry {
+    fn serialize_value(&self) -> Value {
+        let mut counters = serde::Map::new();
+        for (name, v) in &self.counters {
+            counters.insert(name.clone(), v.serialize_value());
+        }
+        let mut histograms = serde::Map::new();
+        for (name, h) in &self.histograms {
+            histograms.insert(name.clone(), h.serialize_value());
+        }
+        let mut root = serde::Map::new();
+        root.insert("counters".to_string(), Value::Object(counters));
+        root.insert("histograms".to_string(), Value::Object(histograms));
+        Value::Object(root)
+    }
+}
+
+impl Deserialize for MetricsRegistry {
+    fn deserialize_value(v: &Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::expected("object for MetricsRegistry"))?;
+        let mut out = MetricsRegistry::new();
+        if let Some(counters) = obj.get("counters") {
+            let map = counters
+                .as_object()
+                .ok_or_else(|| serde::Error::expected("object for counters"))?;
+            for (name, val) in map.iter() {
+                out.counters
+                    .insert(name.clone(), u64::deserialize_value(val)?);
+            }
+        }
+        if let Some(histograms) = obj.get("histograms") {
+            let map = histograms
+                .as_object()
+                .ok_or_else(|| serde::Error::expected("object for histograms"))?;
+            for (name, val) in map.iter() {
+                out.histograms
+                    .insert(name.clone(), Histogram::deserialize_value(val)?);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Aggregated timing of one named span within a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanStat {
+    /// Span name (as passed to [`span_enter`] / [`span!`]).
+    pub name: String,
+    /// Times the span was entered.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds inside the span, children included.
+    pub total_ns: u64,
+    /// Nanoseconds inside the span minus time spent in nested spans.
+    pub self_ns: u64,
+}
+
+/// Per-run phase profile: one [`SpanStat`] per distinct span name, in
+/// first-entered order, plus the run's wall-clock time.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseProfile {
+    /// Aggregated spans, ordered by first entry.
+    pub spans: Vec<SpanStat>,
+    /// Wall-clock nanoseconds of the whole [`observe`] scope.
+    pub wall_ns: u64,
+}
+
+impl PhaseProfile {
+    /// Charge one closed frame of span `name` to the profile.
+    pub fn record(&mut self, name: &str, total_ns: u64, self_ns: u64) {
+        if let Some(s) = self.spans.iter_mut().find(|s| s.name == name) {
+            s.calls = s.calls.saturating_add(1);
+            s.total_ns = s.total_ns.saturating_add(total_ns);
+            s.self_ns = s.self_ns.saturating_add(self_ns);
+        } else {
+            self.spans.push(SpanStat {
+                name: name.to_string(),
+                calls: 1,
+                total_ns,
+                self_ns,
+            });
+        }
+    }
+
+    /// The stat for span `name`, if it was ever entered.
+    pub fn span(&self, name: &str) -> Option<&SpanStat> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Sum of all spans' self-times. Never exceeds [`Self::wall_ns`] by more
+    /// than timer granularity, because self-times partition the wall clock.
+    pub fn total_self_ns(&self) -> u64 {
+        self.spans
+            .iter()
+            .fold(0u64, |a, s| a.saturating_add(s.self_ns))
+    }
+
+    /// Fold another profile into this one (spans merged by name, wall-clock
+    /// times added).
+    pub fn absorb(&mut self, other: &PhaseProfile) {
+        for s in &other.spans {
+            if let Some(mine) = self.spans.iter_mut().find(|m| m.name == s.name) {
+                mine.calls = mine.calls.saturating_add(s.calls);
+                mine.total_ns = mine.total_ns.saturating_add(s.total_ns);
+                mine.self_ns = mine.self_ns.saturating_add(s.self_ns);
+            } else {
+                self.spans.push(s.clone());
+            }
+        }
+        self.wall_ns = self.wall_ns.saturating_add(other.wall_ns);
+    }
+}
+
+/// Everything collected during one [`observe`] scope: label, phase profile,
+/// and metrics. Serializes to a single JSON object — one line of a JSONL
+/// trace file.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Label passed to [`observe`] (typically the algorithm name).
+    pub label: String,
+    /// Aggregated span timings.
+    pub profile: PhaseProfile,
+    /// Counters and histograms recorded during the run.
+    pub metrics: MetricsRegistry,
+}
+
+impl RunReport {
+    /// Fold another report into this one (label kept from `self`).
+    pub fn absorb(&mut self, other: &RunReport) {
+        self.profile.absorb(&other.profile);
+        self.metrics.absorb(&other.metrics);
+    }
+}
+
+/// Open a span; the span closes when the returned guard drops.
+///
+/// Expands to a `let` binding, so it must appear in statement position; the
+/// span covers the rest of the enclosing block.
+///
+/// ```
+/// # fn cpa_allocation_loop() {}
+/// resched_core::span!("cpa.alloc_loop");
+/// cpa_allocation_loop();
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        let _obs_span_guard = $crate::obs::span_enter($name);
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Ambient collection — real implementation (feature "obs").
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "obs")]
+mod ambient {
+    use super::{MetricsRegistry, PhaseProfile, RunReport};
+    use std::cell::RefCell;
+    use std::time::Instant;
+
+    /// One open span frame on the stack.
+    struct Frame {
+        name: &'static str,
+        started: Instant,
+        /// Nanoseconds spent in already-closed child frames.
+        child_ns: u64,
+    }
+
+    /// Collection state for one `observe` scope.
+    #[derive(Default)]
+    struct RunState {
+        registry: MetricsRegistry,
+        profile: PhaseProfile,
+        frames: Vec<Frame>,
+    }
+
+    thread_local! {
+        /// Stack of active runs; `observe` scopes may nest.
+        static RUNS: RefCell<Vec<RunState>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Guard closing a span on drop. See [`super::span_enter`].
+    #[must_use = "the span closes when the guard drops"]
+    pub struct SpanGuard {
+        /// False when no run was active at entry; drop is then a no-op.
+        active: bool,
+    }
+
+    /// Open span `name` on the innermost active run. No-op (and ~free) when
+    /// no [`super::observe`] scope is active on this thread.
+    pub fn span_enter(name: &'static str) -> SpanGuard {
+        let active = RUNS.with(|runs| {
+            let mut runs = runs.borrow_mut();
+            match runs.last_mut() {
+                Some(run) => {
+                    run.frames.push(Frame {
+                        name,
+                        started: Instant::now(),
+                        child_ns: 0,
+                    });
+                    true
+                }
+                None => false,
+            }
+        });
+        SpanGuard { active }
+    }
+
+    impl Drop for SpanGuard {
+        fn drop(&mut self) {
+            if !self.active {
+                return;
+            }
+            RUNS.with(|runs| {
+                let mut runs = runs.borrow_mut();
+                let Some(run) = runs.last_mut() else { return };
+                let Some(frame) = run.frames.pop() else {
+                    return;
+                };
+                let total_ns = frame.started.elapsed().as_nanos() as u64;
+                let self_ns = total_ns.saturating_sub(frame.child_ns);
+                run.profile.record(frame.name, total_ns, self_ns);
+                if let Some(parent) = run.frames.last_mut() {
+                    parent.child_ns = parent.child_ns.saturating_add(total_ns);
+                }
+            });
+        }
+    }
+
+    /// Add `by` to counter `name` of the innermost active run.
+    #[inline]
+    pub fn counter_add(name: &'static str, by: u64) {
+        RUNS.with(|runs| {
+            if let Some(run) = runs.borrow_mut().last_mut() {
+                run.registry.inc(name, by);
+            }
+        });
+    }
+
+    /// Record a histogram sample on the innermost active run.
+    #[inline]
+    pub fn record_value(name: &'static str, v: u64) {
+        RUNS.with(|runs| {
+            if let Some(run) = runs.borrow_mut().last_mut() {
+                run.registry.record(name, v);
+            }
+        });
+    }
+
+    /// Run `f` with ambient collection active; see [`crate::obs::observe`].
+    pub fn observe<T>(label: &str, f: impl FnOnce() -> T) -> (T, RunReport) {
+        RUNS.with(|runs| runs.borrow_mut().push(RunState::default()));
+        let started = Instant::now();
+        // NB: if `f` panics the RunState is intentionally leaked on this
+        // thread's stack; the thread is unwinding and (in tests) dying.
+        let value = f();
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        let state = RUNS.with(|runs| {
+            runs.borrow_mut()
+                .pop()
+                .expect("observe: run stack underflow")
+        });
+        let mut report = RunReport {
+            label: label.to_string(),
+            profile: state.profile,
+            metrics: state.registry,
+        };
+        report.profile.wall_ns = wall_ns;
+        (value, report)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ambient collection — no-op implementation (feature "obs" absent).
+// ---------------------------------------------------------------------------
+
+#[cfg(not(feature = "obs"))]
+mod ambient {
+    use super::RunReport;
+
+    /// Inert span guard: no fields, no `Drop` impl, optimizes to nothing.
+    #[must_use = "the span closes when the guard drops"]
+    pub struct SpanGuard {
+        _private: (),
+    }
+
+    /// No-op: the `obs` feature is disabled.
+    #[inline(always)]
+    pub fn span_enter(_name: &'static str) -> SpanGuard {
+        SpanGuard { _private: () }
+    }
+
+    /// No-op: the `obs` feature is disabled.
+    #[inline(always)]
+    pub fn counter_add(_name: &'static str, _by: u64) {}
+
+    /// No-op: the `obs` feature is disabled.
+    #[inline(always)]
+    pub fn record_value(_name: &'static str, _v: u64) {}
+
+    /// Passthrough: runs `f` and returns an empty [`RunReport`].
+    #[inline]
+    pub fn observe<T>(label: &str, f: impl FnOnce() -> T) -> (T, RunReport) {
+        let value = f();
+        let report = RunReport {
+            label: label.to_string(),
+            ..RunReport::default()
+        };
+        (value, report)
+    }
+}
+
+pub use ambient::{counter_add, observe, record_value, span_enter, SpanGuard};
+
+// ---------------------------------------------------------------------------
+// Probe wrappers: the single choke point between schedulers, ScheduleStats,
+// and the ambient registry.
+// ---------------------------------------------------------------------------
+
+/// Instrumented calendar-probe wrappers used by every scheduler.
+///
+/// Each wrapper issues the underlying `*_with_cost` query, folds the
+/// [`QueryCost`](resched_resv::QueryCost) into the caller's
+/// [`ScheduleStats`] exactly as the old hand-rolled plumbing did, and
+/// mirrors the tally into the ambient registry (a no-op without the `obs`
+/// feature or outside an [`observe`] scope). Keeping stats and registry fed
+/// from one place is what makes [`MetricsRegistry::stats_view`] a faithful
+/// reconstruction.
+pub mod probe {
+    use super::names;
+    use crate::schedule::ScheduleStats;
+    use resched_resv::{Calendar, Dur, QueryCost, Time};
+
+    /// Mirror one earliest/latest fit query into the ambient registry.
+    #[cfg(feature = "obs")]
+    fn record_fit(queries_name: &'static str, steps_name: &'static str, cost: QueryCost) {
+        super::counter_add(queries_name, cost.queries);
+        super::counter_add(steps_name, cost.steps);
+        super::record_value(names::FIT_STEPS, cost.steps);
+    }
+
+    /// Mirror one earliest/latest fit query into the ambient registry
+    /// (no-op: `obs` feature disabled).
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    fn record_fit(_queries_name: &'static str, _steps_name: &'static str, _cost: QueryCost) {}
+
+    /// `Calendar::earliest_fit` with cost folded into `stats` and mirrored
+    /// into the ambient registry.
+    #[inline]
+    pub fn earliest_fit(
+        cal: &Calendar,
+        procs: u32,
+        dur: Dur,
+        not_before: Time,
+        stats: &mut ScheduleStats,
+    ) -> Time {
+        let mut cost = QueryCost::default();
+        let start = cal.earliest_fit_with_cost(procs, dur, not_before, &mut cost);
+        stats.absorb_query_cost(cost);
+        record_fit(names::EARLIEST_FIT_QUERIES, names::EARLIEST_FIT_STEPS, cost);
+        start
+    }
+
+    /// `Calendar::latest_fit` with cost folded into `stats` and mirrored
+    /// into the ambient registry.
+    #[inline]
+    pub fn latest_fit(
+        cal: &Calendar,
+        procs: u32,
+        dur: Dur,
+        end_by: Time,
+        not_before: Time,
+        stats: &mut ScheduleStats,
+    ) -> Option<Time> {
+        let mut cost = QueryCost::default();
+        let start = cal.latest_fit_with_cost(procs, dur, end_by, not_before, &mut cost);
+        stats.absorb_query_cost(cost);
+        record_fit(names::LATEST_FIT_QUERIES, names::LATEST_FIT_STEPS, cost);
+        start
+    }
+
+    /// `Calendar::earliest_fit` against the CPA mapping phase's *virtual*
+    /// platform: cost is folded into the caller's [`QueryCost`] accumulator
+    /// (whose fate — absorbed into stats or dropped — is the caller's
+    /// business, exactly as before) and mirrored into the registry under the
+    /// dedicated `cpa.map.*` names so scheduler-level `slot_*` views stay
+    /// untouched.
+    #[inline]
+    pub fn map_earliest_fit(
+        platform: &Calendar,
+        procs: u32,
+        dur: Dur,
+        not_before: Time,
+        acc: &mut QueryCost,
+    ) -> Time {
+        let mut cost = QueryCost::default();
+        let start = platform.earliest_fit_with_cost(procs, dur, not_before, &mut cost);
+        acc.absorb(cost);
+        #[cfg(feature = "obs")]
+        {
+            super::counter_add(names::CPA_MAP_QUERIES, cost.queries);
+            super::counter_add(names::CPA_MAP_STEPS, cost.steps);
+        }
+        start
+    }
+
+    /// Mirror a fit query that went through BLIND's reservation desk (the
+    /// desk already accumulated the [`QueryCost`]): counts as an ordinary
+    /// earliest-fit probe plus a `blind.desk.probes` tick.
+    #[inline]
+    pub fn record_desk_probe(cost: QueryCost, stats: &mut ScheduleStats) {
+        stats.absorb_query_cost(cost);
+        record_fit(names::EARLIEST_FIT_QUERIES, names::EARLIEST_FIT_STEPS, cost);
+        super::counter_add(names::BLIND_PROBES, 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(7), 3);
+        assert_eq!(Histogram::bucket_index(8), 4);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_bounds(0), (0, 0));
+        assert_eq!(Histogram::bucket_bounds(1), (1, 1));
+        assert_eq!(Histogram::bucket_bounds(2), (2, 3));
+        assert_eq!(Histogram::bucket_bounds(3), (4, 7));
+        assert_eq!(Histogram::bucket_bounds(64), (1 << 63, u64::MAX));
+        // Every value falls inside its own bucket's bounds.
+        for v in [0u64, 1, 2, 3, 4, 5, 100, 1 << 20, u64::MAX] {
+            let (lo, hi) = Histogram::bucket_bounds(Histogram::bucket_index(v));
+            assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn histogram_stats_and_quantiles() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        for v in [1u64, 2, 3, 4, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 110);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(100));
+        assert!((h.mean().unwrap() - 22.0).abs() < 1e-12);
+        // q=0 → first sample's bucket (value 1, exact).
+        assert_eq!(h.quantile(0.0), Some(1));
+        // Median sample is 3 → bucket [2,3] → upper bound 3.
+        assert_eq!(h.quantile(0.5), Some(3));
+        // Top quantile clamps to the exact max.
+        assert_eq!(h.quantile(1.0), Some(100));
+        // Single-value histograms answer exactly at every quantile.
+        let mut one = Histogram::new();
+        one.record(42);
+        assert_eq!(one.quantile(0.01), Some(42));
+        assert_eq!(one.quantile(0.99), Some(42));
+    }
+
+    #[test]
+    fn histogram_saturates_instead_of_wrapping() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn counter_saturation() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("c", u64::MAX - 1);
+        reg.inc("c", 5);
+        assert_eq!(reg.counter("c"), u64::MAX);
+        reg.inc("c", 1);
+        assert_eq!(reg.counter("c"), u64::MAX);
+        assert_eq!(reg.counter("never"), 0);
+    }
+
+    #[test]
+    fn registry_absorb_merges() {
+        let mut a = MetricsRegistry::new();
+        a.inc("x", 1);
+        a.record("h", 4);
+        let mut b = MetricsRegistry::new();
+        b.inc("x", 2);
+        b.inc("y", 3);
+        b.record("h", 16);
+        a.absorb(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.counter("y"), 3);
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), Some(4));
+        assert_eq!(h.max(), Some(16));
+    }
+
+    #[test]
+    fn phase_profile_records_and_merges() {
+        let mut p = PhaseProfile::default();
+        p.record("a", 100, 60);
+        p.record("b", 40, 40);
+        p.record("a", 50, 50);
+        let a = p.span("a").unwrap();
+        assert_eq!(a.calls, 2);
+        assert_eq!(a.total_ns, 150);
+        assert_eq!(a.self_ns, 110);
+        assert_eq!(p.total_self_ns(), 150);
+        // First-entered order is preserved.
+        let order: Vec<&str> = p.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(order, vec!["a", "b"]);
+        let mut q = PhaseProfile::default();
+        q.record("b", 10, 10);
+        q.wall_ns = 7;
+        p.absorb(&q);
+        assert_eq!(p.span("b").unwrap().total_ns, 50);
+        assert_eq!(p.wall_ns, 7);
+    }
+
+    #[test]
+    fn stats_view_reconstructs_schedule_stats() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc(names::EARLIEST_FIT_QUERIES, 7);
+        reg.inc(names::LATEST_FIT_QUERIES, 2);
+        reg.inc(names::EARLIEST_FIT_STEPS, 70);
+        reg.inc(names::LATEST_FIT_STEPS, 20);
+        reg.inc(names::STATS_CPA_ALLOCATIONS, 3);
+        reg.inc(names::STATS_CPA_MAPPINGS, 1);
+        reg.inc(names::STATS_PASSES, 4);
+        // cpa.map.* must not leak into scheduler-level slot counters.
+        reg.inc(names::CPA_MAP_QUERIES, 1000);
+        reg.inc(names::CPA_MAP_STEPS, 1000);
+        let view = reg.stats_view();
+        assert_eq!(view.slot_queries, 9);
+        assert_eq!(view.slot_steps, 90);
+        assert_eq!(view.cpa_allocations, 3);
+        assert_eq!(view.cpa_mappings, 1);
+        assert_eq!(view.passes, 4);
+    }
+
+    #[test]
+    fn run_report_jsonl_round_trip() {
+        let mut report = RunReport {
+            label: "BL_CPAR_BD_CPAR".to_string(),
+            ..RunReport::default()
+        };
+        report.profile.record("cpa.alloc_loop", 1234, 1000);
+        report.profile.record("forward.place", 999, 999);
+        report.profile.wall_ns = 5000;
+        report.metrics.inc(names::EARLIEST_FIT_QUERIES, 12);
+        report.metrics.record(names::FIT_STEPS, 33);
+        report.metrics.record(names::FIT_STEPS, 1);
+        // One line of JSONL: compact, no interior newline.
+        let line = serde_json::to_string(&report).unwrap();
+        assert!(!line.contains('\n'));
+        let back: RunReport = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, report);
+        // And the registry's histogram survives with its shape intact.
+        let h = back.metrics.histogram(names::FIT_STEPS).unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(33));
+    }
+
+    #[test]
+    fn observe_is_passthrough_for_the_value() {
+        let (v, report) = observe("lbl", || 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(report.label, "lbl");
+        if !COMPILED {
+            assert!(report.metrics.is_empty());
+            assert!(report.profile.spans.is_empty());
+        }
+    }
+
+    #[test]
+    fn ambient_calls_outside_observe_are_noops() {
+        // Must not panic or leak state regardless of the feature.
+        counter_add("orphan.counter", 1);
+        record_value("orphan.hist", 9);
+        {
+            span!("orphan.span");
+        }
+        let (_, report) = observe("after", || ());
+        assert_eq!(report.metrics.counter("orphan.counter"), 0);
+        assert!(report.profile.span("orphan.span").is_none());
+    }
+
+    #[cfg(feature = "obs")]
+    mod enabled {
+        use super::super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn observe_collects_counters_and_histograms() {
+            let (v, report) = observe("run", || {
+                counter_add("widgets", 2);
+                counter_add("widgets", 3);
+                record_value("sizes", 8);
+                "done"
+            });
+            assert_eq!(v, "done");
+            assert_eq!(report.metrics.counter("widgets"), 5);
+            assert_eq!(report.metrics.histogram("sizes").unwrap().count(), 1);
+        }
+
+        #[test]
+        fn span_nesting_separates_self_from_total_time() {
+            let (_, report) = observe("run", || {
+                let _outer = span_enter("outer");
+                std::thread::sleep(Duration::from_millis(10));
+                {
+                    let _inner = span_enter("inner");
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            });
+            let outer = report.profile.span("outer").unwrap();
+            let inner = report.profile.span("inner").unwrap();
+            assert_eq!(outer.calls, 1);
+            assert_eq!(inner.calls, 1);
+            // Inner is a leaf: self == total, and it slept ≥ 10ms.
+            assert_eq!(inner.self_ns, inner.total_ns);
+            assert!(inner.total_ns >= 9_000_000, "inner {} ns", inner.total_ns);
+            // Outer's total covers both sleeps; its self-time excludes the
+            // inner span entirely.
+            assert!(outer.total_ns >= inner.total_ns + 9_000_000);
+            assert_eq!(outer.self_ns, outer.total_ns - inner.total_ns);
+            // Self-times partition the wall clock.
+            assert!(report.profile.total_self_ns() <= report.profile.wall_ns);
+            assert!(report.profile.wall_ns >= 19_000_000);
+        }
+
+        #[test]
+        fn nested_observes_are_independent() {
+            let (_, outer) = observe("outer", || {
+                counter_add("outer.only", 1);
+                let (_, inner) = observe("inner", || {
+                    counter_add("inner.only", 1);
+                });
+                assert_eq!(inner.metrics.counter("inner.only"), 1);
+                assert_eq!(inner.metrics.counter("outer.only"), 0);
+            });
+            assert_eq!(outer.metrics.counter("outer.only"), 1);
+            // The inner run's events do not leak into the outer run.
+            assert_eq!(outer.metrics.counter("inner.only"), 0);
+        }
+
+        #[test]
+        fn span_macro_closes_at_end_of_block() {
+            let (_, report) = observe("run", || {
+                {
+                    crate::span!("phase.one");
+                }
+                crate::span!("phase.two");
+            });
+            assert_eq!(report.profile.span("phase.one").unwrap().calls, 1);
+            assert_eq!(report.profile.span("phase.two").unwrap().calls, 1);
+        }
+    }
+}

@@ -6,12 +6,20 @@
 //! grow with `n` and `d`, and the resource-conservative algorithms are
 //! roughly 10–90× more expensive than the aggressive ones because they
 //! recompute a CPA mapping per task decision.
+//!
+//! Besides the lump per-algorithm stopwatch (always measured, so Tables
+//! 9/10 work in every build), each run is wrapped in an
+//! [`resched_core::obs::observe`] scope: with the `obs` feature the
+//! [`TimingColumn`] also carries a folded per-phase [`PhaseProfile`]
+//! (prep vs. placement vs. backward passes), so the lump numbers can be
+//! decomposed. Without the feature the profiles are empty.
 
 use crate::scenario::{derive_seed, instances_for, LogCache, ResvSpec, Scale};
 use crate::table::{fnum, Table};
 use resched_core::backward::{schedule_deadline, DeadlineAlgo, DeadlineConfig};
 use resched_core::bl::BlMethod;
 use resched_core::forward::{schedule_forward, BdMethod, ForwardConfig};
+use resched_core::obs::{self, PhaseProfile};
 use resched_core::prelude::Time;
 use resched_daggen::{DagParams, Sweep};
 use serde::{Deserialize, Serialize};
@@ -62,6 +70,9 @@ pub struct TimingColumn {
     /// Average milliseconds per algorithm, in `TimedAlgo::table9_rows`
     /// order.
     pub avg_ms: Vec<f64>,
+    /// Folded span profile per algorithm, same order (empty spans without
+    /// the `obs` feature).
+    pub phases: Vec<PhaseProfile>,
 }
 
 /// Time all algorithms on Grid'5000-like schedules for one application
@@ -81,17 +92,21 @@ pub fn time_algorithms(params: &DagParams, label: &str, scale: Scale, seed: u64)
     let instances = instances_for(&sweep, &spec, &log, scale, derive_seed(seed, label, 0));
 
     let mut totals = vec![0.0f64; algos.len()];
+    let mut phases = vec![PhaseProfile::default(); algos.len()];
     let mut count = 0usize;
     for inst in &instances {
         let cal = inst.resv.calendar();
         let q = inst.resv.q;
-        // Reference deadline for the DL_* rows.
+        // Reference deadline for the DL_* rows (outside any observe scope).
         let reference =
             schedule_forward(&inst.dag, &cal, Time::ZERO, q, ForwardConfig::recommended());
         let deadline = Time::ZERO + reference.turnaround() * 2;
         for (i, algo) in algos.iter().enumerate() {
+            // The lump stopwatch stays on `Instant` so Tables 9/10 are
+            // measured identically in every build; the observe scope only
+            // adds the per-phase decomposition when `obs` is compiled in.
             let t0 = Instant::now();
-            match algo {
+            let ((), report) = obs::observe(algo.name(), || match algo {
                 TimedAlgo::Forward(bd) => {
                     let cfg = ForwardConfig::new(BlMethod::CpaR, *bd);
                     let s = schedule_forward(&inst.dag, &cal, Time::ZERO, q, cfg);
@@ -109,8 +124,9 @@ pub fn time_algorithms(params: &DagParams, label: &str, scale: Scale, seed: u64)
                     );
                     std::hint::black_box(out.is_ok());
                 }
-            }
+            });
             totals[i] += t0.elapsed().as_secs_f64() * 1e3;
+            phases[i].absorb(&report.profile);
         }
         count += 1;
     }
@@ -118,6 +134,7 @@ pub fn time_algorithms(params: &DagParams, label: &str, scale: Scale, seed: u64)
     TimingColumn {
         label: label.to_string(),
         avg_ms: totals.into_iter().map(|t| t / n).collect(),
+        phases,
     }
 }
 
@@ -184,6 +201,41 @@ mod tests {
         assert!(col.avg_ms.iter().all(|&ms| ms > 0.0));
         let t = timing_table("t", &[col]);
         assert!(t.render().contains("DL_RC_CPAR"));
+    }
+
+    #[test]
+    fn phase_self_times_never_exceed_the_observed_total() {
+        let scale = Scale {
+            dags: 1,
+            starts: 1,
+            tags: 1,
+        };
+        let params = DagParams {
+            num_tasks: 10,
+            ..DagParams::paper_default()
+        };
+        let col = time_algorithms(&params, "n=10", scale, 3);
+        assert_eq!(col.phases.len(), col.avg_ms.len());
+        for (algo, prof) in TimedAlgo::table9_rows().iter().zip(&col.phases) {
+            // Self-times partition the observed wall clock, so their sum
+            // can never exceed it.
+            assert!(
+                prof.total_self_ns() <= prof.wall_ns,
+                "{}: phase sum {} ns exceeds wall {} ns",
+                algo.name(),
+                prof.total_self_ns(),
+                prof.wall_ns
+            );
+            if resched_core::obs::COMPILED {
+                assert!(
+                    !prof.spans.is_empty(),
+                    "{}: no spans despite obs being compiled in",
+                    algo.name()
+                );
+            } else {
+                assert!(prof.spans.is_empty(), "spans recorded without obs");
+            }
+        }
     }
 
     #[test]

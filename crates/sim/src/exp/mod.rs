@@ -3,6 +3,7 @@
 pub mod deadline;
 pub mod exec_time;
 pub mod logs;
+pub mod profile;
 pub mod ressched;
 pub mod scaling;
 pub mod stream;

@@ -89,7 +89,11 @@ pub fn run_stream(cfg: &StreamConfig, seed: u64) -> StreamResult {
             cfg.procs
         };
         q_fracs.push(q as f64 / cfg.procs as f64);
-        let sched = schedule_forward(&dag, &cal, now, q, ForwardConfig::recommended());
+        resched_core::obs::counter_add("stream.apps", 1);
+        let sched = {
+            resched_core::span!("stream.schedule");
+            schedule_forward(&dag, &cal, now, q, ForwardConfig::recommended())
+        };
         debug_assert!(sched.validate(&dag, &cal).is_ok());
         for t in dag.task_ids() {
             cal.add_unchecked(sched.placement(t).reservation());

@@ -282,6 +282,61 @@ mod tests {
     }
 
     #[test]
+    fn empty_request_list_yields_empty_starts() {
+        for d in [
+            QueueDiscipline::Fcfs,
+            QueueDiscipline::ConservativeBackfill,
+            QueueDiscipline::EasyBackfill,
+        ] {
+            assert!(assign_starts(&[], 4, d).is_empty(), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn single_request_starts_at_its_eligible_time() {
+        let reqs = vec![req(42, 100, 3)];
+        for d in [
+            QueueDiscipline::Fcfs,
+            QueueDiscipline::ConservativeBackfill,
+            QueueDiscipline::EasyBackfill,
+        ] {
+            let starts = assign_starts(&reqs, 4, d);
+            assert_eq!(starts, vec![t(42)], "{d:?}");
+        }
+    }
+
+    #[test]
+    fn single_request_wider_than_free_pool_still_waits_nowhere() {
+        // One job asking for the whole machine on an empty calendar: every
+        // discipline starts it immediately.
+        let reqs = vec![req(7, 500, 4)];
+        for d in [
+            QueueDiscipline::Fcfs,
+            QueueDiscipline::ConservativeBackfill,
+            QueueDiscipline::EasyBackfill,
+        ] {
+            assert_eq!(assign_starts(&reqs, 4, d), vec![t(7)], "{d:?}");
+        }
+    }
+
+    #[test]
+    fn simultaneous_arrivals_break_ties_in_submission_order() {
+        // Three identical jobs arriving at the same instant on a machine
+        // that fits one at a time: earlier-submitted must start earlier
+        // under every discipline (no discipline reorders equals).
+        let reqs = vec![req(0, 100, 4), req(0, 100, 4), req(0, 100, 4)];
+        for d in [
+            QueueDiscipline::Fcfs,
+            QueueDiscipline::ConservativeBackfill,
+            QueueDiscipline::EasyBackfill,
+        ] {
+            let starts = assign_starts(&reqs, 4, d);
+            assert_eq!(starts, vec![t(0), t(100), t(200)], "{d:?}");
+            assert!(feasible(&reqs, &starts, 4), "{d:?} infeasible");
+        }
+    }
+
+    #[test]
     fn disciplines_rank_waits_sensibly() {
         // A workload with a wide blocking job: conservative/EASY should
         // give strictly lower mean waits than FCFS.
