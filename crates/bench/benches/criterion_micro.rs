@@ -91,6 +91,32 @@ fn bench_cpa(c: &mut Criterion) {
     });
 }
 
+/// Incremental allocation loop vs the legacy full-rebuild oracle on the
+/// PR-4 headline configuration: n = 100 dense DAGs, where each growth
+/// iteration used to rebuild all bottom/top levels from scratch.
+fn bench_cpa_alloc(c: &mut Criterion) {
+    let params = DagParams {
+        num_tasks: 100,
+        density: 0.9,
+        ..DagParams::paper_default()
+    };
+    let dag = generate(&params, 42);
+    let mut group = c.benchmark_group("cpa_alloc");
+    group.bench_function("incremental/n100_dense_p512", |b| {
+        b.iter(|| black_box(cpa::allocate(&dag, 512, StoppingCriterion::Stringent)))
+    });
+    group.bench_function("reference/n100_dense_p512", |b| {
+        b.iter(|| {
+            black_box(cpa::allocate_reference(
+                &dag,
+                512,
+                StoppingCriterion::Stringent,
+            ))
+        })
+    });
+    group.finish();
+}
+
 fn bench_schedulers(c: &mut Criterion) {
     let (dag, cal, q) = setup();
     c.bench_function("forward/bl_cpar_bd_cpar_n50", |b| {
@@ -185,6 +211,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_calendar, bench_earliest_fit_scaling, bench_cpa, bench_schedulers, bench_obs
+    targets = bench_calendar, bench_earliest_fit_scaling, bench_cpa, bench_cpa_alloc, bench_schedulers, bench_obs
 }
 criterion_main!(benches);

@@ -27,9 +27,10 @@
 //!   letting it use up to `p` processors.
 
 use crate::bl::{self, BlMethod};
-use crate::cpa::{self, CpaAllocation, StoppingCriterion};
+use crate::cpa::{self, CpaAllocation, CpaCache, StoppingCriterion};
 use crate::dag::{Dag, TaskId};
 use crate::obs;
+use crate::pool::Pool;
 use crate::schedule::{Placement, Schedule, ScheduleStats};
 use resched_resv::{Calendar, Reservation, Time};
 use serde::{Deserialize, Serialize};
@@ -151,15 +152,18 @@ pub fn schedule_deadline(
     cfg: DeadlineConfig,
 ) -> Result<DeadlineOutcome, DeadlineInfeasible> {
     let p = competing.capacity();
-    let q = q.clamp(1, p);
+    let q = Pool::effective(q, p);
     let mut stats = ScheduleStats::default();
+    let mut cache = CpaCache::new();
 
     // All algorithms order tasks with BL_CPAR bottom levels (paper §5.2:
-    // "We use the BL_CPAR method ... because it proved the best").
+    // "We use the BL_CPAR method ... because it proved the best"). The
+    // per-run cache means the CPA(q) allocation computed here is reused by
+    // the BD_CPAR bounds, RC guides, and hybrid guides below.
     let order = {
         crate::span!("deadline.prep");
         stats.count_cpa_allocation();
-        let bl_exec = bl::exec_times(dag, p, q, BlMethod::CpaR, cfg.criterion);
+        let bl_exec = bl::exec_times_cached(dag, p, q, BlMethod::CpaR, cfg.criterion, &mut cache);
         let levels = bl::bottom_levels(dag, &bl_exec);
         bl::order_by_increasing_bl(dag, &levels)
     };
@@ -175,11 +179,12 @@ pub fn schedule_deadline(
                 &order,
                 Mode::Aggressive { bounds: &bounds },
                 &mut stats,
+                None,
             )
         }
         DeadlineAlgo::BdCpa => {
             stats.count_cpa_allocation();
-            let bounds = cpa::allocate(dag, p, cfg.criterion).allocs;
+            let bounds = cache.cpa(dag, p, cfg.criterion).allocs.clone();
             backward_pass(
                 dag,
                 competing,
@@ -188,11 +193,12 @@ pub fn schedule_deadline(
                 &order,
                 Mode::Aggressive { bounds: &bounds },
                 &mut stats,
+                None,
             )
         }
         DeadlineAlgo::BdCpaR => {
             stats.count_cpa_allocation();
-            let bounds = cpa::allocate(dag, q, cfg.criterion).allocs;
+            let bounds = cache.cpa(dag, q, cfg.criterion).allocs.clone();
             backward_pass(
                 dag,
                 competing,
@@ -201,12 +207,13 @@ pub fn schedule_deadline(
                 &order,
                 Mode::Aggressive { bounds: &bounds },
                 &mut stats,
+                None,
             )
         }
         DeadlineAlgo::RcCpa | DeadlineAlgo::RcCpaR => {
             let pool = if algo == DeadlineAlgo::RcCpa { p } else { q };
             stats.count_cpa_allocation();
-            let guide = cpa::allocate(dag, pool, cfg.criterion);
+            let guide = cache.cpa(dag, pool, cfg.criterion);
             backward_pass(
                 dag,
                 competing,
@@ -219,20 +226,31 @@ pub fn schedule_deadline(
                     fallback_bounds: None,
                 },
                 &mut stats,
+                None,
             )
         }
         DeadlineAlgo::RcCpaRLambda | DeadlineAlgo::RcbdCpaRLambda => {
             stats.count_cpa_allocation();
-            let guide = cpa::allocate(dag, q, cfg.criterion);
+            let guide = cache.cpa(dag, q, cfg.criterion);
             let fallback = if algo == DeadlineAlgo::RcbdCpaRLambda {
                 Some(guide.allocs.clone())
             } else {
                 None
             };
+            let mut ctx = RcSweepCtx::new(dag.num_tasks());
+            let mut last_failure: Option<Vec<RcDecision>> = None;
             let mut found = None;
-            let mut lambda = 0.0f64;
-            while lambda <= 1.0 + 1e-9 {
-                if let Some(placements) = backward_pass(
+            for lambda in lambda_grid(cfg.lambda_step) {
+                // Warm start: a failed pass whose every decision provably
+                // replays identically at this λ fails identically — skip it.
+                if let Some(decisions) = &last_failure {
+                    if failure_repeats_at(decisions, lambda) {
+                        obs::counter_add(obs::names::HYBRID_LAMBDA_PASSES_SAVED, 1);
+                        continue;
+                    }
+                }
+                ctx.decisions.clear();
+                match backward_pass(
                     dag,
                     competing,
                     now,
@@ -240,15 +258,18 @@ pub fn schedule_deadline(
                     &order,
                     Mode::Rc {
                         guide: &guide,
-                        lambda: lambda.min(1.0),
+                        lambda,
                         fallback_bounds: fallback.as_deref(),
                     },
                     &mut stats,
+                    Some(&mut ctx),
                 ) {
-                    found = Some((placements, lambda.min(1.0)));
-                    break;
+                    Some(placements) => {
+                        found = Some((placements, lambda));
+                        break;
+                    }
+                    None => last_failure = Some(std::mem::take(&mut ctx.decisions)),
                 }
-                lambda += cfg.lambda_step;
             }
             match found {
                 Some((placements, lambda)) => {
@@ -300,7 +321,7 @@ fn validate_outcome(
     let p = competing.capacity();
     let declared: Vec<u32> = match algo {
         DeadlineAlgo::BdCpa => cpa::allocate(dag, p, cfg.criterion).allocs,
-        DeadlineAlgo::BdCpaR => cpa::allocate(dag, q, cfg.criterion).allocs,
+        DeadlineAlgo::BdCpaR => cpa::allocate(dag, Pool::effective(q, p), cfg.criterion).allocs,
         _ => vec![p; dag.num_tasks()],
     };
     crate::validate::ScheduleValidator::new(dag, competing, now)
@@ -322,8 +343,94 @@ enum Mode<'a> {
     },
 }
 
+/// The hybrid λ sweep grid: every multiple of `step` strictly below 1,
+/// then exactly `1.0`.
+///
+/// Integer-indexed (`i as f64 * step`) so repeated float accumulation
+/// cannot drift, and `1.0` is always the final value — the legacy
+/// `lambda += step` loop drifted and, for step sizes like `0.3`, stepped
+/// from `0.899…` straight past `1.0` without ever trying the fully
+/// aggressive pass.
+pub fn lambda_grid(step: f64) -> Vec<f64> {
+    assert!(step > 0.0, "lambda step must be positive");
+    let mut grid = Vec::new();
+    for i in 0.. {
+        let lambda = i as f64 * step;
+        if lambda >= 1.0 {
+            break;
+        }
+        grid.push(lambda);
+    }
+    grid.push(1.0);
+    grid
+}
+
+/// The relaxed RC guideline `S_i + λ·(dl_i − S_i)` (paper §5.4).
+///
+/// Rounding policy: the λ fraction of the slack is taken with an explicit
+/// `floor`, so the threshold never overshoots the interpolation target and
+/// λ = 1.0 lands on `dl_i` exactly. (The previous `as i64` cast truncated
+/// toward zero, which rounded *up* — past the target — whenever the slack
+/// was negative.)
+fn rc_threshold(s_i: Time, dl: Time, lambda: f64) -> Time {
+    let slack = (dl.as_seconds() - s_i.as_seconds()) as f64;
+    Time::seconds(s_i.as_seconds() + (lambda * slack).floor() as i64)
+}
+
+/// Warm-start state shared across one hybrid λ sweep.
+struct RcSweepCtx {
+    /// Memoized CPA guideline start `S_i` per *order position*. `S_i`
+    /// depends only on the task order and the guide allocation (the subset
+    /// mapping runs on an empty virtual platform from `now`), never on λ,
+    /// so each position is mapped once for the whole sweep instead of once
+    /// per pass.
+    s_cache: Vec<Option<Time>>,
+    /// The decision log of the current pass, for [`failure_repeats_at`].
+    decisions: Vec<RcDecision>,
+}
+
+impl RcSweepCtx {
+    fn new(n: usize) -> RcSweepCtx {
+        RcSweepCtx {
+            s_cache: vec![None; n],
+            decisions: Vec::new(),
+        }
+    }
+}
+
+/// One RC placement decision, recorded so a failed pass can prove that a
+/// later λ would replay it identically.
+struct RcDecision {
+    s_i: Time,
+    dl: Time,
+    threshold: Time,
+    /// Start of the conservative choice; `None` if the task fell back.
+    chosen: Option<Time>,
+}
+
+/// Would a pass that recorded `decisions` make exactly the same choices at
+/// `lambda`? True when, for every decision, the new threshold is no
+/// earlier than the recorded one *and* any conservative choice still
+/// clears it. Raising the threshold only shrinks the eligible candidate
+/// set, so the first-fit `m` is unchanged while the old choice stays
+/// eligible; ineligible-everywhere tasks stay ineligible and take the same
+/// λ-independent fallback. By induction over the (identical) placement
+/// sequence the deadlines `dl_i` replay too, so a failed pass that
+/// satisfies this predicate fails identically and can be skipped.
+fn failure_repeats_at(decisions: &[RcDecision], lambda: f64) -> bool {
+    !decisions.is_empty()
+        && decisions.iter().all(|d| {
+            let th = rc_threshold(d.s_i, d.dl, lambda);
+            th >= d.threshold && d.chosen.is_none_or(|s| s >= th)
+        })
+}
+
 /// One whole-DAG backward pass. Returns placements for every task, or `None`
 /// if some task cannot be placed between `now` and its deadline.
+///
+/// `ctx` (hybrid sweeps only) carries the λ-invariant `S_i` cache and
+/// records this pass's decision log.
+#[allow(clippy::too_many_arguments)]
 fn backward_pass(
     dag: &Dag,
     competing: &Calendar,
@@ -332,6 +439,7 @@ fn backward_pass(
     order: &[TaskId],
     mode: Mode<'_>,
     stats: &mut ScheduleStats,
+    mut ctx: Option<&mut RcSweepCtx>,
 ) -> Option<Vec<Placement>> {
     crate::span!("deadline.pass");
     stats.count_pass();
@@ -365,27 +473,35 @@ fn backward_pass(
                 // CPA guideline start time S_i: re-map the unscheduled part
                 // of the DAG (everything from position k on, which is
                 // predecessor-closed because preds have higher bottom
-                // levels) on an empty `pool`-processor platform.
-                stats.count_cpa_mapping();
-                let unscheduled: Vec<bool> = {
-                    let mut v = vec![false; dag.num_tasks()];
-                    for &u in &order[k..] {
-                        v[u.idx()] = true;
+                // levels) on an empty `pool`-processor platform. Within a
+                // hybrid sweep S_i is λ-invariant, so it is cached per
+                // order position.
+                let s_i = match ctx.as_deref().and_then(|c| c.s_cache[k]) {
+                    Some(s) => s,
+                    None => {
+                        stats.count_cpa_mapping();
+                        let unscheduled: Vec<bool> = {
+                            let mut v = vec![false; dag.num_tasks()];
+                            for &u in &order[k..] {
+                                v[u.idx()] = true;
+                            }
+                            v
+                        };
+                        // NB: the mapping's probe cost is deliberately *not*
+                        // folded into `stats` (it runs on a virtual
+                        // platform); the registry still sees it under
+                        // `cpa.map.*` via the mapping's probes.
+                        let cpa_map = cpa::map_subset(dag, guide, now, |u| unscheduled[u.idx()]);
+                        let s = cpa_map[t.idx()]
+                            .expect("current task is in the unscheduled subset")
+                            .start;
+                        if let Some(c) = ctx.as_deref_mut() {
+                            c.s_cache[k] = Some(s);
+                        }
+                        s
                     }
-                    v
                 };
-                // NB: the mapping's probe cost is deliberately *not* folded
-                // into `stats` (it runs on a virtual platform); the registry
-                // still sees it under `cpa.map.*` via the mapping's probes.
-                let cpa_map = cpa::map_subset(dag, guide, now, |u| unscheduled[u.idx()]);
-                let s_i = cpa_map[t.idx()]
-                    .expect("current task is in the unscheduled subset")
-                    .start;
-                // Threshold: S_i + λ(dl_i − S_i), paper §5.4.
-                let threshold = Time::seconds(
-                    s_i.as_seconds()
-                        + (lambda * (dl.as_seconds() - s_i.as_seconds()) as f64) as i64,
-                );
+                let threshold = rc_threshold(s_i, dl, *lambda);
 
                 // Fewest processors whose latest fit starts at or after the
                 // threshold.
@@ -408,6 +524,14 @@ fn backward_pass(
                             break; // smallest m wins
                         }
                     }
+                }
+                if let Some(c) = ctx.as_deref_mut() {
+                    c.decisions.push(RcDecision {
+                        s_i,
+                        dl,
+                        threshold,
+                        chosen: conservative.as_ref().map(|pl| pl.start),
+                    });
                 }
                 conservative.or_else(|| {
                     // Back-on-track fallback: aggressive.
@@ -749,6 +873,123 @@ mod tests {
             DeadlineConfig::default(),
         );
         assert!(out.is_ok());
+    }
+
+    #[test]
+    fn lambda_grid_is_drift_free_and_always_ends_at_one() {
+        // Paper default step 0.05: exactly the 21 values 0.00, 0.05, …, 1.00.
+        let g = lambda_grid(0.05);
+        assert_eq!(g.len(), 21);
+        assert_eq!(g[0], 0.0);
+        assert_eq!(*g.last().unwrap(), 1.0);
+        for (i, &l) in g.iter().enumerate().take(20) {
+            assert_eq!(l, i as f64 * 0.05, "grid[{i}] drifted");
+        }
+        assert!(g.windows(2).all(|w| w[0] < w[1]), "grid must be increasing");
+
+        // Step 0.3 is the regression case: the legacy accumulating loop
+        // visited 0.0, 0.3, 0.6, 0.899…, then jumped past 1.0 — it never
+        // ran the fully aggressive λ = 1 pass. The grid must end at 1.0.
+        let g = lambda_grid(0.3);
+        assert_eq!(g.len(), 5);
+        assert_eq!(*g.last().unwrap(), 1.0);
+        assert!((g[3] - 0.9).abs() < 1e-9);
+
+        // A step larger than 1 degenerates to the two endpoint passes.
+        assert_eq!(lambda_grid(2.0), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn rc_threshold_floors_toward_the_guideline() {
+        let s = Time::seconds(100);
+        // λ = 0 is exactly S_i, λ = 1 exactly dl — for positive *and*
+        // negative slack (the old truncating cast broke the negative case).
+        for dl in [Time::seconds(1000), Time::seconds(7)] {
+            assert_eq!(rc_threshold(s, dl, 0.0), s);
+            assert_eq!(rc_threshold(s, dl, 1.0), dl);
+        }
+        // Positive slack: floor == truncation (unchanged behavior).
+        assert_eq!(
+            rc_threshold(s, Time::seconds(1001), 0.5),
+            Time::seconds(550)
+        );
+        // Negative slack: slack = −3, λ·slack = −1.5 floors to −2 → 98.
+        // Truncation toward zero would have produced 99, overshooting the
+        // interpolation target from below-S_i thresholds.
+        assert_eq!(rc_threshold(s, Time::seconds(97), 0.5), Time::seconds(98));
+    }
+
+    #[test]
+    fn warm_started_sweep_matches_exhaustive_sweep() {
+        // The λ-sweep's S_i cache and failed-pass early-exit must not
+        // change *which* λ succeeds or the schedule it produces. Compare
+        // against a brute-force sweep that runs every pass uncached, across
+        // deadlines from the hybrid's tightest up to plain RC's.
+        let dag = small_dag();
+        let cal = busy_calendar();
+        let cfg = DeadlineConfig::default();
+        let prec = Dur::seconds(30);
+        let q = 4;
+        let (k_hy, _) = tightest_deadline(
+            &dag,
+            &cal,
+            Time::ZERO,
+            q,
+            DeadlineAlgo::RcCpaRLambda,
+            cfg,
+            prec,
+        )
+        .unwrap();
+        let (k_rc, _) =
+            tightest_deadline(&dag, &cal, Time::ZERO, q, DeadlineAlgo::RcCpaR, cfg, prec).unwrap();
+
+        // Replicate the prep phase to drive backward_pass directly.
+        let p = cal.capacity();
+        let bl_exec = bl::exec_times(&dag, p, q, BlMethod::CpaR, cfg.criterion);
+        let levels = bl::bottom_levels(&dag, &bl_exec);
+        let order = bl::order_by_increasing_bl(&dag, &levels);
+        let guide = cpa::allocate(&dag, q, cfg.criterion);
+
+        for deadline in [k_hy, k_hy.midpoint(k_rc), k_rc] {
+            let mut brute = None;
+            for lambda in lambda_grid(cfg.lambda_step) {
+                let mut stats = ScheduleStats::default();
+                if let Some(placements) = backward_pass(
+                    &dag,
+                    &cal,
+                    Time::ZERO,
+                    deadline,
+                    &order,
+                    Mode::Rc {
+                        guide: &guide,
+                        lambda,
+                        fallback_bounds: None,
+                    },
+                    &mut stats,
+                    None,
+                ) {
+                    brute = Some((placements, lambda));
+                    break;
+                }
+            }
+            let (brute_placements, brute_lambda) = brute.expect("deadline known feasible");
+            let out = schedule_deadline(
+                &dag,
+                &cal,
+                Time::ZERO,
+                q,
+                deadline,
+                DeadlineAlgo::RcCpaRLambda,
+                cfg,
+            )
+            .expect("deadline known feasible");
+            assert_eq!(out.lambda, Some(brute_lambda), "λ drifted at {deadline}");
+            assert_eq!(
+                out.schedule.placements(),
+                &brute_placements[..],
+                "placements drifted at {deadline}"
+            );
+        }
     }
 
     #[test]

@@ -18,9 +18,10 @@
 //! [`crate::forward::schedule_forward`].
 
 use crate::bl::{self, BlMethod};
-use crate::cpa::{self, StoppingCriterion};
+use crate::cpa::{CpaCache, StoppingCriterion};
 use crate::dag::Dag;
 use crate::obs;
+use crate::pool::Pool;
 use crate::schedule::{Placement, Schedule, ScheduleStats};
 use resched_resv::{Calendar, Dur, QueryCost, Reservation, Time};
 
@@ -126,7 +127,7 @@ pub fn schedule_blind(
     cfg: BlindConfig,
 ) -> Schedule {
     let p = desk.capacity();
-    let q = q_estimate.clamp(1, p);
+    let q = Pool::effective(q_estimate, p);
     // Snapshot the calendar before our own commits land in it, so the
     // post-pass can audit against the competing load alone.
     #[cfg(any(debug_assertions, feature = "validate"))]
@@ -135,9 +136,11 @@ pub fn schedule_blind(
     stats.count_pass();
     stats.count_cpa_allocation();
 
-    // Bottom levels and bounds exactly as BL_CPAR / BD_CPAR would.
-    let alloc_q = cpa::allocate(dag, q, cfg.criterion);
-    let exec = bl::exec_times(dag, p, q, BlMethod::CpaR, cfg.criterion);
+    // Bottom levels and bounds exactly as BL_CPAR / BD_CPAR would; the
+    // per-run cache computes the CPA(q) allocation once for both roles.
+    let mut cache = CpaCache::new();
+    let alloc_q = cache.cpa(dag, q, cfg.criterion);
+    let exec = bl::exec_times_cached(dag, p, q, BlMethod::CpaR, cfg.criterion, &mut cache);
     let levels = bl::bottom_levels(dag, &exec);
     let order = bl::order_by_decreasing_bl(dag, &levels);
 

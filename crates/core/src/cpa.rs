@@ -43,12 +43,17 @@
 //! processors — so it is offered as an explicit option and quantified by
 //! the `ablation_cpa_criterion` bench rather than used by default.
 
-use crate::bl::{bottom_levels, critical_path_length, order_by_decreasing_bl, top_levels};
+use crate::bl::{
+    bottom_levels, critical_path_length, order_by_decreasing_bl, top_levels, LevelTracker,
+};
 use crate::dag::{Dag, TaskId};
 use crate::obs;
 use crate::schedule::{Placement, Schedule};
 use resched_resv::{Calendar, Dur, QueryCost, Reservation, Time};
 use serde::{Deserialize, Serialize};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
 
 /// Which phase-1 stopping criterion to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
@@ -89,6 +94,13 @@ impl CpaAllocation {
 /// CPA phase 1: compute per-task allocations for a pool of `pool`
 /// processors.
 ///
+/// The inner loop maintains bottom/top levels *incrementally* through a
+/// [`LevelTracker`]: each iteration grows exactly one task, which can only
+/// change the levels of that task's ancestors and descendants, so the old
+/// O(iters·(V+E)) full rebuild was pure waste. The legacy loop survives as
+/// [`allocate_reference`], and differential tests pin the two to identical
+/// output on every input.
+///
 /// # Panics
 /// Panics if `pool == 0`.
 pub fn allocate(dag: &Dag, pool: u32, criterion: StoppingCriterion) -> CpaAllocation {
@@ -107,7 +119,100 @@ pub fn allocate(dag: &Dag, pool: u32, criterion: StoppingCriterion) -> CpaAlloca
     };
 
     crate::span!("cpa.alloc_loop");
+    let mut tracker = LevelTracker::new(dag, &exec);
+    // Selection inputs that depend only on a task's current processor
+    // count: the execution time one processor wider and the marginal gain.
+    // Both are pure functions of `(cost, m)`, so refreshing them for just
+    // the grown task each iteration yields bit-identical selections while
+    // dropping the per-iteration float work from O(critical path) to O(1).
+    let mut next_exec: Vec<Dur> = dag.costs().iter().map(|c| c.exec_time(2)).collect();
+    let mut gain: Vec<f64> = dag.costs().iter().map(|c| c.marginal_gain(1)).collect();
     let mut iterations = 0u64;
+    let mut incr_touched = 0u64;
+    loop {
+        // One entry scan serves both the stopping test and the walk.
+        let cp = tracker.refresh_critical();
+        let t_a = parallelism * total_work as f64 / pool as f64;
+        if (cp.as_seconds() as f64) <= t_a {
+            break;
+        }
+
+        // Pick the critical-path task with the largest relative gain from
+        // one extra processor that still produces an integer-second
+        // improvement. The member list is in walk order, not id order,
+        // but argmax under the total (gain, lowest-id) tie-break is
+        // order-independent, so the pick matches the reference loop's
+        // id-order scan exactly.
+        let mut best: Option<(TaskId, f64)> = None;
+        for &t in tracker.critical_tasks() {
+            let m = allocs[t.idx()];
+            if m >= pool {
+                continue;
+            }
+            if next_exec[t.idx()] >= exec[t.idx()] {
+                continue; // no integer improvement left
+            }
+            let g = gain[t.idx()];
+            match best {
+                Some((bt, bg)) if g < bg || (g == bg && t.0 >= bt.0) => {}
+                _ => best = Some((t, g)),
+            }
+        }
+        let Some((t, _)) = best else {
+            break; // critical path saturated; cannot improve further
+        };
+        iterations += 1;
+        let m = allocs[t.idx()] + 1;
+        // work(m) = m * exec_time(m); both exec times are already at hand.
+        let old_exec = exec[t.idx()];
+        let new_exec = next_exec[t.idx()];
+        total_work += m as i64 * new_exec.as_seconds();
+        total_work -= (m - 1) as i64 * old_exec.as_seconds();
+        allocs[t.idx()] = m;
+        exec[t.idx()] = new_exec;
+        let cost = dag.cost(t);
+        next_exec[t.idx()] = cost.exec_time(m + 1);
+        gain[t.idx()] = cost.marginal_gain(m);
+        // Bottom levels only: selection derives critical-path membership
+        // from them via the tight-edge walk, so top levels are never read.
+        incr_touched += tracker.update_bottom(dag, &exec, t);
+    }
+    obs::counter_add(obs::names::CPA_ALLOC_ITERS, iterations);
+    obs::record_value(obs::names::CPA_ALLOC_ITERS_PER_RUN, iterations);
+    obs::counter_add(obs::names::CPA_ALLOC_INCR_UPDATES, incr_touched);
+
+    let out = CpaAllocation { pool, allocs, exec };
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    crate::validate::assert_allocation_valid(dag, &out, "CPA");
+    out
+}
+
+/// The legacy CPA allocation loop: rebuilds every bottom/top level from
+/// scratch on each iteration.
+///
+/// Kept (always compiled) as the **differential oracle** for
+/// [`allocate`]'s incremental rewrite — unit tests assert byte-identical
+/// [`CpaAllocation`]s across a seeded DAG sweep — and as the *before*
+/// baseline of the `criterion_micro` `cpa_alloc` group and the
+/// `BENCH_pr4.json` exec-time record. Schedulers never call this.
+///
+/// # Panics
+/// Panics if `pool == 0`.
+pub fn allocate_reference(dag: &Dag, pool: u32, criterion: StoppingCriterion) -> CpaAllocation {
+    assert!(pool > 0, "CPA needs a non-empty processor pool");
+    let n = dag.num_tasks();
+    let mut allocs = vec![1u32; n];
+    let mut exec: Vec<Dur> = dag.costs().iter().map(|c| c.exec_time(1)).collect();
+    let mut total_work: i64 = dag
+        .task_ids()
+        .map(|t| dag.cost(t).work(allocs[t.idx()]))
+        .sum();
+
+    let parallelism = match criterion {
+        StoppingCriterion::Classic => 1.0,
+        StoppingCriterion::Stringent => dag.mean_width().clamp(1.0, pool as f64),
+    };
+
     loop {
         let bl = bottom_levels(dag, &exec);
         let tl = top_levels(dag, &exec);
@@ -116,10 +221,6 @@ pub fn allocate(dag: &Dag, pool: u32, criterion: StoppingCriterion) -> CpaAlloca
         if (cp.as_seconds() as f64) <= t_a {
             break;
         }
-
-        // Pick the critical-path task with the largest relative gain from
-        // one extra processor that still produces an integer-second
-        // improvement.
         let mut best: Option<(TaskId, f64)> = None;
         for t in dag.task_ids() {
             if tl[t.idx()] + bl[t.idx()] != cp {
@@ -142,20 +243,137 @@ pub fn allocate(dag: &Dag, pool: u32, criterion: StoppingCriterion) -> CpaAlloca
         let Some((t, _)) = best else {
             break; // critical path saturated; cannot improve further
         };
-        iterations += 1;
         let m = allocs[t.idx()] + 1;
         total_work -= dag.cost(t).work(m - 1);
         total_work += dag.cost(t).work(m);
         allocs[t.idx()] = m;
         exec[t.idx()] = dag.cost(t).exec_time(m);
     }
-    obs::counter_add(obs::names::CPA_ALLOC_ITERS, iterations);
-    obs::record_value(obs::names::CPA_ALLOC_ITERS_PER_RUN, iterations);
 
     let out = CpaAllocation { pool, allocs, exec };
     #[cfg(any(debug_assertions, feature = "validate"))]
-    crate::validate::assert_allocation_valid(dag, &out, "CPA");
+    crate::validate::assert_allocation_valid(dag, &out, "CPA-reference");
     out
+}
+
+// ---------------------------------------------------------------------------
+// Per-run allocation cache
+// ---------------------------------------------------------------------------
+
+/// Override state for [`CpaCache`]: 0 = follow the environment, 1 = forced
+/// on, 2 = forced off.
+static CACHE_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+/// Lazily parsed `RESCHED_CPA_CACHE` environment knob.
+static CACHE_ENV: OnceLock<bool> = OnceLock::new();
+
+/// Force the per-run allocation cache on or off process-wide, overriding
+/// the `RESCHED_CPA_CACHE` environment knob; `None` restores env-driven
+/// behavior.
+///
+/// Intended for the cache-differential tests, which run the full catalog
+/// with the cache toggled both ways *in one process* and assert
+/// byte-identical schedules. Because caching must never change any output
+/// (that is the invariant under test), flipping this concurrently with
+/// other work is observationally safe — it only affects how often
+/// allocations are recomputed.
+pub fn force_cache(enabled: Option<bool>) {
+    let v = match enabled {
+        None => 0,
+        Some(true) => 1,
+        Some(false) => 2,
+    };
+    CACHE_OVERRIDE.store(v, Ordering::SeqCst);
+}
+
+/// Whether new [`CpaCache`]s memoize. Defaults to on; set
+/// `RESCHED_CPA_CACHE=off` (or `0` / `false` / `no`) to disable — the CI
+/// `cache-differential` lane runs the whole suite that way.
+fn cache_enabled() -> bool {
+    match CACHE_OVERRIDE.load(Ordering::SeqCst) {
+        1 => true,
+        2 => false,
+        _ => *CACHE_ENV.get_or_init(|| {
+            !matches!(
+                std::env::var("RESCHED_CPA_CACHE").as_deref(),
+                Ok("off") | Ok("0") | Ok("false") | Ok("no")
+            )
+        }),
+    }
+}
+
+/// The key a memoized allocation was computed under. CPA and MCPA share
+/// the cache (both produce [`CpaAllocation`]s) but never alias.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CacheKey {
+    Cpa {
+        pool: u32,
+        criterion: StoppingCriterion,
+    },
+    Mcpa {
+        pool: u32,
+    },
+}
+
+/// A per-scheduling-run memo of CPA phase-1 allocations, keyed by
+/// `(pool, criterion)`.
+///
+/// Every algorithm in the catalog derives several artifacts from the *same*
+/// allocation — `BL_CPAR` execution times, `BD_CPAR` bounds, RC guides —
+/// and used to recompute it for each. A scheduler creates one `CpaCache`
+/// per call and threads it through [`crate::bl::exec_times_cached`] /
+/// [`crate::forward::allocation_bounds_cached`] / the guide lookups, so
+/// each distinct allocation is computed exactly once per run. Hits and
+/// misses are reported through the `cpa.cache.{hit,miss}` counters.
+///
+/// The cache is deliberately scoped to one scheduling call (it holds
+/// nothing across DAGs, so keys never need to identify the DAG) and is a
+/// plain probed `Vec` — a run touches at most a handful of distinct pools.
+#[derive(Debug, Default)]
+pub struct CpaCache {
+    enabled: bool,
+    entries: Vec<(CacheKey, Rc<CpaAllocation>)>,
+}
+
+impl CpaCache {
+    /// An empty cache honoring the `RESCHED_CPA_CACHE` knob (and any
+    /// [`force_cache`] override).
+    pub fn new() -> CpaCache {
+        CpaCache {
+            enabled: cache_enabled(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// The CPA allocation for `(pool, criterion)`, computed on first use.
+    pub fn cpa(&mut self, dag: &Dag, pool: u32, criterion: StoppingCriterion) -> Rc<CpaAllocation> {
+        self.fetch(CacheKey::Cpa { pool, criterion }, || {
+            allocate(dag, pool, criterion)
+        })
+    }
+
+    /// The MCPA allocation for `pool`, computed on first use.
+    pub fn mcpa(&mut self, dag: &Dag, pool: u32) -> Rc<CpaAllocation> {
+        self.fetch(CacheKey::Mcpa { pool }, || crate::mcpa::allocate(dag, pool))
+    }
+
+    fn fetch(
+        &mut self,
+        key: CacheKey,
+        compute: impl FnOnce() -> CpaAllocation,
+    ) -> Rc<CpaAllocation> {
+        if self.enabled {
+            if let Some((_, hit)) = self.entries.iter().find(|(k, _)| *k == key) {
+                obs::counter_add(obs::names::CPA_CACHE_HIT, 1);
+                return Rc::clone(hit);
+            }
+        }
+        obs::counter_add(obs::names::CPA_CACHE_MISS, 1);
+        let fresh = Rc::new(compute());
+        if self.enabled {
+            self.entries.push((key, Rc::clone(&fresh)));
+        }
+        fresh
+    }
 }
 
 /// CPA phase 2: list-schedule all tasks with the given allocation onto an
@@ -397,5 +615,69 @@ mod tests {
         for t in dag.task_ids() {
             assert_eq!(alloc.exec_time(t), dag.cost(t).exec_time(alloc.alloc(t)));
         }
+    }
+
+    // NB: the seeded daggen sweep comparing `allocate` against
+    // `allocate_reference` lives in `tests/alloc_differential.rs` — the
+    // dev-dependency cycle with resched-daggen means unit tests here would
+    // see a second copy of this crate's types.
+
+    #[test]
+    fn saturated_critical_path_exits_via_best_none() {
+        // Fully sequential tasks (alpha = 1): no extra processor ever
+        // improves exec time, so the loop must exit through the
+        // `best == None` branch with every allocation still at 1, even
+        // though T_CP stays far above T_A.
+        let dag = chain(&[c(10_000, 1.0), c(10_000, 1.0), c(10_000, 1.0)]);
+        for alloc in [
+            allocate(&dag, 16, StoppingCriterion::Classic),
+            allocate_reference(&dag, 16, StoppingCriterion::Classic),
+        ] {
+            assert!(alloc.allocs.iter().all(|&m| m == 1));
+            assert_eq!(alloc.exec, vec![Dur::seconds(10_000); 3]);
+        }
+    }
+
+    #[test]
+    fn equal_gain_ties_grow_lowest_task_id_first() {
+        // Three identical tasks: ids 0, 1 are parallel children of id 2
+        // (built first so the tie is genuinely decided by id, not by
+        // structure). All three sit on the critical path with equal
+        // marginal gain; with pool = 2 the loop runs exactly twice, and
+        // the documented lowest-id tie-break means ids 0 then 1 grow while
+        // id 2 never does. A highest-id break would instead grow only id 2.
+        let mut b = DagBuilder::new();
+        let a = b.add_task(c(100, 0.0));
+        let x = b.add_task(c(100, 0.0));
+        let e = b.add_task(c(100, 0.0));
+        b.add_edge(e, a).add_edge(e, x);
+        let dag = b.build().unwrap();
+        for alloc in [
+            allocate(&dag, 2, StoppingCriterion::Classic),
+            allocate_reference(&dag, 2, StoppingCriterion::Classic),
+        ] {
+            assert_eq!(alloc.allocs, vec![2, 2, 1], "tie-break drifted");
+        }
+    }
+
+    #[test]
+    fn cache_memoizes_per_key_and_disables_cleanly() {
+        let dag = fork_join(c(500, 0.1), &[c(5000, 0.1); 6], c(500, 0.1));
+        let mut cache = CpaCache::new();
+        let a = cache.cpa(&dag, 16, StoppingCriterion::Classic);
+        let b = cache.cpa(&dag, 16, StoppingCriterion::Classic);
+        // Same Rc, not merely equal contents (when the env knob is on).
+        if cache.enabled {
+            assert!(Rc::ptr_eq(&a, &b), "expected a cache hit");
+        }
+        // Distinct keys never alias.
+        let c1 = cache.cpa(&dag, 8, StoppingCriterion::Classic);
+        let c2 = cache.cpa(&dag, 16, StoppingCriterion::Stringent);
+        assert!(!Rc::ptr_eq(&a, &c1) && !Rc::ptr_eq(&a, &c2));
+        let m = cache.mcpa(&dag, 16);
+        assert!(!Rc::ptr_eq(&a, &m), "CPA and MCPA keys must not alias");
+        // Contents always match a direct computation, cached or not.
+        assert_eq!(*a, allocate(&dag, 16, StoppingCriterion::Classic));
+        assert_eq!(*m, crate::mcpa::allocate(&dag, 16));
     }
 }

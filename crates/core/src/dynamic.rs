@@ -15,9 +15,11 @@
 //! interference rate grows.
 
 use crate::bl::{self, BlMethod};
+use crate::cpa::CpaCache;
 use crate::dag::Dag;
-use crate::forward::{allocation_bounds, ForwardConfig};
+use crate::forward::{allocation_bounds_cached, ForwardConfig};
 use crate::obs;
+use crate::pool::Pool;
 use crate::schedule::{Placement, Schedule, ScheduleStats};
 use resched_resv::{Calendar, Reservation, Time};
 
@@ -46,17 +48,18 @@ pub fn schedule_forward_dynamic(
     mut interfere: impl FnMut(&mut Calendar, PlacementEvent),
 ) -> Schedule {
     let p = competing.capacity();
-    let q = q.clamp(1, p);
+    let q = Pool::effective(q, p);
     let mut stats = ScheduleStats::default();
     stats.count_pass();
 
+    let mut cache = CpaCache::new();
     if matches!(cfg.bl, BlMethod::Cpa | BlMethod::CpaR) {
         stats.count_cpa_allocation();
     }
-    let exec = bl::exec_times(dag, p, q, cfg.bl, cfg.criterion);
+    let exec = bl::exec_times_cached(dag, p, q, cfg.bl, cfg.criterion, &mut cache);
     let levels = bl::bottom_levels(dag, &exec);
     let order = bl::order_by_decreasing_bl(dag, &levels);
-    let bounds = allocation_bounds(dag, p, q, cfg.bd, cfg.criterion, &mut stats);
+    let bounds = allocation_bounds_cached(dag, p, q, cfg.bd, cfg.criterion, &mut stats, &mut cache);
 
     crate::span!("dynamic.place");
     let mut cal = competing.clone();

@@ -14,9 +14,10 @@
 //! combination `BL_x_BD_y` names the paper's 12 (+BD_HALF) algorithms.
 
 use crate::bl::{self, BlMethod};
-use crate::cpa::{self, StoppingCriterion};
+use crate::cpa::{CpaCache, StoppingCriterion};
 use crate::dag::Dag;
 use crate::obs;
+use crate::pool::Pool;
 use crate::schedule::{Placement, Schedule, ScheduleStats};
 use resched_resv::{Calendar, Reservation, Time};
 use serde::{Deserialize, Serialize};
@@ -119,16 +120,35 @@ pub fn allocation_bounds(
     criterion: StoppingCriterion,
     stats: &mut ScheduleStats,
 ) -> Vec<u32> {
+    allocation_bounds_cached(dag, p, q, bd, criterion, stats, &mut CpaCache::new())
+}
+
+/// [`allocation_bounds`] against a shared per-run [`CpaCache`], so the same
+/// CPA allocation computed for `BL_CPA(R)` exec times is reused for the
+/// `BD_CPA(R)` bound instead of being recomputed.
+#[allow(clippy::too_many_arguments)]
+pub fn allocation_bounds_cached(
+    dag: &Dag,
+    p: u32,
+    q: u32,
+    bd: BdMethod,
+    criterion: StoppingCriterion,
+    stats: &mut ScheduleStats,
+    cache: &mut CpaCache,
+) -> Vec<u32> {
     match bd {
         BdMethod::All => vec![p; dag.num_tasks()],
         BdMethod::Half => vec![(p / 2).max(1); dag.num_tasks()],
         BdMethod::Cpa => {
             stats.count_cpa_allocation();
-            cpa::allocate(dag, p, criterion).allocs
+            cache.cpa(dag, p, criterion).allocs.clone()
         }
         BdMethod::CpaR => {
             stats.count_cpa_allocation();
-            cpa::allocate(dag, q.min(p), criterion).allocs
+            cache
+                .cpa(dag, Pool::effective(q, p), criterion)
+                .allocs
+                .clone()
         }
     }
 }
@@ -147,20 +167,23 @@ pub fn schedule_forward(
     cfg: ForwardConfig,
 ) -> Schedule {
     let p = competing.capacity();
-    let q = q.clamp(1, p);
+    let q = Pool::effective(q, p);
     let mut stats = ScheduleStats::default();
     stats.count_pass();
 
-    // Phase 1: bottom levels and scheduling order.
+    // Phase 1: bottom levels and scheduling order. A per-run CpaCache means
+    // e.g. BL_CPAR_BD_CPAR computes its CPA allocation once, not twice.
     let (order, bounds) = {
         crate::span!("forward.prep");
+        let mut cache = CpaCache::new();
         if matches!(cfg.bl, BlMethod::Cpa | BlMethod::CpaR) {
             stats.count_cpa_allocation();
         }
-        let exec = bl::exec_times(dag, p, q, cfg.bl, cfg.criterion);
+        let exec = bl::exec_times_cached(dag, p, q, cfg.bl, cfg.criterion, &mut cache);
         let levels = bl::bottom_levels(dag, &exec);
         let order = bl::order_by_decreasing_bl(dag, &levels);
-        let bounds = allocation_bounds(dag, p, q, cfg.bd, cfg.criterion, &mut stats);
+        let bounds =
+            allocation_bounds_cached(dag, p, q, cfg.bd, cfg.criterion, &mut stats, &mut cache);
         (order, bounds)
     };
 
@@ -248,6 +271,7 @@ pub fn schedule_forward(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cpa;
     use crate::dag::{chain, fork_join};
     use crate::task::TaskCost;
     use resched_resv::Dur;

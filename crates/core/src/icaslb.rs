@@ -16,7 +16,7 @@
 //! delays — exactly what the two-step CPA-based algorithms cannot do.
 //! The `ext_icaslb` bench compares it with `BL_CPAR_BD_CPAR`.
 
-use crate::bl::{self};
+use crate::bl::{self, LevelTracker};
 use crate::dag::{Dag, TaskId};
 use crate::obs;
 use crate::schedule::{Placement, Schedule, ScheduleStats};
@@ -48,20 +48,20 @@ impl Default for IcaslbConfig {
 
 /// Build the full reservation-aware schedule for a fixed allocation vector:
 /// list scheduling by decreasing bottom level, earliest-fit per task.
+///
+/// `exec` and `levels` are maintained incrementally by the caller (one
+/// allocation changes per growth step), so this no longer recomputes them.
 fn build_schedule(
     dag: &Dag,
     competing: &Calendar,
     now: Time,
     allocs: &[u32],
+    exec: &[Dur],
+    levels: &[Dur],
     stats: &mut ScheduleStats,
 ) -> Vec<Placement> {
     crate::span!("icaslb.build");
-    let exec: Vec<Dur> = dag
-        .task_ids()
-        .map(|t| dag.cost(t).exec_time(allocs[t.idx()]))
-        .collect();
-    let levels = bl::bottom_levels(dag, &exec);
-    let order = bl::order_by_decreasing_bl(dag, &levels);
+    let order = bl::order_by_decreasing_bl(dag, levels);
     let mut cal = competing.clone();
     let mut placements: Vec<Option<Placement>> = vec![None; dag.num_tasks()];
     for t in order {
@@ -94,15 +94,17 @@ fn makespan(placements: &[Placement]) -> Time {
 
 /// Critical-path candidates under the current allocation: tasks with
 /// `tl + bl == CP`, ordered by decreasing marginal gain from one extra
-/// processor.
-fn cp_candidates(dag: &Dag, allocs: &[u32], cap: u32) -> Vec<TaskId> {
-    let exec: Vec<Dur> = dag
-        .task_ids()
-        .map(|t| dag.cost(t).exec_time(allocs[t.idx()]))
-        .collect();
-    let bls = bl::bottom_levels(dag, &exec);
-    let tls = bl::top_levels(dag, &exec);
-    let cp = bl::critical_path_length(&bls);
+/// processor. Levels come from the caller's [`LevelTracker`].
+fn cp_candidates(
+    dag: &Dag,
+    allocs: &[u32],
+    cap: u32,
+    exec: &[Dur],
+    tracker: &LevelTracker,
+) -> Vec<TaskId> {
+    let bls = tracker.bottom();
+    let tls = tracker.top();
+    let cp = tracker.critical_path();
     let mut cands: Vec<(TaskId, f64)> = dag
         .task_ids()
         .filter(|&t| tls[t.idx()] + bls[t.idx()] == cp)
@@ -127,12 +129,23 @@ pub fn schedule_icaslb(
     cfg: IcaslbConfig,
 ) -> Schedule {
     let p = competing.capacity();
-    let cap = q.clamp(1, p);
+    let cap = crate::pool::Pool::effective(q, p);
     let mut stats = ScheduleStats::default();
     stats.count_pass();
 
     let mut allocs = vec![1u32; dag.num_tasks()];
-    let mut best_placements = build_schedule(dag, competing, now, &allocs, &mut stats);
+    let mut exec: Vec<Dur> = dag.costs().iter().map(|c| c.exec_time(1)).collect();
+    let mut tracker = LevelTracker::new(dag, &exec);
+    let mut incr_touched = 0u64;
+    let mut best_placements = build_schedule(
+        dag,
+        competing,
+        now,
+        &allocs,
+        &exec,
+        tracker.bottom(),
+        &mut stats,
+    );
     let mut best_makespan = makespan(&best_placements);
     let mut best_cpu: i64 = best_placements
         .iter()
@@ -145,17 +158,32 @@ pub fn schedule_icaslb(
         if stalls >= cfg.patience {
             break;
         }
-        let cands = cp_candidates(dag, &allocs, cap);
+        let cands = cp_candidates(dag, &allocs, cap, &exec, &tracker);
         if cands.is_empty() {
             break;
         }
         // Look-ahead: evaluate the real makespan of each candidate growth.
+        // Each trial nudges the tracked levels forward and back — an exact
+        // round trip, since level maintenance is pure max-plus arithmetic.
         let mut best_step: Option<(TaskId, Time, Vec<Placement>)> = None;
         for &t in cands.iter().take(cfg.lookahead) {
             allocs[t.idx()] += 1;
-            let placements = build_schedule(dag, competing, now, &allocs, &mut stats);
+            let old_exec = exec[t.idx()];
+            exec[t.idx()] = dag.cost(t).exec_time(allocs[t.idx()]);
+            incr_touched += tracker.update(dag, &exec, t);
+            let placements = build_schedule(
+                dag,
+                competing,
+                now,
+                &allocs,
+                &exec,
+                tracker.bottom(),
+                &mut stats,
+            );
             let m = makespan(&placements);
             allocs[t.idx()] -= 1;
+            exec[t.idx()] = old_exec;
+            incr_touched += tracker.update(dag, &exec, t);
             match &best_step {
                 Some((_, bm, _)) if m >= *bm => {}
                 _ => best_step = Some((t, m, placements)),
@@ -167,6 +195,8 @@ pub fn schedule_icaslb(
         // Commit the best step even if it does not improve (escaping local
         // minima), but count the stall.
         allocs[t.idx()] += 1;
+        exec[t.idx()] = dag.cost(t).exec_time(allocs[t.idx()]);
+        incr_touched += tracker.update(dag, &exec, t);
         let cpu: i64 = placements
             .iter()
             .map(|pl| pl.procs as i64 * pl.duration().as_seconds())
@@ -181,6 +211,7 @@ pub fn schedule_icaslb(
         }
     }
 
+    obs::counter_add(obs::names::CPA_ALLOC_INCR_UPDATES, incr_touched);
     let mut sched = Schedule::new(best_placements, now);
     sched.stats = stats;
 

@@ -60,6 +60,7 @@
 //!   kill/requeue semantics (completing the paper's §3.1 estimate story);
 //! * [`backward`] — RESSCHEDDL algorithms (`DL_*`, λ-hybrids, tightest
 //!   deadline);
+//! * [`pool`] — the single `q`-clamping rule sizing every CPA pool;
 //! * [`obs`] — feature-gated observability: metrics registry, span timers,
 //!   per-run phase profiles, and JSONL trace reports;
 //! * [`schedule`] — schedules, metrics, and the in-band validation oracle;
@@ -83,6 +84,7 @@ pub mod forward;
 pub mod icaslb;
 pub mod mcpa;
 pub mod obs;
+pub mod pool;
 pub mod schedule;
 pub mod task;
 pub mod validate;
@@ -98,6 +100,7 @@ pub mod prelude {
     pub use crate::cpa::StoppingCriterion;
     pub use crate::dag::{Dag, DagBuilder, TaskId};
     pub use crate::forward::{schedule_forward, BdMethod, ForwardConfig, TieBreak};
+    pub use crate::pool::Pool;
     pub use crate::schedule::{Placement, Schedule, ScheduleError};
     pub use crate::task::TaskCost;
     pub use crate::validate::{ScheduleValidator, Violation};

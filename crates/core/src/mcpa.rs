@@ -14,7 +14,7 @@
 //! and guideline roles; the `ext_mcpa` bench compares CPA- and
 //! MCPA-derived bounds over the paper's scenario grid.
 
-use crate::bl::{bottom_levels, critical_path_length, top_levels};
+use crate::bl::{bottom_levels, critical_path_length, top_levels, LevelTracker};
 use crate::cpa::CpaAllocation;
 use crate::dag::Dag;
 use crate::obs;
@@ -24,6 +24,10 @@ use resched_resv::Dur;
 ///
 /// Returns the same [`CpaAllocation`] shape as [`crate::cpa::allocate`], so
 /// it can be swapped in anywhere CPA allocations are used.
+///
+/// Levels are maintained incrementally by a [`LevelTracker`] (only one
+/// task's exec time changes per iteration); [`allocate_reference`] keeps
+/// the legacy full-rebuild loop as a differential oracle.
 ///
 /// # Panics
 /// Panics if `pool == 0`.
@@ -41,15 +45,16 @@ pub fn allocate(dag: &Dag, pool: u32) -> CpaAllocation {
     }
 
     crate::span!("mcpa.alloc_loop");
+    let mut tracker = LevelTracker::new(dag, &exec);
     let mut iterations = 0u64;
+    let mut incr_touched = 0u64;
     loop {
-        let bl = bottom_levels(dag, &exec);
-        let tl = top_levels(dag, &exec);
-        let cp = critical_path_length(&bl);
+        let cp = tracker.critical_path();
         let t_a = total_work as f64 / pool as f64;
         if (cp.as_seconds() as f64) <= t_a {
             break;
         }
+        let (bl, tl) = (tracker.bottom(), tracker.top());
         let mut best: Option<(crate::dag::TaskId, f64)> = None;
         for t in dag.task_ids() {
             if tl[t.idx()] + bl[t.idx()] != cp {
@@ -81,12 +86,76 @@ pub fn allocate(dag: &Dag, pool: u32) -> CpaAllocation {
         allocs[t.idx()] = m;
         exec[t.idx()] = dag.cost(t).exec_time(m);
         level_total[dag.depth(t) as usize] += 1;
+        incr_touched += tracker.update(dag, &exec, t);
     }
     obs::counter_add(obs::names::MCPA_ALLOC_ITERS, iterations);
+    obs::counter_add(obs::names::CPA_ALLOC_INCR_UPDATES, incr_touched);
 
     let out = CpaAllocation { pool, allocs, exec };
     #[cfg(any(debug_assertions, feature = "validate"))]
     crate::validate::assert_allocation_valid(dag, &out, "MCPA");
+    out
+}
+
+/// The legacy MCPA loop, rebuilding all levels from scratch each iteration.
+///
+/// Kept always-compiled as the differential oracle for [`allocate`] (see
+/// `incremental_matches_reference`) and as the baseline for the
+/// `criterion_micro` allocation benches. Not wired to any scheduler.
+pub fn allocate_reference(dag: &Dag, pool: u32) -> CpaAllocation {
+    assert!(pool > 0, "MCPA needs a non-empty processor pool");
+    let n = dag.num_tasks();
+    let mut allocs = vec![1u32; n];
+    let mut exec: Vec<Dur> = dag.costs().iter().map(|c| c.exec_time(1)).collect();
+    let mut total_work: i64 = dag.task_ids().map(|t| dag.cost(t).work(1)).sum();
+
+    let mut level_total: Vec<u32> = vec![0; dag.num_levels() as usize];
+    for t in dag.task_ids() {
+        level_total[dag.depth(t) as usize] += 1;
+    }
+
+    loop {
+        let bl = bottom_levels(dag, &exec);
+        let tl = top_levels(dag, &exec);
+        let cp = critical_path_length(&bl);
+        let t_a = total_work as f64 / pool as f64;
+        if (cp.as_seconds() as f64) <= t_a {
+            break;
+        }
+        let mut best: Option<(crate::dag::TaskId, f64)> = None;
+        for t in dag.task_ids() {
+            if tl[t.idx()] + bl[t.idx()] != cp {
+                continue;
+            }
+            let m = allocs[t.idx()];
+            if m >= pool {
+                continue;
+            }
+            if level_total[dag.depth(t) as usize] >= pool {
+                continue;
+            }
+            let cost = dag.cost(t);
+            if cost.exec_time(m + 1) >= exec[t.idx()] {
+                continue;
+            }
+            let gain = cost.marginal_gain(m);
+            match best {
+                Some((bt, bg)) if gain < bg || (gain == bg && t.0 >= bt.0) => {}
+                _ => best = Some((t, gain)),
+            }
+        }
+        let Some((t, _)) = best else { break };
+        let m = allocs[t.idx()] + 1;
+        total_work -= dag.cost(t).work(m - 1);
+        total_work += dag.cost(t).work(m);
+        allocs[t.idx()] = m;
+        exec[t.idx()] = dag.cost(t).exec_time(m);
+        level_total[dag.depth(t) as usize] += 1;
+    }
+
+    let out = CpaAllocation { pool, allocs, exec };
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    crate::validate::assert_allocation_valid(dag, &out, "MCPA-reference");
     out
 }
 
@@ -140,6 +209,18 @@ mod tests {
         let mcpa = allocate(&dag, 32);
         let classic = cpa::allocate(&dag, 32, cpa::StoppingCriterion::Classic);
         assert_eq!(mcpa.allocs, classic.allocs);
+    }
+
+    #[test]
+    fn incremental_matches_reference_on_forkjoin() {
+        // The seeded daggen sweep lives in `tests/alloc_differential.rs`;
+        // this in-module check covers the hand-built shapes.
+        for width in [2usize, 6, 12] {
+            let dag = fork_join(c(600, 0.1), &vec![c(7200, 0.05); width], c(600, 0.1));
+            for pool in [1u32, 4, 16, 128] {
+                assert_eq!(allocate(&dag, pool), allocate_reference(&dag, pool));
+            }
+        }
     }
 
     #[test]

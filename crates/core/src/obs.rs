@@ -69,6 +69,18 @@ pub mod names {
     pub const CPA_ALLOC_ITERS_PER_RUN: &str = "cpa.alloc.iterations_per_run";
     /// Counter: MCPA allocation-loop iterations.
     pub const MCPA_ALLOC_ITERS: &str = "mcpa.alloc.iterations";
+    /// Counter: per-run CPA allocation-cache hits (an allocation reused
+    /// instead of recomputed).
+    pub const CPA_CACHE_HIT: &str = "cpa.cache.hit";
+    /// Counter: per-run CPA allocation-cache misses (an allocation
+    /// actually computed, then retained for the rest of the run).
+    pub const CPA_CACHE_MISS: &str = "cpa.cache.miss";
+    /// Counter: nodes touched by incremental level maintenance inside the
+    /// allocation loops (the work the full O(V+E) rebuild used to redo).
+    pub const CPA_ALLOC_INCR_UPDATES: &str = "cpa.alloc.incr_updates";
+    /// Counter: λ-sweep passes the hybrid deadline algorithms skipped
+    /// because the previous failure provably repeats at the next λ.
+    pub const HYBRID_LAMBDA_PASSES_SAVED: &str = "hybrid.lambda_passes_saved";
     /// Counter: mirror of [`ScheduleStats::cpa_allocations`].
     pub const STATS_CPA_ALLOCATIONS: &str = "sched.cpa_allocations";
     /// Counter: mirror of [`ScheduleStats::cpa_mappings`].

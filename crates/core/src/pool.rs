@@ -1,0 +1,56 @@
+//! The single authority on processor-pool sizing.
+//!
+//! The paper's `*_CPAR` methods size CPA's phase-1 pool with `q`, the
+//! historical average number of available processors, which is *derived
+//! from logs* and therefore not guaranteed to respect the platform size
+//! `p` of the calendar actually being scheduled against (log thinning,
+//! cross-site traces, or user estimates can all produce `q > p`, and a
+//! degenerate extraction can produce `q == 0`).
+//!
+//! Historically the clamp was applied inconsistently: `forward.rs` clamped
+//! with `q.min(p)` while `bl::exec_times` and the backward guides passed
+//! raw `q`, so direct callers could hand `*_CPAR` methods allocations
+//! larger than the platform. [`Pool::effective`] is now the one place the
+//! rule lives: **every** CPA pool derived from `q` is `clamp(q, 1, p)`.
+
+/// Namespace for processor-pool sizing rules.
+pub struct Pool;
+
+impl Pool {
+    /// The effective CPA pool for a historical availability `q` on a
+    /// `p`-processor platform: `q` clamped to `1..=p`.
+    ///
+    /// Allocations computed from this pool are guaranteed to fit the
+    /// platform (`1 <= alloc <= p`), which is what the
+    /// [`validate`](crate::validate) oracle's allocation-bound check
+    /// enforces for every `*_CPAR` algorithm.
+    ///
+    /// # Panics
+    /// Panics if `p == 0` (a platform with no processors cannot schedule
+    /// anything).
+    #[inline]
+    pub fn effective(q: u32, p: u32) -> u32 {
+        assert!(p > 0, "platform must have at least one processor");
+        q.clamp(1, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamps_both_ends() {
+        assert_eq!(Pool::effective(0, 8), 1);
+        assert_eq!(Pool::effective(1, 8), 1);
+        assert_eq!(Pool::effective(5, 8), 5);
+        assert_eq!(Pool::effective(8, 8), 8);
+        assert_eq!(Pool::effective(32, 8), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn rejects_empty_platform() {
+        let _ = Pool::effective(4, 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Differential oracle for the incremental allocation loops.
+//!
+//! `cpa::allocate` and `mcpa::allocate` maintain bottom/top levels
+//! incrementally with a `LevelTracker`; `*_reference` keep the legacy
+//! full-rebuild loops. Both must be *byte-identical* — same allocs, same
+//! exec, same pool — across a seeded sweep of generated DAG shapes, pools,
+//! and stopping criteria.
+
+use resched_core::cpa::{self, StoppingCriterion};
+use resched_core::mcpa;
+use resched_daggen::{generate, DagParams};
+
+fn shapes() -> Vec<DagParams> {
+    let base = DagParams::paper_default();
+    vec![
+        DagParams {
+            num_tasks: 12,
+            width: 0.2,
+            ..base
+        },
+        DagParams {
+            num_tasks: 30,
+            density: 0.9,
+            ..base
+        },
+        DagParams {
+            num_tasks: 30,
+            width: 0.8,
+            jump: 3,
+            ..base
+        },
+        DagParams {
+            num_tasks: 50,
+            ..base
+        },
+    ]
+}
+
+#[test]
+fn cpa_incremental_matches_reference_on_seeded_sweep() {
+    for (i, params) in shapes().iter().enumerate() {
+        for seed in 0..4u64 {
+            let dag = generate(params, 1000 * i as u64 + seed);
+            for pool in [1u32, 2, 7, 32, 512] {
+                for criterion in [StoppingCriterion::Classic, StoppingCriterion::Stringent] {
+                    assert_eq!(
+                        cpa::allocate(&dag, pool, criterion),
+                        cpa::allocate_reference(&dag, pool, criterion),
+                        "divergence: shape {i}, seed {seed}, pool {pool}, {criterion:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn mcpa_incremental_matches_reference_on_seeded_sweep() {
+    for (i, params) in shapes().iter().enumerate() {
+        for seed in 0..4u64 {
+            let dag = generate(params, 7000 * i as u64 + seed);
+            for pool in [1u32, 4, 16, 128] {
+                assert_eq!(
+                    mcpa::allocate(&dag, pool),
+                    mcpa::allocate_reference(&dag, pool),
+                    "divergence: shape {i}, seed {seed}, pool {pool}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Regression coverage for the `q > p` pool-clamping fix.
+//!
+//! The historical availability `q` is derived from logs and can exceed the
+//! platform size `p` of the calendar actually being scheduled against.
+//! Historically only some call sites clamped it (`forward.rs` used
+//! `q.min(p)` while `bl::exec_times` and the backward guides passed raw
+//! `q`), so `*_CPAR` methods could compute allocations wider than the
+//! machine. `Pool::effective` now applies `clamp(q, 1, p)` in one place;
+//! these tests pin that every algorithm and every direct entry point
+//! honors it.
+
+use resched_core::algos::Algorithm;
+use resched_core::bl::{self, BlMethod};
+use resched_core::cpa::StoppingCriterion;
+use resched_core::forward::{allocation_bounds, schedule_forward, BdMethod, ForwardConfig};
+use resched_core::schedule::ScheduleStats;
+use resched_daggen::{generate, DagParams};
+use resched_resv::{Calendar, Reservation, Time};
+
+const P: u32 = 8;
+const OVERSIZED_Q: u32 = 32;
+
+fn instance() -> (resched_core::dag::Dag, Calendar) {
+    let dag = generate(
+        &DagParams {
+            num_tasks: 20,
+            ..DagParams::paper_default()
+        },
+        42,
+    );
+    let mut cal = Calendar::new(P);
+    cal.try_add(Reservation::new(Time::seconds(200), Time::seconds(5000), 5))
+        .unwrap();
+    (dag, cal)
+}
+
+/// Every catalog algorithm — in particular every `*_CPAR` variant, whose
+/// CPA pool comes from `q` — must survive `q > p` and pass the independent
+/// oracle's allocation-bound check (no task wider than the platform).
+#[test]
+fn oversized_q_passes_the_validator_for_every_algorithm() {
+    let (dag, cal) = instance();
+    // Loose deadline so the deadline algorithms stay feasible.
+    let fwd = schedule_forward(&dag, &cal, Time::ZERO, P, ForwardConfig::recommended());
+    let deadline = Some(Time::ZERO + fwd.turnaround() * 4);
+
+    for algo in Algorithm::catalog() {
+        let s = algo
+            .run(&dag, &cal, Time::ZERO, OVERSIZED_Q, deadline)
+            .unwrap_or_else(|e| panic!("{}: failed with q > p: {e}", algo.name()));
+        algo.validator(&dag, &cal, Time::ZERO, deadline)
+            .check(&s)
+            .unwrap_or_else(|e| panic!("{}: oracle rejects q > p schedule: {e}", algo.name()));
+        for (t, pl) in s.placements_by_start() {
+            assert!(
+                pl.procs >= 1 && pl.procs <= P,
+                "{}: task {} allocated {} procs on a {P}-processor platform",
+                algo.name(),
+                t.0,
+                pl.procs
+            );
+        }
+        // Clamping means an oversized q behaves exactly like q == p.
+        let clamped = algo
+            .run(&dag, &cal, Time::ZERO, P, deadline)
+            .expect("clamped run feasible");
+        assert_eq!(
+            s,
+            clamped,
+            "{}: q = {OVERSIZED_Q} must be equivalent to q = {P}",
+            algo.name()
+        );
+    }
+}
+
+/// The direct entry points that historically missed the clamp.
+#[test]
+fn direct_entry_points_clamp_oversized_q() {
+    let (dag, _cal) = instance();
+    let criterion = StoppingCriterion::default();
+
+    // bl::exec_times passed raw q to CPA before the fix.
+    assert_eq!(
+        bl::exec_times(&dag, P, OVERSIZED_Q, BlMethod::CpaR, criterion),
+        bl::exec_times(&dag, P, P, BlMethod::CpaR, criterion),
+    );
+
+    // forward::allocation_bounds BD_CPAR must cap every bound at p.
+    let mut stats = ScheduleStats::default();
+    let bounds = allocation_bounds(&dag, P, OVERSIZED_Q, BdMethod::CpaR, criterion, &mut stats);
+    assert!(
+        bounds.iter().all(|&b| (1..=P).contains(&b)),
+        "bounds {bounds:?}"
+    );
+    let mut stats = ScheduleStats::default();
+    assert_eq!(
+        bounds,
+        allocation_bounds(&dag, P, P, BdMethod::CpaR, criterion, &mut stats),
+    );
+
+    // Degenerate q == 0 clamps up to 1 instead of panicking inside CPA.
+    assert_eq!(
+        bl::exec_times(&dag, P, 0, BlMethod::CpaR, criterion),
+        bl::exec_times(&dag, P, 1, BlMethod::CpaR, criterion),
+    );
+}

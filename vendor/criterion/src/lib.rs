@@ -6,10 +6,23 @@
 //! `BatchSize`, and the `criterion_group!` / `criterion_main!` macros.
 //! No statistics engine, no HTML reports — it warms up, samples, and
 //! prints `min / mean / max` per-iteration times to stdout.
+//!
+//! Like real criterion, `cargo bench -- --test` switches to smoke mode:
+//! every benchmark runs with minimal sampling so CI can verify that bench
+//! code executes without paying for real measurements.
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// True when the bench binary was invoked with `--test` (as
+/// `cargo bench -- --test` does): benchmarks run once with minimal
+/// sampling, as a smoke test rather than a measurement.
+fn test_mode() -> bool {
+    static MODE: OnceLock<bool> = OnceLock::new();
+    *MODE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
 
 /// Benchmark harness configuration + runner.
 pub struct Criterion {
@@ -52,14 +65,27 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher {
-            sample_size: self.sample_size,
-            measurement_time: self.measurement_time,
-            warm_up_time: self.warm_up_time,
-            samples: Vec::new(),
+        let mut b = if test_mode() {
+            Bencher {
+                sample_size: 2,
+                measurement_time: Duration::from_millis(20),
+                warm_up_time: Duration::from_millis(1),
+                samples: Vec::new(),
+            }
+        } else {
+            Bencher {
+                sample_size: self.sample_size,
+                measurement_time: self.measurement_time,
+                warm_up_time: self.warm_up_time,
+                samples: Vec::new(),
+            }
         };
         f(&mut b);
-        b.report(id);
+        if test_mode() {
+            println!("{id:<50} ok (--test smoke)");
+        } else {
+            b.report(id);
+        }
         self
     }
 
