@@ -181,6 +181,23 @@ mod tests {
     }
 
     #[test]
+    fn catalog_matches_checked_in_manifest() {
+        // `resched-lint` statically diffs docs, goldens, and harnesses
+        // against `algos/catalog.txt`; this test pins the manifest to the
+        // runtime catalog, closing the loop.
+        let manifest: Vec<&str> = include_str!("algos/catalog.txt")
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .collect();
+        let runtime: Vec<String> = Algorithm::catalog().iter().map(|a| a.name()).collect();
+        assert_eq!(
+            manifest, runtime,
+            "crates/core/src/algos/catalog.txt is out of sync with Algorithm::catalog()"
+        );
+    }
+
+    #[test]
     fn by_name_roundtrips() {
         for a in Algorithm::catalog() {
             assert_eq!(Algorithm::by_name(&a.name()), Some(a));

@@ -448,17 +448,19 @@ fn backward_pass(
     let mut placements: Vec<Option<Placement>> = vec![None; dag.num_tasks()];
 
     for (k, &t) in order.iter().enumerate() {
-        // Successors are already scheduled (they have lower bottom levels).
-        let dl = dag
-            .succs(t)
-            .iter()
-            .map(|&s| {
-                placements[s.idx()]
-                    .expect("increasing-bl order schedules successors first")
-                    .start
-            })
-            .min()
-            .unwrap_or(deadline);
+        // Successors are already scheduled (they have lower bottom levels),
+        // so each contributes its start; an unplaced one would mean the
+        // order is not reverse-topological.
+        let mut dl = deadline;
+        for &s in dag.succs(t) {
+            debug_assert!(
+                placements[s.idx()].is_some(),
+                "increasing-bl order schedules successors first"
+            );
+            if let Some(pl) = placements[s.idx()] {
+                dl = dl.min(pl.start);
+            }
+        }
 
         let cost = dag.cost(t);
         let chosen = match &mode {
@@ -492,9 +494,15 @@ fn backward_pass(
                         // platform); the registry still sees it under
                         // `cpa.map.*` via the mapping's probes.
                         let cpa_map = cpa::map_subset(dag, guide, now, |u| unscheduled[u.idx()]);
-                        let s = cpa_map[t.idx()]
-                            .expect("current task is in the unscheduled subset")
-                            .start;
+                        // `t` = `order[k]` is in the subset by construction;
+                        // if the map somehow misses it, `now` is the safe
+                        // guideline (earliest start ⇒ loosest threshold, and
+                        // the aggressive fallback still guarantees validity).
+                        debug_assert!(
+                            cpa_map[t.idx()].is_some(),
+                            "current task is in the unscheduled subset"
+                        );
+                        let s = cpa_map[t.idx()].map_or(now, |pl| pl.start);
                         if let Some(c) = ctx.as_deref_mut() {
                             c.s_cache[k] = Some(s);
                         }
@@ -546,12 +554,11 @@ fn backward_pass(
         placements[t.idx()] = Some(chosen);
     }
 
-    Some(
-        placements
-            .into_iter()
-            .map(|p| p.expect("all tasks placed"))
-            .collect(),
-    )
+    // The loop above either places every task in `order` (which covers the
+    // whole DAG) or returns `None` early via `chosen?`.
+    let placed: Vec<Placement> = placements.into_iter().flatten().collect();
+    debug_assert_eq!(placed.len(), dag.num_tasks(), "all tasks placed");
+    Some(placed)
 }
 
 /// The `<m, start>` pair with the latest start among `m ∈ 1..=bound`, or

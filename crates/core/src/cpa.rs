@@ -391,10 +391,14 @@ pub fn map_with_cost(
     start_at: Time,
     cost: &mut QueryCost,
 ) -> Vec<Placement> {
-    map_subset_with_cost(dag, alloc, start_at, |_| true, cost)
+    // `include = |_| true` puts every task in the subset, so every slot is
+    // `Some`; a hole would shorten the result, which the assert catches.
+    let placed: Vec<Placement> = map_subset_with_cost(dag, alloc, start_at, |_| true, cost)
         .into_iter()
-        .map(|p| p.expect("map includes every task"))
-        .collect()
+        .flatten()
+        .collect();
+    debug_assert_eq!(placed.len(), dag.num_tasks(), "map includes every task");
+    placed
 }
 
 /// List-schedule a predecessor-closed subset of tasks (those for which

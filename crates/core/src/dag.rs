@@ -260,7 +260,7 @@ impl DagBuilder {
         }
         let mut preds: Vec<Vec<TaskId>> = vec![Vec::new(); n];
         let mut succs: Vec<Vec<TaskId>> = vec![Vec::new(); n];
-        let mut seen = std::collections::HashSet::with_capacity(self.edges.len());
+        let mut seen = std::collections::BTreeSet::new();
         for &(f, t) in &self.edges {
             if f as usize >= n || t as usize >= n {
                 return Err(DagError::BadEdge { from: f, to: t });
@@ -333,6 +333,7 @@ pub fn chain(costs: &[TaskCost]) -> Dag {
     for w in ids.windows(2) {
         b.add_edge(w[0], w[1]);
     }
+    // lint:allow(panic): the builder is fed a non-empty linear chain — no duplicate, self, or out-of-range edges.
     b.build().expect("a chain is always a valid DAG")
 }
 
@@ -349,6 +350,7 @@ pub fn fork_join(entry: TaskCost, middle: &[TaskCost], exit: TaskCost) -> Dag {
     if mids.is_empty() {
         b.add_edge(e, x);
     }
+    // lint:allow(panic): entry/mids/exit and their edges are constructed here with fresh distinct ids — always a valid DAG.
     b.build().expect("fork-join is always a valid DAG")
 }
 

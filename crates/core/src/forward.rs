@@ -193,23 +193,33 @@ pub fn schedule_forward(
     let mut placements: Vec<Option<Placement>> = vec![None; dag.num_tasks()];
 
     for t in order {
-        let ready = dag
-            .preds(t)
-            .iter()
-            .map(|&pr| {
-                placements[pr.idx()]
-                    .expect("decreasing-bl order schedules predecessors first")
-                    .end
-            })
-            .max()
-            .unwrap_or(now)
-            .max(now);
+        // Decreasing-BL order is topological, so every predecessor is
+        // already placed; an unplaced one would mean a broken order, which
+        // the debug assert (and the gated oracle below) would surface.
+        let mut ready = now;
+        for &pr in dag.preds(t) {
+            debug_assert!(
+                placements[pr.idx()].is_some(),
+                "decreasing-bl order schedules predecessors first"
+            );
+            if let Some(pl) = placements[pr.idx()] {
+                ready = ready.max(pl.end);
+            }
+        }
 
         let cost = dag.cost(t);
         let bound = bounds[t.idx()].clamp(1, p);
-        let mut best: Option<Placement> = None;
-        let mut prev_dur = None;
-        for m in 1..=bound {
+        // Seed the search with the always-legal one-processor candidate so
+        // `best` is total — there is no "empty search" state to unwrap.
+        let dur1 = cost.exec_time(1);
+        let s1 = obs::probe::earliest_fit(&cal, 1, dur1, ready, &mut stats);
+        let mut best = Placement {
+            start: s1,
+            end: s1 + dur1,
+            procs: 1,
+        };
+        let mut prev_dur = Some(dur1);
+        for m in 2..=bound {
             let dur = cost.exec_time(m);
             // Same duration with more processors can never finish earlier
             // and never helps any tie-break toward fewer processors; for
@@ -224,38 +234,31 @@ pub fn schedule_forward(
             prev_dur = Some(dur);
             let s = obs::probe::earliest_fit(&cal, m, dur, ready, &mut stats);
             let end = s + dur;
-            let better = match &best {
-                None => true,
-                Some(b) => {
-                    end < b.end
-                        || (end == b.end
-                            && match cfg.tie {
-                                TieBreak::FewestProcs => m < b.procs,
-                                TieBreak::MostProcs => m > b.procs,
-                            })
-                }
-            };
+            let better = end < best.end
+                || (end == best.end
+                    && match cfg.tie {
+                        TieBreak::FewestProcs => m < best.procs,
+                        TieBreak::MostProcs => m > best.procs,
+                    });
             if better {
-                best = Some(Placement {
+                best = Placement {
                     start: s,
                     end,
                     procs: m,
-                });
+                };
             }
         }
-        let chosen = best.expect("bound >= 1 guarantees at least one candidate");
-        cal.add_unchecked(Reservation::new(chosen.start, chosen.end, chosen.procs));
-        placements[t.idx()] = Some(chosen);
+        cal.add_unchecked(Reservation::new(best.start, best.end, best.procs));
+        placements[t.idx()] = Some(best);
     }
     drop(place_span);
 
-    let mut sched = Schedule::new(
-        placements
-            .into_iter()
-            .map(|p| p.expect("every task scheduled"))
-            .collect(),
-        now,
-    );
+    // `order` visits every task exactly once, so each slot is filled; a
+    // hole would shrink the schedule, which the length assert and the
+    // gated oracle both catch in checked builds.
+    let placed: Vec<Placement> = placements.into_iter().flatten().collect();
+    debug_assert_eq!(placed.len(), dag.num_tasks(), "every task scheduled");
+    let mut sched = Schedule::new(placed, now);
     sched.stats = stats;
 
     // Debug/feature-gated post-pass: replay the finished schedule through

@@ -149,6 +149,7 @@ impl Schedule {
             .iter()
             .map(|p| p.end)
             .max()
+            // lint:allow(panic): schedules carry one placement per task and DagBuilder rejects empty DAGs.
             .expect("schedule of an empty DAG")
     }
 
@@ -158,6 +159,7 @@ impl Schedule {
             .iter()
             .map(|p| p.start)
             .min()
+            // lint:allow(panic): schedules carry one placement per task and DagBuilder rejects empty DAGs.
             .expect("schedule of an empty DAG")
     }
 

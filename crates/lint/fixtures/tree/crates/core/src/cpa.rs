@@ -1,0 +1,6 @@
+//! Seeded fixture: a stray unwrap in a scheduling loop.
+
+/// The hot path the panic rule must catch.
+pub fn map_first(placements: &[Option<u32>]) -> u32 {
+    placements.first().copied().flatten().unwrap()
+}

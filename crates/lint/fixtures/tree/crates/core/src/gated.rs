@@ -1,0 +1,4 @@
+//! Seeded fixture: an obs feature gate without its no-op twin.
+
+#[cfg(feature = "obs")]
+pub fn only_with_obs() {}

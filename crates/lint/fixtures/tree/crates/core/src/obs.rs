@@ -1,0 +1,6 @@
+//! Seeded fixture names module: one good constant, one typo.
+
+/// Declared in the manifest.
+pub const GOOD: &str = "fixture.good";
+/// Typo'd: the manifest says `fixture.good`.
+pub const TYPO: &str = "fixture.goood";

@@ -1,0 +1,8 @@
+//! Clean fixture harness.
+
+#[test]
+fn full_coverage() {
+    for a in Algorithm::catalog() {
+        let _ = a;
+    }
+}

@@ -1,0 +1,411 @@
+//! A minimal line-oriented Rust lexer — just enough structure for the lint
+//! rules, with no syntax tree.
+//!
+//! For every source line the lexer produces:
+//!
+//! * `code` — the line with comments removed and string/char literal
+//!   *contents* blanked (the quotes remain). Token matching on `code` can
+//!   therefore never be fooled by a `panic!` spelled inside a string or a
+//!   `HashMap` mentioned in a doc comment.
+//! * `comment` — the text of the line's `//` comment, if any, for waiver
+//!   parsing.
+//! * `in_test` — whether the line sits inside a `#[cfg(test)]` item (the
+//!   attribute line itself included). Rules that police library code skip
+//!   these lines.
+//!
+//! String literals (including raw strings) are collected separately with
+//! their line and column, so rules that *do* care about literal values
+//! (obs-hygiene) see them without re-parsing.
+//!
+//! Known heuristic limits, acceptable for this workspace and documented in
+//! DESIGN.md §10: `#[cfg(test)]` is assumed to gate a braced item (a `;`
+//! before any `{` cancels the region), and block comments never carry
+//! waivers.
+
+/// One string literal with its location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrLit {
+    /// 1-based line number.
+    pub line: usize,
+    /// 0-based byte column of the opening quote in the original line.
+    pub col: usize,
+    /// Literal content (escapes left as written).
+    pub value: String,
+}
+
+/// One lexed source line.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code text: comments stripped, literal contents blanked.
+    pub code: String,
+    /// Trailing (or whole-line) `//` comment text, without the slashes.
+    pub comment: Option<String>,
+    /// True inside `#[cfg(test)]`-gated items.
+    pub in_test: bool,
+}
+
+/// A fully lexed file.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// Per-line views, index 0 = line 1.
+    pub lines: Vec<Line>,
+    /// Every string literal in the file, in source order.
+    pub strings: Vec<StrLit>,
+}
+
+impl Lexed {
+    /// 1-based accessor used by rules; panics on out-of-range internally
+    /// only, never on user input.
+    pub fn line(&self, n: usize) -> &Line {
+        &self.lines[n - 1]
+    }
+
+    /// String literals on line `n` (1-based), in column order.
+    pub fn strings_on(&self, n: usize) -> impl Iterator<Item = &StrLit> {
+        self.strings.iter().filter(move |s| s.line == n)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str { raw_hashes: Option<u32> },
+}
+
+/// Lex `src` into per-line code/comment views plus a string-literal table.
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let mut state = State::Normal;
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut lit = String::new();
+    let mut lit_start = (0usize, 0usize);
+
+    let mut line_no = 1usize;
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut col = 0usize;
+
+    macro_rules! push_line {
+        () => {
+            out.lines.push(Line {
+                code: std::mem::take(&mut code),
+                comment: if comment.is_empty() {
+                    None
+                } else {
+                    Some(std::mem::take(&mut comment))
+                },
+                in_test: false,
+            });
+            comment.clear();
+            line_no += 1;
+            col = 0;
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            // A newline terminates line comments; strings and block
+            // comments continue across it.
+            if state == State::LineComment {
+                state = State::Normal;
+            }
+            push_line!();
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                let next = bytes.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                    col += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                    col += 2;
+                    continue;
+                }
+                if c == '"' {
+                    state = State::Str { raw_hashes: None };
+                    lit_start = (line_no, col);
+                    code.push('"');
+                    i += 1;
+                    col += 1;
+                    continue;
+                }
+                if (c == 'r' || c == 'b') && is_raw_string_start(&bytes, i) {
+                    let (hashes, skip) = raw_string_open(&bytes, i);
+                    state = State::Str {
+                        raw_hashes: Some(hashes),
+                    };
+                    lit_start = (line_no, col);
+                    code.push('"');
+                    i += skip;
+                    col += skip;
+                    continue;
+                }
+                if c == '\'' {
+                    // Char literal or lifetime. A char literal closes within
+                    // a few characters; a lifetime never has a closing quote.
+                    if let Some(len) = char_literal_len(&bytes, i) {
+                        code.push('\'');
+                        code.push('\'');
+                        i += len;
+                        col += len;
+                        continue;
+                    }
+                }
+                code.push(c);
+                i += 1;
+                col += 1;
+            }
+            State::LineComment => {
+                comment.push(c);
+                i += 1;
+                col += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = bytes.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                    col += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                    col += 2;
+                } else {
+                    i += 1;
+                    col += 1;
+                }
+            }
+            State::Str { raw_hashes } => {
+                match raw_hashes {
+                    None => {
+                        if c == '\\' {
+                            lit.push(c);
+                            if let Some(&e) = bytes.get(i + 1) {
+                                lit.push(e);
+                            }
+                            i += 2;
+                            col += 2;
+                            continue;
+                        }
+                        if c == '"' {
+                            code.push('"');
+                            out.strings.push(StrLit {
+                                line: lit_start.0,
+                                col: lit_start.1,
+                                value: std::mem::take(&mut lit),
+                            });
+                            state = State::Normal;
+                            i += 1;
+                            col += 1;
+                            continue;
+                        }
+                    }
+                    Some(h) => {
+                        if c == '"' && closes_raw_string(&bytes, i, h) {
+                            code.push('"');
+                            out.strings.push(StrLit {
+                                line: lit_start.0,
+                                col: lit_start.1,
+                                value: std::mem::take(&mut lit),
+                            });
+                            state = State::Normal;
+                            i += 1 + h as usize;
+                            col += 1 + h as usize;
+                            continue;
+                        }
+                    }
+                }
+                lit.push(c);
+                i += 1;
+                col += 1;
+            }
+        }
+    }
+    // Final line (no trailing newline case).
+    out.lines.push(Line {
+        code,
+        comment: if comment.is_empty() {
+            None
+        } else {
+            Some(comment)
+        },
+        in_test: false,
+    });
+    mark_test_regions(&mut out.lines);
+    out
+}
+
+/// `r"`, `r#`, `br"`, `br#` ahead at `i`?
+fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+        if bytes.get(j) != Some(&'r') {
+            return false;
+        }
+    }
+    if bytes.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&'"')
+}
+
+/// Number of `#`s and total chars consumed by the raw-string opener.
+fn raw_string_open(bytes: &[char], i: usize) -> (u32, usize) {
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+    }
+    j += 1; // the 'r'
+    let mut hashes = 0u32;
+    while bytes.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // the opening quote
+    (hashes, j - i)
+}
+
+/// Does the `"` at `i` close a raw string opened with `hashes` hashes?
+fn closes_raw_string(bytes: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&'#'))
+}
+
+/// Length of the char literal starting at the `'` at `i`, or `None` if this
+/// is a lifetime.
+fn char_literal_len(bytes: &[char], i: usize) -> Option<usize> {
+    match bytes.get(i + 1)? {
+        '\\' => {
+            // Escape: find the closing quote within a short window
+            // (longest escapes are \u{10FFFF}).
+            (i + 3..(i + 12).min(bytes.len()))
+                .find(|&j| bytes[j] == '\'')
+                .map(|j| j - i + 1)
+        }
+        _ => (bytes.get(i + 2) == Some(&'\'')).then_some(3),
+    }
+}
+
+/// Mark lines inside `#[cfg(test)]`-gated items.
+///
+/// Heuristic: after the attribute, the next `{` at or below the attribute's
+/// depth opens the gated item; the region closes with its matching `}`. A
+/// `;` before any `{` cancels (attribute on a braceless item).
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth: i32 = 0;
+    let mut pending = false;
+    let mut inside = false;
+    let mut close_depth: i32 = 0;
+    for line in lines.iter_mut() {
+        if !inside
+            && (line.code.contains("#[cfg(test)]")
+                || line.code.contains("#[cfg(all(test")
+                || line.code.contains("#[cfg(any(test"))
+        {
+            pending = true;
+        }
+        let mut line_touched_test = pending || inside;
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if pending {
+                        pending = false;
+                        inside = true;
+                        close_depth = depth;
+                        line_touched_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if inside && depth == close_depth {
+                        inside = false;
+                        line_touched_test = true;
+                    }
+                }
+                ';' if pending => pending = false,
+                _ => {}
+            }
+        }
+        line.in_test = line_touched_test || inside;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_blanks_strings() {
+        let l = lex("let x = \"unwrap()\"; // trailing unwrap()\n");
+        assert_eq!(l.lines[0].code, "let x = \"\"; ");
+        assert_eq!(l.lines[0].comment.as_deref(), Some(" trailing unwrap()"));
+        assert_eq!(l.strings[0].value, "unwrap()");
+        assert_eq!(l.strings[0].line, 1);
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let l = lex("a /* one /* two */ still */ b\nc /* open\nclose */ d\n");
+        assert_eq!(l.lines[0].code, "a  b");
+        assert_eq!(l.lines[1].code, "c ");
+        assert_eq!(l.lines[2].code, " d");
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let l = lex("let a = r#\"has \"quotes\" and \\\"#; let b = \"\\\"esc\\\"\";\n");
+        assert_eq!(l.strings.len(), 2);
+        assert_eq!(l.strings[0].value, "has \"quotes\" and \\");
+        assert_eq!(l.strings[1].value, "\\\"esc\\\"");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = '{'; let d = '\\n'; }\n");
+        // The braces inside char literals are blanked; the fn braces remain.
+        let opens = l.lines[0].code.matches('{').count();
+        let closes = l.lines[0].code.matches('}').count();
+        assert_eq!(opens, 1);
+        assert_eq!(closes, 1);
+    }
+
+    #[test]
+    fn test_regions_are_marked() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let l = lex(src);
+        assert!(!l.lines[0].in_test);
+        assert!(l.lines[1].in_test, "attribute line");
+        assert!(l.lines[2].in_test);
+        assert!(l.lines[3].in_test);
+        assert!(l.lines[4].in_test, "closing brace");
+        assert!(!l.lines[5].in_test);
+    }
+
+    #[test]
+    fn semicolon_cancels_pending_test_region() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() { x }\n";
+        let l = lex(src);
+        assert!(!l.lines[2].in_test);
+    }
+}

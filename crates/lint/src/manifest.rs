@@ -1,0 +1,257 @@
+//! Parsers for the two checked-in manifests the lint rules cross-check:
+//! the metric/span name manifest (`crates/core/src/obs/metrics.toml`) and
+//! the algorithm catalog (`crates/core/src/algos/catalog.txt`).
+//!
+//! Both parsers are deliberately tiny line-oriented readers (no TOML crate
+//! is vendored); the manifest grammar is restricted to what they accept and
+//! documented in DESIGN.md §10.
+
+use std::collections::BTreeMap;
+
+/// Which manifest section a metric name lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MetricKind {
+    /// `[counters]` — names passed to `obs::counter_add`.
+    Counter,
+    /// `[histograms]` — names passed to `obs::record_value`.
+    Histogram,
+    /// `[spans]` — names passed to `span!` / `obs::span_enter`.
+    Span,
+}
+
+impl MetricKind {
+    /// Section header spelling.
+    pub fn section(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counters",
+            MetricKind::Histogram => "histograms",
+            MetricKind::Span => "spans",
+        }
+    }
+}
+
+/// One manifest entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricEntry {
+    /// Section the name was declared under.
+    pub kind: MetricKind,
+    /// 1-based line in `metrics.toml`.
+    pub line: usize,
+    /// Human description (the entry's value string).
+    pub description: String,
+}
+
+/// The parsed metrics manifest: name → entry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsManifest {
+    /// All declared names, sorted by name.
+    pub entries: BTreeMap<String, MetricEntry>,
+    /// Parse problems: (line, message).
+    pub errors: Vec<(usize, String)>,
+}
+
+impl MetricsManifest {
+    /// Parse the restricted-TOML manifest text.
+    ///
+    /// Accepted grammar per line: blank, `# comment`, `[section]` with
+    /// section ∈ {counters, histograms, spans}, or `"name" = "description"`.
+    pub fn parse(src: &str) -> MetricsManifest {
+        let mut m = MetricsManifest::default();
+        let mut kind: Option<MetricKind> = None;
+        for (idx, raw) in src.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(section) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                kind = match section {
+                    "counters" => Some(MetricKind::Counter),
+                    "histograms" => Some(MetricKind::Histogram),
+                    "spans" => Some(MetricKind::Span),
+                    other => {
+                        m.errors
+                            .push((line_no, format!("unknown manifest section [{other}]")));
+                        None
+                    }
+                };
+                continue;
+            }
+            let Some((name, description)) = parse_entry(line) else {
+                m.errors.push((
+                    line_no,
+                    format!(
+                        "unparseable manifest line (want `\"name\" = \"description\"`): {line}"
+                    ),
+                ));
+                continue;
+            };
+            let Some(kind) = kind else {
+                m.errors.push((
+                    line_no,
+                    format!("entry \"{name}\" appears before any [section] header"),
+                ));
+                continue;
+            };
+            if description.trim().is_empty() {
+                m.errors.push((
+                    line_no,
+                    format!("entry \"{name}\" has an empty description"),
+                ));
+            }
+            if m.entries
+                .insert(
+                    name.clone(),
+                    MetricEntry {
+                        kind,
+                        line: line_no,
+                        description,
+                    },
+                )
+                .is_some()
+            {
+                m.errors
+                    .push((line_no, format!("duplicate manifest entry \"{name}\"")));
+            }
+        }
+        m
+    }
+
+    /// Is `name` declared under `kind`?
+    pub fn declares(&self, name: &str, kind: MetricKind) -> bool {
+        self.entries.get(name).is_some_and(|e| e.kind == kind)
+    }
+
+    /// Is `name` declared under any section?
+    pub fn declares_any(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// The declared name closest to `name` by edit distance, if within 3
+    /// edits — the "did you mean" suggestion for typo'd metric names.
+    pub fn nearest(&self, name: &str) -> Option<&str> {
+        self.entries
+            .keys()
+            .map(|k| (edit_distance(name, k), k.as_str()))
+            .filter(|(d, _)| *d <= 3)
+            .min_by_key(|(d, k)| (*d, k.len()))
+            .map(|(_, k)| k)
+    }
+}
+
+/// Parse `"name" = "description"`.
+fn parse_entry(line: &str) -> Option<(String, String)> {
+    let rest = line.strip_prefix('"')?;
+    let (name, rest) = rest.split_once('"')?;
+    let rest = rest.trim_start().strip_prefix('=')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let (description, tail) = rest.rsplit_once('"')?;
+    if !tail.trim().is_empty() && !tail.trim().starts_with('#') {
+        return None;
+    }
+    Some((name.to_string(), description.to_string()))
+}
+
+/// Levenshtein distance, small-string implementation.
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The parsed algorithm catalog: name → 1-based line in `catalog.txt`.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    /// Canonical algorithm names in declaration order.
+    pub names: Vec<(String, usize)>,
+}
+
+impl Catalog {
+    /// Parse the catalog manifest: one name per line, `#` comments and
+    /// blank lines ignored.
+    pub fn parse(src: &str) -> Catalog {
+        let mut names = Vec::new();
+        for (idx, raw) in src.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            names.push((line.to_string(), idx + 1));
+        }
+        Catalog { names }
+    }
+
+    /// Just the names, in order.
+    pub fn name_set(&self) -> Vec<&str> {
+        self.names.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Does the catalog contain `name`?
+    pub fn contains(&self, name: &str) -> bool {
+        self.names.iter().any(|(n, _)| n == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_and_entries() {
+        let m = MetricsManifest::parse(
+            "# header\n[counters]\n\"a.b\" = \"does a b\"\n[spans]\n\"s.one\" = \"span one\"\n",
+        );
+        assert!(m.errors.is_empty(), "{:?}", m.errors);
+        assert!(m.declares("a.b", MetricKind::Counter));
+        assert!(!m.declares("a.b", MetricKind::Span));
+        assert!(m.declares("s.one", MetricKind::Span));
+        assert_eq!(m.entries["a.b"].line, 3);
+    }
+
+    #[test]
+    fn flags_bad_lines() {
+        let m = MetricsManifest::parse("[counters]\nnot an entry\n[wat]\n\"x\" = \"\"\n");
+        assert_eq!(m.errors.len(), 3, "{:?}", m.errors);
+    }
+
+    #[test]
+    fn duplicate_entries_are_errors() {
+        let m = MetricsManifest::parse("[counters]\n\"a\" = \"one\"\n\"a\" = \"two\"\n");
+        assert_eq!(m.errors.len(), 1);
+    }
+
+    #[test]
+    fn nearest_suggests_typo_fixes() {
+        let m = MetricsManifest::parse("[counters]\n\"cpa.cache.hit\" = \"hits\"\n");
+        assert_eq!(m.nearest("cpa.cache.hot"), Some("cpa.cache.hit"));
+        assert_eq!(m.nearest("totally.unrelated"), None);
+    }
+
+    #[test]
+    fn catalog_parses_names_with_lines() {
+        let c = Catalog::parse("# catalog\nBL_1_BD_ALL\n\nBLIND\n");
+        assert_eq!(
+            c.names,
+            vec![("BL_1_BD_ALL".to_string(), 2), ("BLIND".to_string(), 4)]
+        );
+        assert!(c.contains("BLIND"));
+        assert!(!c.contains("nope"));
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", "abd"), 1);
+        assert_eq!(edit_distance("", "abc"), 3);
+    }
+}

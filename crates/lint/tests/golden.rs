@@ -1,0 +1,83 @@
+//! End-to-end CLI tests over the frozen fixture tree in
+//! `crates/lint/fixtures/tree`: the `--json` report must match the checked-in
+//! golden byte-for-byte, `--deny` must fail, and path filters must restrict
+//! the report.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/tree")
+}
+
+fn lint_cmd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_resched-lint"))
+}
+
+#[test]
+fn fixture_tree_matches_the_golden_json_report() {
+    let out = lint_cmd()
+        .args(["--deny", "--json", "--root"])
+        .arg(fixture_root())
+        .output()
+        .expect("run resched-lint");
+    let golden_path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/golden_report.json");
+    let golden = std::fs::read_to_string(&golden_path).expect("read golden report");
+    let got = String::from_utf8(out.stdout).expect("utf8 report");
+    assert_eq!(
+        got, golden,
+        "fixture report drifted from the golden; if the change is intentional, regenerate with \
+         `cargo run -p resched-lint -- --root crates/lint/fixtures/tree --json > \
+         crates/lint/fixtures/golden_report.json`"
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "--deny must exit 1 on the seeded fixture tree"
+    );
+}
+
+#[test]
+fn seeded_violations_are_reported_at_exact_sites() {
+    let out = lint_cmd()
+        .arg("--root")
+        .arg(fixture_root())
+        .output()
+        .expect("run resched-lint");
+    assert_eq!(out.status.code(), Some(0), "warn mode always exits 0");
+    let text = String::from_utf8(out.stdout).expect("utf8 report");
+    for needle in [
+        "crates/core/src/cpa.rs:5: panic:",
+        "crates/core/src/sched.rs:9: nondet:",
+        "crates/core/src/obs.rs:6: obs:",
+        "crates/core/src/gated.rs:3: parity:",
+        "crates/core/src/sched.rs:20: waiver:",
+        "tests/tests/cache_differential.rs:1: catalog:",
+        "did you mean \"fixture.good\"?",
+    ] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+    // The justified waiver in sched.rs suppresses its expect().
+    assert!(
+        !text.contains("sched.rs:17"),
+        "waived expect() must not be reported:\n{text}"
+    );
+}
+
+#[test]
+fn path_filters_restrict_the_report_without_unsounding_cross_file_rules() {
+    let out = lint_cmd()
+        .arg("--root")
+        .arg(fixture_root())
+        .arg("crates/core/src/gated.rs")
+        .output()
+        .expect("run resched-lint");
+    let text = String::from_utf8(out.stdout).expect("utf8 report");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(
+        lines.len(),
+        1,
+        "filter must keep only the gated.rs violation:\n{text}"
+    );
+    assert!(lines[0].starts_with("crates/core/src/gated.rs:3: parity:"));
+}

@@ -1,0 +1,24 @@
+//! Meta-test: the real workspace must lint clean under `--deny`. Any new
+//! violation (or stale waiver) anywhere in the repository fails this test,
+//! which is what keeps the CI lint lane and `cargo test` equivalent.
+
+use resched_lint::{render_text, run, Config, Workspace};
+use std::path::PathBuf;
+
+#[test]
+fn the_workspace_lints_clean_under_deny() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cfg = Config::default();
+    let ws = Workspace::load(&root, &cfg).expect("load workspace");
+    assert!(
+        ws.files.len() > 20,
+        "workspace walk looks broken: only {} files",
+        ws.files.len()
+    );
+    let violations = run(&ws, &cfg);
+    assert!(
+        violations.is_empty(),
+        "the workspace must lint clean; fix or waive:\n{}",
+        render_text(&violations)
+    );
+}

@@ -26,6 +26,7 @@ impl Reservation {
     /// for a fallible constructor.
     pub fn new(start: Time, end: Time, procs: u32) -> Reservation {
         Reservation::checked(start, end, procs)
+            // lint:allow(panic): documented panicking constructor (see doc comment); `Reservation::checked` is the fallible path.
             .unwrap_or_else(|e| panic!("invalid reservation: {e}"))
     }
 

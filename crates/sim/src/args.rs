@@ -1,7 +1,7 @@
 //! Minimal command-line argument parsing for the `resched` CLI binary —
 //! `--key value` and `--flag` styles, no external dependency.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Parsed arguments: a subcommand plus `--key value` options and `--flag`
 /// switches.
@@ -9,7 +9,7 @@ use std::collections::HashMap;
 pub struct Args {
     /// The first positional argument.
     pub command: String,
-    opts: HashMap<String, String>,
+    opts: BTreeMap<String, String>,
     flags: Vec<String>,
 }
 

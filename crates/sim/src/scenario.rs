@@ -185,7 +185,7 @@ pub fn instances_for(
 /// deterministic per root seed.
 #[derive(Default)]
 pub struct LogCache {
-    map: std::collections::HashMap<String, JobLog>,
+    map: std::collections::BTreeMap<String, JobLog>,
 }
 
 impl LogCache {
