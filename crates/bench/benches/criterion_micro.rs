@@ -80,6 +80,40 @@ fn bench_earliest_fit_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Calendar mutation cost, split by patch path. A reservation whose
+/// endpoints coincide with existing breakpoints is a *pure bump* — the
+/// usage index is patched in O(log B) (it used to silently rebuild all
+/// prefix areas, O(B)). Unaligned endpoints insert/erase breakpoints and
+/// stay O(B) by necessity (the step vector shifts). Each iteration does an
+/// add followed by its exact-inverse remove, so the calendar is restored
+/// in place and no per-iteration clone pollutes the measurement.
+fn bench_calendar_mutate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calendar_mutate");
+    for &r in &[1_000usize, 10_000] {
+        let span = r as i64 * 10;
+        // Both endpoints are existing staircase breakpoints: pure bump
+        // across ~all B steps.
+        let aligned = Reservation::new(Time::ZERO, Time::seconds(span), 10);
+        let mut cal = staircase_calendar(r);
+        group.bench_function(format!("aligned_add_remove/{r}"), |b| {
+            b.iter(|| {
+                cal.try_add(black_box(aligned)).unwrap();
+                cal.try_remove(black_box(aligned)).unwrap();
+            })
+        });
+        // Endpoints fall mid-step: breakpoint insertion + erasure dominate.
+        let unaligned = Reservation::new(Time::seconds(5), Time::seconds(span - 5), 10);
+        let mut cal = staircase_calendar(r);
+        group.bench_function(format!("unaligned_add_remove/{r}"), |b| {
+            b.iter(|| {
+                cal.try_add(black_box(unaligned)).unwrap();
+                cal.try_remove(black_box(unaligned)).unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_cpa(c: &mut Criterion) {
     let dag = generate(&DagParams::paper_default(), 42);
     c.bench_function("cpa/allocate_n50_p512", |b| {
@@ -211,6 +245,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_calendar, bench_earliest_fit_scaling, bench_cpa, bench_cpa_alloc, bench_schedulers, bench_obs
+    targets = bench_calendar, bench_earliest_fit_scaling, bench_calendar_mutate, bench_cpa, bench_cpa_alloc, bench_schedulers, bench_obs
 }
 criterion_main!(benches);

@@ -103,6 +103,6 @@ pub mod prelude {
     pub use crate::pool::Pool;
     pub use crate::schedule::{Placement, Schedule, ScheduleError};
     pub use crate::task::TaskCost;
-    pub use crate::validate::{ScheduleValidator, Violation};
-    pub use resched_resv::{Calendar, Dur, Reservation, Time};
+    pub use crate::validate::{audit_calendar, ScheduleValidator, Violation};
+    pub use resched_resv::{Calendar, Dur, Reservation, ShadowTxn, Time};
 }

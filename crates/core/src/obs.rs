@@ -93,6 +93,18 @@ pub mod names {
     pub const EXEC_OVERRUNS: &str = "exec.overruns";
     /// Counter: tasks re-queued (re-reserved) during execution replay.
     pub const EXEC_REQUEUES: &str = "exec.requeues";
+    /// Counter: applications submitted to the online serving loop.
+    pub const SERVE_APPS: &str = "serve.apps";
+    /// Counter: shadow transactions committed by the serving loop.
+    pub const SERVE_COMMITS: &str = "serve.commits";
+    /// Counter: shadow transactions rolled back by the serving loop.
+    pub const SERVE_ROLLBACKS: &str = "serve.rollbacks";
+    /// Counter: committed applications later cancelled (reservations removed).
+    pub const SERVE_CANCELS: &str = "serve.cancels";
+    /// Counter: committed reservations later resized in place.
+    pub const SERVE_RESIZES: &str = "serve.resizes";
+    /// Histogram: per-application scheduling latency in nanoseconds.
+    pub const SERVE_LATENCY: &str = "serve.schedule.latency_ns";
 
     use super::ScheduleStats;
 
@@ -806,6 +818,12 @@ mod tests {
             names::BLIND_PROBES,
             names::EXEC_OVERRUNS,
             names::EXEC_REQUEUES,
+            names::SERVE_APPS,
+            names::SERVE_COMMITS,
+            names::SERVE_ROLLBACKS,
+            names::SERVE_CANCELS,
+            names::SERVE_RESIZES,
+            names::SERVE_LATENCY,
         ];
         for c in constants {
             assert!(

@@ -167,6 +167,40 @@ pub enum Violation {
         /// Human-readable description of the inconsistency.
         detail: String,
     },
+    /// A mutated calendar's step function lost its structural invariants
+    /// (ordering, minimality, zero tails). Found by [`audit_calendar`].
+    CalendarCorrupt {
+        /// Human-readable description of the broken invariant.
+        detail: String,
+    },
+    /// A mutated calendar records more usage than the platform has.
+    /// Found by [`audit_calendar`].
+    CalendarOverbooked {
+        /// First breakpoint at which the overflow holds.
+        at: Time,
+        /// Processors the calendar says are in use there.
+        used: u32,
+        /// Platform capacity `p`.
+        capacity: u32,
+    },
+    /// A calendar's `reserved_proc_seconds` ledger disagrees with the
+    /// recomputed integral of its own step function — an add/remove/resize
+    /// cycle leaked accounting. Found by [`audit_calendar`].
+    CalendarAccountingDrift {
+        /// Processor-seconds the ledger records.
+        recorded: i64,
+        /// Processor-seconds recomputed from the step function.
+        recomputed: i64,
+    },
+    /// A calendar with zero live reservations still carries usage or
+    /// accounting residue — cancellation failed to restore the pristine
+    /// state. Found by [`audit_calendar`].
+    CancelledResidue {
+        /// Breakpoints left behind.
+        breakpoints: usize,
+        /// Processor-seconds left on the ledger.
+        proc_seconds: i64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -248,6 +282,26 @@ impl fmt::Display for Violation {
             Violation::StatsInconsistent { detail } => {
                 write!(f, "schedule stats inconsistent: {detail}")
             }
+            Violation::CalendarCorrupt { detail } => {
+                write!(f, "calendar corrupt: {detail}")
+            }
+            Violation::CalendarOverbooked { at, used, capacity } => {
+                write!(f, "calendar overbooked at {at}: {used} used > {capacity} capacity")
+            }
+            Violation::CalendarAccountingDrift {
+                recorded,
+                recomputed,
+            } => write!(
+                f,
+                "calendar accounting drift: ledger {recorded} vs recomputed {recomputed} proc-seconds"
+            ),
+            Violation::CancelledResidue {
+                breakpoints,
+                proc_seconds,
+            } => write!(
+                f,
+                "cancelled calendar left residue: {breakpoints} breakpoints, {proc_seconds} proc-seconds"
+            ),
         }
     }
 }
@@ -527,6 +581,121 @@ impl<'a> ScheduleValidator<'a> {
             }
         }
     }
+}
+
+/// Audit a mutated [`Calendar`] independently of the slot-query machinery:
+/// the cancellation-aware oracle the online mutation layer (remove /
+/// resize / shadow-transaction rollback) is checked against.
+///
+/// Probes only the public surface, re-deriving every invariant from
+/// scratch:
+///
+/// 1. **shape** — breakpoints strictly increasing, no redundant
+///    breakpoints (adjacent usage levels differ), usage nonzero at the
+///    first breakpoint and zero at the last ([`Violation::CalendarCorrupt`]);
+/// 2. **capacity** — usage within platform capacity at every breakpoint
+///    ([`Violation::CalendarOverbooked`]);
+/// 3. **accounting** — the `reserved_proc_seconds` ledger equals the
+///    recomputed integral of the step function, so add/remove/resize
+///    cycles cannot leak ([`Violation::CalendarAccountingDrift`]);
+/// 4. **cancellation** — zero live reservations implies a pristine
+///    calendar ([`Violation::CancelledResidue`]);
+/// 5. **backends** — the segment-tree index and the linear reference scans
+///    agree on peak usage and usage integral over the whole span
+///    ([`Violation::BackendDivergence`]).
+pub fn audit_calendar(cal: &Calendar) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let bps: Vec<Time> = cal.breakpoints().collect();
+
+    for w in bps.windows(2) {
+        if w[0] >= w[1] {
+            out.push(Violation::CalendarCorrupt {
+                detail: format!("breakpoints out of order: {} then {}", w[0], w[1]),
+            });
+        }
+        if cal.used_at(w[0]) == cal.used_at(w[1]) {
+            out.push(Violation::CalendarCorrupt {
+                detail: format!(
+                    "redundant breakpoint at {}: usage {} unchanged from {}",
+                    w[1],
+                    cal.used_at(w[1]),
+                    w[0]
+                ),
+            });
+        }
+    }
+    if let Some(&first) = bps.first() {
+        if cal.used_at(first) == 0 {
+            out.push(Violation::CalendarCorrupt {
+                detail: format!("leading breakpoint at {first} carries zero usage"),
+            });
+        }
+    }
+    if let Some(&last) = bps.last() {
+        if cal.used_at(last) != 0 {
+            out.push(Violation::CalendarCorrupt {
+                detail: format!(
+                    "trailing breakpoint at {last} carries usage {} (calendar never drains)",
+                    cal.used_at(last)
+                ),
+            });
+        }
+    }
+
+    for &t in &bps {
+        let used = cal.used_at(t);
+        if used > cal.capacity() {
+            out.push(Violation::CalendarOverbooked {
+                at: t,
+                used,
+                capacity: cal.capacity(),
+            });
+            break; // one report; every later breakpoint would repeat it
+        }
+    }
+
+    let recomputed = match (bps.first(), bps.last()) {
+        (Some(&a), Some(&b)) if a < b => cal.used_integral(a, b),
+        _ => 0,
+    };
+    if recomputed != cal.reserved_proc_seconds() {
+        out.push(Violation::CalendarAccountingDrift {
+            recorded: cal.reserved_proc_seconds(),
+            recomputed,
+        });
+    }
+
+    if cal.num_reservations() == 0 && (!bps.is_empty() || cal.reserved_proc_seconds() != 0) {
+        out.push(Violation::CancelledResidue {
+            breakpoints: bps.len(),
+            proc_seconds: cal.reserved_proc_seconds(),
+        });
+    }
+
+    if let (Some(&a), Some(&b)) = (bps.first(), bps.last()) {
+        if a < b {
+            let linear = cal.linear();
+            let (ip, lp) = (cal.peak_used(a, b), linear.peak_used(a, b));
+            if ip != lp {
+                out.push(Violation::BackendDivergence {
+                    from: a,
+                    to: b,
+                    indexed: ip,
+                    linear: lp,
+                });
+            }
+            let (ii, li) = (cal.used_integral(a, b), linear.used_integral(a, b));
+            if ii != li {
+                out.push(Violation::CalendarCorrupt {
+                    detail: format!(
+                        "usage integral diverges over [{a}, {b}): indexed {ii} vs linear {li}"
+                    ),
+                });
+            }
+        }
+    }
+
+    out
 }
 
 /// Audit a CPA/MCPA phase-1 allocation: one entry per task, every
@@ -844,6 +1013,98 @@ mod tests {
             .report(&s)
             .iter()
             .any(|v| matches!(v, Violation::ExitFinishMismatch { .. })));
+    }
+
+    #[test]
+    fn audit_calendar_accepts_mutation_cycles() {
+        let mut cal = Calendar::new(8);
+        assert_eq!(audit_calendar(&cal), Vec::new());
+        let a = Reservation::new(Time::seconds(0), Time::seconds(100), 3);
+        let b = Reservation::new(Time::seconds(20), Time::seconds(60), 2);
+        cal.try_add(a).unwrap();
+        cal.try_add(b).unwrap();
+        assert_eq!(audit_calendar(&cal), Vec::new());
+        cal.try_remove(b).unwrap();
+        assert_eq!(audit_calendar(&cal), Vec::new());
+        cal.try_resize(a, Reservation::new(Time::seconds(10), Time::seconds(50), 4))
+            .unwrap();
+        assert_eq!(audit_calendar(&cal), Vec::new());
+        cal.try_remove(Reservation::new(Time::seconds(10), Time::seconds(50), 4))
+            .unwrap();
+        // Fully cancelled: must be pristine, no residue.
+        assert_eq!(audit_calendar(&cal), Vec::new());
+        assert_eq!(cal.num_reservations(), 0);
+        assert_eq!(cal, Calendar::new(8));
+    }
+
+    #[test]
+    fn audit_calendar_spots_accounting_drift() {
+        // Build a calendar whose ledger was maintained, then serialize,
+        // corrupt the ledger field in the JSON, and deserialize: the
+        // step function is intact but the accounting drifted.
+        let mut cal = Calendar::new(8);
+        cal.try_add(Reservation::new(Time::seconds(0), Time::seconds(10), 2))
+            .unwrap();
+        let json = serde_json::to_string(&cal).unwrap();
+        let tampered = json.replace(
+            "\"reserved_proc_seconds\":20",
+            "\"reserved_proc_seconds\":21",
+        );
+        assert_ne!(json, tampered, "fixture must actually tamper the ledger");
+        let bad: Calendar = serde_json::from_str(&tampered).unwrap();
+        assert!(audit_calendar(&bad).iter().any(|v| matches!(
+            v,
+            Violation::CalendarAccountingDrift {
+                recorded: 21,
+                recomputed: 20
+            }
+        )));
+    }
+
+    #[test]
+    fn audit_calendar_spots_cancelled_residue() {
+        let mut cal = Calendar::new(8);
+        cal.try_add(Reservation::new(Time::seconds(0), Time::seconds(10), 2))
+            .unwrap();
+        let json = serde_json::to_string(&cal).unwrap();
+        let tampered = json.replace("\"num_reservations\":1", "\"num_reservations\":0");
+        assert_ne!(json, tampered);
+        let bad: Calendar = serde_json::from_str(&tampered).unwrap();
+        assert!(audit_calendar(&bad)
+            .iter()
+            .any(|v| matches!(v, Violation::CancelledResidue { breakpoints: 2, .. })));
+    }
+
+    #[test]
+    fn audit_calendar_spots_shape_corruption() {
+        // A trailing breakpoint with nonzero usage (calendar never
+        // drains), injected through serde.
+        let json = r#"{"capacity":4,"steps":[{"time":0,"used":2}],"reserved_proc_seconds":0,"num_reservations":1}"#;
+        let bad: Calendar = serde_json::from_str(json).unwrap();
+        let report = audit_calendar(&bad);
+        assert!(
+            report
+                .iter()
+                .any(|v| matches!(v, Violation::CalendarCorrupt { .. })),
+            "got {report:?}"
+        );
+        // Overbooked: usage above capacity.
+        let json = r#"{"capacity":4,"steps":[{"time":0,"used":9},{"time":10,"used":0}],"reserved_proc_seconds":90,"num_reservations":1}"#;
+        let bad: Calendar = serde_json::from_str(json).unwrap();
+        assert!(audit_calendar(&bad).iter().any(|v| matches!(
+            v,
+            Violation::CalendarOverbooked {
+                used: 9,
+                capacity: 4,
+                ..
+            }
+        )));
+        // Redundant breakpoint (non-minimal form).
+        let json = r#"{"capacity":4,"steps":[{"time":0,"used":2},{"time":5,"used":2},{"time":10,"used":0}],"reserved_proc_seconds":20,"num_reservations":1}"#;
+        let bad: Calendar = serde_json::from_str(json).unwrap();
+        assert!(audit_calendar(&bad)
+            .iter()
+            .any(|v| matches!(v, Violation::CalendarCorrupt { .. })));
     }
 
     #[test]

@@ -209,22 +209,33 @@ impl Calendar {
     /// Insert a reservation that is already known to fit.
     ///
     /// # Panics
-    /// In debug builds, panics if the reservation overbooks the platform.
+    /// Panics — in **all** build profiles — if the reservation overbooks
+    /// the platform. Silent wrap-around would corrupt the step function in
+    /// release builds; the panic keeps the invariant observable. Use
+    /// [`Calendar::try_add`] for the fallible path.
     pub fn add_unchecked(&mut self, r: Reservation) {
-        debug_assert!(r.procs <= self.capacity);
+        assert!(
+            r.procs <= self.capacity,
+            "reservation for {} procs on a {}-proc platform",
+            r.procs,
+            self.capacity
+        );
         // Ensure breakpoints exist at r.start and r.end, then bump `used`
         // on every step in [start_idx, end_idx).
         let (start_idx, inserted_start) = self.ensure_breakpoint(r.start);
         let (end_idx, inserted_end) = self.ensure_breakpoint(r.end);
         for s in &mut self.steps[start_idx..end_idx] {
-            s.used += r.procs;
-            debug_assert!(
-                s.used <= self.capacity,
-                "overbooked: {} used > {} capacity at {}",
-                s.used,
-                self.capacity,
-                s.time
-            );
+            s.used = s
+                .used
+                .checked_add(r.procs)
+                .filter(|&u| u <= self.capacity)
+                .unwrap_or_else(|| {
+                    // lint:allow(panic): the caller promised the reservation fits; proceeding would silently overbook the platform in release builds.
+                    panic!(
+                        "overbooked: {} + {} used > {} capacity at {}",
+                        s.used, r.procs, self.capacity, s.time
+                    )
+                });
         }
         let removed = self.coalesce_around(start_idx, end_idx);
         if inserted_start || inserted_end || removed > 0 {
@@ -234,11 +245,124 @@ impl Calendar {
             self.index.take();
         } else if let Some(ix) = self.index.get_mut() {
             // Pure usage bump over existing breakpoints: patch the tree
-            // in place instead of rebuilding.
-            ix.range_add(start_idx, end_idx, &self.steps);
+            // in place instead of rebuilding — O(log B) total.
+            ix.range_bump(start_idx, end_idx, r.procs as i64);
+            debug_assert!(ix.matches(&self.steps));
         }
         self.reserved_proc_seconds += r.proc_seconds();
         self.num_reservations += 1;
+    }
+
+    /// Whether `r` fits the calendar as-is (capacity respected throughout
+    /// its interval). The read-only twin of [`Calendar::try_add`], used by
+    /// transaction probes.
+    pub fn fits(&self, r: &Reservation) -> bool {
+        if r.procs > self.capacity {
+            return false;
+        }
+        let mut visited = 0u64;
+        self.first_blocker(r.start, r.end, self.capacity - r.procs, &mut visited)
+            .is_none()
+    }
+
+    /// Cancel a previously accepted reservation, checking that `r.procs`
+    /// processors are actually in use throughout `[r.start, r.end)` first.
+    ///
+    /// The calendar does not track reservation identity — a removal is
+    /// valid whenever the step function can absorb it, exactly as in the
+    /// paper's model where the platform only sees aggregate usage. On
+    /// error the calendar is untouched.
+    pub fn try_remove(&mut self, r: Reservation) -> Result<(), ReservationError> {
+        if let Some((at, used)) = self.first_under(r.start, r.end, r.procs) {
+            return Err(ReservationError::NotReserved {
+                at,
+                used,
+                requested: r.procs,
+            });
+        }
+        self.remove_unchecked(r);
+        Ok(())
+    }
+
+    /// Cancel a reservation that is already known to be present.
+    ///
+    /// Subtracts `r.procs` from every segment of `[r.start, r.end)`,
+    /// re-coalesces boundary breakpoints, and repairs the segment-tree
+    /// index incrementally (O(log B) when no breakpoints move, lazy
+    /// rebuild otherwise) — the exact mirror of [`Calendar::add_unchecked`].
+    /// Because the step vector is always kept in canonical minimal form,
+    /// an add followed by its removal restores the byte-identical state.
+    ///
+    /// # Panics
+    /// Panics — in **all** build profiles — if usage would underflow, i.e.
+    /// the named processors were not reserved. The subtraction is checked,
+    /// never wrapping: silent wrap-around would corrupt the calendar in
+    /// release builds. Use [`Calendar::try_remove`] for the fallible path.
+    pub fn remove_unchecked(&mut self, r: Reservation) {
+        let (start_idx, inserted_start) = self.ensure_breakpoint(r.start);
+        let (end_idx, inserted_end) = self.ensure_breakpoint(r.end);
+        for s in &mut self.steps[start_idx..end_idx] {
+            s.used = s.used.checked_sub(r.procs).unwrap_or_else(|| {
+                // lint:allow(panic): the caller promised the reservation is present; wrapping would silently corrupt the calendar in release builds.
+                panic!(
+                    "removal underflow: {} procs in use, {} to release at {}",
+                    s.used, r.procs, s.time
+                )
+            });
+        }
+        let removed = self.coalesce_around(start_idx, end_idx);
+        if inserted_start || inserted_end || removed > 0 {
+            self.index.take();
+        } else if let Some(ix) = self.index.get_mut() {
+            ix.range_bump(start_idx, end_idx, -(r.procs as i64));
+            debug_assert!(ix.matches(&self.steps));
+        }
+        self.reserved_proc_seconds -= r.proc_seconds();
+        self.num_reservations = self.num_reservations.checked_sub(1).unwrap_or_else(|| {
+            // lint:allow(panic): a successful usage subtraction proves at least one reservation was accepted; reaching zero here means the accounting fields were corrupted.
+            panic!("remove with num_reservations == 0")
+        });
+    }
+
+    /// Replace reservation `old` with `new` atomically: on any error the
+    /// calendar is restored to its exact pre-call state (canonical minimal
+    /// representation makes the restore byte-identical) and nothing
+    /// changes. Grows, shrinks, moves, and width changes are all just
+    /// remove-then-add; the two intervals need not overlap.
+    pub fn try_resize(
+        &mut self,
+        old: Reservation,
+        new: Reservation,
+    ) -> Result<(), ReservationError> {
+        self.try_remove(old)?;
+        match self.try_add(new) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // Removal succeeded, so re-adding `old` cannot fail.
+                self.add_unchecked(old);
+                Err(e)
+            }
+        }
+    }
+
+    /// First instant in `[from, to)` where fewer than `procs` processors
+    /// are in use, with the usage there — the removal-validity scan.
+    fn first_under(&self, from: Time, to: Time, procs: u32) -> Option<(Time, u32)> {
+        let mut t = from;
+        while t < to {
+            let used = self.used_at(t);
+            if used < procs {
+                return Some((t, used));
+            }
+            // Advance to the next breakpoint after `t`; none left means
+            // usage is 0 from the last breakpoint on, already handled.
+            let idx = self.steps.partition_point(|s| s.time <= t);
+            if idx >= self.steps.len() {
+                break;
+            }
+            t = self.steps[idx].time;
+        }
+        None
     }
 
     /// Earliest start `s >= not_before` such that `procs` processors are free
@@ -1177,6 +1301,158 @@ mod tests {
         total.absorb(cost);
         assert_eq!(total.queries, 2);
         assert_eq!(total.steps, indexed.steps + cost.steps);
+    }
+
+    #[test]
+    fn add_then_remove_equals_never_added() {
+        // The PartialEq-under-cancellation pin: removing a reservation
+        // restores *all* logical state — steps, reserved_proc_seconds,
+        // num_reservations — so an add-then-remove calendar equals (and
+        // serializes identically to) the never-added one.
+        let mut base = Calendar::new(8);
+        base.try_add(r(0, 100, 3)).unwrap();
+        base.try_add(r(20, 60, 2)).unwrap();
+        let mut cal = base.clone();
+        cal.try_add(r(10, 30, 3)).unwrap();
+        assert_ne!(cal, base);
+        cal.try_remove(r(10, 30, 3)).unwrap();
+        assert_eq!(cal, base);
+        assert_eq!(cal.num_reservations(), base.num_reservations());
+        assert_eq!(cal.reserved_proc_seconds(), base.reserved_proc_seconds());
+        assert_eq!(
+            serde_json::to_string(&cal).unwrap(),
+            serde_json::to_string(&base).unwrap()
+        );
+        // All the way down to empty.
+        cal.try_remove(r(20, 60, 2)).unwrap();
+        cal.try_remove(r(0, 100, 3)).unwrap();
+        assert_eq!(cal, Calendar::new(8));
+        assert_eq!(cal.num_breakpoints(), 0);
+        assert_eq!(cal.reserved_proc_seconds(), 0);
+    }
+
+    #[test]
+    fn remove_validates_usage() {
+        let mut cal = Calendar::new(8);
+        cal.try_add(r(10, 20, 4)).unwrap();
+        // More procs than reserved.
+        assert_eq!(
+            cal.try_remove(r(10, 20, 5)),
+            Err(ReservationError::NotReserved {
+                at: t(10),
+                used: 4,
+                requested: 5
+            })
+        );
+        // Interval extends past the reservation.
+        assert_eq!(
+            cal.try_remove(r(10, 25, 4)),
+            Err(ReservationError::NotReserved {
+                at: t(20),
+                used: 0,
+                requested: 4
+            })
+        );
+        // Interval starts before it.
+        assert_eq!(
+            cal.try_remove(r(5, 20, 4)),
+            Err(ReservationError::NotReserved {
+                at: t(5),
+                used: 0,
+                requested: 4
+            })
+        );
+        // Empty calendar region.
+        assert!(matches!(
+            cal.try_remove(r(100, 110, 1)),
+            Err(ReservationError::NotReserved { .. })
+        ));
+        // Failed removals left the calendar intact.
+        assert_eq!(cal.used_at(t(15)), 4);
+        assert_eq!(cal.num_reservations(), 1);
+        // A partial removal (fewer procs over a sub-interval) is legal:
+        // the platform only sees aggregate usage.
+        cal.try_remove(r(12, 18, 2)).unwrap();
+        assert_eq!(cal.used_at(t(15)), 2);
+        assert_eq!(cal.used_at(t(11)), 4);
+    }
+
+    #[test]
+    fn remove_recoalesces_merged_breakpoints() {
+        // Abutting equal-usage reservations coalesce on add; removal must
+        // re-split and still land in canonical minimal form.
+        let mut cal = Calendar::new(8);
+        cal.try_add(r(0, 10, 2)).unwrap();
+        cal.try_add(r(10, 20, 2)).unwrap();
+        assert_eq!(cal.num_breakpoints(), 2);
+        cal.try_remove(r(0, 10, 2)).unwrap();
+        assert_eq!(cal.used_at(t(5)), 0);
+        assert_eq!(cal.used_at(t(15)), 2);
+        assert_eq!(cal.num_breakpoints(), 2); // (10, 2), (20, 0)
+        cal.try_remove(r(10, 20, 2)).unwrap();
+        assert_eq!(cal.num_breakpoints(), 0);
+    }
+
+    #[test]
+    fn remove_repairs_index_incrementally() {
+        let mut cal = Calendar::new(8);
+        cal.try_add(r(0, 100, 2)).unwrap();
+        cal.try_add(r(50, 80, 3)).unwrap();
+        // Build the index, then remove along existing breakpoints (pure
+        // bump path) and check queries against the linear oracle.
+        assert_eq!(cal.peak_used(t(0), t(100)), 5);
+        cal.try_remove(r(50, 80, 3)).unwrap();
+        assert_eq!(cal.peak_used(t(0), t(100)), 2);
+        assert_eq!(cal.earliest_fit(7, d(10), t(0)), t(100));
+        assert_eq!(
+            cal.used_integral(t(0), t(100)),
+            cal.linear().used_integral(t(0), t(100))
+        );
+        // Structural removal (breakpoints vanish) falls back to rebuild.
+        cal.try_remove(r(0, 100, 2)).unwrap();
+        assert_eq!(cal.peak_used(t(0), t(100)), 0);
+        assert_eq!(cal.earliest_fit(8, d(10), t(0)), t(0));
+    }
+
+    #[test]
+    fn resize_is_atomic() {
+        let mut cal = Calendar::new(4);
+        cal.try_add(r(0, 10, 2)).unwrap();
+        cal.try_add(r(20, 30, 4)).unwrap();
+        let before = cal.clone();
+
+        // Shrink succeeds.
+        cal.try_resize(r(0, 10, 2), r(0, 5, 2)).unwrap();
+        assert_eq!(cal.used_at(t(7)), 0);
+        // Grow back.
+        cal.try_resize(r(0, 5, 2), r(0, 10, 2)).unwrap();
+        assert_eq!(cal, before);
+
+        // New placement conflicts: calendar restored exactly.
+        let err = cal.try_resize(r(0, 10, 2), r(15, 25, 1));
+        assert!(matches!(err, Err(ReservationError::Conflict { .. })));
+        assert_eq!(cal, before);
+
+        // Old reservation absent: nothing touched.
+        let err = cal.try_resize(r(50, 60, 1), r(70, 80, 1));
+        assert!(matches!(err, Err(ReservationError::NotReserved { .. })));
+        assert_eq!(cal, before);
+
+        // A resize may overlap its own old interval (shrink in place
+        // releases capacity the new interval then reuses).
+        cal.try_resize(r(20, 30, 4), r(25, 35, 4)).unwrap();
+        assert_eq!(cal.used_at(t(22)), 0);
+        assert_eq!(cal.used_at(t(32)), 4);
+    }
+
+    #[test]
+    fn fits_mirrors_try_add() {
+        let mut cal = Calendar::new(4);
+        cal.try_add(r(0, 10, 3)).unwrap();
+        assert!(cal.fits(&r(5, 15, 1)));
+        assert!(!cal.fits(&r(5, 15, 2)));
+        assert!(!cal.fits(&r(0, 1, 5)));
+        assert!(cal.fits(&r(10, 20, 4)));
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! Segment-tree index over the calendar's breakpoint vector.
 //!
 //! Stores, for every node covering a range of breakpoints, the min and max
-//! of `used` over that range, plus a prefix-area array for O(log B)
-//! usage integrals. This turns the calendar's slot queries from linear
-//! scans into logarithmic tree walks:
+//! of `used` over that range, plus a Fenwick-backed prefix-area layer for
+//! O(log B) usage integrals. This turns the calendar's slot queries from
+//! linear scans into logarithmic tree walks:
 //!
 //! * `first_above` / `last_above` — the first/last breakpoint in a range
 //!   whose usage exceeds a threshold (blocker search for `earliest_fit` /
@@ -11,30 +11,63 @@
 //! * `first_at_most` — the first breakpoint at or after an index whose
 //!   usage drops to a threshold (the restart point after a blocker),
 //! * `max_in` — peak usage over a range,
-//! * `prefix_area` — processor-seconds accumulated up to a breakpoint.
+//! * `area_before` — processor-seconds accumulated up to a breakpoint.
 //!
 //! The index is rebuilt from scratch when the breakpoint vector changes
 //! structurally (a `Vec::insert`/`remove` already costs O(B) there, so the
-//! rebuild does not change `add_unchecked`'s asymptotics) and updated
-//! incrementally — leaves plus their ancestor paths — when a reservation
-//! only bumps `used` over an existing run of breakpoints.
+//! rebuild does not change the mutation's asymptotics). When a reservation
+//! only bumps `used` over an existing run of breakpoints — the hot path of
+//! the online mutation layer — the patch is O(log B) *total*, independent
+//! of how many breakpoints the bump covers:
+//!
+//! * min/max maintenance uses **lazy range-add tags**: a node fully covered
+//!   by the bump absorbs the delta into its stored min/max plus a pending
+//!   tag, and queries accumulate ancestor tags on the way down instead of
+//!   pushing them (queries stay `&self`);
+//! * the prefix-area layer is a **base snapshot plus two Fenwick trees**.
+//!   A bump of `d` processors over breakpoints `[l, r)` changes the area
+//!   before breakpoint `i` by `d · (t_min(i,r) − t_l)` for `i > l`, which
+//!   is affine in `t_i`; two point updates per Fenwick (a coefficient tree
+//!   and a constant tree) encode it exactly, and `area_before` evaluates
+//!   `base[i] + t_i · coeff(i) + const(i)` in O(log B).
+//!
+//! The old eager O(B) area rebuild is kept, reachable as
+//! [`UsageIndex::eager_prefix_areas`], as the differential oracle the
+//! property tests compare the Fenwick layer against.
 //!
 //! Every query threads a `visited` counter (tree nodes touched) so callers
-//! can surface real query work through scheduling statistics.
+//! can surface real query work through scheduling statistics;
+//! [`UsageIndex::range_bump`] returns the nodes plus Fenwick cells it
+//! touched so tests can pin the patch's O(log B) asymptotics.
 
 use crate::calendar::Step;
 
-/// Min/max segment tree plus prefix areas over a breakpoint snapshot.
+/// Min/max segment tree (lazy range-add) plus a Fenwick prefix-area layer
+/// over a breakpoint snapshot.
 #[derive(Debug, Clone)]
 pub(crate) struct UsageIndex {
     /// Number of breakpoints covered.
     n: usize,
-    /// Max of `used` per node; 1-based heap layout, `4n` slots.
-    tmax: Vec<u32>,
-    /// Min of `used` per node; same layout as `tmax`.
-    tmin: Vec<u32>,
-    /// `area[i]` = processor-seconds accumulated over `(-inf, steps[i].time)`.
-    area: Vec<i64>,
+    /// Max of `used` per node, including the node's own pending tag but not
+    /// its ancestors'; 1-based heap layout, `4n` slots.
+    tmax: Vec<i64>,
+    /// Min of `used` per node; same convention and layout as `tmax`.
+    tmin: Vec<i64>,
+    /// Pending range-add per node, applied to the whole subtree. Never
+    /// pushed down; queries accumulate ancestor tags while descending.
+    tadd: Vec<i64>,
+    /// Prefix areas at build time: `area_base[i]` = processor-seconds
+    /// accumulated over `(-inf, steps[i].time)` when the index was built.
+    area_base: Vec<i64>,
+    /// Breakpoint instants (seconds) snapshotted at build time. Pure usage
+    /// bumps never move breakpoints, so these stay valid until the next
+    /// structural rebuild.
+    times: Vec<i64>,
+    /// Fenwick tree (1-based, `n + 1` slots) holding the coefficient of
+    /// `t_i` in the accumulated area delta.
+    fen_coeff: Vec<i64>,
+    /// Fenwick tree holding the constant term of the accumulated area delta.
+    fen_const: Vec<i64>,
 }
 
 impl UsageIndex {
@@ -46,19 +79,39 @@ impl UsageIndex {
             n,
             tmax: vec![0; slots],
             tmin: vec![0; slots],
-            area: Vec::with_capacity(n),
+            tadd: vec![0; slots],
+            area_base: Self::eager_prefix_areas(steps),
+            times: steps.iter().map(|s| s.time.as_seconds()).collect(),
+            fen_coeff: vec![0; n + 1],
+            fen_const: vec![0; n + 1],
         };
         if n > 0 {
             ix.build_node(steps, 1, 0, n);
         }
-        ix.rebuild_area(steps);
         ix
+    }
+
+    /// The eager O(B) prefix-area computation: `out[i]` = processor-seconds
+    /// accumulated over `(-inf, steps[i].time)`. This is the reference the
+    /// Fenwick layer is differential-tested against (it used to run on
+    /// every `range_add`, which made "incremental" patches secretly
+    /// linear).
+    pub(crate) fn eager_prefix_areas(steps: &[Step]) -> Vec<i64> {
+        let mut out = Vec::with_capacity(steps.len());
+        let mut acc = 0i64;
+        for (i, s) in steps.iter().enumerate() {
+            out.push(acc);
+            if let Some(next) = steps.get(i + 1) {
+                acc += s.used as i64 * (next.time - s.time).as_seconds();
+            }
+        }
+        out
     }
 
     fn build_node(&mut self, steps: &[Step], node: usize, l: usize, r: usize) {
         if r - l == 1 {
-            self.tmax[node] = steps[l].used;
-            self.tmin[node] = steps[l].used;
+            self.tmax[node] = steps[l].used as i64;
+            self.tmin[node] = steps[l].used as i64;
             return;
         }
         let mid = l + (r - l) / 2;
@@ -68,58 +121,76 @@ impl UsageIndex {
     }
 
     fn pull(&mut self, node: usize) {
-        self.tmax[node] = self.tmax[2 * node].max(self.tmax[2 * node + 1]);
-        self.tmin[node] = self.tmin[2 * node].min(self.tmin[2 * node + 1]);
+        let add = self.tadd[node];
+        self.tmax[node] = self.tmax[2 * node].max(self.tmax[2 * node + 1]) + add;
+        self.tmin[node] = self.tmin[2 * node].min(self.tmin[2 * node + 1]) + add;
     }
 
-    fn rebuild_area(&mut self, steps: &[Step]) {
-        self.area.clear();
-        let mut acc = 0i64;
-        for (i, s) in steps.iter().enumerate() {
-            self.area.push(acc);
-            if let Some(next) = steps.get(i + 1) {
-                acc += s.used as i64 * (next.time - s.time).as_seconds();
-            }
+    /// Apply a pure usage bump of `delta` processors over the breakpoint
+    /// range `[l, r)` (matching the same bump already applied to the step
+    /// vector). O(log B) total — lazy tags for min/max, two Fenwick point
+    /// updates per tree for the area layer. Returns the number of tree
+    /// nodes plus Fenwick cells touched, so tests can pin the asymptotics.
+    ///
+    /// `r` must be a valid breakpoint index (`r < n`): the calendar's
+    /// structural invariant that the final breakpoint has `used == 0`
+    /// guarantees a pure bump never covers the last breakpoint.
+    pub(crate) fn range_bump(&mut self, l: usize, r: usize, delta: i64) -> u64 {
+        let mut visited = 0u64;
+        if l >= r || self.n == 0 {
+            return visited;
         }
+        debug_assert!(r < self.n, "a pure bump never covers the last breakpoint");
+        self.bump_node(1, 0, self.n, l, r, delta, &mut visited);
+        // Area delta before breakpoint i: delta * (t_min(i, r) - t_l) for
+        // i > l, which is t_i * C(i) + K(i) with C and K encoded as two
+        // point updates each.
+        fen_add(&mut self.fen_coeff, l, delta, &mut visited);
+        fen_add(&mut self.fen_coeff, r, -delta, &mut visited);
+        fen_add(&mut self.fen_const, l, -delta * self.times[l], &mut visited);
+        fen_add(&mut self.fen_const, r, delta * self.times[r], &mut visited);
+        visited
     }
 
-    /// Add `delta` to `used` over the breakpoint range `[l, r)` after the
-    /// same range was bumped in the step vector. `steps` must already hold
-    /// the updated values (they are the source of truth for the leaves and
-    /// the area rebuild).
-    pub(crate) fn range_add(&mut self, l: usize, r: usize, steps: &[Step]) {
-        debug_assert_eq!(
-            self.n,
-            steps.len(),
-            "structural change requires a full rebuild"
-        );
-        if l < r && self.n > 0 {
-            self.update_range(steps, 1, 0, self.n, l, r);
-        }
-        self.rebuild_area(steps);
-    }
-
-    fn update_range(
+    #[allow(clippy::too_many_arguments)]
+    fn bump_node(
         &mut self,
-        steps: &[Step],
         node: usize,
         nl: usize,
         nr: usize,
         l: usize,
         r: usize,
+        delta: i64,
+        visited: &mut u64,
     ) {
+        *visited += 1;
         if r <= nl || nr <= l {
             return;
         }
-        if nr - nl == 1 {
-            self.tmax[node] = steps[nl].used;
-            self.tmin[node] = steps[nl].used;
+        if l <= nl && nr <= r {
+            self.tmax[node] += delta;
+            self.tmin[node] += delta;
+            self.tadd[node] += delta;
             return;
         }
         let mid = nl + (nr - nl) / 2;
-        self.update_range(steps, 2 * node, nl, mid, l, r);
-        self.update_range(steps, 2 * node + 1, mid, nr, l, r);
+        self.bump_node(2 * node, nl, mid, l, r, delta, visited);
+        self.bump_node(2 * node + 1, mid, nr, l, r, delta, visited);
         self.pull(node);
+    }
+
+    /// Whether every leaf agrees with the given step vector — the
+    /// invariant the incremental patches maintain. Debug/test helper.
+    #[allow(dead_code)]
+    pub(crate) fn matches(&self, steps: &[Step]) -> bool {
+        if self.n != steps.len() {
+            return false;
+        }
+        let mut v = 0u64;
+        (0..self.n).all(|i| {
+            self.max_in(i, i + 1, &mut v) == steps[i].used
+                && self.area_before(i) == Self::eager_prefix_areas(steps)[i]
+        })
     }
 
     /// Max of `used` over breakpoint indices `[l, r)`; 0 for an empty range.
@@ -127,9 +198,11 @@ impl UsageIndex {
         if l >= r || self.n == 0 {
             return 0;
         }
-        self.max_node(1, 0, self.n, l, r.min(self.n), visited)
+        self.max_node(1, 0, self.n, l, r.min(self.n), 0, visited)
+            .max(0) as u32
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn max_node(
         &self,
         node: usize,
@@ -137,18 +210,20 @@ impl UsageIndex {
         nr: usize,
         l: usize,
         r: usize,
+        acc: i64,
         visited: &mut u64,
-    ) -> u32 {
+    ) -> i64 {
         *visited += 1;
         if r <= nl || nr <= l {
-            return 0;
+            return i64::MIN;
         }
         if l <= nl && nr <= r {
-            return self.tmax[node];
+            return self.tmax[node] + acc;
         }
+        let acc = acc + self.tadd[node];
         let mid = nl + (nr - nl) / 2;
-        self.max_node(2 * node, nl, mid, l, r, visited)
-            .max(self.max_node(2 * node + 1, mid, nr, l, r, visited))
+        self.max_node(2 * node, nl, mid, l, r, acc, visited)
+            .max(self.max_node(2 * node + 1, mid, nr, l, r, acc, visited))
     }
 
     /// First index in `[l, r)` with `used > threshold`.
@@ -162,7 +237,7 @@ impl UsageIndex {
         if l >= r || self.n == 0 {
             return None;
         }
-        self.first_above_node(1, 0, self.n, l, r.min(self.n), threshold, visited)
+        self.first_above_node(1, 0, self.n, l, r.min(self.n), threshold as i64, 0, visited)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -173,19 +248,21 @@ impl UsageIndex {
         nr: usize,
         l: usize,
         r: usize,
-        threshold: u32,
+        threshold: i64,
+        acc: i64,
         visited: &mut u64,
     ) -> Option<usize> {
         *visited += 1;
-        if r <= nl || nr <= l || self.tmax[node] <= threshold {
+        if r <= nl || nr <= l || self.tmax[node] + acc <= threshold {
             return None;
         }
         if nr - nl == 1 {
             return Some(nl);
         }
+        let acc = acc + self.tadd[node];
         let mid = nl + (nr - nl) / 2;
-        self.first_above_node(2 * node, nl, mid, l, r, threshold, visited)
-            .or_else(|| self.first_above_node(2 * node + 1, mid, nr, l, r, threshold, visited))
+        self.first_above_node(2 * node, nl, mid, l, r, threshold, acc, visited)
+            .or_else(|| self.first_above_node(2 * node + 1, mid, nr, l, r, threshold, acc, visited))
     }
 
     /// Last index in `[l, r)` with `used > threshold`.
@@ -199,7 +276,7 @@ impl UsageIndex {
         if l >= r || self.n == 0 {
             return None;
         }
-        self.last_above_node(1, 0, self.n, l, r.min(self.n), threshold, visited)
+        self.last_above_node(1, 0, self.n, l, r.min(self.n), threshold as i64, 0, visited)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -210,19 +287,21 @@ impl UsageIndex {
         nr: usize,
         l: usize,
         r: usize,
-        threshold: u32,
+        threshold: i64,
+        acc: i64,
         visited: &mut u64,
     ) -> Option<usize> {
         *visited += 1;
-        if r <= nl || nr <= l || self.tmax[node] <= threshold {
+        if r <= nl || nr <= l || self.tmax[node] + acc <= threshold {
             return None;
         }
         if nr - nl == 1 {
             return Some(nl);
         }
+        let acc = acc + self.tadd[node];
         let mid = nl + (nr - nl) / 2;
-        self.last_above_node(2 * node + 1, mid, nr, l, r, threshold, visited)
-            .or_else(|| self.last_above_node(2 * node, nl, mid, l, r, threshold, visited))
+        self.last_above_node(2 * node + 1, mid, nr, l, r, threshold, acc, visited)
+            .or_else(|| self.last_above_node(2 * node, nl, mid, l, r, threshold, acc, visited))
     }
 
     /// First index at or after `from` with `used <= threshold` — the
@@ -237,34 +316,62 @@ impl UsageIndex {
         if from >= self.n {
             return None;
         }
-        self.first_at_most_node(1, 0, self.n, from, threshold, visited)
+        self.first_at_most_node(1, 0, self.n, from, threshold as i64, 0, visited)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn first_at_most_node(
         &self,
         node: usize,
         nl: usize,
         nr: usize,
         from: usize,
-        threshold: u32,
+        threshold: i64,
+        acc: i64,
         visited: &mut u64,
     ) -> Option<usize> {
         *visited += 1;
-        if nr <= from || self.tmin[node] > threshold {
+        if nr <= from || self.tmin[node] + acc > threshold {
             return None;
         }
         if nr - nl == 1 {
             return Some(nl);
         }
+        let acc = acc + self.tadd[node];
         let mid = nl + (nr - nl) / 2;
-        self.first_at_most_node(2 * node, nl, mid, from, threshold, visited)
-            .or_else(|| self.first_at_most_node(2 * node + 1, mid, nr, from, threshold, visited))
+        self.first_at_most_node(2 * node, nl, mid, from, threshold, acc, visited)
+            .or_else(|| {
+                self.first_at_most_node(2 * node + 1, mid, nr, from, threshold, acc, visited)
+            })
     }
 
-    /// Processor-seconds accumulated over `(-inf, steps[i].time)`.
+    /// Processor-seconds accumulated over `(-inf, steps[i].time)`: the
+    /// build-time base plus the affine Fenwick-tracked delta.
     pub(crate) fn area_before(&self, i: usize) -> i64 {
-        self.area[i]
+        self.area_base[i]
+            + self.times[i] * fen_prefix(&self.fen_coeff, i)
+            + fen_prefix(&self.fen_const, i)
     }
+}
+
+/// Fenwick point-add at 0-based position `i`; counts cells touched.
+fn fen_add(f: &mut [i64], i: usize, v: i64, visited: &mut u64) {
+    let mut i = i + 1;
+    while i < f.len() {
+        f[i] += v;
+        *visited += 1;
+        i += i & i.wrapping_neg();
+    }
+}
+
+/// Fenwick prefix sum over 0-based positions `[0, i)`.
+fn fen_prefix(f: &[i64], mut i: usize) -> i64 {
+    let mut s = 0i64;
+    while i > 0 {
+        s += f[i];
+        i -= i & i.wrapping_neg();
+    }
+    s
 }
 
 #[cfg(test)]
@@ -284,8 +391,13 @@ mod tests {
     /// Linear reference for every tree query.
     fn check_against_linear(sv: &[Step]) {
         let ix = UsageIndex::build(sv);
+        check_index_against_linear(&ix, sv);
+    }
+
+    fn check_index_against_linear(ix: &UsageIndex, sv: &[Step]) {
         let n = sv.len();
         let mut v = 0u64;
+        let eager = UsageIndex::eager_prefix_areas(sv);
         for l in 0..=n {
             for r in l..=n {
                 let want_max = sv[l..r].iter().map(|s| s.used).max().unwrap_or(0);
@@ -312,6 +424,9 @@ mod tests {
                     want,
                     "first_at_most({l},{thr})"
                 );
+            }
+            if l < n {
+                assert_eq!(ix.area_before(l), eager[l], "area_before({l})");
             }
         }
     }
@@ -343,24 +458,47 @@ mod tests {
     }
 
     #[test]
-    fn range_add_matches_fresh_build() {
+    fn range_bump_matches_fresh_build() {
         let mut sv = steps(&[(0, 1), (5, 4), (9, 2), (12, 6), (20, 0)]);
         let mut ix = UsageIndex::build(&sv);
         // Bump used over breakpoints [1, 4) as add_unchecked does.
         for s in &mut sv[1..4] {
             s.used += 2;
         }
-        ix.range_add(1, 4, &sv);
-        let fresh = UsageIndex::build(&sv);
-        let mut v = 0;
-        for l in 0..=sv.len() {
-            for r in l..=sv.len() {
-                assert_eq!(ix.max_in(l, r, &mut v), fresh.max_in(l, r, &mut v));
+        ix.range_bump(1, 4, 2);
+        check_index_against_linear(&ix, &sv);
+        assert!(ix.matches(&sv));
+        // And subtract it back out, as remove_unchecked does.
+        for s in &mut sv[1..4] {
+            s.used -= 2;
+        }
+        ix.range_bump(1, 4, -2);
+        check_index_against_linear(&ix, &sv);
+        assert!(ix.matches(&sv));
+    }
+
+    #[test]
+    fn stacked_bumps_match_eager_oracle() {
+        // Many overlapping bumps and un-bumps; every query and every
+        // prefix area must track the eager reference throughout.
+        let mut sv = steps(&[(0, 2), (4, 5), (7, 1), (13, 3), (21, 4), (30, 0)]);
+        let mut ix = UsageIndex::build(&sv);
+        let bumps: &[(usize, usize, i64)] = &[
+            (0, 3, 1),
+            (2, 5, 2),
+            (1, 2, 3),
+            (0, 5, 1),
+            (2, 5, -2),
+            (1, 2, -3),
+            (0, 3, -1),
+            (0, 5, -1),
+        ];
+        for &(l, r, d) in bumps {
+            for s in &mut sv[l..r] {
+                s.used = (s.used as i64 + d) as u32;
             }
-            assert_eq!(
-                ix.area_before(l.min(sv.len() - 1)),
-                fresh.area_before(l.min(sv.len() - 1))
-            );
+            ix.range_bump(l, r, d);
+            check_index_against_linear(&ix, &sv);
         }
     }
 
@@ -388,5 +526,35 @@ mod tests {
         let mut v = 0u64;
         ix.first_above(0, 1024, 3, &mut v);
         assert!(v <= 64, "first_above visited {v} nodes for n=1024");
+    }
+
+    #[test]
+    fn range_bump_visits_logarithmically_many_nodes() {
+        // The pinned asymptotics of the fixed patch path: a pure bump does
+        // O(log B) work regardless of how many breakpoints it covers —
+        // where the old implementation's eager rebuild touched all B.
+        let n = 4096usize;
+        let sv: Vec<Step> = (0..n)
+            .map(|i| Step {
+                time: Time::seconds(i as i64 * 10),
+                used: if i + 1 == n { 0 } else { (i % 5) as u32 + 1 },
+            })
+            .collect();
+        let mut ix = UsageIndex::build(&sv);
+        // Narrow bump.
+        let narrow = ix.range_bump(2000, 2002, 1);
+        // Bump covering almost every breakpoint.
+        let wide = ix.range_bump(1, n - 1, 1);
+        for (label, visited) in [("narrow", narrow), ("wide", wide)] {
+            assert!(
+                visited as usize <= 16 * n.ilog2() as usize,
+                "{label} bump visited {visited} nodes/cells for B={n}; \
+                 the patch must be O(log B), not O(B)"
+            );
+            assert!(
+                (visited as usize) < n / 4,
+                "{label} bump visited {visited} ~ O(B); the eager rebuild is back"
+            );
+        }
     }
 }

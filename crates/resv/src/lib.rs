@@ -8,7 +8,10 @@
 //! * [`Reservation`] — `procs` processors over a half-open interval;
 //! * [`Calendar`] — the platform's usage profile over time, answering the
 //!   earliest-fit / latest-fit / historical-availability queries that every
-//!   scheduling algorithm in the paper is built on.
+//!   scheduling algorithm in the paper is built on, and supporting full
+//!   mutation (add / remove / resize) with incremental index repair;
+//! * [`ShadowTxn`] — probe → commit/rollback transactions over a calendar
+//!   for online scheduling, with exact (byte-identical) rollback.
 //!
 //! ## Example
 //!
@@ -34,7 +37,9 @@ mod calendar;
 mod index;
 mod reservation;
 pub mod time;
+mod txn;
 
 pub use calendar::{Calendar, LinearRef, QueryCost};
 pub use reservation::{Reservation, ReservationError};
 pub use time::{Dur, Time, DAY, HOUR, MINUTE, SECOND};
+pub use txn::ShadowTxn;

@@ -112,6 +112,16 @@ pub enum ReservationError {
         /// Processors requested.
         requested: u32,
     },
+    /// A removal (or resize) names processors that are not reserved
+    /// somewhere in its interval: subtracting would underflow usage.
+    NotReserved {
+        /// First instant at which too few processors are reserved.
+        at: Time,
+        /// Processors actually in use at that instant.
+        used: u32,
+        /// Processors the removal tried to release.
+        requested: u32,
+    },
 }
 
 impl fmt::Display for ReservationError {
@@ -132,6 +142,14 @@ impl fmt::Display for ReservationError {
             } => write!(
                 f,
                 "conflict at {at}: {free} procs free, {requested} requested"
+            ),
+            ReservationError::NotReserved {
+                at,
+                used,
+                requested,
+            } => write!(
+                f,
+                "removal underflow at {at}: {used} procs in use, {requested} to release"
             ),
         }
     }

@@ -1,0 +1,518 @@
+//! # resched-serve — online scheduling frontend
+//!
+//! The dynamic-arrival setting the paper's §4.2 RESSCHED algorithms
+//! assume but the batch harness never exercises: an event-driven
+//! submission loop replays an SWF workload at accelerated speed, and every
+//! arriving application is scheduled **against the live calendar** through
+//! a shadow-schedule transaction ([`resched_resv::ShadowTxn`]):
+//!
+//! 1. open a transaction over the shared calendar;
+//! 2. run the forward scheduler (or, for a configurable fraction of
+//!    arrivals, the backward deadline scheduler) against the transaction's
+//!    view;
+//! 3. audit the candidate schedule with the independent
+//!    [`ScheduleValidator`] oracle;
+//! 4. apply its reservations inside the transaction and **commit** if the
+//!    application is admitted (deadline met, turn-around within the
+//!    admission horizon), or **rollback** — byte-exact — if not.
+//!
+//! Committed applications stay live: a seeded fraction is later
+//! *cancelled* (all reservations removed) or *resized* (one reservation
+//! trimmed to half its length), exercising the calendar's mutable surface
+//! under sustained load. After every event the whole calendar is re-audited
+//! by [`resched_core::validate::audit_calendar`]; any violation is counted
+//! in the report.
+//!
+//! Scheduling latency is measured per arrival (wall clock) and reported as
+//! p50/p95/p99 percentiles, both exactly (sorted samples) and through the
+//! obs [`MetricsRegistry`] histogram under `serve.schedule.latency_ns`;
+//! commits, rollbacks, cancels, and resizes are counted under the
+//! `serve.*` counters of `crates/core/src/obs/metrics.toml`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use resched_core::backward::{schedule_deadline, DeadlineAlgo, DeadlineConfig};
+use resched_core::forward::{schedule_forward, ForwardConfig};
+use resched_core::obs::{names, MetricsRegistry};
+use resched_core::prelude::*;
+use resched_core::validate::audit_calendar;
+use resched_daggen::DagParams;
+use resched_workloads::job::JobLog;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Configuration of one serving run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Arrival-process acceleration: inter-submission gaps in the replayed
+    /// log are divided by this factor (see `JobLog::accelerated`).
+    pub accel: f64,
+    /// Stop after this many arrivals (0 = replay the whole log).
+    pub max_apps: usize,
+    /// Tasks per arriving application DAG.
+    pub tasks_per_app: usize,
+    /// Every `cancel_every`-th commit triggers a cancellation of a random
+    /// live application (0 = never cancel).
+    pub cancel_every: usize,
+    /// Every `resize_every`-th commit trims one reservation of a random
+    /// live application to half its length (0 = never resize).
+    pub resize_every: usize,
+    /// Every `deadline_every`-th arrival is scheduled with the backward
+    /// deadline scheduler, deadline = arrival + `admit_horizon`
+    /// (0 = always forward).
+    pub deadline_every: usize,
+    /// Admission horizon: an application whose turn-around would exceed
+    /// this is rejected (its transaction rolled back).
+    pub admit_horizon: Dur,
+    /// Window for the historical availability estimate `q`.
+    pub q_window: Dur,
+    /// Master seed for DAG generation and cancel/resize picks.
+    pub seed: u64,
+    /// Re-audit the calendar every `audit_every` events (0 = only once at
+    /// the end). 1 audits after every event.
+    pub audit_every: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            accel: 400.0,
+            max_apps: 120,
+            tasks_per_app: 10,
+            cancel_every: 5,
+            resize_every: 7,
+            deadline_every: 4,
+            admit_horizon: Dur::hours(12),
+            q_window: Dur::days(1),
+            seed: 42,
+            audit_every: 1,
+        }
+    }
+}
+
+/// Aggregate outcome of one serving run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Arrivals processed.
+    pub apps: usize,
+    /// Transactions committed (applications admitted).
+    pub commits: usize,
+    /// Transactions rolled back (applications rejected).
+    pub rollbacks: usize,
+    /// Live applications later cancelled.
+    pub cancels: usize,
+    /// Live reservations trimmed in place.
+    pub resizes: usize,
+    /// Calendar-audit violations observed (must be 0 on a healthy run).
+    pub violations: usize,
+    /// First violation, for diagnostics.
+    pub first_violation: Option<String>,
+    /// Wall-clock duration of the replay loop, in milliseconds.
+    pub wall_ms: f64,
+    /// Arrivals processed per wall-clock second.
+    pub throughput_per_s: f64,
+    /// Median scheduling latency, microseconds (exact over all arrivals).
+    pub p50_us: f64,
+    /// 95th-percentile scheduling latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile scheduling latency, microseconds.
+    pub p99_us: f64,
+    /// Calendar utilization over the replayed span.
+    pub utilization: f64,
+    /// Live applications still holding reservations at the end.
+    pub live_apps: usize,
+    /// The obs metrics recorded during the run (`serve.*` counters and the
+    /// `serve.schedule.latency_ns` histogram).
+    pub metrics: MetricsRegistry,
+}
+
+/// One admitted application's live reservations, tracked so later cancels
+/// and resizes operate on reservations that actually exist.
+#[derive(Debug, Clone)]
+struct LiveApp {
+    resvs: Vec<Reservation>,
+}
+
+/// Deterministic per-application seed derivation (splitmix64 over the
+/// master seed and the job id).
+fn derive_seed(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Exact `q`-quantile of a sorted sample set, or 0.0 when empty.
+fn percentile(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize)
+        .saturating_sub(1)
+        .min(sorted.len() - 1);
+    sorted[rank] as f64
+}
+
+/// Replay `log` through the online serving loop.
+///
+/// The log's submission process (compressed by `cfg.accel`) drives
+/// arrivals; each arrival's DAG is generated from the job id under
+/// `cfg.seed`, so the run is fully deterministic in everything except the
+/// wall-clock latency measurements.
+pub fn run(log: &JobLog, cfg: &ServeConfig) -> ServeReport {
+    let log = log.accelerated(cfg.accel);
+    let mut jobs = log.jobs.clone();
+    jobs.sort_by_key(|j| (j.submit, j.id));
+    if cfg.max_apps > 0 {
+        jobs.truncate(cfg.max_apps);
+    }
+
+    let mut cal = Calendar::new(log.procs);
+    let mut rng = ChaCha12Rng::seed_from_u64(derive_seed(cfg.seed, u64::MAX));
+    let params = DagParams {
+        num_tasks: cfg.tasks_per_app.max(1),
+        ..DagParams::paper_default()
+    };
+    let dl_cfg = DeadlineConfig::default();
+
+    let mut registry = MetricsRegistry::new();
+    let mut live: Vec<LiveApp> = Vec::new();
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(jobs.len());
+    let mut report = ServeReport {
+        apps: 0,
+        commits: 0,
+        rollbacks: 0,
+        cancels: 0,
+        resizes: 0,
+        violations: 0,
+        first_violation: None,
+        wall_ms: 0.0,
+        throughput_per_s: 0.0,
+        p50_us: 0.0,
+        p95_us: 0.0,
+        p99_us: 0.0,
+        utilization: 0.0,
+        live_apps: 0,
+        metrics: MetricsRegistry::new(),
+    };
+
+    let audit = |cal: &Calendar, report: &mut ServeReport, events: usize| {
+        if cfg.audit_every > 0 && events.is_multiple_of(cfg.audit_every) {
+            let vs = audit_calendar(cal);
+            if let Some(v) = vs.first() {
+                report.first_violation.get_or_insert_with(|| v.to_string());
+            }
+            report.violations += vs.len();
+        }
+    };
+
+    let wall_start = Instant::now();
+    let mut events = 0usize;
+    for job in &jobs {
+        let now = job.submit;
+        report.apps += 1;
+        events += 1;
+        registry.inc(names::SERVE_APPS, 1);
+        resched_core::obs::counter_add(names::SERVE_APPS, 1);
+
+        let dag = resched_daggen::generate(&params, derive_seed(cfg.seed, u64::from(job.id)));
+        let from = now - cfg.q_window;
+        let q = if cal.num_breakpoints() > 0 {
+            cal.average_available(from, now)
+        } else {
+            cal.capacity()
+        };
+
+        let t0 = Instant::now();
+        let use_deadline = cfg.deadline_every > 0 && report.apps.is_multiple_of(cfg.deadline_every);
+        let deadline = now + cfg.admit_horizon;
+        let committed = {
+            resched_core::span!("serve.schedule");
+            let mut txn = cal.transaction();
+            let sched = if use_deadline {
+                match schedule_deadline(
+                    &dag,
+                    txn.calendar(),
+                    now,
+                    q,
+                    deadline,
+                    DeadlineAlgo::BdCpaR,
+                    dl_cfg,
+                ) {
+                    Ok(outcome) => Some(outcome.schedule),
+                    Err(_) => None, // infeasible: reject
+                }
+            } else {
+                let s =
+                    schedule_forward(&dag, txn.calendar(), now, q, ForwardConfig::recommended());
+                // Forward admission control: keep the turn-around bounded.
+                (s.completion() <= deadline).then_some(s)
+            };
+            let admitted = sched.and_then(|sched| {
+                let mut validator = ScheduleValidator::new(&dag, txn.calendar(), now);
+                if use_deadline {
+                    validator = validator.with_deadline(deadline);
+                }
+                if let Err(v) = validator.check(&sched) {
+                    report.violations += 1;
+                    report.first_violation.get_or_insert_with(|| v.to_string());
+                    return None;
+                }
+                let resvs: Vec<Reservation> = dag
+                    .task_ids()
+                    .map(|t| sched.placement(t).reservation())
+                    .collect();
+                for r in &resvs {
+                    // Cannot fail: the schedule was validated against this
+                    // exact transaction view.
+                    txn.try_add(*r).expect("validated placement must fit");
+                }
+                Some(resvs)
+            });
+            match admitted {
+                Some(resvs) => {
+                    txn.commit();
+                    live.push(LiveApp { resvs });
+                    true
+                }
+                None => {
+                    txn.rollback();
+                    false
+                }
+            }
+        };
+        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        latencies_ns.push(ns);
+        registry.record(names::SERVE_LATENCY, ns);
+        resched_core::obs::record_value(names::SERVE_LATENCY, ns);
+
+        if committed {
+            report.commits += 1;
+            registry.inc(names::SERVE_COMMITS, 1);
+            resched_core::obs::counter_add(names::SERVE_COMMITS, 1);
+        } else {
+            report.rollbacks += 1;
+            registry.inc(names::SERVE_ROLLBACKS, 1);
+            resched_core::obs::counter_add(names::SERVE_ROLLBACKS, 1);
+        }
+        audit(&cal, &mut report, events);
+
+        // Seeded churn on the committed population.
+        if committed
+            && cfg.cancel_every > 0
+            && report.commits.is_multiple_of(cfg.cancel_every)
+            && !live.is_empty()
+        {
+            let k = rng.gen_range(0..live.len());
+            let app = live.swap_remove(k);
+            events += 1;
+            let ok = {
+                resched_core::span!("serve.cancel");
+                let mut txn = cal.transaction();
+                let mut ok = true;
+                for r in &app.resvs {
+                    if txn.try_remove(*r).is_err() {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    txn.commit();
+                } else {
+                    txn.rollback();
+                }
+                ok
+            };
+            if ok {
+                report.cancels += 1;
+                registry.inc(names::SERVE_CANCELS, 1);
+                resched_core::obs::counter_add(names::SERVE_CANCELS, 1);
+            } else {
+                // A tracked live reservation must always be removable.
+                report.violations += 1;
+                report
+                    .first_violation
+                    .get_or_insert_with(|| "cancel of a tracked live reservation failed".into());
+            }
+            audit(&cal, &mut report, events);
+        }
+
+        if committed
+            && cfg.resize_every > 0
+            && report.commits.is_multiple_of(cfg.resize_every)
+            && !live.is_empty()
+        {
+            let k = rng.gen_range(0..live.len());
+            // Trim the app's longest reservation to half its length.
+            let longest =
+                (0..live[k].resvs.len()).max_by_key(|&i| live[k].resvs[i].duration().as_seconds());
+            if let Some(i) = longest {
+                let old = live[k].resvs[i];
+                let mid = old.start.midpoint(old.end);
+                if mid > old.start {
+                    events += 1;
+                    let new = Reservation::new(old.start, mid, old.procs);
+                    let mut txn = cal.transaction();
+                    if txn.try_resize(old, new).is_ok() {
+                        txn.commit();
+                        live[k].resvs[i] = new;
+                        report.resizes += 1;
+                        registry.inc(names::SERVE_RESIZES, 1);
+                        resched_core::obs::counter_add(names::SERVE_RESIZES, 1);
+                    } else {
+                        // Shrinking a live reservation releases capacity
+                        // only; it can never conflict.
+                        txn.rollback();
+                        report.violations += 1;
+                        report
+                            .first_violation
+                            .get_or_insert_with(|| "shrink of a live reservation failed".into());
+                    }
+                    audit(&cal, &mut report, events);
+                }
+            }
+        }
+    }
+    let wall = wall_start.elapsed();
+
+    // Final audit (covers audit_every == 0 and any tail skipped by stride).
+    let vs = audit_calendar(&cal);
+    if let Some(v) = vs.first() {
+        report.first_violation.get_or_insert_with(|| v.to_string());
+    }
+    report.violations += vs.len();
+
+    latencies_ns.sort_unstable();
+    report.wall_ms = wall.as_secs_f64() * 1e3;
+    report.throughput_per_s = if wall.as_secs_f64() > 0.0 {
+        report.apps as f64 / wall.as_secs_f64()
+    } else {
+        0.0
+    };
+    report.p50_us = percentile(&latencies_ns, 0.50) / 1e3;
+    report.p95_us = percentile(&latencies_ns, 0.95) / 1e3;
+    report.p99_us = percentile(&latencies_ns, 0.99) / 1e3;
+    report.utilization = match (jobs.first(), cal.horizon()) {
+        (Some(first), Some(h)) if h > first.submit => cal.average_utilization(first.submit, h),
+        _ => 0.0,
+    };
+    report.live_apps = live.len();
+    report.metrics = registry;
+    report
+}
+
+/// Render a human-readable summary of a report.
+pub fn summarize(r: &ServeReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "apps {}  commits {}  rollbacks {}  cancels {}  resizes {}\n",
+        r.apps, r.commits, r.rollbacks, r.cancels, r.resizes
+    ));
+    out.push_str(&format!(
+        "latency p50 {:.1} us  p95 {:.1} us  p99 {:.1} us  ({:.0} apps/s, {:.0} ms total)\n",
+        r.p50_us, r.p95_us, r.p99_us, r.throughput_per_s, r.wall_ms
+    ));
+    out.push_str(&format!(
+        "utilization {:.1}%  live apps {}  violations {}",
+        r.utilization * 100.0,
+        r.live_apps,
+        r.violations
+    ));
+    if let Some(v) = &r.first_violation {
+        out.push_str(&format!("\nfirst violation: {v}"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resched_workloads::prelude::*;
+
+    fn small_log() -> JobLog {
+        generate_log(&LogSpec::ctc_sp2().with_duration(Dur::days(2)), 7)
+    }
+
+    #[test]
+    fn replay_is_clean_and_exercises_every_path() {
+        let log = small_log();
+        let cfg = ServeConfig {
+            max_apps: 60,
+            ..ServeConfig::default()
+        };
+        let r = run(&log, &cfg);
+        assert_eq!(r.apps, 60);
+        assert_eq!(
+            r.violations, 0,
+            "calendar audit violations: {:?}",
+            r.first_violation
+        );
+        assert!(r.commits > 0, "no application admitted");
+        assert!(r.rollbacks > 0, "no application rejected: {r:?}");
+        assert!(r.cancels > 0, "no cancellation exercised: {r:?}");
+        assert!(r.resizes > 0, "no resize exercised: {r:?}");
+        assert_eq!(r.apps, r.commits + r.rollbacks);
+        assert!(r.p50_us <= r.p95_us && r.p95_us <= r.p99_us);
+        assert!(r.p99_us > 0.0);
+        // The obs registry carries the same tallies.
+        assert_eq!(r.metrics.counter(names::SERVE_APPS), r.apps as u64);
+        assert_eq!(r.metrics.counter(names::SERVE_COMMITS), r.commits as u64);
+        assert_eq!(
+            r.metrics.counter(names::SERVE_ROLLBACKS),
+            r.rollbacks as u64
+        );
+        let h = r
+            .metrics
+            .histogram(names::SERVE_LATENCY)
+            .expect("latency histogram");
+        assert_eq!(h.count(), r.apps as u64);
+    }
+
+    #[test]
+    fn run_is_deterministic_modulo_wall_clock() {
+        let log = small_log();
+        let cfg = ServeConfig {
+            max_apps: 40,
+            ..ServeConfig::default()
+        };
+        let a = run(&log, &cfg);
+        let b = run(&log, &cfg);
+        assert_eq!(
+            (
+                a.apps,
+                a.commits,
+                a.rollbacks,
+                a.cancels,
+                a.resizes,
+                a.violations
+            ),
+            (
+                b.apps,
+                b.commits,
+                b.rollbacks,
+                b.cancels,
+                b.resizes,
+                b.violations
+            )
+        );
+        assert_eq!(a.utilization, b.utilization);
+    }
+
+    #[test]
+    fn summary_renders() {
+        let log = small_log();
+        let r = run(
+            &log,
+            &ServeConfig {
+                max_apps: 10,
+                ..ServeConfig::default()
+            },
+        );
+        let s = summarize(&r);
+        assert!(s.contains("commits"));
+        assert!(s.contains("latency p50"));
+    }
+}

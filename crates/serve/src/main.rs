@@ -1,0 +1,143 @@
+//! `resched-serve` — replay an SWF workload through the online serving
+//! loop and report throughput and scheduling-latency percentiles.
+//!
+//! ```text
+//! resched-serve [--preset NAME | --swf FILE] [--days N] [--apps N]
+//!               [--accel X] [--tasks N] [--seed N]
+//!               [--cancel-every N] [--resize-every N] [--deadline-every N]
+//!               [--admit-hours N] [--json] [--assert-clean]
+//! ```
+//!
+//! `--assert-clean` exits nonzero unless the run had zero calendar-audit
+//! violations and exercised both the commit and the rollback path — the
+//! contract the CI serve-smoke lane enforces.
+
+use resched_serve::{run, summarize, ServeConfig};
+use resched_workloads::prelude::*;
+use std::process::ExitCode;
+
+const PRESETS: &[&str] = &["ctc_sp2", "osc_cluster", "sdsc_blue", "sdsc_ds", "grid5000"];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: resched-serve [--preset {}] [--swf FILE] [--days N] [--apps N] \
+         [--accel X] [--tasks N] [--seed N] [--cancel-every N] [--resize-every N] \
+         [--deadline-every N] [--admit-hours N] [--json] [--assert-clean]",
+        PRESETS.join("|")
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, v: Option<String>) -> T {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("bad or missing value for {flag}");
+        usage()
+    })
+}
+
+fn main() -> ExitCode {
+    let mut preset = "ctc_sp2".to_string();
+    let mut swf: Option<String> = None;
+    let mut days: i64 = 3;
+    let mut cfg = ServeConfig::default();
+    let mut json = false;
+    let mut assert_clean = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--preset" => preset = parse("--preset", args.next()),
+            "--swf" => swf = Some(parse("--swf", args.next())),
+            "--days" => days = parse("--days", args.next()),
+            "--apps" => cfg.max_apps = parse("--apps", args.next()),
+            "--accel" => cfg.accel = parse("--accel", args.next()),
+            "--tasks" => cfg.tasks_per_app = parse("--tasks", args.next()),
+            "--seed" => cfg.seed = parse("--seed", args.next()),
+            "--cancel-every" => cfg.cancel_every = parse("--cancel-every", args.next()),
+            "--resize-every" => cfg.resize_every = parse("--resize-every", args.next()),
+            "--deadline-every" => cfg.deadline_every = parse("--deadline-every", args.next()),
+            "--admit-hours" => cfg.admit_horizon = Dur::hours(parse("--admit-hours", args.next())),
+            "--json" => json = true,
+            "--assert-clean" => assert_clean = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+
+    let log = match swf {
+        Some(path) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match parse_swf(&path, &text) {
+                Ok(log) => log,
+                Err(e) => {
+                    eprintln!("cannot parse {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => {
+            let spec = match preset.as_str() {
+                "ctc_sp2" => LogSpec::ctc_sp2(),
+                "osc_cluster" => LogSpec::osc_cluster(),
+                "sdsc_blue" => LogSpec::sdsc_blue(),
+                "sdsc_ds" => LogSpec::sdsc_ds(),
+                "grid5000" => LogSpec::grid5000(),
+                other => {
+                    eprintln!(
+                        "unknown preset {other} (expected one of {})",
+                        PRESETS.join(", ")
+                    );
+                    return ExitCode::from(2);
+                }
+            };
+            generate_log(&spec.with_duration(Dur::days(days.max(1))), cfg.seed)
+        }
+    };
+
+    let report = run(&log, &cfg);
+    if json {
+        match serde_json::to_string(&report) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("serialization failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        println!(
+            "log {} ({} procs, {} jobs)",
+            log.name,
+            log.procs,
+            log.jobs.len()
+        );
+        println!("{}", summarize(&report));
+    }
+
+    if assert_clean {
+        if report.violations > 0 {
+            eprintln!(
+                "ASSERT-CLEAN FAILED: {} violations ({:?})",
+                report.violations, report.first_violation
+            );
+            return ExitCode::FAILURE;
+        }
+        if report.commits == 0 || report.rollbacks == 0 {
+            eprintln!(
+                "ASSERT-CLEAN FAILED: commit/rollback path not exercised \
+                 (commits {}, rollbacks {})",
+                report.commits, report.rollbacks
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -90,14 +90,20 @@ pub fn run_stream(cfg: &StreamConfig, seed: u64) -> StreamResult {
         };
         q_fracs.push(q as f64 / cfg.procs as f64);
         resched_core::obs::counter_add("stream.apps", 1);
+        // Admit through a shadow transaction: the schedule is computed and
+        // applied against the transaction's view, then committed — the
+        // same probe → commit path the online serving loop uses, so this
+        // closed-loop experiment exercises it under sustained load.
+        let mut txn = cal.transaction();
         let sched = {
             resched_core::span!("stream.schedule");
-            schedule_forward(&dag, &cal, now, q, ForwardConfig::recommended())
+            schedule_forward(&dag, txn.calendar(), now, q, ForwardConfig::recommended())
         };
-        debug_assert!(sched.validate(&dag, &cal).is_ok());
+        debug_assert!(sched.validate(&dag, txn.calendar()).is_ok());
         for t in dag.task_ids() {
-            cal.add_unchecked(sched.placement(t).reservation());
+            txn.add_unchecked(sched.placement(t).reservation());
         }
+        txn.commit();
         turnarounds.push(sched.turnaround().as_hours());
     }
     turnarounds.sort_by(|a, b| a.partial_cmp(b).unwrap());

@@ -112,6 +112,43 @@ impl JobLog {
         }
     }
 
+    /// A copy of the log replayed at `factor`× speed: every submission
+    /// offset from the first submission is divided by `factor` (rounded
+    /// down, floored at one second per original positive gap so distinct
+    /// submissions never collapse in order). Start instants and runtimes
+    /// are untouched — online replay re-schedules each arrival from
+    /// scratch, so only the arrival process is compressed.
+    ///
+    /// # Panics
+    /// Panics if `factor` is not strictly positive and finite.
+    pub fn accelerated(&self, factor: f64) -> JobLog {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "bad acceleration factor {factor}"
+        );
+        let first = self.jobs.iter().map(|j| j.submit).min();
+        let jobs = match first {
+            None => Vec::new(),
+            Some(first) => self
+                .jobs
+                .iter()
+                .map(|j| {
+                    let gap = (j.submit - first).as_seconds();
+                    let scaled = ((gap as f64 / factor) as i64).max(i64::from(gap > 0));
+                    Job {
+                        submit: first + Dur::seconds(scaled),
+                        ..*j
+                    }
+                })
+                .collect(),
+        };
+        JobLog {
+            name: self.name.clone(),
+            procs: self.procs,
+            jobs,
+        }
+    }
+
     /// Average job runtime, in hours.
     pub fn avg_runtime_hours(&self) -> f64 {
         if self.jobs.is_empty() {
@@ -141,6 +178,26 @@ mod tests {
             runtime: Dur::seconds(run),
             procs,
         }
+    }
+
+    #[test]
+    fn accelerated_compresses_arrivals_only() {
+        let log = JobLog {
+            name: "test".into(),
+            procs: 10,
+            jobs: vec![j(1, 100, 160, 3600, 8), j(2, 1100, 1200, 60, 2)],
+        };
+        let fast = log.accelerated(10.0);
+        assert_eq!(fast.jobs[0].submit, Time::seconds(100));
+        assert_eq!(fast.jobs[1].submit, Time::seconds(200));
+        // Runtimes and processor counts untouched.
+        assert_eq!(fast.jobs[1].runtime, Dur::seconds(60));
+        assert_eq!(fast.jobs[1].procs, 2);
+        // Extreme factors floor positive gaps at one second.
+        let crushed = log.accelerated(1e9);
+        assert_eq!(crushed.jobs[1].submit, Time::seconds(101));
+        // Identity factor is a no-op on submissions.
+        assert_eq!(log.accelerated(1.0).jobs[1].submit, Time::seconds(1100));
     }
 
     #[test]

@@ -35,6 +35,36 @@ pub struct FuzzResv {
     pub procs: u32,
 }
 
+/// Remove one live reservation (`Remove` payload of [`FuzzOp`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FuzzRemove {
+    /// Which live reservation to remove (reduced modulo the live count).
+    pub index: u32,
+}
+
+/// Resize one live reservation (`Resize` payload of [`FuzzOp`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FuzzResize {
+    /// Which live reservation to resize (reduced modulo the live count).
+    pub index: u32,
+    /// New processor count (clamped into `[1, capacity]`).
+    pub procs: u32,
+    /// New duration in seconds (floored at 1), keeping the old start.
+    pub dur_secs: i64,
+}
+
+/// One calendar mutation, applied after the initial reservations are
+/// admitted. Payloads live in newtype structs because the vendored serde
+/// derive supports only unit and newtype enum variants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FuzzOp {
+    /// Remove a live reservation through `Calendar::try_remove`.
+    Remove(FuzzRemove),
+    /// Resize a live reservation through `Calendar::try_resize`; a
+    /// conflicting grow must leave the calendar untouched (atomicity).
+    Resize(FuzzResize),
+}
+
 /// A self-contained random scheduling problem: DAG × calendar × deadline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
@@ -55,6 +85,11 @@ pub struct Scenario {
     pub reservations: Vec<FuzzResv>,
     /// Deadline slack: `K = now + deadline_factor × forward turn-around`.
     pub deadline_factor: u32,
+    /// Calendar mutations (cancellations and resizes) applied after the
+    /// reservations are admitted; defaults to empty so pre-mutation repro
+    /// files keep parsing.
+    #[serde(default)]
+    pub ops: Vec<FuzzOp>,
 }
 
 /// A validation failure found by [`Scenario::run_all`].
@@ -102,6 +137,22 @@ impl Scenario {
                 procs: rng.gen_range(1u32..=capacity),
             })
             .collect();
+        let n_ops = rng.gen_range(0usize..=4);
+        let ops = (0..n_ops)
+            .map(|_| {
+                if rng.gen_range(0.0..1.0f64) < 0.5 {
+                    FuzzOp::Remove(FuzzRemove {
+                        index: rng.gen_range(0u32..8),
+                    })
+                } else {
+                    FuzzOp::Resize(FuzzResize {
+                        index: rng.gen_range(0u32..8),
+                        procs: rng.gen_range(1u32..=capacity),
+                        dur_secs: rng.gen_range(60i64..4_000),
+                    })
+                }
+            })
+            .collect();
         Scenario {
             capacity,
             q,
@@ -110,6 +161,7 @@ impl Scenario {
             edges,
             reservations,
             deadline_factor: rng.gen_range(2u32..=4),
+            ops,
         }
     }
 
@@ -136,16 +188,65 @@ impl Scenario {
         b.build().ok()
     }
 
-    /// Build the competing calendar, skipping conflicting candidates.
+    /// Build the competing calendar, skipping conflicting candidates and
+    /// then applying the mutation ops.
     pub fn calendar(&self) -> Calendar {
-        let mut cal = Calendar::new(self.capacity.max(1));
+        self.calendar_with_live().0
+    }
+
+    /// Build the calendar — admit reservations, then replay the mutation
+    /// ops — and return it together with the reservations still live
+    /// afterwards. Rebuilding a fresh calendar from the live set is the
+    /// mutation oracle: it must equal the incrementally mutated calendar
+    /// exactly (`PartialEq` *and* serialized bytes).
+    pub fn calendar_with_live(&self) -> (Calendar, Vec<Reservation>) {
+        let cap = self.capacity.max(1);
+        let mut cal = Calendar::new(cap);
+        let mut live = Vec::new();
         for r in &self.reservations {
             let start = Time::seconds(r.start_secs);
             let dur = Dur::seconds(r.dur_secs.max(1));
-            let procs = r.procs.clamp(1, self.capacity.max(1));
-            let _ = cal.try_add(Reservation::for_duration(start, dur, procs));
+            let procs = r.procs.clamp(1, cap);
+            let res = Reservation::for_duration(start, dur, procs);
+            if cal.try_add(res).is_ok() {
+                live.push(res);
+            }
         }
-        cal
+        for op in &self.ops {
+            match *op {
+                FuzzOp::Remove(FuzzRemove { index }) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let i = index as usize % live.len();
+                    let r = live.swap_remove(i);
+                    cal.try_remove(r).expect("tracked live reservation removes");
+                }
+                FuzzOp::Resize(FuzzResize {
+                    index,
+                    procs,
+                    dur_secs,
+                }) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let i = index as usize % live.len();
+                    let old = live[i];
+                    let new = Reservation::for_duration(
+                        old.start,
+                        Dur::seconds(dur_secs.max(1)),
+                        procs.clamp(1, cap),
+                    );
+                    if cal.try_resize(old, new).is_ok() {
+                        live[i] = new;
+                    }
+                    // A rejected resize (conflicting grow) must have
+                    // restored the calendar; the oracle equality below
+                    // catches any residue.
+                }
+            }
+        }
+        (cal, live)
     }
 
     /// The scheduling instant.
@@ -221,6 +322,11 @@ impl Scenario {
         let mut out = Vec::new();
         for i in (0..self.tasks.len()).rev() {
             out.push(self.without_task(i));
+        }
+        for i in (0..self.ops.len()).rev() {
+            let mut s = self.clone();
+            s.ops.remove(i);
+            out.push(s);
         }
         for i in (0..self.reservations.len()).rev() {
             let mut s = self.clone();
@@ -359,6 +465,7 @@ mod tests {
         assert_eq!(min.tasks.len(), 1);
         assert!(min.reservations.is_empty());
         assert!(min.edges.is_empty());
+        assert!(min.ops.is_empty());
         assert!(min.tasks[0].seq_secs <= 30, "cost fully halved down");
         assert_eq!(min.now_secs, 0);
     }
@@ -379,6 +486,7 @@ mod tests {
             edges: vec![(0, 1), (0, 2), (1, 2)],
             reservations: vec![],
             deadline_factor: 2,
+            ops: vec![],
         };
         s = s.without_task(1);
         assert_eq!(s.tasks.len(), 2);
