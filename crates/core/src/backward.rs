@@ -32,6 +32,7 @@ use crate::dag::{Dag, TaskId};
 use crate::obs;
 use crate::pool::Pool;
 use crate::schedule::{Placement, Schedule, ScheduleStats};
+use rayon::prelude::*;
 use resched_resv::{Calendar, Reservation, Time};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -237,38 +238,91 @@ pub fn schedule_deadline(
             } else {
                 None
             };
-            let mut ctx = RcSweepCtx::new(dag.num_tasks());
-            let mut last_failure: Option<Vec<RcDecision>> = None;
-            let mut found = None;
-            for lambda in lambda_grid(cfg.lambda_step) {
-                // Warm start: a failed pass whose every decision provably
-                // replays identically at this λ fails identically — skip it.
-                if let Some(decisions) = &last_failure {
-                    if failure_repeats_at(decisions, lambda) {
-                        obs::counter_add(obs::names::HYBRID_LAMBDA_PASSES_SAVED, 1);
-                        continue;
-                    }
-                }
-                ctx.decisions.clear();
-                match backward_pass(
+            // `S_i` is λ-invariant, so it is computed once for the whole
+            // sweep. Doing it eagerly (rather than memoizing on first
+            // touch) makes each λ pass a pure function of λ — the
+            // precondition for executing passes speculatively in parallel.
+            let guide_ref: &CpaAllocation = &guide;
+            let starts = guideline_starts(dag, guide_ref, now, &order, &mut stats);
+            let grid = lambda_grid(cfg.lambda_step);
+
+            // One λ pass over fresh local stats and a fresh decision log,
+            // so results compose identically whatever order they were
+            // *executed* in — the sweep below folds them in λ order.
+            let run_pass = |lambda: f64| {
+                let mut pass_stats = ScheduleStats::default();
+                let mut decisions = Vec::new();
+                let placements = backward_pass(
                     dag,
                     competing,
                     now,
                     deadline,
                     &order,
                     Mode::Rc {
-                        guide: &guide,
+                        guide: guide_ref,
                         lambda,
                         fallback_bounds: fallback.as_deref(),
                     },
-                    &mut stats,
-                    Some(&mut ctx),
-                ) {
-                    Some(placements) => {
-                        found = Some((placements, lambda));
-                        break;
+                    &mut pass_stats,
+                    Some(SweepRun {
+                        starts: &starts,
+                        decisions: &mut decisions,
+                    }),
+                );
+                (placements, pass_stats, decisions)
+            };
+
+            let mut last_failure: Option<Vec<RcDecision>> = None;
+            let mut found = None;
+            // Ambient observability is thread-local; under an `observe`
+            // scope the sweep stays on the calling thread so no counter
+            // tick is lost.
+            let threads = if obs::active() {
+                1
+            } else {
+                rayon::current_num_threads()
+            };
+            if threads <= 1 {
+                for lambda in grid {
+                    if sweep_skips(last_failure.as_deref(), lambda) {
+                        continue;
                     }
-                    None => last_failure = Some(std::mem::take(&mut ctx.decisions)),
+                    let (placements, pass_stats, decisions) = run_pass(lambda);
+                    stats.absorb(pass_stats);
+                    match placements {
+                        Some(placements) => {
+                            found = Some((placements, lambda));
+                            break;
+                        }
+                        None => last_failure = Some(decisions),
+                    }
+                }
+            } else {
+                // Execute each block of λs speculatively in parallel, then
+                // replay the warm-start chain over the block's results
+                // sequentially in λ order. Every pass is pure in λ, and the
+                // replay applies the exact skip / fold / stop decisions of
+                // the sequential loop, so the outcome (schedule, λ, stats)
+                // is byte-identical — speculation only wastes work on
+                // passes the sequential loop would have skipped or never
+                // reached.
+                'sweep: for block in grid.chunks(threads) {
+                    let results: Vec<_> = block.par_iter().map(|&l| run_pass(l)).collect();
+                    for (lambda, (placements, pass_stats, decisions)) in
+                        block.iter().copied().zip(results)
+                    {
+                        if sweep_skips(last_failure.as_deref(), lambda) {
+                            continue;
+                        }
+                        stats.absorb(pass_stats);
+                        match placements {
+                            Some(placements) => {
+                                found = Some((placements, lambda));
+                                break 'sweep;
+                            }
+                            None => last_failure = Some(decisions),
+                        }
+                    }
                 }
             }
             match found {
@@ -377,25 +431,69 @@ fn rc_threshold(s_i: Time, dl: Time, lambda: f64) -> Time {
     Time::seconds(s_i.as_seconds() + (lambda * slack).floor() as i64)
 }
 
-/// Warm-start state shared across one hybrid λ sweep.
-struct RcSweepCtx {
-    /// Memoized CPA guideline start `S_i` per *order position*. `S_i`
-    /// depends only on the task order and the guide allocation (the subset
-    /// mapping runs on an empty virtual platform from `now`), never on λ,
-    /// so each position is mapped once for the whole sweep instead of once
-    /// per pass.
-    s_cache: Vec<Option<Time>>,
-    /// The decision log of the current pass, for [`failure_repeats_at`].
-    decisions: Vec<RcDecision>,
+/// Warm start: a failed pass whose every decision provably replays
+/// identically at `lambda` fails identically — skip it (and count the
+/// saving).
+fn sweep_skips(last_failure: Option<&[RcDecision]>, lambda: f64) -> bool {
+    match last_failure {
+        Some(decisions) if failure_repeats_at(decisions, lambda) => {
+            obs::counter_add(obs::names::HYBRID_LAMBDA_PASSES_SAVED, 1);
+            true
+        }
+        _ => false,
+    }
 }
 
-impl RcSweepCtx {
-    fn new(n: usize) -> RcSweepCtx {
-        RcSweepCtx {
-            s_cache: vec![None; n],
-            decisions: Vec::new(),
-        }
+/// The λ-invariant CPA guideline start `S_i` for every order position:
+/// re-map the not-yet-scheduled suffix `order[k..]` (predecessor-closed,
+/// because predecessors have higher bottom levels) on an empty virtual
+/// platform from `now` (paper §5.2.2).
+///
+/// Computed eagerly before a hybrid sweep so every λ pass is a pure
+/// function of λ. Whenever a sweep succeeds this does exactly the work of
+/// the per-sweep memo it replaced — a successful pass visits every
+/// position, so all `n` mappings ran either way; only fully infeasible
+/// sweeps now map positions no failing pass reached.
+fn guideline_starts(
+    dag: &Dag,
+    guide: &CpaAllocation,
+    now: Time,
+    order: &[TaskId],
+    stats: &mut ScheduleStats,
+) -> Vec<Time> {
+    let mut starts = Vec::with_capacity(order.len());
+    for (k, &t) in order.iter().enumerate() {
+        stats.count_cpa_mapping();
+        let unscheduled: Vec<bool> = {
+            let mut v = vec![false; dag.num_tasks()];
+            for &u in &order[k..] {
+                v[u.idx()] = true;
+            }
+            v
+        };
+        // NB: the mapping's probe cost is deliberately *not* folded into
+        // `stats` (it runs on a virtual platform); the registry still sees
+        // it under `cpa.map.*` via the mapping's probes.
+        let cpa_map = cpa::map_subset(dag, guide, now, |u| unscheduled[u.idx()]);
+        // `t` = `order[k]` is in the subset by construction; if the map
+        // somehow misses it, `now` is the safe guideline (earliest start ⇒
+        // loosest threshold, and the aggressive fallback still guarantees
+        // validity).
+        debug_assert!(
+            cpa_map[t.idx()].is_some(),
+            "current task is in the unscheduled subset"
+        );
+        starts.push(cpa_map[t.idx()].map_or(now, |pl| pl.start));
     }
+    starts
+}
+
+/// Context for one hybrid λ pass: the precomputed λ-invariant guideline
+/// starts (indexed by *order position*) and this pass's decision log.
+struct SweepRun<'a> {
+    starts: &'a [Time],
+    /// Recorded decisions, for [`failure_repeats_at`].
+    decisions: &'a mut Vec<RcDecision>,
 }
 
 /// One RC placement decision, recorded so a failed pass can prove that a
@@ -428,8 +526,8 @@ fn failure_repeats_at(decisions: &[RcDecision], lambda: f64) -> bool {
 /// One whole-DAG backward pass. Returns placements for every task, or `None`
 /// if some task cannot be placed between `now` and its deadline.
 ///
-/// `ctx` (hybrid sweeps only) carries the λ-invariant `S_i` cache and
-/// records this pass's decision log.
+/// `ctx` (hybrid sweeps only) carries the precomputed λ-invariant `S_i`
+/// values and records this pass's decision log.
 #[allow(clippy::too_many_arguments)]
 fn backward_pass(
     dag: &Dag,
@@ -439,7 +537,7 @@ fn backward_pass(
     order: &[TaskId],
     mode: Mode<'_>,
     stats: &mut ScheduleStats,
-    mut ctx: Option<&mut RcSweepCtx>,
+    mut ctx: Option<SweepRun<'_>>,
 ) -> Option<Vec<Placement>> {
     crate::span!("deadline.pass");
     stats.count_pass();
@@ -472,14 +570,12 @@ fn backward_pass(
                 lambda,
                 fallback_bounds,
             } => {
-                // CPA guideline start time S_i: re-map the unscheduled part
-                // of the DAG (everything from position k on, which is
-                // predecessor-closed because preds have higher bottom
-                // levels) on an empty `pool`-processor platform. Within a
-                // hybrid sweep S_i is λ-invariant, so it is cached per
-                // order position.
-                let s_i = match ctx.as_deref().and_then(|c| c.s_cache[k]) {
-                    Some(s) => s,
+                // CPA guideline start time S_i (paper §5.2.2). Hybrid
+                // sweeps precompute it per order position (it is
+                // λ-invariant; see `guideline_starts`); the single-pass RC
+                // algorithms map the unscheduled suffix here.
+                let s_i = match &ctx {
+                    Some(c) => c.starts[k],
                     None => {
                         stats.count_cpa_mapping();
                         let unscheduled: Vec<bool> = {
@@ -494,19 +590,11 @@ fn backward_pass(
                         // platform); the registry still sees it under
                         // `cpa.map.*` via the mapping's probes.
                         let cpa_map = cpa::map_subset(dag, guide, now, |u| unscheduled[u.idx()]);
-                        // `t` = `order[k]` is in the subset by construction;
-                        // if the map somehow misses it, `now` is the safe
-                        // guideline (earliest start ⇒ loosest threshold, and
-                        // the aggressive fallback still guarantees validity).
                         debug_assert!(
                             cpa_map[t.idx()].is_some(),
                             "current task is in the unscheduled subset"
                         );
-                        let s = cpa_map[t.idx()].map_or(now, |pl| pl.start);
-                        if let Some(c) = ctx.as_deref_mut() {
-                            c.s_cache[k] = Some(s);
-                        }
-                        s
+                        cpa_map[t.idx()].map_or(now, |pl| pl.start)
                     }
                 };
                 let threshold = rc_threshold(s_i, dl, *lambda);
@@ -533,7 +621,7 @@ fn backward_pass(
                         }
                     }
                 }
-                if let Some(c) = ctx.as_deref_mut() {
+                if let Some(c) = ctx.as_mut() {
                     c.decisions.push(RcDecision {
                         s_i,
                         dl,

@@ -105,6 +105,12 @@ pub mod names {
     pub const SERVE_RESIZES: &str = "serve.resizes";
     /// Histogram: per-application scheduling latency in nanoseconds.
     pub const SERVE_LATENCY: &str = "serve.schedule.latency_ns";
+    /// Counter: slot queries answered by the segment-tree calendar backend.
+    pub const BACKEND_INDEXED_QUERIES: &str = "backend.indexed.queries";
+    /// Counter: slot queries answered by the slot-set calendar backend.
+    pub const BACKEND_SLOTSET_QUERIES: &str = "backend.slotset.queries";
+    /// Counter: slot queries answered by the linear-scan reference backend.
+    pub const BACKEND_LINEAR_QUERIES: &str = "backend.linear.queries";
 
     use super::ScheduleStats;
 
@@ -612,6 +618,15 @@ mod ambient {
         });
     }
 
+    /// Whether an [`crate::obs::observe`] scope is collecting on this
+    /// thread. Ambient collection is thread-local, so parallel sections
+    /// must pin themselves to sequential execution while this is true —
+    /// worker threads would silently drop their counter ticks otherwise.
+    #[inline]
+    pub fn active() -> bool {
+        RUNS.with(|runs| !runs.borrow().is_empty())
+    }
+
     /// Run `f` with ambient collection active; see [`crate::obs::observe`].
     pub fn observe<T>(label: &str, f: impl FnOnce() -> T) -> (T, RunReport) {
         RUNS.with(|runs| runs.borrow_mut().push(RunState::default()));
@@ -656,6 +671,13 @@ mod ambient {
         SpanGuard { _private: () }
     }
 
+    /// Always false: the `obs` feature is disabled, so no ambient scope
+    /// can ever be collecting and parallel sections never need to yield.
+    #[inline(always)]
+    pub fn active() -> bool {
+        false
+    }
+
     /// No-op: the `obs` feature is disabled.
     #[inline(always)]
     pub fn counter_add(_name: &'static str, _by: u64) {}
@@ -676,7 +698,7 @@ mod ambient {
     }
 }
 
-pub use ambient::{counter_add, observe, record_value, span_enter, SpanGuard};
+pub use ambient::{active, counter_add, observe, record_value, span_enter, SpanGuard};
 
 // ---------------------------------------------------------------------------
 // Probe wrappers: the single choke point between schedulers, ScheduleStats,
@@ -703,6 +725,7 @@ pub mod probe {
         super::counter_add(queries_name, cost.queries);
         super::counter_add(steps_name, cost.steps);
         super::record_value(names::FIT_STEPS, cost.steps);
+        record_backend(cost.queries);
     }
 
     /// Mirror one earliest/latest fit query into the ambient registry
@@ -710,6 +733,25 @@ pub mod probe {
     #[cfg(not(feature = "obs"))]
     #[inline(always)]
     fn record_fit(_queries_name: &'static str, _steps_name: &'static str, _cost: QueryCost) {}
+
+    /// Attribute `queries` slot queries to the calendar backend that
+    /// answered them (`backend.*` counters), per the process-wide
+    /// selection.
+    #[cfg(feature = "obs")]
+    fn record_backend(queries: u64) {
+        let name = match resched_resv::backend::selected() {
+            resched_resv::BackendKind::Indexed => names::BACKEND_INDEXED_QUERIES,
+            resched_resv::BackendKind::SlotSet => names::BACKEND_SLOTSET_QUERIES,
+            resched_resv::BackendKind::Linear => names::BACKEND_LINEAR_QUERIES,
+        };
+        super::counter_add(name, queries);
+    }
+
+    /// Attribute slot queries to their backend (no-op: `obs` feature
+    /// disabled).
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    fn record_backend(_queries: u64) {}
 
     /// `Calendar::earliest_fit` with cost folded into `stats` and mirrored
     /// into the ambient registry.
@@ -767,6 +809,7 @@ pub mod probe {
         // is needed (and `resched-lint`'s parity rule would demand a twin).
         super::counter_add(names::CPA_MAP_QUERIES, cost.queries);
         super::counter_add(names::CPA_MAP_STEPS, cost.steps);
+        record_backend(cost.queries);
         start
     }
 
@@ -824,6 +867,9 @@ mod tests {
             names::SERVE_CANCELS,
             names::SERVE_RESIZES,
             names::SERVE_LATENCY,
+            names::BACKEND_INDEXED_QUERIES,
+            names::BACKEND_SLOTSET_QUERIES,
+            names::BACKEND_LINEAR_QUERIES,
         ];
         for c in constants {
             assert!(

@@ -244,6 +244,13 @@ pub struct Config {
     pub catalog_tests: Vec<String>,
     /// Golden JSON files whose `"algorithm"` entries must match the catalog.
     pub catalog_goldens: Vec<String>,
+    /// The calendar-backend manifest: one `impl CalendarBackend` type name
+    /// per line.
+    pub backend_manifest: String,
+    /// Path prefixes scanned for `impl CalendarBackend for <Name>` items.
+    pub backend_impl_paths: Vec<String>,
+    /// Differential harnesses that must exercise every manifest backend.
+    pub backend_tests: Vec<String>,
 }
 
 impl Default for Config {
@@ -266,6 +273,9 @@ impl Default for Config {
                 "tests/tests/prop_scheduling.rs".into(),
             ],
             catalog_goldens: vec!["results/golden/obs_differential.json".into()],
+            backend_manifest: "crates/resv/src/backends.txt".into(),
+            backend_impl_paths: vec!["crates/resv/src".into()],
+            backend_tests: vec!["tests/tests/backend_differential.rs".into()],
         }
     }
 }
@@ -273,7 +283,11 @@ impl Default for Config {
 impl Config {
     /// Every non-`.rs` path the rules consult.
     pub fn extra_paths(&self) -> Vec<String> {
-        let mut v = vec![self.metrics_manifest.clone(), self.catalog_manifest.clone()];
+        let mut v = vec![
+            self.metrics_manifest.clone(),
+            self.catalog_manifest.clone(),
+            self.backend_manifest.clone(),
+        ];
         v.extend(self.catalog_docs.iter().cloned());
         v.extend(self.catalog_goldens.iter().cloned());
         v
@@ -431,6 +445,7 @@ pub fn run(ws: &Workspace, cfg: &Config) -> Vec<Violation> {
     rules::obs_hygiene(ws, cfg, &mut sink);
     rules::catalog_sync(ws, cfg, &mut sink);
     rules::feature_parity(ws, cfg, &mut sink);
+    rules::backend_parity(ws, cfg, &mut sink);
     sink.finish()
 }
 

@@ -24,8 +24,10 @@
 //! reachable through [`Calendar::linear`], as the reference implementation
 //! that differential property tests and benchmarks compare against.
 
+use crate::backend::{self, BackendKind, CalendarBackend, IndexedRef, SlotSetRef};
 use crate::index::UsageIndex;
 use crate::reservation::{Reservation, ReservationError};
+use crate::slotset::SlotSet;
 use crate::time::{Dur, Time};
 use serde::{Deserialize, Serialize};
 use std::sync::OnceLock;
@@ -75,6 +77,11 @@ pub struct Calendar {
     /// Never serialized and never part of equality: it is derived state.
     #[serde(skip)]
     index: OnceLock<UsageIndex>,
+    /// Lazily built slot-set dual of `steps`; maintained incrementally
+    /// (split/merge around the touched interval) on every mutation. Like
+    /// the index, derived state: never serialized, never part of equality.
+    #[serde(skip)]
+    slotset: OnceLock<SlotSet>,
 }
 
 impl PartialEq for Calendar {
@@ -101,6 +108,7 @@ impl Calendar {
             reserved_proc_seconds: 0,
             num_reservations: 0,
             index: OnceLock::new(),
+            slotset: OnceLock::new(),
         }
     }
 
@@ -111,9 +119,37 @@ impl Calendar {
         LinearRef { cal: self }
     }
 
+    /// The segment-tree backend as an explicit [`CalendarBackend`] view,
+    /// regardless of the process-wide selection.
+    pub fn indexed(&self) -> IndexedRef<'_> {
+        IndexedRef { cal: self }
+    }
+
+    /// The slot-set backend as an explicit [`CalendarBackend`] view,
+    /// regardless of the process-wide selection.
+    pub fn slot_set(&self) -> SlotSetRef<'_> {
+        SlotSetRef { cal: self }
+    }
+
+    /// The named backend as a trait object — the cross-backend
+    /// differential harness iterates [`BackendKind::ALL`] through this.
+    pub fn backend_view(&self, kind: BackendKind) -> Box<dyn CalendarBackend + '_> {
+        match kind {
+            BackendKind::Indexed => Box::new(self.indexed()),
+            BackendKind::SlotSet => Box::new(self.slot_set()),
+            BackendKind::Linear => Box::new(self.linear()),
+        }
+    }
+
     /// The (lazily built) segment-tree index over the current breakpoints.
     fn index(&self) -> &UsageIndex {
         self.index.get_or_init(|| UsageIndex::build(&self.steps))
+    }
+
+    /// The (lazily built) slot-set dual of the current breakpoints.
+    pub(crate) fn slotset(&self) -> &SlotSet {
+        self.slotset
+            .get_or_init(|| SlotSet::build(self.capacity, &self.steps))
     }
 
     /// Build a calendar from a list of reservations.
@@ -127,6 +163,73 @@ impl Calendar {
         for r in resvs {
             cal.try_add(r)?;
         }
+        Ok(cal)
+    }
+
+    /// Build a calendar from a list of reservations in one sweep —
+    /// `O(R log R)` total, versus the `O(R · B)` of adding one at a time
+    /// (each [`Calendar::try_add`] pays `Vec::insert` on the breakpoint
+    /// vector). This is what makes million-reservation calendars loadable
+    /// for the scale benchmarks; the result is byte-identical to
+    /// [`Calendar::with_reservations`] on the same input.
+    ///
+    /// Capacity is checked over the aggregate: the first instant where the
+    /// running usage exceeds the platform reports a conflict against the
+    /// usage level already accumulated there.
+    pub fn bulk_load<I>(capacity: u32, resvs: I) -> Result<Calendar, ReservationError>
+    where
+        I: IntoIterator<Item = Reservation>,
+    {
+        assert!(capacity > 0, "a platform needs at least one processor");
+        let mut deltas: Vec<(Time, i64)> = Vec::new();
+        let mut reserved_proc_seconds = 0i64;
+        let mut num_reservations = 0usize;
+        for r in resvs {
+            if r.procs > capacity {
+                return Err(ReservationError::ExceedsCapacity {
+                    requested: r.procs,
+                    capacity,
+                });
+            }
+            deltas.push((r.start, r.procs as i64));
+            deltas.push((r.end, -(r.procs as i64)));
+            reserved_proc_seconds += r.proc_seconds();
+            num_reservations += 1;
+        }
+        deltas.sort_unstable_by_key(|&(t, _)| t);
+        let mut steps: Vec<Step> = Vec::new();
+        let mut used = 0i64;
+        let mut i = 0;
+        while i < deltas.len() {
+            let t = deltas[i].0;
+            let before = used;
+            while i < deltas.len() && deltas[i].0 == t {
+                used += deltas[i].1;
+                i += 1;
+            }
+            if used > capacity as i64 {
+                return Err(ReservationError::Conflict {
+                    at: t,
+                    free: (capacity as i64 - before).max(0) as u32,
+                    requested: (used - before).max(0) as u32,
+                });
+            }
+            if used != before {
+                steps.push(Step {
+                    time: t,
+                    used: used as u32,
+                });
+            }
+        }
+        let cal = Calendar {
+            capacity,
+            steps,
+            reserved_proc_seconds,
+            num_reservations,
+            index: OnceLock::new(),
+            slotset: OnceLock::new(),
+        };
+        debug_assert!(cal.check_invariants());
         Ok(cal)
     }
 
@@ -164,8 +267,17 @@ impl Calendar {
         self.capacity - self.used_at(t)
     }
 
-    /// Peak usage over `[from, to)`.
+    /// Peak usage over `[from, to)`, answered by the selected backend.
     pub fn peak_used(&self, from: Time, to: Time) -> u32 {
+        match backend::selected() {
+            BackendKind::Indexed => self.indexed_peak_used(from, to),
+            BackendKind::SlotSet => self.slotset().peak_used(from, to),
+            BackendKind::Linear => self.linear().peak_used(from, to),
+        }
+    }
+
+    /// Segment-tree [`Calendar::peak_used`].
+    pub(crate) fn indexed_peak_used(&self, from: Time, to: Time) -> u32 {
         assert!(from < to, "empty window");
         // Usage at `from` comes from the segment covering it; breakpoints
         // strictly inside the window come from the tree.
@@ -192,18 +304,48 @@ impl Calendar {
                 capacity: self.capacity,
             });
         }
-        let mut visited = 0u64;
-        if let Some(idx) = self.first_blocker(r.start, r.end, self.capacity - r.procs, &mut visited)
-        {
-            let at = self.steps[idx].time.max(r.start);
+        if let Some((at, free)) = self.first_conflict(r.start, r.end, r.procs) {
             return Err(ReservationError::Conflict {
                 at,
-                free: self.capacity - self.steps[idx].used,
+                free,
                 requested: r.procs,
             });
         }
         self.add_unchecked(r);
         Ok(())
+    }
+
+    /// First instant in `[from, to)` where fewer than `procs` processors
+    /// are free, with the free count there — the conflict probe behind
+    /// [`Calendar::try_add`] / [`Calendar::fits`], answered by the selected
+    /// backend. All backends report the identical `(instant, free)` pair:
+    /// the conflict instant is the later of the blocking segment's start
+    /// and `from`.
+    fn first_conflict(&self, from: Time, to: Time, procs: u32) -> Option<(Time, u32)> {
+        match backend::selected() {
+            BackendKind::SlotSet => self.slotset().first_conflict(from, to, procs),
+            BackendKind::Indexed => {
+                let mut visited = 0u64;
+                self.first_blocker(from, to, self.capacity - procs, &mut visited)
+                    .map(|idx| {
+                        (
+                            self.steps[idx].time.max(from),
+                            self.capacity - self.steps[idx].used,
+                        )
+                    })
+            }
+            BackendKind::Linear => {
+                let mut visited = 0u64;
+                self.linear()
+                    .first_blocker(from, to, self.capacity - procs, &mut visited)
+                    .map(|idx| {
+                        (
+                            self.steps[idx].time.max(from),
+                            self.capacity - self.steps[idx].used,
+                        )
+                    })
+            }
+        }
     }
 
     /// Insert a reservation that is already known to fit.
@@ -249,6 +391,13 @@ impl Calendar {
             ix.range_bump(start_idx, end_idx, r.procs as i64);
             debug_assert!(ix.matches(&self.steps));
         }
+        if let Some(ss) = self.slotset.get_mut() {
+            // The slot set keys on times, not breakpoint indices, so the
+            // same split/bump/merge repair works whether or not the
+            // breakpoint vector changed shape.
+            ss.bump(r.start, r.end, r.procs as i64);
+            debug_assert!(ss.matches(&self.steps));
+        }
         self.reserved_proc_seconds += r.proc_seconds();
         self.num_reservations += 1;
     }
@@ -260,9 +409,7 @@ impl Calendar {
         if r.procs > self.capacity {
             return false;
         }
-        let mut visited = 0u64;
-        self.first_blocker(r.start, r.end, self.capacity - r.procs, &mut visited)
-            .is_none()
+        self.first_conflict(r.start, r.end, r.procs).is_none()
     }
 
     /// Cancel a previously accepted reservation, checking that `r.procs`
@@ -316,6 +463,10 @@ impl Calendar {
         } else if let Some(ix) = self.index.get_mut() {
             ix.range_bump(start_idx, end_idx, -(r.procs as i64));
             debug_assert!(ix.matches(&self.steps));
+        }
+        if let Some(ss) = self.slotset.get_mut() {
+            ss.bump(r.start, r.end, -(r.procs as i64));
+            debug_assert!(ss.matches(&self.steps));
         }
         self.reserved_proc_seconds -= r.proc_seconds();
         self.num_reservations = self.num_reservations.checked_sub(1).unwrap_or_else(|| {
@@ -379,8 +530,32 @@ impl Calendar {
     }
 
     /// [`Calendar::earliest_fit`], tallying the work performed into `cost`:
-    /// one query plus the segment-tree nodes visited.
+    /// one query plus the breakpoints / tree nodes / slots visited by the
+    /// selected backend. The answer is backend-independent; only
+    /// `cost.steps` varies.
     pub fn earliest_fit_with_cost(
+        &self,
+        procs: u32,
+        dur: Dur,
+        not_before: Time,
+        cost: &mut QueryCost,
+    ) -> Time {
+        match backend::selected() {
+            BackendKind::Indexed => {
+                self.indexed_earliest_fit_with_cost(procs, dur, not_before, cost)
+            }
+            BackendKind::SlotSet => self
+                .slot_set()
+                .earliest_fit_with_cost(procs, dur, not_before, cost),
+            BackendKind::Linear => self
+                .linear()
+                .earliest_fit_with_cost(procs, dur, not_before, cost),
+        }
+    }
+
+    /// Segment-tree [`Calendar::earliest_fit_with_cost`]; `cost.steps`
+    /// counts tree nodes visited.
+    pub(crate) fn indexed_earliest_fit_with_cost(
         &self,
         procs: u32,
         dur: Dur,
@@ -432,8 +607,33 @@ impl Calendar {
     }
 
     /// [`Calendar::latest_fit`], tallying the work performed into `cost`:
-    /// one query plus the segment-tree nodes visited.
+    /// one query plus the breakpoints / tree nodes / slots visited by the
+    /// selected backend. The answer is backend-independent; only
+    /// `cost.steps` varies.
     pub fn latest_fit_with_cost(
+        &self,
+        procs: u32,
+        dur: Dur,
+        end_by: Time,
+        not_before: Time,
+        cost: &mut QueryCost,
+    ) -> Option<Time> {
+        match backend::selected() {
+            BackendKind::Indexed => {
+                self.indexed_latest_fit_with_cost(procs, dur, end_by, not_before, cost)
+            }
+            BackendKind::SlotSet => self
+                .slot_set()
+                .latest_fit_with_cost(procs, dur, end_by, not_before, cost),
+            BackendKind::Linear => self
+                .linear()
+                .latest_fit_with_cost(procs, dur, end_by, not_before, cost),
+        }
+    }
+
+    /// Segment-tree [`Calendar::latest_fit_with_cost`]; `cost.steps`
+    /// counts tree nodes visited.
+    pub(crate) fn indexed_latest_fit_with_cost(
         &self,
         procs: u32,
         dur: Dur,
@@ -495,8 +695,18 @@ impl Calendar {
         (avail.round() as i64).clamp(1, self.capacity as i64) as u32
     }
 
-    /// Integral of processors-in-use over `[from, to)`, in processor-seconds.
+    /// Integral of processors-in-use over `[from, to)`, in
+    /// processor-seconds, answered by the selected backend.
     pub fn used_integral(&self, from: Time, to: Time) -> i64 {
+        match backend::selected() {
+            BackendKind::Indexed => self.indexed_used_integral(from, to),
+            BackendKind::SlotSet => self.slotset().used_integral(from, to),
+            BackendKind::Linear => self.linear().used_integral(from, to),
+        }
+    }
+
+    /// Segment-tree [`Calendar::used_integral`] via the prefix-area table.
+    pub(crate) fn indexed_used_integral(&self, from: Time, to: Time) -> i64 {
         assert!(from <= to);
         if from == to || self.steps.is_empty() {
             return 0;
@@ -1453,6 +1663,76 @@ mod tests {
         assert!(!cal.fits(&r(5, 15, 2)));
         assert!(!cal.fits(&r(0, 1, 5)));
         assert!(cal.fits(&r(10, 20, 4)));
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental_build() {
+        let resvs = vec![r(10, 20, 3), r(15, 30, 2), r(50, 60, 8)];
+        let bulk = Calendar::bulk_load(8, resvs.clone()).unwrap();
+        let incr = Calendar::with_reservations(8, resvs).unwrap();
+        assert_eq!(bulk, incr);
+        assert_eq!(
+            serde_json::to_string(&bulk).unwrap(),
+            serde_json::to_string(&incr).unwrap()
+        );
+        // Abutting equal-usage reservations coalesce identically.
+        let resvs = vec![r(0, 10, 2), r(10, 20, 2)];
+        let bulk = Calendar::bulk_load(8, resvs.clone()).unwrap();
+        assert_eq!(bulk, Calendar::with_reservations(8, resvs).unwrap());
+        assert_eq!(bulk.num_breakpoints(), 2);
+        // Overbooking is caught at the first offending instant.
+        let err = Calendar::bulk_load(4, vec![r(0, 10, 3), r(5, 15, 2)]);
+        assert!(matches!(err, Err(ReservationError::Conflict { at, .. }) if at == t(5)));
+        let err = Calendar::bulk_load(4, vec![r(0, 10, 5)]);
+        assert!(matches!(err, Err(ReservationError::ExceedsCapacity { .. })));
+        // Empty load is the empty calendar.
+        assert_eq!(Calendar::bulk_load(8, []).unwrap(), Calendar::new(8));
+    }
+
+    #[test]
+    fn backends_agree_on_queries_and_mutation() {
+        use crate::backend::BackendKind;
+        let mut cal = Calendar::new(8);
+        cal.try_add(r(0, 100, 2)).unwrap();
+        cal.try_add(r(50, 80, 5)).unwrap();
+        cal.try_add(r(120, 140, 8)).unwrap();
+        for kind in BackendKind::ALL {
+            let b = cal.backend_view(kind);
+            assert_eq!(b.name(), kind.name());
+            let mut cost = QueryCost::default();
+            assert_eq!(
+                b.earliest_fit_with_cost(7, d(10), t(0), &mut cost),
+                t(100),
+                "backend {}",
+                kind.name()
+            );
+            assert_eq!(cost.queries, 1);
+            assert_eq!(
+                b.latest_fit_with_cost(4, d(10), t(130), t(0), &mut cost),
+                Some(t(110)),
+                "backend {}",
+                kind.name()
+            );
+            assert_eq!(b.peak_used(t(0), t(200)), 8, "backend {}", kind.name());
+            assert_eq!(
+                b.used_integral(t(0), t(200)),
+                2 * 100 + 5 * 30 + 8 * 20,
+                "backend {}",
+                kind.name()
+            );
+        }
+        // Mutation keeps the (already built) slot set repaired: remove and
+        // re-query through the slot-set view.
+        cal.try_remove(r(50, 80, 5)).unwrap();
+        let mut cost = QueryCost::default();
+        assert_eq!(
+            cal.slot_set()
+                .earliest_fit_with_cost(7, d(10), t(0), &mut cost),
+            t(100)
+        );
+        assert_eq!(cal.slot_set().peak_used(t(0), t(200)), 8);
+        cal.try_remove(r(120, 140, 8)).unwrap();
+        assert_eq!(cal.slot_set().peak_used(t(0), t(200)), 2);
     }
 
     #[test]

@@ -33,12 +33,15 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
 mod calendar;
 mod index;
 mod reservation;
+mod slotset;
 pub mod time;
 mod txn;
 
+pub use backend::{force_backend, BackendKind, CalendarBackend, IndexedRef, SlotSetRef};
 pub use calendar::{Calendar, LinearRef, QueryCost};
 pub use reservation::{Reservation, ReservationError};
 pub use time::{Dur, Time, DAY, HOUR, MINUTE, SECOND};

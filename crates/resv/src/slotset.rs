@@ -1,0 +1,448 @@
+//! The slot-set calendar backend: free capacity organized as a sorted list
+//! of time intervals ("slots"), each carrying the number of *free*
+//! processors over its span.
+//!
+//! This is the representation production batch schedulers (OAR and its Rust
+//! rewrite among them) keep their availability in: a query walks the slots
+//! that intersect its window instead of descending a tree, so earliest-fit
+//! and latest-fit run in `O(log S + k)` where `k` is the number of slots
+//! actually inspected, and mutations split/merge at most two slots around
+//! the touched interval.
+//!
+//! ## Invariants
+//!
+//! The slot list is the exact dual of the calendar's canonical breakpoint
+//! vector (see [`crate::calendar`]): slot `i` is segment `i`, i.e. the
+//! half-open interval between breakpoints `i` and `i + 1`, with
+//! `free = capacity - used`. Consequently:
+//!
+//! * slots are contiguous: `slots[i].end == slots[i + 1].start`;
+//! * adjacent slots differ in `free` (the steps differ in `used`);
+//! * the first and last slots are never fully free (`free != capacity`),
+//!   because the first breakpoint has `used != 0` and the segment before
+//!   the last breakpoint does too;
+//! * interior fully-free slots are legal — they are the holes between busy
+//!   periods, and a canonical step vector represents them as `used == 0`
+//!   segments;
+//! * outside the covered span every processor is free (implicitly).
+//!
+//! [`SlotSet::bump`] maintains these invariants incrementally under
+//! add/remove/resize: it splits at the two interval endpoints, applies the
+//! usage delta, re-merges at the two seams (interior pairs received the
+//! same delta and therefore still differ), and trims fully-free slots off
+//! both ends. [`SlotSet::matches`] checks the result against a fresh
+//! rebuild; calendar mutations `debug_assert!` it.
+
+use crate::calendar::Step;
+use crate::time::{Dur, Time};
+
+/// One slot: `free` processors available throughout `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Slot {
+    /// Start of the slot (inclusive).
+    pub(crate) start: Time,
+    /// End of the slot (exclusive).
+    pub(crate) end: Time,
+    /// Free processors throughout the slot.
+    pub(crate) free: u32,
+}
+
+/// A sorted, contiguous list of free-capacity slots over the calendar's
+/// covered span. See the module docs for the invariants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SlotSet {
+    capacity: u32,
+    slots: Vec<Slot>,
+}
+
+impl SlotSet {
+    /// Build the slot list from a canonical breakpoint vector.
+    pub(crate) fn build(capacity: u32, steps: &[Step]) -> SlotSet {
+        let slots = steps
+            .windows(2)
+            .map(|w| Slot {
+                start: w[0].time,
+                end: w[1].time,
+                // Saturating: `audit_calendar` inspects deliberately
+                // overbooked calendars through this backend, and an
+                // over-capacity segment simply has nothing free.
+                free: capacity.saturating_sub(w[0].used),
+            })
+            .collect();
+        SlotSet { capacity, slots }
+    }
+
+    /// Whether this slot list is exactly the one a fresh rebuild from
+    /// `steps` would produce — the incremental-maintenance correctness
+    /// check, `debug_assert!`ed after every mutation.
+    pub(crate) fn matches(&self, steps: &[Step]) -> bool {
+        *self == SlotSet::build(self.capacity, steps)
+    }
+
+    /// Number of slots currently held (for the `backend.*` observability
+    /// counters and size diagnostics).
+    #[allow(dead_code)]
+    pub(crate) fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Apply a usage change of `delta_used` processors over `[start, end)`:
+    /// positive for an added reservation, negative for a removal. Splits at
+    /// the endpoints, bumps the covered slots, merges the seams, and trims
+    /// fully-free slots off both ends — `O(log S + k)` plus the `Vec`
+    /// shifts, mirroring the calendar's own breakpoint maintenance cost.
+    pub(crate) fn bump(&mut self, start: Time, end: Time, delta_used: i64) {
+        debug_assert!(start < end, "empty bump interval");
+        if self.slots.is_empty() {
+            let free = (self.capacity as i64 - delta_used).clamp(0, self.capacity as i64) as u32;
+            debug_assert_eq!(free as i64, self.capacity as i64 - delta_used);
+            if free != self.capacity {
+                self.slots.push(Slot { start, end, free });
+            }
+            return;
+        }
+        // Extend coverage with fully-free filler so the bumped interval
+        // lies inside it; the trailing filler also covers any gap between
+        // the old span and a disjoint later interval.
+        let first_start = self.slots[0].start;
+        let last_end = self.slots[self.slots.len() - 1].end;
+        if start < first_start {
+            self.slots.insert(
+                0,
+                Slot {
+                    start,
+                    end: first_start,
+                    free: self.capacity,
+                },
+            );
+        }
+        if end > last_end {
+            self.slots.push(Slot {
+                start: last_end,
+                end,
+                free: self.capacity,
+            });
+        }
+        let i0 = self.split_at(start);
+        let i1 = self.split_at(end);
+        for s in &mut self.slots[i0..i1] {
+            let free = (s.free as i64 - delta_used).clamp(0, self.capacity as i64) as u32;
+            debug_assert_eq!(
+                free as i64,
+                s.free as i64 - delta_used,
+                "slot over/underflow"
+            );
+            s.free = free;
+        }
+        // Only the two seams can have become mergeable: every adjacent
+        // pair strictly inside [i0, i1) received the same delta and still
+        // differs. Merge the higher seam first so the lower index holds.
+        self.merge_at(i1);
+        self.merge_at(i0);
+        while self.slots.first().is_some_and(|s| s.free == self.capacity) {
+            self.slots.remove(0);
+        }
+        while self.slots.last().is_some_and(|s| s.free == self.capacity) {
+            self.slots.pop();
+        }
+    }
+
+    /// Ensure a slot boundary exists at `t` (which must lie within the
+    /// covered span) and return the index of the first slot starting at or
+    /// after `t`.
+    fn split_at(&mut self, t: Time) -> usize {
+        let j = self.slots.partition_point(|s| s.start < t);
+        if j > 0 && self.slots[j - 1].end > t {
+            let old = self.slots[j - 1];
+            self.slots[j - 1].end = t;
+            self.slots.insert(
+                j,
+                Slot {
+                    start: t,
+                    end: old.end,
+                    free: old.free,
+                },
+            );
+        }
+        j
+    }
+
+    /// Merge the slot boundary at index `k` if the two sides now carry the
+    /// same free count.
+    fn merge_at(&mut self, k: usize) {
+        if k > 0 && k < self.slots.len() && self.slots[k - 1].free == self.slots[k].free {
+            self.slots[k - 1].end = self.slots[k].end;
+            self.slots.remove(k);
+        }
+    }
+
+    /// Earliest start `s >= not_before` with `procs` processors free
+    /// throughout `[s, s + dur)`. Binary-searches to the first slot ending
+    /// after the candidate start, then walks forward restarting past each
+    /// blocking slot; `visited` counts slots inspected.
+    pub(crate) fn earliest_fit(
+        &self,
+        procs: u32,
+        dur: Dur,
+        not_before: Time,
+        visited: &mut u64,
+    ) -> Time {
+        assert!(procs > 0 && procs <= self.capacity, "bad procs {procs}");
+        assert!(dur.is_positive(), "bad duration {dur}");
+        // The O(log S) positioning search is real work: count it as one
+        // step so a query that inspects no slot still reports nonzero cost
+        // (ScheduleStats promises `slot_queries > 0 ⇒ slot_steps > 0`).
+        *visited += 1;
+        let mut c = not_before;
+        let mut i = self.slots.partition_point(|s| s.end <= c);
+        loop {
+            let Some(s) = self.slots.get(i) else {
+                // Everything from `c` on is free.
+                return c;
+            };
+            if s.start >= c + dur {
+                // The window completes before the next covered slot.
+                return c;
+            }
+            *visited += 1;
+            if s.free >= procs {
+                i += 1;
+                continue;
+            }
+            // Blocked: the window cannot start before this slot drains.
+            c = s.end;
+            i += 1;
+        }
+    }
+
+    /// Latest start `s` with `s + dur <= end_by`, `s >= not_before`, and
+    /// `procs` processors free throughout — or `None`. Walks backward from
+    /// the window restarting before each blocking slot; `visited` counts
+    /// slots inspected.
+    pub(crate) fn latest_fit(
+        &self,
+        procs: u32,
+        dur: Dur,
+        end_by: Time,
+        not_before: Time,
+        visited: &mut u64,
+    ) -> Option<Time> {
+        assert!(procs > 0 && procs <= self.capacity, "bad procs {procs}");
+        assert!(dur.is_positive(), "bad duration {dur}");
+        // Positioning step, as in `earliest_fit`.
+        *visited += 1;
+        let mut e = end_by;
+        loop {
+            let s = e - dur;
+            if s < not_before {
+                return None;
+            }
+            match self.last_blocking_slot(s, e, procs, visited) {
+                None => return Some(s),
+                Some(j) => {
+                    let blocker_start = self.slots[j].start;
+                    assert!(
+                        blocker_start < e,
+                        "latest_fit stalled: blocker at {blocker_start} does not \
+                         precede the window end {e}"
+                    );
+                    e = blocker_start;
+                }
+            }
+        }
+    }
+
+    /// Peak processors in use over `[from, to)`.
+    pub(crate) fn peak_used(&self, from: Time, to: Time) -> u32 {
+        assert!(from < to, "empty window");
+        // Implicitly-free time outside the covered span contributes 0.
+        let mut peak = 0u32;
+        let i = self.slots.partition_point(|s| s.end <= from);
+        for s in &self.slots[i..] {
+            if s.start >= to {
+                break;
+            }
+            peak = peak.max(self.capacity - s.free);
+        }
+        peak
+    }
+
+    /// Integral of processors-in-use over `[from, to)`, in
+    /// processor-seconds.
+    pub(crate) fn used_integral(&self, from: Time, to: Time) -> i64 {
+        assert!(from <= to);
+        let mut total = 0i64;
+        let i = self.slots.partition_point(|s| s.end <= from);
+        for s in &self.slots[i..] {
+            if s.start >= to {
+                break;
+            }
+            let lo = s.start.max(from);
+            let hi = s.end.min(to);
+            total += (self.capacity - s.free) as i64 * (hi - lo).as_seconds();
+        }
+        total
+    }
+
+    /// First slot intersecting `[from, to)` with fewer than `procs` free
+    /// processors, reported as `(conflict instant, free there)` — the
+    /// slot-set twin of the indexed backend's first-blocker probe used by
+    /// `try_add` / `fits`. The conflict instant is the later of the slot
+    /// start and `from`, matching the indexed error report.
+    pub(crate) fn first_conflict(&self, from: Time, to: Time, procs: u32) -> Option<(Time, u32)> {
+        let i = self.slots.partition_point(|s| s.end <= from);
+        for s in &self.slots[i..] {
+            if s.start >= to {
+                break;
+            }
+            if s.free < procs {
+                return Some((s.start.max(from), s.free));
+            }
+        }
+        None
+    }
+
+    /// Index of the last slot intersecting `[from, to)` with fewer than
+    /// `procs` free processors.
+    fn last_blocking_slot(
+        &self,
+        from: Time,
+        to: Time,
+        procs: u32,
+        visited: &mut u64,
+    ) -> Option<usize> {
+        let mut j = self.slots.partition_point(|s| s.start < to);
+        while j > 0 {
+            *visited += 1;
+            let s = &self.slots[j - 1];
+            if s.end <= from {
+                return None;
+            }
+            if s.free < procs {
+                return Some(j - 1);
+            }
+            j -= 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: i64) -> Time {
+        Time::seconds(s)
+    }
+    fn step(s: i64, used: u32) -> Step {
+        Step { time: t(s), used }
+    }
+
+    #[test]
+    fn build_is_the_segment_dual() {
+        let steps = [step(10, 3), step(20, 0), step(30, 8), step(40, 0)];
+        let ss = SlotSet::build(8, &steps);
+        assert_eq!(ss.num_slots(), 3);
+        assert_eq!(
+            ss.slots,
+            vec![
+                Slot {
+                    start: t(10),
+                    end: t(20),
+                    free: 5
+                },
+                Slot {
+                    start: t(20),
+                    end: t(30),
+                    free: 8
+                }, // interior hole
+                Slot {
+                    start: t(30),
+                    end: t(40),
+                    free: 0
+                },
+            ]
+        );
+        assert!(ss.matches(&steps));
+    }
+
+    #[test]
+    fn bump_splits_merges_and_trims() {
+        // Start empty, add [10,20)x3 on an 8-proc platform.
+        let mut ss = SlotSet::build(8, &[]);
+        ss.bump(t(10), t(20), 3);
+        assert!(ss.matches(&[step(10, 3), step(20, 0)]));
+        // Overlapping add splits interior.
+        ss.bump(t(15), t(30), 2);
+        assert!(ss.matches(&[step(10, 3), step(15, 5), step(20, 2), step(30, 0)]));
+        // Removing the first restores a pure [15,30) picture, with the
+        // leading slot trimmed.
+        ss.bump(t(10), t(20), -3);
+        assert!(ss.matches(&[step(15, 2), step(30, 0)]));
+        // And removing the second empties the set entirely.
+        ss.bump(t(15), t(30), -2);
+        assert_eq!(ss.num_slots(), 0);
+        assert!(ss.matches(&[]));
+    }
+
+    #[test]
+    fn bump_merges_equal_seams() {
+        let mut ss = SlotSet::build(4, &[]);
+        ss.bump(t(0), t(10), 2);
+        ss.bump(t(10), t(20), 2); // abutting, equal level: one slot
+        assert!(ss.matches(&[step(0, 2), step(20, 0)]));
+        assert_eq!(ss.num_slots(), 1);
+        // A disjoint later add leaves an interior fully-free hole.
+        ss.bump(t(30), t(40), 4);
+        assert!(ss.matches(&[step(0, 2), step(20, 0), step(30, 4), step(40, 0)]));
+        assert_eq!(ss.num_slots(), 3);
+    }
+
+    #[test]
+    fn earliest_fit_walks_and_restarts() {
+        let steps = [step(0, 4), step(10, 0), step(20, 4), step(30, 0)];
+        let ss = SlotSet::build(4, &steps);
+        let mut v = 0;
+        // The hole [10,20) takes a 10s window exactly.
+        assert_eq!(ss.earliest_fit(4, Dur::seconds(10), t(0), &mut v), t(10));
+        // An 11s window must wait for the drain.
+        assert_eq!(ss.earliest_fit(4, Dur::seconds(11), t(0), &mut v), t(30));
+        // Past the span everything is free.
+        assert_eq!(ss.earliest_fit(1, Dur::seconds(5), t(100), &mut v), t(100));
+        assert!(v > 0);
+    }
+
+    #[test]
+    fn latest_fit_walks_backward() {
+        let steps = [step(0, 2), step(10, 0), step(20, 2), step(30, 0)];
+        let ss = SlotSet::build(2, &steps);
+        let mut v = 0;
+        assert_eq!(
+            ss.latest_fit(2, Dur::seconds(10), t(30), t(0), &mut v),
+            Some(t(10))
+        );
+        assert_eq!(
+            ss.latest_fit(2, Dur::seconds(11), t(30), t(0), &mut v),
+            None
+        );
+        assert_eq!(
+            ss.latest_fit(1, Dur::seconds(5), t(100), t(0), &mut v),
+            Some(t(95))
+        );
+    }
+
+    #[test]
+    fn aggregates_and_conflicts() {
+        let steps = [step(10, 3), step(20, 1), step(30, 0)];
+        let ss = SlotSet::build(4, &steps);
+        assert_eq!(ss.peak_used(t(0), t(50)), 3);
+        assert_eq!(ss.peak_used(t(25), t(50)), 1);
+        assert_eq!(ss.peak_used(t(40), t(50)), 0);
+        assert_eq!(ss.used_integral(t(0), t(50)), 3 * 10 + 1 * 10);
+        assert_eq!(ss.used_integral(t(15), t(25)), 3 * 5 + 1 * 5);
+        assert_eq!(ss.first_conflict(t(0), t(50), 2), Some((t(10), 1)));
+        assert_eq!(ss.first_conflict(t(15), t(50), 2), Some((t(15), 1)));
+        assert_eq!(ss.first_conflict(t(20), t(50), 2), None);
+        assert_eq!(ss.first_conflict(t(0), t(10), 4), None);
+    }
+}

@@ -34,6 +34,7 @@
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
+use rayon::prelude::*;
 use resched_core::backward::{schedule_deadline, DeadlineAlgo, DeadlineConfig};
 use resched_core::forward::{schedule_forward, ForwardConfig};
 use resched_core::obs::{names, MetricsRegistry};
@@ -69,6 +70,13 @@ pub struct ServeConfig {
     pub admit_horizon: Dur,
     /// Window for the historical availability estimate `q`.
     pub q_window: Dur,
+    /// Admission-probe fan-out: deadline arrivals probe the first
+    /// `probe_fanout` algorithms of [`PROBE_ROSTER`] (in parallel when the
+    /// process has worker threads) and admit the candidate with the
+    /// earliest completion, lowest roster index winning ties. `0` and `1`
+    /// both mean the single-probe behavior.
+    #[serde(default)]
+    pub probe_fanout: usize,
     /// Master seed for DAG generation and cancel/resize picks.
     pub seed: u64,
     /// Re-audit the calendar every `audit_every` events (0 = only once at
@@ -87,6 +95,7 @@ impl Default for ServeConfig {
             deadline_every: 4,
             admit_horizon: Dur::hours(12),
             q_window: Dur::days(1),
+            probe_fanout: 1,
             seed: 42,
             audit_every: 1,
         }
@@ -122,6 +131,9 @@ pub struct ServeReport {
     pub p99_us: f64,
     /// Calendar utilization over the replayed span.
     pub utilization: f64,
+    /// The calendar backend that answered slot queries during the run
+    /// (`indexed` / `slotset` / `linear`, from `RESCHED_BACKEND`).
+    pub backend: String,
     /// Live applications still holding reservations at the end.
     pub live_apps: usize,
     /// The obs metrics recorded during the run (`serve.*` counters and the
@@ -146,7 +158,12 @@ fn derive_seed(seed: u64, salt: u64) -> u64 {
 }
 
 /// Exact `q`-quantile of a sorted sample set, or 0.0 when empty.
-fn percentile(sorted: &[u64], q: f64) -> f64 {
+///
+/// Nearest-rank method: the `⌈n·q⌉`-th smallest sample (1-based), clamped
+/// into range — so `q = 0.5` over two samples is the *lower* one, and any
+/// `q > (n-1)/n` is the maximum. No interpolation: the result is always an
+/// actual sample.
+pub fn percentile(sorted: &[u64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
@@ -154,6 +171,52 @@ fn percentile(sorted: &[u64], q: f64) -> f64 {
         .saturating_sub(1)
         .min(sorted.len() - 1);
     sorted[rank] as f64
+}
+
+/// The fixed candidate roster for admission-probe fan-out, strongest
+/// single candidate first: the default `DL_BD_CPAR` probe, then the two λ
+/// hybrids (resource-conservative, so they tend to admit schedules that
+/// leave more room for later arrivals), then the fully aggressive bound.
+/// `ServeConfig::probe_fanout` takes a prefix of this list.
+pub const PROBE_ROSTER: [DeadlineAlgo; 4] = [
+    DeadlineAlgo::BdCpaR,
+    DeadlineAlgo::RcbdCpaRLambda,
+    DeadlineAlgo::RcCpaRLambda,
+    DeadlineAlgo::BdAll,
+];
+
+/// Probe the first `fanout` roster algorithms against the transaction's
+/// calendar view and keep the feasible candidate with the earliest
+/// completion (lowest roster index wins ties, which is what `min_by_key`
+/// does). Every probe is a pure function of its inputs and the candidates
+/// are folded in roster order, so the parallel and sequential paths pick
+/// byte-identical winners; under an ambient `observe` scope the probes
+/// stay on the calling thread so no thread-local counter tick is lost.
+fn probe_deadline(
+    dag: &resched_core::dag::Dag,
+    cal: &Calendar,
+    now: Time,
+    q: u32,
+    deadline: Time,
+    dl_cfg: DeadlineConfig,
+    fanout: usize,
+) -> Option<resched_core::schedule::Schedule> {
+    let roster = &PROBE_ROSTER[..fanout.clamp(1, PROBE_ROSTER.len())];
+    let probe = |algo: &DeadlineAlgo| {
+        schedule_deadline(dag, cal, now, q, deadline, *algo, dl_cfg)
+            .ok()
+            .map(|o| o.schedule)
+    };
+    let candidates: Vec<Option<_>> =
+        if roster.len() == 1 || resched_core::obs::active() || rayon::current_num_threads() <= 1 {
+            roster.iter().map(probe).collect()
+        } else {
+            roster.par_iter().map(probe).collect()
+        };
+    candidates
+        .into_iter()
+        .flatten()
+        .min_by_key(|s| s.completion())
 }
 
 /// Replay `log` through the online serving loop.
@@ -195,6 +258,7 @@ pub fn run(log: &JobLog, cfg: &ServeConfig) -> ServeReport {
         p95_us: 0.0,
         p99_us: 0.0,
         utilization: 0.0,
+        backend: resched_resv::backend::selected().name().to_string(),
         live_apps: 0,
         metrics: MetricsRegistry::new(),
     };
@@ -233,18 +297,16 @@ pub fn run(log: &JobLog, cfg: &ServeConfig) -> ServeReport {
             resched_core::span!("serve.schedule");
             let mut txn = cal.transaction();
             let sched = if use_deadline {
-                match schedule_deadline(
+                // Infeasible everywhere ⇒ None ⇒ reject.
+                probe_deadline(
                     &dag,
                     txn.calendar(),
                     now,
                     q,
                     deadline,
-                    DeadlineAlgo::BdCpaR,
                     dl_cfg,
-                ) {
-                    Ok(outcome) => Some(outcome.schedule),
-                    Err(_) => None, // infeasible: reject
-                }
+                    cfg.probe_fanout,
+                )
             } else {
                 let s =
                     schedule_forward(&dag, txn.calendar(), now, q, ForwardConfig::recommended());
@@ -416,10 +478,11 @@ pub fn summarize(r: &ServeReport) -> String {
         r.p50_us, r.p95_us, r.p99_us, r.throughput_per_s, r.wall_ms
     ));
     out.push_str(&format!(
-        "utilization {:.1}%  live apps {}  violations {}",
+        "utilization {:.1}%  live apps {}  violations {}  backend {}",
         r.utilization * 100.0,
         r.live_apps,
-        r.violations
+        r.violations,
+        r.backend
     ));
     if let Some(v) = &r.first_violation {
         out.push_str(&format!("\nfirst violation: {v}"));
@@ -499,6 +562,54 @@ mod tests {
             )
         );
         assert_eq!(a.utilization, b.utilization);
+    }
+
+    #[test]
+    fn percentile_is_exact_nearest_rank() {
+        // Empty: defined as 0.
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        // n = 1: every quantile is the sample.
+        assert_eq!(percentile(&[7], 0.50), 7.0);
+        assert_eq!(percentile(&[7], 0.95), 7.0);
+        assert_eq!(percentile(&[7], 0.99), 7.0);
+        // n = 2: ⌈2·0.5⌉ = 1st sample, ⌈2·0.95⌉ = ⌈2·0.99⌉ = 2nd.
+        assert_eq!(percentile(&[1, 9], 0.50), 1.0);
+        assert_eq!(percentile(&[1, 9], 0.95), 9.0);
+        assert_eq!(percentile(&[1, 9], 0.99), 9.0);
+        // Ties: ranks 2 and 3 of [5,5,5,9] are both 5; rank ⌈4·0.99⌉ = 4.
+        assert_eq!(percentile(&[5, 5, 5, 9], 0.50), 5.0);
+        assert_eq!(percentile(&[5, 5, 5, 9], 0.75), 5.0);
+        assert_eq!(percentile(&[5, 5, 5, 9], 0.99), 9.0);
+        // All-equal: every quantile collapses to the common value.
+        let flat = [4u64; 10];
+        for q in [0.01, 0.50, 0.95, 0.99, 1.0] {
+            assert_eq!(percentile(&flat, q), 4.0);
+        }
+    }
+
+    #[test]
+    fn probe_fanout_is_clean_and_deterministic() {
+        let log = small_log();
+        let cfg = ServeConfig {
+            max_apps: 40,
+            deadline_every: 2, // exercise the fan-out path often
+            probe_fanout: PROBE_ROSTER.len(),
+            ..ServeConfig::default()
+        };
+        let a = run(&log, &cfg);
+        assert_eq!(
+            a.violations, 0,
+            "fan-out admission violated the calendar audit: {:?}",
+            a.first_violation
+        );
+        assert!(a.commits > 0, "fan-out admitted nothing: {a:?}");
+        let b = run(&log, &cfg);
+        assert_eq!(
+            (a.apps, a.commits, a.rollbacks, a.cancels, a.resizes),
+            (b.apps, b.commits, b.rollbacks, b.cancels, b.resizes)
+        );
+        assert_eq!(a.utilization, b.utilization);
+        assert_eq!(a.backend, b.backend);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! resched-serve [--preset NAME | --swf FILE] [--days N] [--apps N]
 //!               [--accel X] [--tasks N] [--seed N]
 //!               [--cancel-every N] [--resize-every N] [--deadline-every N]
-//!               [--admit-hours N] [--json] [--assert-clean]
+//!               [--admit-hours N] [--probe-fanout N] [--json] [--assert-clean]
 //! ```
 //!
 //! `--assert-clean` exits nonzero unless the run had zero calendar-audit
@@ -22,7 +22,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: resched-serve [--preset {}] [--swf FILE] [--days N] [--apps N] \
          [--accel X] [--tasks N] [--seed N] [--cancel-every N] [--resize-every N] \
-         [--deadline-every N] [--admit-hours N] [--json] [--assert-clean]",
+         [--deadline-every N] [--admit-hours N] [--probe-fanout N] [--json] \
+         [--assert-clean]",
         PRESETS.join("|")
     );
     std::process::exit(2);
@@ -57,6 +58,7 @@ fn main() -> ExitCode {
             "--resize-every" => cfg.resize_every = parse("--resize-every", args.next()),
             "--deadline-every" => cfg.deadline_every = parse("--deadline-every", args.next()),
             "--admit-hours" => cfg.admit_horizon = Dur::hours(parse("--admit-hours", args.next())),
+            "--probe-fanout" => cfg.probe_fanout = parse("--probe-fanout", args.next()),
             "--json" => json = true,
             "--assert-clean" => assert_clean = true,
             "--help" | "-h" => usage(),

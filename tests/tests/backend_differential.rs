@@ -1,0 +1,247 @@
+//! Cross-backend differential harness: the three calendar query engines —
+//! `indexed` (segment tree), `slotset` (sorted free-interval list), and
+//! `linear` (brute-force oracle) — must be observationally identical.
+//!
+//! Every seeded fuzz [`Scenario`] drives the **full op set** (admissions
+//! with conflict rejection, cancellations, resizes) through a calendar
+//! once per [`BackendKind`], with that backend answering the `try_add` /
+//! `try_resize` feasibility checks, and asserts:
+//!
+//! * the resulting calendars are equal — `PartialEq` *and* serialized
+//!   bytes, so no backend leaves residue the others would not;
+//! * the surviving live sets are identical (same admissions, same
+//!   rejections);
+//! * a deterministic query battery (earliest/latest fits, peaks,
+//!   integrals over structured windows) answers identically through all
+//!   three [`CalendarBackend`] views, including the fit-query *count*
+//!   (`QueryCost::queries`) — only `QueryCost::steps`, the per-backend
+//!   work, may differ.
+//!
+//! A divergence is greedily shrunk and written under `tests/repros/` as
+//! `backend_divergence_*.json` before the test panics, mirroring the
+//! fuzz_validate contract; committed backend repros replay here forever.
+//!
+//! The `CalendarBackend` impls named in `crates/resv/src/backends.txt`
+//! (IndexedRef, SlotSetRef, LinearRef) are pinned to this harness by
+//! resched-lint's parity rule — a backend added to the calendar without a
+//! row here fails the lint.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use resched_core::prelude::*;
+use resched_resv::{force_backend, BackendKind, QueryCost};
+use resched_tests::fuzz::{shrink, Scenario};
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+
+/// Root seed for the differential sweep.
+const DIFF_SEED: u64 = 0x5CED_0040;
+
+/// Scenario count; the ISSUE acceptance floor is 200.
+fn iterations() -> usize {
+    std::env::var("RESCHED_BACKEND_DIFF_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200)
+}
+
+/// `force_backend` is process-global; serialize every test that toggles it.
+fn lock() -> MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn repro_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("repros")
+}
+
+fn bytes(cal: &Calendar) -> Vec<u8> {
+    serde_json::to_string(cal)
+        .expect("calendar serializes")
+        .into_bytes()
+}
+
+/// The deterministic query battery for one calendar: structured windows
+/// (full span, halves, breakpoint-straddling slices) and fit probes at
+/// several processor counts and durations. Everything derives from the
+/// calendar itself, so shrinking a diverging scenario keeps the predicate
+/// meaningful.
+fn battery(cal: &Calendar) -> Vec<(u32, Dur, Time, Time)> {
+    let cap = cal.capacity();
+    let (lo, hi) = match (cal.breakpoints().next(), cal.horizon()) {
+        (Some(lo), Some(hi)) if hi > lo => (lo, hi),
+        _ => (Time::ZERO, Time::seconds(1_000)),
+    };
+    let span = (hi - lo).as_seconds().max(2);
+    let mid = lo + Dur::seconds(span / 2);
+    let mut probes = Vec::new();
+    for procs in [1, cap / 2 + 1, cap] {
+        for dur in [
+            Dur::seconds(1),
+            Dur::seconds(span / 3 + 1),
+            Dur::seconds(span),
+        ] {
+            probes.push((procs, dur, lo, hi));
+            probes.push((procs, dur, mid, hi + dur));
+        }
+    }
+    probes
+}
+
+/// One backend view's answers over the battery, as comparable plain data.
+/// `QueryCost::steps` is deliberately *not* captured — it is the one
+/// observable allowed to differ across backends.
+#[allow(clippy::type_complexity)]
+fn answers(cal: &Calendar, kind: BackendKind) -> Vec<(Time, u64, Option<Time>, u64, u32, i64)> {
+    let view = cal.backend_view(kind);
+    battery(cal)
+        .into_iter()
+        .map(|(procs, dur, a, b)| {
+            let mut c1 = QueryCost::default();
+            let earliest = view.earliest_fit_with_cost(procs, dur, a, &mut c1);
+            let mut c2 = QueryCost::default();
+            let latest = view.latest_fit_with_cost(procs, dur, b, a, &mut c2);
+            (
+                earliest,
+                c1.queries,
+                latest,
+                c2.queries,
+                view.peak_used(a, b),
+                view.used_integral(a, b),
+            )
+        })
+        .collect()
+}
+
+/// Full differential for one scenario: build + mutate the calendar under
+/// each backend's feasibility dispatch, then run the query battery through
+/// each backend's view. `Some(detail)` on the first divergence.
+fn divergence(s: &Scenario) -> Option<String> {
+    let mut built: Vec<(BackendKind, Vec<u8>, Calendar, Vec<Reservation>)> = Vec::new();
+    for kind in BackendKind::ALL {
+        force_backend(Some(kind));
+        let (cal, live) = s.calendar_with_live();
+        built.push((kind, bytes(&cal), cal, live));
+    }
+    force_backend(None);
+    let (k0, b0, cal0, live0) = &built[0];
+    for (k, b, cal, live) in &built[1..] {
+        if b != b0 || cal != cal0 {
+            return Some(format!(
+                "calendar bytes diverge: {} vs {}",
+                k0.name(),
+                k.name()
+            ));
+        }
+        if live != live0 {
+            return Some(format!("live sets diverge: {} vs {}", k0.name(), k.name()));
+        }
+    }
+    let a0 = answers(cal0, *k0);
+    for (k, _, _, _) in &built[1..] {
+        let a = answers(cal0, *k);
+        if a != a0 {
+            return Some(format!(
+                "query answers diverge: {} vs {}",
+                k0.name(),
+                k.name()
+            ));
+        }
+    }
+    None
+}
+
+#[test]
+fn backends_agree_on_seeded_scenario_sweep() {
+    let _g = lock();
+    let mut rng = ChaCha12Rng::seed_from_u64(DIFF_SEED);
+    let n = iterations();
+    let mut mutated = 0usize;
+    for i in 0..n {
+        let s = Scenario::generate(&mut rng);
+        if !s.ops.is_empty() {
+            mutated += 1;
+        }
+        if let Some(detail) = divergence(&s) {
+            let minimal = shrink(&s, |c| divergence(c).is_some());
+            let final_detail = divergence(&minimal).unwrap_or_else(|| detail.clone());
+            let path = repro_dir().join(format!("backend_divergence_iter{i:04}.json"));
+            std::fs::create_dir_all(repro_dir()).unwrap();
+            std::fs::write(&path, minimal.to_json()).unwrap();
+            panic!(
+                "iteration {i}: backends diverged ({detail}); shrunk repro at {} \
+                 (now failing as: {final_detail}) — commit the repro once fixed",
+                path.display()
+            );
+        }
+    }
+    assert!(
+        mutated > n / 4,
+        "generator stopped producing mutation ops ({mutated}/{n} scenarios)"
+    );
+}
+
+/// The Calendar-level dispatchers (`earliest_fit_with_cost` & co.) answer
+/// through whichever backend `force_backend` selects; the *answers* must
+/// not depend on the selection.
+#[test]
+fn dispatched_queries_are_backend_invariant() {
+    let _g = lock();
+    let mut rng = ChaCha12Rng::seed_from_u64(DIFF_SEED ^ 1);
+    for i in 0..iterations().min(60) {
+        let s = Scenario::generate(&mut rng);
+        force_backend(None);
+        let cal = s.calendar();
+        let mut dispatched = Vec::new();
+        for kind in BackendKind::ALL {
+            force_backend(Some(kind));
+            let per_kind: Vec<_> = battery(&cal)
+                .into_iter()
+                .map(|(procs, dur, a, b)| {
+                    let mut c = QueryCost::default();
+                    (
+                        cal.earliest_fit_with_cost(procs, dur, a, &mut c),
+                        cal.latest_fit_with_cost(procs, dur, b, a, &mut c),
+                        cal.peak_used(a, b),
+                        cal.used_integral(a, b),
+                        c.queries,
+                    )
+                })
+                .collect();
+            dispatched.push((kind, per_kind));
+        }
+        force_backend(None);
+        let (k0, d0) = &dispatched[0];
+        for (k, d) in &dispatched[1..] {
+            assert_eq!(
+                d,
+                d0,
+                "iteration {i}: dispatcher answers differ between {} and {}",
+                k0.name(),
+                k.name()
+            );
+        }
+    }
+}
+
+/// Committed backend-divergence repros (if any) stay fixed forever.
+#[test]
+fn committed_backend_repros_replay_green() {
+    let _g = lock();
+    let dir = repro_dir();
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return;
+    };
+    for entry in entries {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        if !name.starts_with("backend_") || path.extension().is_none_or(|e| e != "json") {
+            continue;
+        }
+        let s = Scenario::from_json(&std::fs::read_to_string(&path).unwrap())
+            .unwrap_or_else(|e| panic!("unparseable repro {}: {e}", path.display()));
+        if let Some(detail) = divergence(&s) {
+            panic!("committed repro {} regressed: {detail}", path.display());
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Seeded scale fuzz: a 100k-reservation calendar under mutation-heavy
+//! load, once per queryable backend. `#[ignore]` by default — the nightly
+//! CI lane runs it with `cargo test --release -- --ignored`.
+//!
+//! Construction: `Calendar::bulk_load` over a lane-structured reservation
+//! set (deterministically conflict-free by construction), then thousands
+//! of incremental mutations — removals, duration shrinks, and re-adds
+//! whose feasibility checks go through the backend under test. Oracles:
+//!
+//! * the `indexed` and `slotset` calendars end byte-identical (the linear
+//!   backend is exempt from the full mutation run — `O(B)` per op over
+//!   100k breakpoints is the cost profile this index work exists to avoid
+//!   — but referees sampled queries below);
+//! * `audit_calendar` stays clean on the survivor;
+//! * a sampled query battery agrees across all three backend views.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use resched_core::prelude::*;
+use resched_core::validate::audit_calendar;
+use resched_resv::{force_backend, BackendKind, QueryCost};
+use std::sync::{Mutex, MutexGuard};
+
+const SCALE_SEED: u64 = 0x5CED_0050;
+/// Reservations in the bulk-loaded base set.
+const R: usize = 100_000;
+/// Incremental mutation ops replayed on top.
+const OPS: usize = 20_000;
+/// Platform capacity; reservations occupy one of `LANES` disjoint bands.
+const CAPACITY: u32 = 4096;
+const LANES: u32 = 64;
+
+fn lock() -> MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A deterministic, conflict-free base set: `LANES` disjoint processor
+/// bands, each packed with non-overlapping reservations laid end to end
+/// with random gaps. Conflict-free by construction, so `bulk_load` admits
+/// all of it and the mutation phase starts from a known-identical state
+/// under every backend.
+fn base_set(rng: &mut ChaCha12Rng) -> Vec<Reservation> {
+    let width = CAPACITY / LANES;
+    let mut out = Vec::with_capacity(R);
+    let per_lane = R / LANES as usize;
+    for lane in 0..LANES {
+        let procs = rng.gen_range(1..=width);
+        let mut t = 0i64;
+        for _ in 0..per_lane {
+            t += rng.gen_range(0i64..120); // gap
+            let dur = rng.gen_range(60i64..3_600);
+            out.push(Reservation::new(
+                Time::seconds(t),
+                Time::seconds(t + dur),
+                procs,
+            ));
+            t += dur;
+        }
+        let _ = lane;
+    }
+    out
+}
+
+/// Replay the same mutation script against `cal`, tracking the live set.
+/// Every feasibility decision (`try_add`, `try_resize`) dispatches through
+/// the currently forced backend.
+fn mutate(cal: &mut Calendar, live: &mut Vec<Reservation>, rng: &mut ChaCha12Rng) {
+    for _ in 0..OPS {
+        match rng.gen_range(0u32..3) {
+            0 => {
+                // Remove a random live reservation.
+                if live.is_empty() {
+                    continue;
+                }
+                let i = rng.gen_range(0..live.len());
+                let r = live.swap_remove(i);
+                cal.try_remove(r).expect("tracked live reservation removes");
+            }
+            1 => {
+                // Shrink a random live reservation to half its length
+                // (always feasible).
+                if live.is_empty() {
+                    continue;
+                }
+                let i = rng.gen_range(0..live.len());
+                let old = live[i];
+                let mid = old.start.midpoint(old.end);
+                if mid <= old.start {
+                    continue;
+                }
+                let new = Reservation::new(old.start, mid, old.procs);
+                cal.try_resize(old, new).expect("shrink releases capacity");
+                live[i] = new;
+            }
+            _ => {
+                // Try to admit a fresh random reservation; rejection is a
+                // legitimate (and backend-checked) outcome.
+                let s = rng.gen_range(0i64..8_000_000);
+                let d = rng.gen_range(60i64..7_200);
+                let p = rng.gen_range(1u32..=CAPACITY / 4);
+                let r = Reservation::new(Time::seconds(s), Time::seconds(s + d), p);
+                if cal.try_add(r).is_ok() {
+                    live.push(r);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+#[ignore = "scale smoke: ~100k reservations; run via the nightly lane or --ignored"]
+fn scale_100k_mutation_heavy_backends_agree() {
+    let _g = lock();
+    let mut rng = ChaCha12Rng::seed_from_u64(SCALE_SEED);
+    let base = base_set(&mut rng);
+    assert!(
+        base.len() >= R - LANES as usize,
+        "base set near target size"
+    );
+
+    let mut survivors = Vec::new();
+    for kind in [BackendKind::Indexed, BackendKind::SlotSet] {
+        force_backend(Some(kind));
+        let mut cal =
+            Calendar::bulk_load(CAPACITY, base.iter().copied()).expect("lane set is conflict-free");
+        let mut live = base.clone();
+        // Same script per backend: identical decisions are the assertion.
+        let mut op_rng = ChaCha12Rng::seed_from_u64(SCALE_SEED ^ 0xA5);
+        mutate(&mut cal, &mut live, &mut op_rng);
+        survivors.push((kind, cal, live));
+    }
+    force_backend(None);
+
+    let (_, cal_a, live_a) = &survivors[0];
+    let (_, cal_b, live_b) = &survivors[1];
+    assert_eq!(live_a, live_b, "mutation scripts took different branches");
+    assert_eq!(cal_a, cal_b, "indexed and slotset calendars diverged");
+    assert_eq!(
+        serde_json::to_string(cal_a).unwrap(),
+        serde_json::to_string(cal_b).unwrap(),
+        "serialized residue differs between indexed and slotset"
+    );
+    let vs = audit_calendar(cal_a);
+    assert!(vs.is_empty(), "audit violations at scale: {:?}", vs.first());
+
+    // Sampled queries: all three views (linear included) referee.
+    let hi = cal_a.horizon().expect("non-empty at scale");
+    let span = (hi - Time::ZERO).as_seconds().max(2);
+    let mut q_rng = ChaCha12Rng::seed_from_u64(SCALE_SEED ^ 0x5A);
+    for _ in 0..200 {
+        let a = Time::seconds(q_rng.gen_range(0..span));
+        let d = Dur::seconds(q_rng.gen_range(1..span / 4 + 2));
+        let procs = q_rng.gen_range(1u32..=CAPACITY);
+        let mut per_view = Vec::new();
+        for kind in BackendKind::ALL {
+            let view = cal_a.backend_view(kind);
+            let mut c = QueryCost::default();
+            per_view.push((
+                view.earliest_fit_with_cost(procs, d, a, &mut c),
+                view.latest_fit_with_cost(procs, d, a + d + d, a, &mut c),
+                view.peak_used(a, a + d),
+                view.used_integral(a, a + d),
+                c.queries,
+            ));
+        }
+        assert_eq!(
+            per_view[0], per_view[1],
+            "indexed vs slotset query diverged"
+        );
+        assert_eq!(per_view[0], per_view[2], "indexed vs linear query diverged");
+    }
+}

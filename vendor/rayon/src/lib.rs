@@ -1,41 +1,217 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon`, now with real threads.
 //!
-//! Provides the `par_iter()` surface the workspace uses, backed by plain
-//! sequential std iterators: `map` / `filter_map` / `collect` and friends
-//! then come from `std::iter::Iterator`. Results are identical to rayon's
-//! (the workspace's parallel sections are pure maps); only wall-clock
-//! differs. Swap the path dependency back to upstream rayon to restore
-//! real parallelism — no call sites change.
+//! Provides the `par_iter()` surface the workspace uses — `map` /
+//! `filter_map` / `collect` — executed on scoped worker threads with a
+//! **deterministic, index-ordered reduce**: results are reassembled in the
+//! input's order no matter which worker computed them, so the output is
+//! byte-identical to a sequential run. The workspace's differential tests
+//! pin exactly that property.
+//!
+//! Thread count policy, in precedence order:
+//!
+//! 1. [`force_threads`] — an in-process override for tests;
+//! 2. the `RESCHED_PAR` environment variable (`0`, `1`, `off`, `seq` force
+//!    sequential execution; any other integer caps the worker count);
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! With one worker (or one item) no thread is spawned at all: the closure
+//! runs inline on the caller's thread, which keeps thread-local state (such
+//! as the workspace's ambient observability collector) visible. Callers
+//! that rely on thread-local collection must therefore pin the thread count
+//! to 1 around the parallel section — `resched_core::obs::active()` exists
+//! for exactly that check.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// `RESCHED_PAR`-resolved default worker count, parsed once per process.
+static THREADS_ENV: OnceLock<usize> = OnceLock::new();
+
+/// In-process override: 0 = defer to the environment, `n+1` = force `n`.
+static THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+fn env_threads() -> usize {
+    *THREADS_ENV.get_or_init(|| {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        match std::env::var("RESCHED_PAR") {
+            Ok(v) => match v.trim() {
+                "off" | "seq" | "" => 1,
+                n => n.parse::<usize>().map_or(hw, |n| n.clamp(1, 1024)),
+            },
+            Err(_) => hw,
+        }
+    })
+}
+
+/// Override the worker count in-process: `Some(n)` forces `n` workers
+/// (clamped to at least 1), `None` restores the `RESCHED_PAR` /
+/// hardware-derived default. Intended for determinism tests that compare
+/// sequential and parallel execution of the same sweep.
+pub fn force_threads(n: Option<usize>) {
+    THREADS_OVERRIDE.store(n.map_or(0, |n| n.max(1) + 1), Ordering::SeqCst);
+}
+
+/// The number of workers a parallel section would use right now.
+pub fn current_num_threads() -> usize {
+    match THREADS_OVERRIDE.load(Ordering::SeqCst) {
+        0 => env_threads(),
+        n => n - 1,
+    }
+}
+
+/// Run `f` over every index/item pair, on `threads` scoped workers pulling
+/// indices from a shared atomic counter, and return the results **in input
+/// order**. Worker panics are re-raised on the caller's thread.
+fn ordered_map<'data, T: Sync, R: Send>(
+    items: &'data [T],
+    f: &(impl Fn(&'data T) -> R + Sync),
+) -> Vec<R> {
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut parts: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(&items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => parts.push(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    // Deterministic reduce: place every result at its input index.
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for part in parts {
+        for (i, r) in part {
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index visited exactly once"))
+        .collect()
+}
 
 /// Import surface mirroring `rayon::prelude`.
 pub mod prelude {
+    use super::ordered_map;
+
+    /// A borrowed parallel iterator over a slice.
+    pub struct ParIter<'data, T> {
+        items: &'data [T],
+    }
+
+    /// A mapped parallel iterator; terminate with [`ParMap::collect`].
+    pub struct ParMap<'data, T, F> {
+        items: &'data [T],
+        f: F,
+    }
+
+    /// A filter-mapped parallel iterator; terminate with
+    /// [`ParFilterMap::collect`].
+    pub struct ParFilterMap<'data, T, F> {
+        items: &'data [T],
+        f: F,
+    }
+
+    /// Collection types a parallel iterator can collect into.
+    pub trait FromParallelIterator<T> {
+        /// Build the collection from results already in input order.
+        fn from_ordered(v: Vec<T>) -> Self;
+    }
+
+    impl<T> FromParallelIterator<T> for Vec<T> {
+        fn from_ordered(v: Vec<T>) -> Self {
+            v
+        }
+    }
+
+    impl<'data, T: Sync> ParIter<'data, T> {
+        /// Map every item through `f` in parallel.
+        pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+        where
+            R: Send,
+            F: Fn(&'data T) -> R + Sync,
+        {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+
+        /// Map every item through `f` in parallel, keeping `Some` results
+        /// (in input order, exactly like a sequential `filter_map`).
+        pub fn filter_map<R, F>(self, f: F) -> ParFilterMap<'data, T, F>
+        where
+            R: Send,
+            F: Fn(&'data T) -> Option<R> + Sync,
+        {
+            ParFilterMap {
+                items: self.items,
+                f,
+            }
+        }
+    }
+
+    impl<'data, T: Sync, R: Send, F: Fn(&'data T) -> R + Sync> ParMap<'data, T, F> {
+        /// Execute the map on the worker pool and collect in input order.
+        pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+            C::from_ordered(ordered_map(self.items, &self.f))
+        }
+    }
+
+    impl<'data, T: Sync, R: Send, F: Fn(&'data T) -> Option<R> + Sync> ParFilterMap<'data, T, F> {
+        /// Execute the filter-map on the worker pool; `None` results are
+        /// dropped after the ordered reduce, preserving input order.
+        pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+            C::from_ordered(
+                ordered_map(self.items, &self.f)
+                    .into_iter()
+                    .flatten()
+                    .collect(),
+            )
+        }
+    }
+
     /// `par_iter()` by shared reference, as in rayon's prelude.
     pub trait IntoParallelRefIterator<'data> {
-        /// Element type yielded by the iterator.
-        type Item: 'data;
-        /// The (sequential, in this shim) iterator type.
-        type Iter: Iterator<Item = Self::Item>;
+        /// Element type of the underlying collection.
+        type Item: 'data + Sync;
 
-        /// Iterate the collection; sequential stand-in for rayon's
-        /// work-stealing parallel iterator.
-        fn par_iter(&'data self) -> Self::Iter;
+        /// Iterate the collection on the worker pool.
+        fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
     }
 
     impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
-        type Item = &'data T;
-        type Iter = std::slice::Iter<'data, T>;
+        type Item = T;
 
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
         }
     }
 
     impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
-        type Item = &'data T;
-        type Iter = std::slice::Iter<'data, T>;
+        type Item = T;
 
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
         }
     }
 }
@@ -43,6 +219,14 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{current_num_threads, force_threads};
+    use std::sync::{Mutex, MutexGuard};
+
+    /// `force_threads` is process-global; serialize the tests that toggle it.
+    fn lock() -> MutexGuard<'static, ()> {
+        static GUARD: Mutex<()> = Mutex::new(());
+        GUARD.lock().unwrap_or_else(|e| e.into_inner())
+    }
 
     #[test]
     fn par_iter_on_vec_and_slice() {
@@ -55,5 +239,68 @@ mod tests {
             .filter_map(|&x| (x % 2 == 1).then_some(x))
             .collect();
         assert_eq!(odd, vec![1, 3]);
+    }
+
+    #[test]
+    fn parallel_collect_preserves_input_order() {
+        let _g = lock();
+        let items: Vec<usize> = (0..1000).collect();
+        force_threads(Some(7));
+        let par: Vec<usize> = items.par_iter().map(|&x| x * x).collect();
+        force_threads(Some(1));
+        let seq: Vec<usize> = items.par_iter().map(|&x| x * x).collect();
+        force_threads(None);
+        assert_eq!(par, seq);
+        assert_eq!(par[999], 999 * 999);
+    }
+
+    #[test]
+    fn filter_map_order_matches_sequential_semantics() {
+        let _g = lock();
+        let items: Vec<u64> = (0..503).collect();
+        force_threads(Some(5));
+        let par: Vec<u64> = items
+            .par_iter()
+            .filter_map(|&x| (x % 3 == 0).then_some(x))
+            .collect();
+        force_threads(None);
+        let seq: Vec<u64> = items
+            .iter()
+            .filter_map(|&x| (x % 3 == 0).then_some(x))
+            .collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn force_threads_round_trips() {
+        let _g = lock();
+        force_threads(Some(3));
+        assert_eq!(current_num_threads(), 3);
+        force_threads(Some(0)); // clamped to 1
+        assert_eq!(current_num_threads(), 1);
+        force_threads(None);
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let _g = lock();
+        let items: Vec<u32> = (0..64).collect();
+        force_threads(Some(4));
+        let caught = std::panic::catch_unwind(|| {
+            let _: Vec<u32> = items
+                .par_iter()
+                .map(|&x| if x == 33 { panic!("boom") } else { x })
+                .collect();
+        });
+        force_threads(None);
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let items: Vec<u32> = Vec::new();
+        let out: Vec<u32> = items.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
     }
 }
