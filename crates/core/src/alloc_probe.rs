@@ -1,0 +1,84 @@
+//! Per-thread allocation probes for the `alloc-probe` test harness.
+//!
+//! The arena refactor's contract (DESIGN.md §16) is that a warmed-up
+//! scheduler context performs **zero heap allocation** per schedule. That
+//! contract is only worth anything if it is measured, so the test crate
+//! installs a counting global allocator (a thin wrapper over the system
+//! allocator) that reports every allocation into this module, and the
+//! regression tests pin the per-schedule deltas.
+//!
+//! This module is compiled only under the `alloc-probe` feature and holds
+//! the *safe* half of the machinery: const-initialized thread-local
+//! counters (no destructor, no lazy allocation — safe to touch from inside
+//! an allocator), measurement windows, and the bridge into the `obs`
+//! counters (`alloc.count`, `alloc.bytes`, `alloc.steady_state`). The
+//! `GlobalAlloc` impl itself lives in the test crate because this crate
+//! forbids `unsafe`.
+//!
+//! Counters are per-thread on purpose: a measurement window must not be
+//! polluted by allocator traffic from unrelated threads (the λ-sweep's
+//! speculative workers, other tests running in parallel).
+
+use crate::obs;
+use std::cell::Cell;
+
+thread_local! {
+    static COUNT: Cell<u64> = const { Cell::new(0) };
+    static BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Heap allocations and bytes observed on the current thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocDelta {
+    /// Number of allocator calls (`alloc`, `alloc_zeroed`, `realloc`).
+    pub count: u64,
+    /// Total bytes requested across those calls.
+    pub bytes: u64,
+}
+
+/// Record one heap allocation of `bytes` bytes on this thread. Called by
+/// the counting global allocator the test harness installs; a no-op if the
+/// thread-local slot is unavailable (thread teardown) — the probe must
+/// never panic inside the allocator.
+#[inline]
+pub fn on_alloc(bytes: usize) {
+    let _ = COUNT.try_with(|c| c.set(c.get() + 1));
+    let _ = BYTES.try_with(|b| b.set(b.get() + bytes as u64));
+}
+
+/// Running totals recorded on this thread since it started.
+pub fn snapshot() -> AllocDelta {
+    AllocDelta {
+        count: COUNT.with(Cell::get),
+        bytes: BYTES.with(Cell::get),
+    }
+}
+
+/// Run `f` and report the heap allocations it performed on this thread.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, AllocDelta) {
+    let before = snapshot();
+    let out = f();
+    let after = snapshot();
+    (
+        out,
+        AllocDelta {
+            count: after.count - before.count,
+            bytes: after.bytes - before.bytes,
+        },
+    )
+}
+
+/// Mirror a measured window into the `alloc.count` / `alloc.bytes` obs
+/// counters (no-ops unless the `obs` feature is compiled and a collector
+/// is active).
+pub fn publish(delta: AllocDelta) {
+    obs::counter_add(obs::names::ALLOC_COUNT, delta.count);
+    obs::counter_add(obs::names::ALLOC_BYTES, delta.bytes);
+}
+
+/// Mirror a window that the caller declares steady-state (post-warm-up)
+/// into the `alloc.steady_state` obs counter. The regression tests pin
+/// this counter — and the raw delta — to zero.
+pub fn publish_steady_state(delta: AllocDelta) {
+    obs::counter_add(obs::names::ALLOC_STEADY_STATE, delta.count);
+}

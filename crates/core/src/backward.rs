@@ -27,13 +27,14 @@
 //!   letting it use up to `p` processors.
 
 use crate::bl::{self, BlMethod};
-use crate::cpa::{self, CpaAllocation, CpaCache, StoppingCriterion};
+use crate::cpa::{self, CpaAllocation, MapScratch, StoppingCriterion};
+use crate::ctx::{poison_vec, SchedCtx};
 use crate::dag::{Dag, TaskId};
 use crate::obs;
 use crate::pool::Pool;
 use crate::schedule::{Placement, Schedule, ScheduleStats};
 use rayon::prelude::*;
-use resched_resv::{Calendar, Reservation, Time};
+use resched_resv::{Calendar, QueryCost, Reservation, Time};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -152,127 +153,154 @@ pub fn schedule_deadline(
     algo: DeadlineAlgo,
     cfg: DeadlineConfig,
 ) -> Result<DeadlineOutcome, DeadlineInfeasible> {
+    let mut ctx = SchedCtx::new();
+    let mut schedule = Schedule::new(Vec::new(), now);
+    let lambda = schedule_deadline_with(
+        dag,
+        competing,
+        now,
+        q,
+        deadline,
+        algo,
+        cfg,
+        &mut ctx,
+        &mut schedule,
+    )?;
+    Ok(DeadlineOutcome { schedule, lambda })
+}
+
+/// [`schedule_deadline`] into a recycled [`SchedCtx`] and output schedule:
+/// byte-identical results, and (on the sequential sweep path) allocation-free
+/// once the context is warm. Returns the successful λ for the hybrids.
+// lint:hotpath:begin
+#[allow(clippy::too_many_arguments)]
+pub fn schedule_deadline_with(
+    dag: &Dag,
+    competing: &Calendar,
+    now: Time,
+    q: u32,
+    deadline: Time,
+    algo: DeadlineAlgo,
+    cfg: DeadlineConfig,
+    ctx: &mut SchedCtx,
+    out: &mut Schedule,
+) -> Result<Option<f64>, DeadlineInfeasible> {
     let p = competing.capacity();
     let q = Pool::effective(q, p);
     let mut stats = ScheduleStats::default();
-    let mut cache = CpaCache::new();
+    let SchedCtx {
+        cache,
+        exec,
+        levels,
+        order,
+        bounds,
+        deadline: dbufs,
+        ..
+    } = ctx;
+    cache.begin_run();
+    let DeadlineBufs {
+        guide,
+        fallback,
+        grid,
+        starts,
+        decisions,
+        last_failure,
+        pass,
+        placed,
+    } = dbufs;
 
     // All algorithms order tasks with BL_CPAR bottom levels (paper §5.2:
     // "We use the BL_CPAR method ... because it proved the best"). The
     // per-run cache means the CPA(q) allocation computed here is reused by
     // the BD_CPAR bounds, RC guides, and hybrid guides below.
-    let order = {
+    {
         crate::span!("deadline.prep");
         stats.count_cpa_allocation();
-        let bl_exec = bl::exec_times_cached(dag, p, q, BlMethod::CpaR, cfg.criterion, &mut cache);
-        let levels = bl::bottom_levels(dag, &bl_exec);
-        bl::order_by_increasing_bl(dag, &levels)
-    };
+        bl::exec_times_into(dag, p, q, BlMethod::CpaR, cfg.criterion, cache, exec);
+        bl::bottom_levels_into(dag, exec, levels);
+        bl::order_by_increasing_bl_into(dag, levels, order);
+    }
+    let order: &[TaskId] = order;
 
-    let result = match algo {
-        DeadlineAlgo::BdAll => {
-            let bounds = vec![p; dag.num_tasks()];
-            backward_pass(
+    let lambda = match algo {
+        DeadlineAlgo::BdAll | DeadlineAlgo::BdCpa | DeadlineAlgo::BdCpaR => {
+            bounds.clear();
+            match algo {
+                DeadlineAlgo::BdAll => bounds.resize(dag.num_tasks(), p),
+                DeadlineAlgo::BdCpa => {
+                    stats.count_cpa_allocation();
+                    bounds.extend_from_slice(&cache.cpa(dag, p, cfg.criterion).allocs);
+                }
+                DeadlineAlgo::BdCpaR => {
+                    stats.count_cpa_allocation();
+                    bounds.extend_from_slice(&cache.cpa(dag, q, cfg.criterion).allocs);
+                }
+                // lint:allow(panic): the outer match arm only admits the three BD_* variants, so the inner match is exhaustive over them.
+                _ => unreachable!("aggressive arm"),
+            }
+            let ok = backward_pass(
                 dag,
                 competing,
                 now,
                 deadline,
-                &order,
-                Mode::Aggressive { bounds: &bounds },
+                order,
+                Mode::Aggressive { bounds },
                 &mut stats,
                 None,
-            )
-        }
-        DeadlineAlgo::BdCpa => {
-            stats.count_cpa_allocation();
-            let bounds = cache.cpa(dag, p, cfg.criterion).allocs.clone();
-            backward_pass(
-                dag,
-                competing,
-                now,
-                deadline,
-                &order,
-                Mode::Aggressive { bounds: &bounds },
-                &mut stats,
-                None,
-            )
-        }
-        DeadlineAlgo::BdCpaR => {
-            stats.count_cpa_allocation();
-            let bounds = cache.cpa(dag, q, cfg.criterion).allocs.clone();
-            backward_pass(
-                dag,
-                competing,
-                now,
-                deadline,
-                &order,
-                Mode::Aggressive { bounds: &bounds },
-                &mut stats,
-                None,
-            )
+                pass,
+                placed,
+            );
+            if !ok {
+                return Err(DeadlineInfeasible { deadline });
+            }
+            None
         }
         DeadlineAlgo::RcCpa | DeadlineAlgo::RcCpaR => {
             let pool = if algo == DeadlineAlgo::RcCpa { p } else { q };
             stats.count_cpa_allocation();
-            let guide = cache.cpa(dag, pool, cfg.criterion);
-            backward_pass(
+            // Copying the allocation into the ctx-owned guide buffer ends
+            // the cache borrow immediately (the backward pass consults the
+            // guide throughout while other buffers are in play).
+            guide.assign_from(cache.cpa(dag, pool, cfg.criterion));
+            let ok = backward_pass(
                 dag,
                 competing,
                 now,
                 deadline,
-                &order,
+                order,
                 Mode::Rc {
-                    guide: &guide,
+                    guide,
                     lambda: 0.0,
                     fallback_bounds: None,
                 },
                 &mut stats,
                 None,
-            )
+                pass,
+                placed,
+            );
+            if !ok {
+                return Err(DeadlineInfeasible { deadline });
+            }
+            None
         }
         DeadlineAlgo::RcCpaRLambda | DeadlineAlgo::RcbdCpaRLambda => {
             stats.count_cpa_allocation();
-            let guide = cache.cpa(dag, q, cfg.criterion);
-            let fallback = if algo == DeadlineAlgo::RcbdCpaRLambda {
-                Some(guide.allocs.clone())
-            } else {
-                None
-            };
+            guide.assign_from(cache.cpa(dag, q, cfg.criterion));
+            let guide: &CpaAllocation = guide;
+            let use_fallback = algo == DeadlineAlgo::RcbdCpaRLambda;
+            fallback.clear();
+            if use_fallback {
+                fallback.extend_from_slice(&guide.allocs);
+            }
+            let fallback_bounds = use_fallback.then_some(fallback.as_slice());
             // `S_i` is λ-invariant, so it is computed once for the whole
             // sweep. Doing it eagerly (rather than memoizing on first
             // touch) makes each λ pass a pure function of λ — the
             // precondition for executing passes speculatively in parallel.
-            let guide_ref: &CpaAllocation = &guide;
-            let starts = guideline_starts(dag, guide_ref, now, &order, &mut stats);
-            let grid = lambda_grid(cfg.lambda_step);
+            guideline_starts_into(dag, guide, now, order, &mut stats, pass, starts);
+            let starts: &[Time] = starts;
+            lambda_grid_into(cfg.lambda_step, grid);
 
-            // One λ pass over fresh local stats and a fresh decision log,
-            // so results compose identically whatever order they were
-            // *executed* in — the sweep below folds them in λ order.
-            let run_pass = |lambda: f64| {
-                let mut pass_stats = ScheduleStats::default();
-                let mut decisions = Vec::new();
-                let placements = backward_pass(
-                    dag,
-                    competing,
-                    now,
-                    deadline,
-                    &order,
-                    Mode::Rc {
-                        guide: guide_ref,
-                        lambda,
-                        fallback_bounds: fallback.as_deref(),
-                    },
-                    &mut pass_stats,
-                    Some(SweepRun {
-                        starts: &starts,
-                        decisions: &mut decisions,
-                    }),
-                );
-                (placements, pass_stats, decisions)
-            };
-
-            let mut last_failure: Option<Vec<RcDecision>> = None;
             let mut found = None;
             // Ambient observability is thread-local; under an `observe`
             // scope the sweep stays on the calling thread so no counter
@@ -283,21 +311,75 @@ pub fn schedule_deadline(
                 rayon::current_num_threads()
             };
             if threads <= 1 {
-                for lambda in grid {
-                    if sweep_skips(last_failure.as_deref(), lambda) {
+                // Sequential sweep over the recycled ctx buffers: one pass
+                // buffer set, one decision log, one placement buffer. The
+                // failed log is kept by swapping, not cloning.
+                let mut have_failure = false;
+                for &lambda in grid.iter() {
+                    if have_failure && sweep_skips(Some(last_failure), lambda) {
                         continue;
                     }
-                    let (placements, pass_stats, decisions) = run_pass(lambda);
+                    let mut pass_stats = ScheduleStats::default();
+                    decisions.clear();
+                    let ok = backward_pass(
+                        dag,
+                        competing,
+                        now,
+                        deadline,
+                        order,
+                        Mode::Rc {
+                            guide,
+                            lambda,
+                            fallback_bounds,
+                        },
+                        &mut pass_stats,
+                        Some(SweepRun { starts, decisions }),
+                        pass,
+                        placed,
+                    );
                     stats.absorb(pass_stats);
-                    match placements {
-                        Some(placements) => {
-                            found = Some((placements, lambda));
-                            break;
-                        }
-                        None => last_failure = Some(decisions),
+                    if ok {
+                        found = Some(lambda);
+                        break;
                     }
+                    std::mem::swap(decisions, last_failure);
+                    have_failure = true;
                 }
             } else {
+                // One λ pass over fresh local buffers, a fresh decision log
+                // and fresh local stats, so results compose identically
+                // whatever order they were *executed* in — the replay below
+                // folds them in λ order. Per-pass allocations are confined
+                // to this speculative path; the zero-alloc harness forces
+                // the sequential sweep.
+                let run_pass = |lambda: f64| {
+                    let mut pass_stats = ScheduleStats::default();
+                    // lint:allow(alloc): speculative parallel passes own fresh buffers by design; the zero-alloc pin covers the sequential sweep, which this branch is not.
+                    let mut pass_decisions = Vec::new();
+                    let mut bufs = PassBufs::default();
+                    // lint:allow(alloc): speculative parallel passes own fresh buffers by design; the zero-alloc pin covers the sequential sweep, which this branch is not.
+                    let mut placements = Vec::new();
+                    let ok = backward_pass(
+                        dag,
+                        competing,
+                        now,
+                        deadline,
+                        order,
+                        Mode::Rc {
+                            guide,
+                            lambda,
+                            fallback_bounds,
+                        },
+                        &mut pass_stats,
+                        Some(SweepRun {
+                            starts,
+                            decisions: &mut pass_decisions,
+                        }),
+                        &mut bufs,
+                        &mut placements,
+                    );
+                    (ok.then_some(placements), pass_stats, pass_decisions)
+                };
                 // Execute each block of λs speculatively in parallel, then
                 // replay the warm-start chain over the block's results
                 // sequentially in λ order. Every pass is pure in λ, and the
@@ -306,55 +388,47 @@ pub fn schedule_deadline(
                 // is byte-identical — speculation only wastes work on
                 // passes the sequential loop would have skipped or never
                 // reached.
+                let mut have_failure = false;
                 'sweep: for block in grid.chunks(threads) {
+                    // lint:allow(alloc): gathering one block of speculative parallel results; only the sequential sweep carries the zero-alloc pin.
                     let results: Vec<_> = block.par_iter().map(|&l| run_pass(l)).collect();
-                    for (lambda, (placements, pass_stats, decisions)) in
+                    for (lambda, (placements, pass_stats, pass_decisions)) in
                         block.iter().copied().zip(results)
                     {
-                        if sweep_skips(last_failure.as_deref(), lambda) {
+                        if have_failure && sweep_skips(Some(last_failure), lambda) {
                             continue;
                         }
                         stats.absorb(pass_stats);
                         match placements {
                             Some(placements) => {
-                                found = Some((placements, lambda));
+                                placed.clear();
+                                placed.extend_from_slice(&placements);
+                                found = Some(lambda);
                                 break 'sweep;
                             }
-                            None => last_failure = Some(decisions),
+                            None => {
+                                last_failure.clear();
+                                last_failure.extend(pass_decisions);
+                                have_failure = true;
+                            }
                         }
                     }
                 }
             }
             match found {
-                Some((placements, lambda)) => {
-                    let mut sched = Schedule::new(placements, now);
-                    sched.stats = stats;
-                    #[cfg(any(debug_assertions, feature = "validate"))]
-                    validate_outcome(dag, competing, now, deadline, q, algo, cfg, &sched);
-                    return Ok(DeadlineOutcome {
-                        schedule: sched,
-                        lambda: Some(lambda),
-                    });
-                }
+                Some(lambda) => Some(lambda),
                 None => return Err(DeadlineInfeasible { deadline }),
             }
         }
     };
 
-    match result {
-        Some(placements) => {
-            let mut sched = Schedule::new(placements, now);
-            sched.stats = stats;
-            #[cfg(any(debug_assertions, feature = "validate"))]
-            validate_outcome(dag, competing, now, deadline, q, algo, cfg, &sched);
-            Ok(DeadlineOutcome {
-                schedule: sched,
-                lambda: None,
-            })
-        }
-        None => Err(DeadlineInfeasible { deadline }),
-    }
+    out.assign(placed.iter().copied(), now);
+    out.stats = stats;
+    #[cfg(any(debug_assertions, feature = "validate"))]
+    validate_outcome(dag, competing, now, deadline, q, algo, cfg, out);
+    Ok(lambda)
 }
+// lint:hotpath:end
 
 /// Debug/feature-gated post-pass: replay a successful deadline schedule
 /// through the independent oracle, with the declared allocation cap of the
@@ -406,17 +480,23 @@ enum Mode<'a> {
 /// from `0.899…` straight past `1.0` without ever trying the fully
 /// aggressive pass.
 pub fn lambda_grid(step: f64) -> Vec<f64> {
-    assert!(step > 0.0, "lambda step must be positive");
     let mut grid = Vec::new();
+    lambda_grid_into(step, &mut grid);
+    grid
+}
+
+/// [`lambda_grid`] writing into a caller-owned buffer.
+pub fn lambda_grid_into(step: f64, out: &mut Vec<f64>) {
+    assert!(step > 0.0, "lambda step must be positive");
+    out.clear();
     for i in 0.. {
         let lambda = i as f64 * step;
         if lambda >= 1.0 {
             break;
         }
-        grid.push(lambda);
+        out.push(lambda);
     }
-    grid.push(1.0);
-    grid
+    out.push(1.0);
 }
 
 /// The relaxed RC guideline `S_i + λ·(dl_i − S_i)` (paper §5.4).
@@ -454,38 +534,48 @@ fn sweep_skips(last_failure: Option<&[RcDecision]>, lambda: f64) -> bool {
 /// the per-sweep memo it replaced — a successful pass visits every
 /// position, so all `n` mappings ran either way; only fully infeasible
 /// sweeps now map positions no failing pass reached.
-fn guideline_starts(
+fn guideline_starts_into(
     dag: &Dag,
     guide: &CpaAllocation,
     now: Time,
     order: &[TaskId],
     stats: &mut ScheduleStats,
-) -> Vec<Time> {
-    let mut starts = Vec::with_capacity(order.len());
+    bufs: &mut PassBufs,
+    starts: &mut Vec<Time>,
+) {
+    starts.clear();
+    starts.reserve(order.len());
     for (k, &t) in order.iter().enumerate() {
         stats.count_cpa_mapping();
-        let unscheduled: Vec<bool> = {
-            let mut v = vec![false; dag.num_tasks()];
-            for &u in &order[k..] {
-                v[u.idx()] = true;
-            }
-            v
-        };
+        bufs.unscheduled.clear();
+        bufs.unscheduled.resize(dag.num_tasks(), false);
+        for &u in &order[k..] {
+            bufs.unscheduled[u.idx()] = true;
+        }
+        let uns: &[bool] = &bufs.unscheduled;
         // NB: the mapping's probe cost is deliberately *not* folded into
         // `stats` (it runs on a virtual platform); the registry still sees
         // it under `cpa.map.*` via the mapping's probes.
-        let cpa_map = cpa::map_subset(dag, guide, now, |u| unscheduled[u.idx()]);
+        let mut qcost = QueryCost::default();
+        cpa::map_subset_into(
+            dag,
+            guide,
+            now,
+            |u| uns[u.idx()],
+            &mut qcost,
+            &mut bufs.map,
+            &mut bufs.mapped,
+        );
         // `t` = `order[k]` is in the subset by construction; if the map
         // somehow misses it, `now` is the safe guideline (earliest start ⇒
         // loosest threshold, and the aggressive fallback still guarantees
         // validity).
         debug_assert!(
-            cpa_map[t.idx()].is_some(),
+            bufs.mapped[t.idx()].is_some(),
             "current task is in the unscheduled subset"
         );
-        starts.push(cpa_map[t.idx()].map_or(now, |pl| pl.start));
+        starts.push(bufs.mapped[t.idx()].map_or(now, |pl| pl.start));
     }
-    starts
 }
 
 /// Context for one hybrid λ pass: the precomputed λ-invariant guideline
@@ -498,6 +588,7 @@ struct SweepRun<'a> {
 
 /// One RC placement decision, recorded so a failed pass can prove that a
 /// later λ would replay it identically.
+#[derive(Clone, Debug)]
 struct RcDecision {
     s_i: Time,
     dl: Time,
@@ -523,11 +614,88 @@ fn failure_repeats_at(decisions: &[RcDecision], lambda: f64) -> bool {
         })
 }
 
-/// One whole-DAG backward pass. Returns placements for every task, or `None`
-/// if some task cannot be placed between `now` and its deadline.
+/// Recycled buffers for the deadline algorithms, owned by
+/// [`SchedCtx`]. Nothing in here carries meaning between runs — every
+/// buffer is cleared or overwritten before use.
+#[derive(Debug, Default)]
+pub struct DeadlineBufs {
+    /// Ctx-owned copy of the RC guide allocation (ends the cache borrow).
+    guide: CpaAllocation,
+    /// RCBD fallback bounds (a copy of `guide.allocs`).
+    fallback: Vec<u32>,
+    /// The hybrid λ sweep grid.
+    grid: Vec<f64>,
+    /// λ-invariant guideline starts `S_i`, indexed by order position.
+    starts: Vec<Time>,
+    /// Current pass's decision log.
+    decisions: Vec<RcDecision>,
+    /// Decision log of the most recent failed pass (warm-start skips).
+    last_failure: Vec<RcDecision>,
+    /// Per-pass scratch.
+    pass: PassBufs,
+    /// Successful placements, staged before `Schedule::assign`.
+    placed: Vec<Placement>,
+}
+
+impl DeadlineBufs {
+    /// Fill every buffer with sentinel garbage (see [`SchedCtx::poison`]).
+    pub(crate) fn poison(&mut self) {
+        self.guide.poison();
+        poison_vec(&mut self.fallback, u32::MAX);
+        poison_vec(&mut self.grid, f64::NAN);
+        poison_vec(&mut self.starts, Time::seconds(i64::MIN / 4));
+        let junk = RcDecision {
+            s_i: Time::seconds(i64::MIN / 4),
+            dl: Time::seconds(i64::MIN / 4),
+            threshold: Time::seconds(i64::MIN / 4),
+            chosen: Some(Time::seconds(i64::MIN / 4)),
+        };
+        poison_vec(&mut self.decisions, junk.clone());
+        poison_vec(&mut self.last_failure, junk);
+        self.pass.poison();
+        poison_vec(&mut self.placed, crate::ctx::poison_placement());
+    }
+}
+
+/// Recycled scratch for one [`backward_pass`] invocation.
+#[derive(Debug)]
+struct PassBufs {
+    cal: Calendar,
+    placements: Vec<Option<Placement>>,
+    unscheduled: Vec<bool>,
+    map: MapScratch,
+    mapped: Vec<Option<Placement>>,
+}
+
+impl Default for PassBufs {
+    fn default() -> Self {
+        PassBufs {
+            cal: Calendar::new(1),
+            placements: Vec::new(),
+            unscheduled: Vec::new(),
+            map: MapScratch::default(),
+            mapped: Vec::new(),
+        }
+    }
+}
+
+impl PassBufs {
+    fn poison(&mut self) {
+        self.cal.debug_poison();
+        poison_vec(&mut self.placements, Some(crate::ctx::poison_placement()));
+        poison_vec(&mut self.unscheduled, true);
+        self.map.poison();
+        poison_vec(&mut self.mapped, Some(crate::ctx::poison_placement()));
+    }
+}
+
+/// One whole-DAG backward pass. Writes placements for every task into `out`
+/// and returns `true`, or returns `false` if some task cannot be placed
+/// between `now` and its deadline.
 ///
-/// `ctx` (hybrid sweeps only) carries the precomputed λ-invariant `S_i`
-/// values and records this pass's decision log.
+/// `sweep` (hybrid sweeps only) carries the precomputed λ-invariant `S_i`
+/// values and records this pass's decision log. `bufs` is the recycled
+/// scratch set; nothing in it carries meaning across calls.
 #[allow(clippy::too_many_arguments)]
 fn backward_pass(
     dag: &Dag,
@@ -537,13 +705,23 @@ fn backward_pass(
     order: &[TaskId],
     mode: Mode<'_>,
     stats: &mut ScheduleStats,
-    mut ctx: Option<SweepRun<'_>>,
-) -> Option<Vec<Placement>> {
+    mut sweep: Option<SweepRun<'_>>,
+    bufs: &mut PassBufs,
+    out: &mut Vec<Placement>,
+) -> bool {
     crate::span!("deadline.pass");
     stats.count_pass();
     let p = competing.capacity();
-    let mut cal = competing.clone();
-    let mut placements: Vec<Option<Placement>> = vec![None; dag.num_tasks()];
+    let PassBufs {
+        cal,
+        placements,
+        unscheduled,
+        map,
+        mapped,
+    } = bufs;
+    cal.copy_from(competing);
+    placements.clear();
+    placements.resize(dag.num_tasks(), None);
 
     for (k, &t) in order.iter().enumerate() {
         // Successors are already scheduled (they have lower bottom levels),
@@ -563,7 +741,7 @@ fn backward_pass(
         let cost = dag.cost(t);
         let chosen = match &mode {
             Mode::Aggressive { bounds } => {
-                latest_start_candidate(&cal, &cost, bounds[t.idx()].clamp(1, p), dl, now, stats)
+                latest_start_candidate(cal, &cost, bounds[t.idx()].clamp(1, p), dl, now, stats)
             }
             Mode::Rc {
                 guide,
@@ -572,29 +750,37 @@ fn backward_pass(
             } => {
                 // CPA guideline start time S_i (paper §5.2.2). Hybrid
                 // sweeps precompute it per order position (it is
-                // λ-invariant; see `guideline_starts`); the single-pass RC
-                // algorithms map the unscheduled suffix here.
-                let s_i = match &ctx {
+                // λ-invariant; see `guideline_starts_into`); the single-pass
+                // RC algorithms map the unscheduled suffix here.
+                let s_i = match &sweep {
                     Some(c) => c.starts[k],
                     None => {
                         stats.count_cpa_mapping();
-                        let unscheduled: Vec<bool> = {
-                            let mut v = vec![false; dag.num_tasks()];
-                            for &u in &order[k..] {
-                                v[u.idx()] = true;
-                            }
-                            v
-                        };
+                        unscheduled.clear();
+                        unscheduled.resize(dag.num_tasks(), false);
+                        for &u in &order[k..] {
+                            unscheduled[u.idx()] = true;
+                        }
+                        let uns: &[bool] = unscheduled;
                         // NB: the mapping's probe cost is deliberately *not*
                         // folded into `stats` (it runs on a virtual
                         // platform); the registry still sees it under
                         // `cpa.map.*` via the mapping's probes.
-                        let cpa_map = cpa::map_subset(dag, guide, now, |u| unscheduled[u.idx()]);
+                        let mut qcost = QueryCost::default();
+                        cpa::map_subset_into(
+                            dag,
+                            guide,
+                            now,
+                            |u| uns[u.idx()],
+                            &mut qcost,
+                            map,
+                            mapped,
+                        );
                         debug_assert!(
-                            cpa_map[t.idx()].is_some(),
+                            mapped[t.idx()].is_some(),
                             "current task is in the unscheduled subset"
                         );
-                        cpa_map[t.idx()].map_or(now, |pl| pl.start)
+                        mapped[t.idx()].map_or(now, |pl| pl.start)
                     }
                 };
                 let threshold = rc_threshold(s_i, dl, *lambda);
@@ -609,7 +795,7 @@ fn backward_pass(
                         continue; // plateau: same duration, more procs
                     }
                     prev_dur = Some(dur);
-                    let fit = obs::probe::latest_fit(&cal, m, dur, dl, now, stats);
+                    let fit = obs::probe::latest_fit(cal, m, dur, dl, now, stats);
                     if let Some(s) = fit {
                         if s >= threshold {
                             conservative = Some(Placement {
@@ -621,7 +807,7 @@ fn backward_pass(
                         }
                     }
                 }
-                if let Some(c) = ctx.as_mut() {
+                if let Some(c) = sweep.as_mut() {
                     c.decisions.push(RcDecision {
                         s_i,
                         dl,
@@ -632,21 +818,25 @@ fn backward_pass(
                 conservative.or_else(|| {
                     // Back-on-track fallback: aggressive.
                     let bound = fallback_bounds.map(|b| b[t.idx()]).unwrap_or(p).clamp(1, p);
-                    latest_start_candidate(&cal, &cost, bound, dl, now, stats)
+                    latest_start_candidate(cal, &cost, bound, dl, now, stats)
                 })
             }
         };
 
-        let chosen = chosen?;
+        let chosen = match chosen {
+            Some(c) => c,
+            None => return false,
+        };
         cal.add_unchecked(Reservation::new(chosen.start, chosen.end, chosen.procs));
         placements[t.idx()] = Some(chosen);
     }
 
     // The loop above either places every task in `order` (which covers the
-    // whole DAG) or returns `None` early via `chosen?`.
-    let placed: Vec<Placement> = placements.into_iter().flatten().collect();
-    debug_assert_eq!(placed.len(), dag.num_tasks(), "all tasks placed");
-    Some(placed)
+    // whole DAG) or returns `false` early.
+    out.clear();
+    out.extend(placements.iter().flatten().copied());
+    debug_assert_eq!(out.len(), dag.num_tasks(), "all tasks placed");
+    true
 }
 
 /// The `<m, start>` pair with the latest start among `m ∈ 1..=bound`, or
@@ -1049,7 +1239,9 @@ mod tests {
             let mut brute = None;
             for lambda in lambda_grid(cfg.lambda_step) {
                 let mut stats = ScheduleStats::default();
-                if let Some(placements) = backward_pass(
+                let mut bufs = PassBufs::default();
+                let mut placements = Vec::new();
+                if backward_pass(
                     &dag,
                     &cal,
                     Time::ZERO,
@@ -1062,6 +1254,8 @@ mod tests {
                     },
                     &mut stats,
                     None,
+                    &mut bufs,
+                    &mut placements,
                 ) {
                     brute = Some((placements, lambda));
                     break;

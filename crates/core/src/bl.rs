@@ -74,49 +74,80 @@ pub fn exec_times_cached(
     criterion: StoppingCriterion,
     cache: &mut CpaCache,
 ) -> Vec<Dur> {
+    let mut out = Vec::new();
+    exec_times_into(dag, p, q, method, criterion, cache, &mut out);
+    out
+}
+
+/// [`exec_times_cached`] writing into a caller-owned buffer, so a reused
+/// scheduling context ([`crate::ctx::SchedCtx`]) pays no per-run allocation
+/// once the buffer's capacity has warmed up.
+pub fn exec_times_into(
+    dag: &Dag,
+    p: u32,
+    q: u32,
+    method: BlMethod,
+    criterion: StoppingCriterion,
+    cache: &mut CpaCache,
+    out: &mut Vec<Dur>,
+) {
+    out.clear();
     match method {
-        BlMethod::One => dag.costs().iter().map(|c| c.exec_time(1)).collect(),
-        BlMethod::All => dag.costs().iter().map(|c| c.exec_time(p)).collect(),
-        BlMethod::Cpa => cache.cpa(dag, p, criterion).exec.clone(),
-        BlMethod::CpaR => cache
-            .cpa(dag, Pool::effective(q, p), criterion)
-            .exec
-            .clone(),
+        BlMethod::One => out.extend(dag.costs().iter().map(|c| c.exec_time(1))),
+        BlMethod::All => out.extend(dag.costs().iter().map(|c| c.exec_time(p))),
+        BlMethod::Cpa => out.extend_from_slice(&cache.cpa(dag, p, criterion).exec),
+        BlMethod::CpaR => {
+            out.extend_from_slice(&cache.cpa(dag, Pool::effective(q, p), criterion).exec)
+        }
     }
 }
 
 /// Bottom levels (including the task's own execution time), given per-task
 /// execution times.
 pub fn bottom_levels(dag: &Dag, exec: &[Dur]) -> Vec<Dur> {
+    let mut bl = Vec::new();
+    bottom_levels_into(dag, exec, &mut bl);
+    bl
+}
+
+/// [`bottom_levels`] writing into a caller-owned buffer (cleared first).
+pub fn bottom_levels_into(dag: &Dag, exec: &[Dur], out: &mut Vec<Dur>) {
     assert_eq!(exec.len(), dag.num_tasks());
-    let mut bl = vec![Dur::ZERO; dag.num_tasks()];
+    out.clear();
+    out.resize(dag.num_tasks(), Dur::ZERO);
     for &t in dag.topo_order().iter().rev() {
         let succ_max = dag
             .succs(t)
             .iter()
-            .map(|&s| bl[s.idx()])
+            .map(|&s| out[s.idx()])
             .max()
             .unwrap_or(Dur::ZERO);
-        bl[t.idx()] = exec[t.idx()] + succ_max;
+        out[t.idx()] = exec[t.idx()] + succ_max;
     }
-    bl
 }
 
 /// Top levels (excluding the task's own execution time), given per-task
 /// execution times.
 pub fn top_levels(dag: &Dag, exec: &[Dur]) -> Vec<Dur> {
+    let mut tl = Vec::new();
+    top_levels_into(dag, exec, &mut tl);
+    tl
+}
+
+/// [`top_levels`] writing into a caller-owned buffer (cleared first).
+pub fn top_levels_into(dag: &Dag, exec: &[Dur], out: &mut Vec<Dur>) {
     assert_eq!(exec.len(), dag.num_tasks());
-    let mut tl = vec![Dur::ZERO; dag.num_tasks()];
+    out.clear();
+    out.resize(dag.num_tasks(), Dur::ZERO);
     for &t in dag.topo_order() {
         let pred_max = dag
             .preds(t)
             .iter()
-            .map(|&p| tl[p.idx()] + exec[p.idx()])
+            .map(|&p| out[p.idx()] + exec[p.idx()])
             .max()
             .unwrap_or(Dur::ZERO);
-        tl[t.idx()] = pred_max;
+        out[t.idx()] = pred_max;
     }
-    tl
 }
 
 /// The critical-path length: the maximum bottom level over entry tasks
@@ -132,17 +163,34 @@ pub fn critical_path_length(bl: &[Dur]) -> Dur {
 /// a strictly larger bottom level than its successors, so this order is also
 /// a topological order.
 pub fn order_by_decreasing_bl(dag: &Dag, bl: &[Dur]) -> Vec<TaskId> {
-    let mut order: Vec<TaskId> = dag.task_ids().collect();
-    order.sort_by_key(|t| (std::cmp::Reverse(bl[t.idx()]), t.0));
+    let mut order = Vec::new();
+    order_by_decreasing_bl_into(dag, bl, &mut order);
     order
+}
+
+/// [`order_by_decreasing_bl`] writing into a caller-owned buffer.
+///
+/// The sort key `(Reverse(bl), id)` is injective (ids are unique), so the
+/// unstable sort is deterministic and byte-identical to a stable one — and,
+/// unlike a stable sort, never allocates a merge buffer.
+pub fn order_by_decreasing_bl_into(dag: &Dag, bl: &[Dur], out: &mut Vec<TaskId>) {
+    out.clear();
+    out.extend(dag.task_ids());
+    out.sort_unstable_by_key(|t| (std::cmp::Reverse(bl[t.idx()]), t.0));
 }
 
 /// Task ids sorted by *increasing* bottom level (the backward, deadline
 /// scheduling order: exit tasks first).
 pub fn order_by_increasing_bl(dag: &Dag, bl: &[Dur]) -> Vec<TaskId> {
-    let mut order = order_by_decreasing_bl(dag, bl);
-    order.reverse();
+    let mut order = Vec::new();
+    order_by_increasing_bl_into(dag, bl, &mut order);
     order
+}
+
+/// [`order_by_increasing_bl`] writing into a caller-owned buffer.
+pub fn order_by_increasing_bl_into(dag: &Dag, bl: &[Dur], out: &mut Vec<TaskId>) {
+    order_by_decreasing_bl_into(dag, bl, out);
+    out.reverse();
 }
 
 /// Incrementally maintained bottom/top levels under single-task execution
@@ -238,58 +286,91 @@ pub struct LevelTracker {
 impl LevelTracker {
     /// Full build from the given per-task execution times.
     pub fn new(dag: &Dag, exec: &[Dur]) -> LevelTracker {
-        let n = dag.num_tasks();
-        let mut topo_pos = vec![0u32; n];
-        let mut order = vec![0u32; n];
-        for (i, &t) in dag.topo_order().iter().enumerate() {
-            topo_pos[t.idx()] = i as u32;
-            order[i] = t.0;
-        }
-        let mut succ_start = Vec::with_capacity(n + 1);
-        let mut succ_list = Vec::with_capacity(dag.num_edges());
-        let mut pred_start = Vec::with_capacity(n + 1);
-        let mut pred_list = Vec::with_capacity(dag.num_edges());
-        succ_start.push(0);
-        pred_start.push(0);
-        for &tid in &order {
-            let t = TaskId(tid);
-            succ_list.extend(dag.succs(t).iter().map(|s| topo_pos[s.idx()]));
-            succ_start.push(succ_list.len() as u32);
-            pred_list.extend(dag.preds(t).iter().map(|p| topo_pos[p.idx()]));
-            pred_start.push(pred_list.len() as u32);
-        }
-        let bl = bottom_levels(dag, exec);
-        let tl = top_levels(dag, exec);
-        let blp: Vec<Dur> = order.iter().map(|&t| bl[t as usize]).collect();
-        let tlp: Vec<Dur> = order.iter().map(|&t| tl[t as usize]).collect();
-        let execp: Vec<Dur> = order.iter().map(|&t| exec[t as usize]).collect();
-        let sbp: Vec<Dur> = (0..n)
-            .map(|pos| blp[pos] - exec[order[pos] as usize])
-            .collect();
-        let entry_pos = dag.entries().iter().map(|t| topo_pos[t.idx()]).collect();
-        LevelTracker {
-            bl,
-            tl,
-            topo_pos,
-            order,
-            blp,
-            tlp,
-            execp,
-            sbp,
-            entry_pos,
-            dirty: vec![false; n],
-            dense: dag.num_edges() >= 4 * n,
-            cand: vec![Dur::ZERO; n],
-            rescan: vec![false; n],
-            cp_stamp: vec![0; n],
+        let mut tracker = LevelTracker {
+            bl: Vec::new(),
+            tl: Vec::new(),
+            topo_pos: Vec::new(),
+            order: Vec::new(),
+            blp: Vec::new(),
+            tlp: Vec::new(),
+            execp: Vec::new(),
+            sbp: Vec::new(),
+            entry_pos: Vec::new(),
+            dirty: Vec::new(),
+            dense: false,
+            cand: Vec::new(),
+            rescan: Vec::new(),
+            cp_stamp: Vec::new(),
             cp_epoch: 0,
-            cp_stack: Vec::with_capacity(n),
-            cp_members: Vec::with_capacity(n),
-            succ_start,
-            succ_list,
-            pred_start,
-            pred_list,
+            cp_stack: Vec::new(),
+            cp_members: Vec::new(),
+            succ_start: Vec::new(),
+            succ_list: Vec::new(),
+            pred_start: Vec::new(),
+            pred_list: Vec::new(),
+        };
+        tracker.rebuild(dag, exec);
+        tracker
+    }
+
+    /// Rebuild the tracker for a (possibly different) DAG in place,
+    /// reusing every internal buffer's capacity. After warm-up a reused
+    /// scheduling context rebuilds trackers without touching the heap.
+    pub fn rebuild(&mut self, dag: &Dag, exec: &[Dur]) {
+        let n = dag.num_tasks();
+        self.topo_pos.clear();
+        self.topo_pos.resize(n, 0);
+        self.order.clear();
+        self.order.resize(n, 0);
+        for (i, &t) in dag.topo_order().iter().enumerate() {
+            self.topo_pos[t.idx()] = i as u32;
+            self.order[i] = t.0;
         }
+        self.succ_start.clear();
+        self.succ_list.clear();
+        self.pred_start.clear();
+        self.pred_list.clear();
+        self.succ_start.push(0);
+        self.pred_start.push(0);
+        for i in 0..n {
+            let t = TaskId(self.order[i]);
+            let topo_pos = &self.topo_pos;
+            self.succ_list
+                .extend(dag.succs(t).iter().map(|s| topo_pos[s.idx()]));
+            self.succ_start.push(self.succ_list.len() as u32);
+            self.pred_list
+                .extend(dag.preds(t).iter().map(|p| topo_pos[p.idx()]));
+            self.pred_start.push(self.pred_list.len() as u32);
+        }
+        bottom_levels_into(dag, exec, &mut self.bl);
+        top_levels_into(dag, exec, &mut self.tl);
+        self.blp.clear();
+        self.blp
+            .extend(self.order.iter().map(|&t| self.bl[t as usize]));
+        self.tlp.clear();
+        self.tlp
+            .extend(self.order.iter().map(|&t| self.tl[t as usize]));
+        self.execp.clear();
+        self.execp
+            .extend(self.order.iter().map(|&t| exec[t as usize]));
+        self.sbp.clear();
+        self.sbp
+            .extend((0..n).map(|pos| self.blp[pos] - exec[self.order[pos] as usize]));
+        self.entry_pos.clear();
+        self.entry_pos
+            .extend(dag.entries().iter().map(|t| self.topo_pos[t.idx()]));
+        self.dirty.clear();
+        self.dirty.resize(n, false);
+        self.dense = dag.num_edges() >= 4 * n;
+        self.cand.clear();
+        self.cand.resize(n, Dur::ZERO);
+        self.rescan.clear();
+        self.rescan.resize(n, false);
+        self.cp_stamp.clear();
+        self.cp_stamp.resize(n, 0);
+        self.cp_epoch = 0;
+        self.cp_stack.clear();
+        self.cp_members.clear();
     }
 
     /// Current bottom levels (always equal to `bottom_levels(dag, exec)`).
@@ -304,6 +385,35 @@ impl LevelTracker {
     #[inline]
     pub fn top(&self) -> &[Dur] {
         &self.tl
+    }
+
+    /// Fill every internal buffer with sentinel garbage (see
+    /// [`crate::ctx::SchedCtx::poison`]). The tracker is unusable until
+    /// the next [`LevelTracker::rebuild`], which overwrites everything.
+    pub(crate) fn debug_poison(&mut self) {
+        use crate::ctx::poison_vec;
+        let garbage = Dur::seconds(i64::MIN / 4);
+        poison_vec(&mut self.bl, garbage);
+        poison_vec(&mut self.tl, garbage);
+        poison_vec(&mut self.topo_pos, u32::MAX);
+        poison_vec(&mut self.order, u32::MAX);
+        poison_vec(&mut self.blp, garbage);
+        poison_vec(&mut self.tlp, garbage);
+        poison_vec(&mut self.execp, garbage);
+        poison_vec(&mut self.sbp, garbage);
+        poison_vec(&mut self.entry_pos, u32::MAX);
+        poison_vec(&mut self.dirty, true);
+        self.dense = !self.dense;
+        poison_vec(&mut self.cand, garbage);
+        poison_vec(&mut self.rescan, true);
+        poison_vec(&mut self.cp_stamp, u32::MAX);
+        self.cp_epoch = u32::MAX;
+        poison_vec(&mut self.cp_stack, u32::MAX);
+        poison_vec(&mut self.cp_members, TaskId(u32::MAX));
+        poison_vec(&mut self.succ_start, u32::MAX);
+        poison_vec(&mut self.succ_list, u32::MAX);
+        poison_vec(&mut self.pred_start, u32::MAX);
+        poison_vec(&mut self.pred_list, u32::MAX);
     }
 
     /// Current critical-path length (max bottom level over entry tasks;

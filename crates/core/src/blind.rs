@@ -18,7 +18,8 @@
 //! [`crate::forward::schedule_forward`].
 
 use crate::bl::{self, BlMethod};
-use crate::cpa::{CpaCache, StoppingCriterion};
+use crate::cpa::StoppingCriterion;
+use crate::ctx::{poison_placement, poison_vec, SchedCtx};
 use crate::dag::Dag;
 use crate::obs;
 use crate::pool::Pool;
@@ -95,6 +96,59 @@ impl ReservationDesk {
     pub fn into_calendar(self) -> Calendar {
         self.cal
     }
+
+    /// Re-point a recycled desk at a fresh competing load: copy the
+    /// calendar in place and zero the probe/commit counters.
+    pub fn reset_from(&mut self, competing: &Calendar) {
+        self.cal.copy_from(competing);
+        self.probes = 0;
+        self.commits = 0;
+    }
+}
+
+impl std::fmt::Debug for ReservationDesk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReservationDesk")
+            .field("capacity", &self.cal.capacity())
+            .field("probes", &self.probes)
+            .field("commits", &self.commits)
+            .finish()
+    }
+}
+
+/// Recycled buffers for the blind scheduler, owned by [`SchedCtx`].
+/// Nothing in here carries meaning between runs.
+#[derive(Debug)]
+pub struct BlindBufs {
+    /// A recycled desk for callers that only hold a competing [`Calendar`]
+    /// (the catalog entry point); re-pointed via
+    /// [`ReservationDesk::reset_from`] before each run.
+    pub(crate) desk: ReservationDesk,
+    /// The geometric probe ladder for one task.
+    ladder: Vec<u32>,
+    /// Per-task placement slots.
+    slots: Vec<Option<Placement>>,
+}
+
+impl Default for BlindBufs {
+    fn default() -> Self {
+        BlindBufs {
+            desk: ReservationDesk::new(Calendar::new(1)),
+            ladder: Vec::new(),
+            slots: Vec::new(),
+        }
+    }
+}
+
+impl BlindBufs {
+    /// Fill every buffer with sentinel garbage (see [`SchedCtx::poison`]).
+    pub(crate) fn poison(&mut self) {
+        self.desk.cal.debug_poison();
+        self.desk.probes = u64::MAX / 2;
+        self.desk.commits = u64::MAX / 2;
+        poison_vec(&mut self.ladder, u32::MAX);
+        poison_vec(&mut self.slots, Some(poison_placement()));
+    }
 }
 
 /// Configuration for the blind scheduler.
@@ -127,6 +181,85 @@ pub fn schedule_blind(
     q_estimate: u32,
     cfg: BlindConfig,
 ) -> Schedule {
+    let mut ctx = SchedCtx::new();
+    let mut out = Schedule::new(Vec::new(), now);
+    schedule_blind_with(dag, desk, now, q_estimate, cfg, &mut ctx, &mut out);
+    out
+}
+
+/// [`schedule_blind`] into a recycled [`SchedCtx`] and output schedule:
+/// byte-identical results, allocation-free once the context is warm.
+pub fn schedule_blind_with(
+    dag: &Dag,
+    desk: &mut ReservationDesk,
+    now: Time,
+    q_estimate: u32,
+    cfg: BlindConfig,
+    ctx: &mut SchedCtx,
+    out: &mut Schedule,
+) {
+    let SchedCtx {
+        cache,
+        exec,
+        levels,
+        order,
+        bounds,
+        blind: BlindBufs { ladder, slots, .. },
+        ..
+    } = ctx;
+    blind_inner(
+        dag, desk, now, q_estimate, cfg, cache, exec, levels, order, bounds, ladder, slots, out,
+    );
+}
+
+/// The catalog entry point: run BLIND against a competing [`Calendar`]
+/// using the recycled desk owned by the context itself, so repeat runs
+/// allocate nothing.
+pub(crate) fn schedule_blind_ctx(
+    dag: &Dag,
+    competing: &Calendar,
+    now: Time,
+    q_estimate: u32,
+    cfg: BlindConfig,
+    ctx: &mut SchedCtx,
+    out: &mut Schedule,
+) {
+    let SchedCtx {
+        cache,
+        exec,
+        levels,
+        order,
+        bounds,
+        blind: BlindBufs {
+            desk,
+            ladder,
+            slots,
+        },
+        ..
+    } = ctx;
+    desk.reset_from(competing);
+    blind_inner(
+        dag, desk, now, q_estimate, cfg, cache, exec, levels, order, bounds, ladder, slots, out,
+    );
+}
+
+// lint:hotpath:begin
+#[allow(clippy::too_many_arguments)]
+fn blind_inner(
+    dag: &Dag,
+    desk: &mut ReservationDesk,
+    now: Time,
+    q_estimate: u32,
+    cfg: BlindConfig,
+    cache: &mut crate::cpa::CpaCache,
+    exec: &mut Vec<Dur>,
+    levels: &mut Vec<Dur>,
+    order: &mut Vec<crate::dag::TaskId>,
+    bounds: &mut Vec<u32>,
+    ladder: &mut Vec<u32>,
+    slots: &mut Vec<Option<Placement>>,
+    out: &mut Schedule,
+) {
     let p = desk.capacity();
     let q = Pool::effective(q_estimate, p);
     // Snapshot the calendar before our own commits land in it, so the
@@ -136,33 +269,40 @@ pub fn schedule_blind(
     let mut stats = ScheduleStats::default();
     stats.count_pass();
     stats.count_cpa_allocation();
+    cache.begin_run();
 
     // Bottom levels and bounds exactly as BL_CPAR / BD_CPAR would; the
     // per-run cache computes the CPA(q) allocation once for both roles.
-    let mut cache = CpaCache::new();
-    let alloc_q = cache.cpa(dag, q, cfg.criterion);
-    let exec = bl::exec_times_cached(dag, p, q, BlMethod::CpaR, cfg.criterion, &mut cache);
-    let levels = bl::bottom_levels(dag, &exec);
-    let order = bl::order_by_decreasing_bl(dag, &levels);
+    // The clamped bounds are copied out of the cache entry so the borrow
+    // ends before the bottom-level pass consults the cache again.
+    {
+        let alloc_q = cache.cpa(dag, q, cfg.criterion);
+        bounds.clear();
+        bounds.extend(alloc_q.allocs.iter().map(|&a| a.clamp(1, p)));
+    }
+    bl::exec_times_into(dag, p, q, BlMethod::CpaR, cfg.criterion, cache, exec);
+    bl::bottom_levels_into(dag, exec, levels);
+    bl::order_by_decreasing_bl_into(dag, levels, order);
 
     crate::span!("blind.place");
-    let mut placements: Vec<Option<Placement>> = vec![None; dag.num_tasks()];
-    for t in order {
+    slots.clear();
+    slots.resize(dag.num_tasks(), None);
+    for &t in order.iter() {
         let ready = dag
             .preds(t)
             .iter()
             // lint:allow(panic): decreasing-BL order is topological, so every predecessor is placed before its successor.
-            .map(|&pr| placements[pr.idx()].expect("preds first").end)
+            .map(|&pr| slots[pr.idx()].expect("preds first").end)
             .max()
             .unwrap_or(now)
             .max(now);
         let cost = dag.cost(t);
-        let bound = alloc_q.alloc(t).clamp(1, p);
+        let bound = bounds[t.idx()];
 
         // Probe a geometric ladder of processor counts within the bound:
         // 1, 2, 4, ... bound (always including 1 and bound), spending at
         // most `probes_per_task` probes.
-        let mut ladder: Vec<u32> = Vec::new();
+        ladder.clear();
         let mut m = 1u32;
         while m < bound && ladder.len() + 1 < cfg.probes_per_task {
             ladder.push(m);
@@ -172,7 +312,7 @@ pub fn schedule_blind(
         ladder.dedup();
 
         let mut best: Option<Placement> = None;
-        for &m in &ladder {
+        for &m in ladder.iter() {
             let dur = cost.exec_time(m);
             let mut qc = QueryCost::default();
             let s = desk.probe_with_cost(m, dur, ready, &mut qc);
@@ -193,30 +333,19 @@ pub fn schedule_blind(
         // lint:allow(panic): the ladder always contains at least `bound` (pushed unconditionally), so one probe always ran.
         let chosen = best.expect("ladder is never empty");
         desk.commit(Reservation::new(chosen.start, chosen.end, chosen.procs));
-        placements[t.idx()] = Some(chosen);
+        slots[t.idx()] = Some(chosen);
     }
 
-    let mut sched = Schedule::new(
-        placements
-            .into_iter()
-            // lint:allow(panic): the placement loop fills one slot per task; `order` covers the whole DAG.
-            .map(|p| p.expect("all placed"))
-            .collect(),
-        now,
-    );
-    sched.stats = stats;
+    out.assign(slots.iter().flatten().copied(), now);
+    debug_assert_eq!(out.placements().len(), dag.num_tasks(), "all tasks placed");
+    out.stats = stats;
 
     #[cfg(any(debug_assertions, feature = "validate"))]
     crate::validate::ScheduleValidator::new(dag, &competing_at_entry, now)
-        .with_declared_bounds(
-            dag.task_ids()
-                .map(|t| alloc_q.alloc(t).clamp(1, p))
-                .collect(),
-        )
-        .assert_valid(&sched, "BLIND");
-
-    sched
+        .with_declared_bounds(bounds.clone())
+        .assert_valid(out, "BLIND");
 }
+// lint:hotpath:end
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,129 @@
+//! Reusable scheduling context: every scratch buffer the catalog's hot
+//! paths need, bundled so one warm [`SchedCtx`] makes repeat scheduling
+//! runs allocation-free.
+//!
+//! ## Why
+//!
+//! The online serving frontend re-schedules the same application class
+//! thousands of times per second; profiling showed the per-run `Vec` and
+//! `Calendar` churn dominated everything except the slot search itself.
+//! Each algorithm entry point therefore has a `*_with` variant taking a
+//! `&mut SchedCtx` plus an `&mut Schedule` output. The plain entry points
+//! are thin wrappers that build a fresh context per call, so they remain
+//! byte-for-byte identical to the `_with` forms — the differential suites
+//! pin this.
+//!
+//! ## Invariants
+//!
+//! Nothing in a `SchedCtx` is semantically meaningful between runs: every
+//! buffer is cleared or overwritten before it is read, and the one
+//! cross-run value — the [`CpaCache`] memo — is expired by
+//! `CpaCache::begin_run` at the top of every `*_with` entry point. The
+//! arena-poison tests fill a context with sentinel garbage between runs
+//! ([`SchedCtx::poison`]) and assert schedules stay byte-identical to a
+//! fresh context.
+//!
+//! Buffer capacity grows monotonically to the largest DAG scheduled, so a
+//! warmed context performs zero heap allocation on subsequent runs — the
+//! `alloc-probe` counting-allocator tests pin that at exactly zero for the
+//! whole 25-algorithm catalog.
+
+use crate::backward::DeadlineBufs;
+use crate::blind::BlindBufs;
+use crate::cpa::CpaCache;
+use crate::dag::TaskId;
+use crate::icaslb::IcaslbBufs;
+use crate::schedule::Placement;
+use resched_resv::{Calendar, Dur};
+
+/// Poison helper: refill a buffer to its current capacity with a sentinel
+/// value, so any read of stale contents produces garbage instead of a
+/// plausible leftover. `len` after the call equals `capacity`.
+pub(crate) fn poison_vec<T: Clone>(v: &mut Vec<T>, sentinel: T) {
+    let cap = v.capacity();
+    v.clear();
+    v.resize(cap, sentinel);
+}
+
+/// A placement that is garbage in every field (negative interval, zero
+/// processors) — any schedule that leaks it fails validation loudly.
+pub(crate) fn poison_placement() -> Placement {
+    Placement {
+        start: resched_resv::Time::seconds(i64::MIN / 4),
+        end: resched_resv::Time::seconds(i64::MIN / 2),
+        procs: 0,
+    }
+}
+
+/// All scratch state for one scheduling thread: shared phase-1 buffers
+/// plus the per-algorithm-family bundles. See the module docs for the
+/// recycling contract.
+#[derive(Debug)]
+pub struct SchedCtx {
+    /// Per-run CPA allocation memo (expired via `begin_run` each run).
+    pub(crate) cache: CpaCache,
+    /// Per-task execution times under the configured BL cost model.
+    pub(crate) exec: Vec<Dur>,
+    /// Per-task bottom levels.
+    pub(crate) levels: Vec<Dur>,
+    /// Task priority order.
+    pub(crate) order: Vec<TaskId>,
+    /// Per-task allocation bounds.
+    pub(crate) bounds: Vec<u32>,
+    /// Working calendar, refilled from the competing calendar each run.
+    pub(crate) cal: Calendar,
+    /// Per-task placement slots for in-progress schedules.
+    pub(crate) slots: Vec<Option<Placement>>,
+    /// Deadline (RESSCHEDDL) sweep buffers.
+    pub(crate) deadline: DeadlineBufs,
+    /// iCASLB steepest-ascent buffers.
+    pub(crate) icaslb: IcaslbBufs,
+    /// Blind-probing buffers.
+    pub(crate) blind: BlindBufs,
+}
+
+impl Default for SchedCtx {
+    fn default() -> Self {
+        SchedCtx::new()
+    }
+}
+
+impl SchedCtx {
+    /// A cold context: every buffer empty, CPA cache honoring the ambient
+    /// enablement knobs.
+    pub fn new() -> SchedCtx {
+        SchedCtx {
+            cache: CpaCache::new(),
+            exec: Vec::new(),
+            levels: Vec::new(),
+            order: Vec::new(),
+            bounds: Vec::new(),
+            cal: Calendar::new(1),
+            slots: Vec::new(),
+            deadline: DeadlineBufs::default(),
+            icaslb: IcaslbBufs::default(),
+            blind: BlindBufs::default(),
+        }
+    }
+
+    /// Fill every buffer with sentinel garbage, as if a hostile previous
+    /// run had left maximal residue.
+    ///
+    /// Test-only by intent (the arena-poison suite calls this between
+    /// schedules), but compiled unconditionally so integration tests in
+    /// other crates can reach it. A context remains *usable* after
+    /// poisoning — every `*_with` entry point must overwrite everything it
+    /// reads, which is exactly the property the poison tests pin.
+    pub fn poison(&mut self) {
+        self.cache.debug_poison();
+        poison_vec(&mut self.exec, Dur::seconds(i64::MIN / 4));
+        poison_vec(&mut self.levels, Dur::seconds(i64::MIN / 4));
+        poison_vec(&mut self.order, TaskId(u32::MAX));
+        poison_vec(&mut self.bounds, u32::MAX);
+        self.cal.debug_poison();
+        poison_vec(&mut self.slots, Some(poison_placement()));
+        self.deadline.poison();
+        self.icaslb.poison();
+        self.blind.poison();
+    }
+}

@@ -15,6 +15,7 @@
 
 use crate::bl::{self, BlMethod};
 use crate::cpa::{CpaCache, StoppingCriterion};
+use crate::ctx::SchedCtx;
 use crate::dag::Dag;
 use crate::obs;
 use crate::pool::Pool;
@@ -136,19 +137,35 @@ pub fn allocation_bounds_cached(
     stats: &mut ScheduleStats,
     cache: &mut CpaCache,
 ) -> Vec<u32> {
+    let mut out = Vec::new();
+    allocation_bounds_into(dag, p, q, bd, criterion, stats, cache, &mut out);
+    out
+}
+
+/// [`allocation_bounds_cached`] into a caller-owned buffer; allocation-free
+/// once `out` is warm.
+#[allow(clippy::too_many_arguments)]
+pub fn allocation_bounds_into(
+    dag: &Dag,
+    p: u32,
+    q: u32,
+    bd: BdMethod,
+    criterion: StoppingCriterion,
+    stats: &mut ScheduleStats,
+    cache: &mut CpaCache,
+    out: &mut Vec<u32>,
+) {
+    out.clear();
     match bd {
-        BdMethod::All => vec![p; dag.num_tasks()],
-        BdMethod::Half => vec![(p / 2).max(1); dag.num_tasks()],
+        BdMethod::All => out.resize(dag.num_tasks(), p),
+        BdMethod::Half => out.resize(dag.num_tasks(), (p / 2).max(1)),
         BdMethod::Cpa => {
             stats.count_cpa_allocation();
-            cache.cpa(dag, p, criterion).allocs.clone()
+            out.extend_from_slice(&cache.cpa(dag, p, criterion).allocs);
         }
         BdMethod::CpaR => {
             stats.count_cpa_allocation();
-            cache
-                .cpa(dag, Pool::effective(q, p), criterion)
-                .allocs
-                .clone()
+            out.extend_from_slice(&cache.cpa(dag, Pool::effective(q, p), criterion).allocs);
         }
     }
 }
@@ -166,33 +183,65 @@ pub fn schedule_forward(
     q: u32,
     cfg: ForwardConfig,
 ) -> Schedule {
+    let mut ctx = SchedCtx::new();
+    let mut out = Schedule::new(Vec::new(), now);
+    schedule_forward_with(dag, competing, now, q, cfg, &mut ctx, &mut out);
+    out
+}
+
+/// [`schedule_forward`] into a recycled [`SchedCtx`] and output schedule:
+/// byte-identical results, and allocation-free once the context is warm.
+// lint:hotpath:begin
+pub fn schedule_forward_with(
+    dag: &Dag,
+    competing: &Calendar,
+    now: Time,
+    q: u32,
+    cfg: ForwardConfig,
+    ctx: &mut SchedCtx,
+    out: &mut Schedule,
+) {
     let p = competing.capacity();
     let q = Pool::effective(q, p);
     let mut stats = ScheduleStats::default();
     stats.count_pass();
 
-    // Phase 1: bottom levels and scheduling order. A per-run CpaCache means
-    // e.g. BL_CPAR_BD_CPAR computes its CPA allocation once, not twice.
-    let (order, bounds) = {
+    // Disjoint field borrows: the cache is consulted while other buffers
+    // are written, which a whole-&mut ctx could not express.
+    let SchedCtx {
+        cache,
+        exec,
+        levels,
+        order,
+        bounds,
+        cal,
+        slots,
+        ..
+    } = ctx;
+    cache.begin_run();
+
+    // Phase 1: bottom levels and scheduling order. The per-run CpaCache
+    // means e.g. BL_CPAR_BD_CPAR computes its CPA allocation once, not
+    // twice.
+    {
         crate::span!("forward.prep");
-        let mut cache = CpaCache::new();
         if matches!(cfg.bl, BlMethod::Cpa | BlMethod::CpaR) {
             stats.count_cpa_allocation();
         }
-        let exec = bl::exec_times_cached(dag, p, q, cfg.bl, cfg.criterion, &mut cache);
-        let levels = bl::bottom_levels(dag, &exec);
-        let order = bl::order_by_decreasing_bl(dag, &levels);
-        let bounds =
-            allocation_bounds_cached(dag, p, q, cfg.bd, cfg.criterion, &mut stats, &mut cache);
-        (order, bounds)
-    };
+        bl::exec_times_into(dag, p, q, cfg.bl, cfg.criterion, cache, exec);
+        bl::bottom_levels_into(dag, exec, levels);
+        bl::order_by_decreasing_bl_into(dag, levels, order);
+        allocation_bounds_into(dag, p, q, cfg.bd, cfg.criterion, &mut stats, cache, bounds);
+    }
 
     // Phase 2: per-task earliest-completion slot search.
     let place_span = obs::span_enter("forward.place");
-    let mut cal = competing.clone();
-    let mut placements: Vec<Option<Placement>> = vec![None; dag.num_tasks()];
+    cal.copy_from(competing);
+    let placements = &mut *slots;
+    placements.clear();
+    placements.resize(dag.num_tasks(), None);
 
-    for t in order {
+    for &t in order.iter() {
         // Decreasing-BL order is topological, so every predecessor is
         // already placed; an unplaced one would mean a broken order, which
         // the debug assert (and the gated oracle below) would surface.
@@ -212,7 +261,7 @@ pub fn schedule_forward(
         // Seed the search with the always-legal one-processor candidate so
         // `best` is total — there is no "empty search" state to unwrap.
         let dur1 = cost.exec_time(1);
-        let s1 = obs::probe::earliest_fit(&cal, 1, dur1, ready, &mut stats);
+        let s1 = obs::probe::earliest_fit(cal, 1, dur1, ready, &mut stats);
         let mut best = Placement {
             start: s1,
             end: s1 + dur1,
@@ -232,7 +281,7 @@ pub fn schedule_forward(
                 continue;
             }
             prev_dur = Some(dur);
-            let s = obs::probe::earliest_fit(&cal, m, dur, ready, &mut stats);
+            let s = obs::probe::earliest_fit(cal, m, dur, ready, &mut stats);
             let end = s + dur;
             let better = end < best.end
                 || (end == best.end
@@ -256,20 +305,23 @@ pub fn schedule_forward(
     // `order` visits every task exactly once, so each slot is filled; a
     // hole would shrink the schedule, which the length assert and the
     // gated oracle both catch in checked builds.
-    let placed: Vec<Placement> = placements.into_iter().flatten().collect();
-    debug_assert_eq!(placed.len(), dag.num_tasks(), "every task scheduled");
-    let mut sched = Schedule::new(placed, now);
-    sched.stats = stats;
+    out.assign(placements.iter().flatten().copied(), now);
+    debug_assert_eq!(
+        out.placements().len(),
+        dag.num_tasks(),
+        "every task scheduled"
+    );
+    out.stats = stats;
 
     // Debug/feature-gated post-pass: replay the finished schedule through
     // the independent oracle, including the BD_* cap actually in force.
     #[cfg(any(debug_assertions, feature = "validate"))]
     crate::validate::ScheduleValidator::new(dag, competing, now)
+        // lint:allow(alloc): gated oracle replay, compiled out of the release hot path the zero-alloc harness pins.
         .with_declared_bounds(bounds.iter().map(|&b| b.clamp(1, p)).collect())
-        .assert_valid(&sched, cfg.name().as_str());
-
-    sched
+        .assert_valid(out, cfg.name().as_str());
 }
+// lint:hotpath:end
 
 #[cfg(test)]
 mod tests {

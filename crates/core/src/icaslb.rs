@@ -17,6 +17,7 @@
 //! The `ext_icaslb` bench compares it with `BL_CPAR_BD_CPAR`.
 
 use crate::bl::{self, LevelTracker};
+use crate::ctx::{poison_placement, poison_vec, SchedCtx};
 use crate::dag::{Dag, TaskId};
 use crate::obs;
 use crate::schedule::{Placement, Schedule, ScheduleStats};
@@ -46,11 +47,74 @@ impl Default for IcaslbConfig {
     }
 }
 
+/// Recycled buffers for the iCASLB growth loop, owned by [`SchedCtx`].
+/// Nothing in here carries meaning between runs.
+#[derive(Debug)]
+pub struct IcaslbBufs {
+    tracker: Option<LevelTracker>,
+    allocs: Vec<u32>,
+    exec: Vec<Dur>,
+    /// Candidate/gain pairs before the selection sort.
+    gains: Vec<(TaskId, f64)>,
+    /// Sorted critical-path candidates.
+    cands: Vec<TaskId>,
+    /// List-scheduling order for one build.
+    order: Vec<TaskId>,
+    /// Working calendar for one build.
+    cal: Calendar,
+    /// Per-task placement slots for one build.
+    slots: Vec<Option<Placement>>,
+    /// The placements built for the candidate under evaluation.
+    trial: Vec<Placement>,
+    /// The best candidate's placements this iteration.
+    step: Vec<Placement>,
+    /// The best placements found so far.
+    best: Vec<Placement>,
+}
+
+impl Default for IcaslbBufs {
+    fn default() -> Self {
+        IcaslbBufs {
+            tracker: None,
+            allocs: Vec::new(),
+            exec: Vec::new(),
+            gains: Vec::new(),
+            cands: Vec::new(),
+            order: Vec::new(),
+            cal: Calendar::new(1),
+            slots: Vec::new(),
+            trial: Vec::new(),
+            step: Vec::new(),
+            best: Vec::new(),
+        }
+    }
+}
+
+impl IcaslbBufs {
+    /// Fill every buffer with sentinel garbage (see [`SchedCtx::poison`]).
+    pub(crate) fn poison(&mut self) {
+        if let Some(t) = &mut self.tracker {
+            t.debug_poison();
+        }
+        poison_vec(&mut self.allocs, u32::MAX);
+        poison_vec(&mut self.exec, Dur::seconds(i64::MIN / 4));
+        poison_vec(&mut self.gains, (TaskId(u32::MAX), f64::NAN));
+        poison_vec(&mut self.cands, TaskId(u32::MAX));
+        poison_vec(&mut self.order, TaskId(u32::MAX));
+        self.cal.debug_poison();
+        poison_vec(&mut self.slots, Some(poison_placement()));
+        poison_vec(&mut self.trial, poison_placement());
+        poison_vec(&mut self.step, poison_placement());
+        poison_vec(&mut self.best, poison_placement());
+    }
+}
+
 /// Build the full reservation-aware schedule for a fixed allocation vector:
 /// list scheduling by decreasing bottom level, earliest-fit per task.
 ///
 /// `exec` and `levels` are maintained incrementally by the caller (one
 /// allocation changes per growth step), so this no longer recomputes them.
+#[allow(clippy::too_many_arguments)]
 fn build_schedule(
     dag: &Dag,
     competing: &Calendar,
@@ -59,35 +123,38 @@ fn build_schedule(
     exec: &[Dur],
     levels: &[Dur],
     stats: &mut ScheduleStats,
-) -> Vec<Placement> {
+    order: &mut Vec<TaskId>,
+    cal: &mut Calendar,
+    slots: &mut Vec<Option<Placement>>,
+    out: &mut Vec<Placement>,
+) {
     crate::span!("icaslb.build");
-    let order = bl::order_by_decreasing_bl(dag, levels);
-    let mut cal = competing.clone();
-    let mut placements: Vec<Option<Placement>> = vec![None; dag.num_tasks()];
-    for t in order {
+    bl::order_by_decreasing_bl_into(dag, levels, order);
+    cal.copy_from(competing);
+    slots.clear();
+    slots.resize(dag.num_tasks(), None);
+    for &t in order.iter() {
         let ready = dag
             .preds(t)
             .iter()
             // lint:allow(panic): decreasing-BL order is topological, so every predecessor is placed before its successor.
-            .map(|&p| placements[p.idx()].expect("preds first").end)
+            .map(|&p| slots[p.idx()].expect("preds first").end)
             .max()
             .unwrap_or(now)
             .max(now);
         let m = allocs[t.idx()];
         let dur = exec[t.idx()];
-        let s = obs::probe::earliest_fit(&cal, m, dur, ready, stats);
+        let s = obs::probe::earliest_fit(cal, m, dur, ready, stats);
         cal.add_unchecked(Reservation::for_duration(s, dur, m));
-        placements[t.idx()] = Some(Placement {
+        slots[t.idx()] = Some(Placement {
             start: s,
             end: s + dur,
             procs: m,
         });
     }
-    placements
-        .into_iter()
-        // lint:allow(panic): the loop above fills one slot per task; `order` covers the whole DAG.
-        .map(|p| p.expect("all placed"))
-        .collect()
+    out.clear();
+    out.extend(slots.iter().flatten().copied());
+    debug_assert_eq!(out.len(), dag.num_tasks(), "all tasks placed");
 }
 
 fn makespan(placements: &[Placement]) -> Time {
@@ -104,20 +171,27 @@ fn cp_candidates(
     cap: u32,
     exec: &[Dur],
     tracker: &LevelTracker,
-) -> Vec<TaskId> {
+    gains: &mut Vec<(TaskId, f64)>,
+    out: &mut Vec<TaskId>,
+) {
     let bls = tracker.bottom();
     let tls = tracker.top();
     let cp = tracker.critical_path();
-    let mut cands: Vec<(TaskId, f64)> = dag
-        .task_ids()
-        .filter(|&t| tls[t.idx()] + bls[t.idx()] == cp)
-        .filter(|&t| allocs[t.idx()] < cap)
-        .filter(|&t| dag.cost(t).exec_time(allocs[t.idx()] + 1) < exec[t.idx()])
-        .map(|t| (t, dag.cost(t).marginal_gain(allocs[t.idx()])))
-        .collect();
+    gains.clear();
+    gains.extend(
+        dag.task_ids()
+            .filter(|&t| tls[t.idx()] + bls[t.idx()] == cp)
+            .filter(|&t| allocs[t.idx()] < cap)
+            .filter(|&t| dag.cost(t).exec_time(allocs[t.idx()] + 1) < exec[t.idx()])
+            .map(|t| (t, dag.cost(t).marginal_gain(allocs[t.idx()]))),
+    );
+    // The task-id tie-break makes the key injective, so the unstable sort
+    // (which, unlike the stable one, never allocates a merge buffer) is
+    // deterministic.
     // lint:allow(panic): marginal gains are finite ratios of positive durations (never NaN), so partial_cmp is total here.
-    cands.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0 .0.cmp(&b.0 .0)));
-    cands.into_iter().map(|(t, _)| t).collect()
+    gains.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0 .0.cmp(&b.0 .0)));
+    out.clear();
+    out.extend(gains.iter().map(|&(t, _)| t));
 }
 
 /// Schedule `dag` with the reservation-aware one-step iCASLB adaptation.
@@ -132,26 +206,69 @@ pub fn schedule_icaslb(
     q: u32,
     cfg: IcaslbConfig,
 ) -> Schedule {
+    let mut ctx = SchedCtx::new();
+    let mut out = Schedule::new(Vec::new(), now);
+    schedule_icaslb_with(dag, competing, now, q, cfg, &mut ctx, &mut out);
+    out
+}
+
+/// [`schedule_icaslb`] into a recycled [`SchedCtx`] and output schedule:
+/// byte-identical results, allocation-free once the context is warm.
+// lint:hotpath:begin
+pub fn schedule_icaslb_with(
+    dag: &Dag,
+    competing: &Calendar,
+    now: Time,
+    q: u32,
+    cfg: IcaslbConfig,
+    ctx: &mut SchedCtx,
+    out: &mut Schedule,
+) {
     let p = competing.capacity();
     let cap = crate::pool::Pool::effective(q, p);
     let mut stats = ScheduleStats::default();
     stats.count_pass();
+    let IcaslbBufs {
+        tracker,
+        allocs,
+        exec,
+        gains,
+        cands,
+        order,
+        cal,
+        slots,
+        trial,
+        step,
+        best,
+    } = &mut ctx.icaslb;
 
-    let mut allocs = vec![1u32; dag.num_tasks()];
-    let mut exec: Vec<Dur> = dag.costs().iter().map(|c| c.exec_time(1)).collect();
-    let mut tracker = LevelTracker::new(dag, &exec);
+    allocs.clear();
+    allocs.resize(dag.num_tasks(), 1u32);
+    exec.clear();
+    exec.extend(dag.costs().iter().map(|c| c.exec_time(1)));
+    let tracker = match tracker {
+        Some(t) => {
+            t.rebuild(dag, exec);
+            t
+        }
+        none => none.insert(LevelTracker::new(dag, exec)),
+    };
     let mut incr_touched = 0u64;
-    let mut best_placements = build_schedule(
+    build_schedule(
         dag,
         competing,
         now,
-        &allocs,
-        &exec,
+        allocs,
+        exec,
         tracker.bottom(),
         &mut stats,
+        order,
+        cal,
+        slots,
+        best,
     );
-    let mut best_makespan = makespan(&best_placements);
-    let mut best_cpu: i64 = best_placements
+    let mut best_makespan = makespan(best);
+    let mut best_cpu: i64 = best
         .iter()
         .map(|pl| pl.procs as i64 * pl.duration().as_seconds())
         .sum();
@@ -162,53 +279,63 @@ pub fn schedule_icaslb(
         if stalls >= cfg.patience {
             break;
         }
-        let cands = cp_candidates(dag, &allocs, cap, &exec, &tracker);
+        cp_candidates(dag, allocs, cap, exec, tracker, gains, cands);
         if cands.is_empty() {
             break;
         }
         // Look-ahead: evaluate the real makespan of each candidate growth.
         // Each trial nudges the tracked levels forward and back — an exact
         // round trip, since level maintenance is pure max-plus arithmetic.
-        let mut best_step: Option<(TaskId, Time, Vec<Placement>)> = None;
+        // The winning trial's placements are kept in `step` by swapping, so
+        // the loop reuses two placement buffers instead of allocating one
+        // per candidate.
+        let mut best_step: Option<(TaskId, Time)> = None;
         for &t in cands.iter().take(cfg.lookahead) {
             allocs[t.idx()] += 1;
             let old_exec = exec[t.idx()];
             exec[t.idx()] = dag.cost(t).exec_time(allocs[t.idx()]);
-            incr_touched += tracker.update(dag, &exec, t);
-            let placements = build_schedule(
+            incr_touched += tracker.update(dag, exec, t);
+            build_schedule(
                 dag,
                 competing,
                 now,
-                &allocs,
-                &exec,
+                allocs,
+                exec,
                 tracker.bottom(),
                 &mut stats,
+                order,
+                cal,
+                slots,
+                trial,
             );
-            let m = makespan(&placements);
+            let m = makespan(trial);
             allocs[t.idx()] -= 1;
             exec[t.idx()] = old_exec;
-            incr_touched += tracker.update(dag, &exec, t);
+            incr_touched += tracker.update(dag, exec, t);
             match &best_step {
-                Some((_, bm, _)) if m >= *bm => {}
-                _ => best_step = Some((t, m, placements)),
+                Some((_, bm)) if m >= *bm => {}
+                _ => {
+                    best_step = Some((t, m));
+                    std::mem::swap(trial, step);
+                }
             }
         }
-        let Some((t, m, placements)) = best_step else {
+        let Some((t, m)) = best_step else {
             break;
         };
         // Commit the best step even if it does not improve (escaping local
         // minima), but count the stall.
         allocs[t.idx()] += 1;
         exec[t.idx()] = dag.cost(t).exec_time(allocs[t.idx()]);
-        incr_touched += tracker.update(dag, &exec, t);
-        let cpu: i64 = placements
+        incr_touched += tracker.update(dag, exec, t);
+        let cpu: i64 = step
             .iter()
             .map(|pl| pl.procs as i64 * pl.duration().as_seconds())
             .sum();
         if m < best_makespan || (m == best_makespan && cpu < best_cpu) {
             best_makespan = m;
             best_cpu = cpu;
-            best_placements = placements;
+            std::mem::swap(step, best);
             stalls = 0;
         } else {
             stalls += 1;
@@ -216,16 +343,15 @@ pub fn schedule_icaslb(
     }
 
     obs::counter_add(obs::names::CPA_ALLOC_INCR_UPDATES, incr_touched);
-    let mut sched = Schedule::new(best_placements, now);
-    sched.stats = stats;
+    out.assign(best.iter().copied(), now);
+    out.stats = stats;
 
     #[cfg(any(debug_assertions, feature = "validate"))]
     crate::validate::ScheduleValidator::new(dag, competing, now)
         .with_declared_bounds(vec![cap; dag.num_tasks()])
-        .assert_valid(&sched, "iCASLB-AR");
-
-    sched
+        .assert_valid(out, "iCASLB-AR");
 }
+// lint:hotpath:end
 
 #[cfg(test)]
 mod tests {

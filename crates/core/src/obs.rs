@@ -111,6 +111,14 @@ pub mod names {
     pub const BACKEND_SLOTSET_QUERIES: &str = "backend.slotset.queries";
     /// Counter: slot queries answered by the linear-scan reference backend.
     pub const BACKEND_LINEAR_QUERIES: &str = "backend.linear.queries";
+    /// Counter: heap allocations observed by the counting allocator
+    /// (`alloc-probe` feature) over a published measurement window.
+    pub const ALLOC_COUNT: &str = "alloc.count";
+    /// Counter: heap bytes requested over a published measurement window.
+    pub const ALLOC_BYTES: &str = "alloc.bytes";
+    /// Counter: allocations observed during windows declared steady-state
+    /// (post-warm-up schedules); the regression tests pin this to zero.
+    pub const ALLOC_STEADY_STATE: &str = "alloc.steady_state";
 
     use super::ScheduleStats;
 
@@ -870,6 +878,9 @@ mod tests {
             names::BACKEND_INDEXED_QUERIES,
             names::BACKEND_SLOTSET_QUERIES,
             names::BACKEND_LINEAR_QUERIES,
+            names::ALLOC_COUNT,
+            names::ALLOC_BYTES,
+            names::ALLOC_STEADY_STATE,
         ];
         for c in constants {
             assert!(

@@ -108,6 +108,18 @@ impl Schedule {
         }
     }
 
+    /// Overwrite this schedule in place with new per-task placements
+    /// (indexed by task id) computed at instant `now`, resetting the stats.
+    ///
+    /// The allocation-free counterpart of [`Schedule::new`] for recycled
+    /// output schedules: the placement buffer's capacity is reused.
+    pub fn assign(&mut self, placements: impl IntoIterator<Item = Placement>, now: Time) {
+        self.placements.clear();
+        self.placements.extend(placements);
+        self.now = now;
+        self.stats = ScheduleStats::default();
+    }
+
     /// The placement of task `t`.
     #[inline]
     pub fn placement(&self, t: TaskId) -> Placement {
@@ -128,13 +140,17 @@ impl Schedule {
     /// placements chronologically (Gantt/SVG rendering, validator replays)
     /// uses this order so output is deterministic across runs.
     pub fn placements_by_start(&self) -> Vec<(TaskId, Placement)> {
-        let mut out: Vec<(TaskId, Placement)> = self
-            .placements
-            .iter()
-            .enumerate()
-            .map(|(i, pl)| (TaskId(i as u32), *pl))
-            .collect();
-        out.sort_by_key(|&(t, pl)| (pl.start, pl.end, t));
+        let mut out: Vec<(TaskId, Placement)> = Vec::with_capacity(self.placements.len());
+        out.extend(
+            self.placements
+                .iter()
+                .enumerate()
+                .map(|(i, pl)| (TaskId(i as u32), *pl)),
+        );
+        // The key ends in the task id, so no two entries compare equal and
+        // the unstable sort is deterministic (and skips the stable sort's
+        // merge-buffer allocation).
+        out.sort_unstable_by_key(|&(t, pl)| (pl.start, pl.end, t));
         out
     }
 

@@ -1,0 +1,17 @@
+//! Seeded fixture: allocation inside a marked hot-path region, plus one
+//! waived site and one construct that is allowed because the region closed.
+
+// lint:hotpath:begin
+/// The alloc rule must catch this buffer birth.
+pub fn fill(n: usize) -> Vec<u32> {
+    let mut out = Vec::new();
+    // lint:allow(alloc): fixture waiver — the suppressed collect below.
+    out.extend((0..n as u32).collect::<Vec<_>>());
+    out
+}
+// lint:hotpath:end
+
+/// Outside the region, allocation is the panic- and nondet-rules' problem.
+pub fn fine(n: usize) -> Vec<u32> {
+    (0..n as u32).collect()
+}

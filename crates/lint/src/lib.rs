@@ -1,6 +1,6 @@
 //! `resched-lint` — the workspace's static-analysis pass.
 //!
-//! Five deny-by-default rule families keep the reproduction's correctness
+//! Six deny-by-default rule families keep the reproduction's correctness
 //! story enforceable at the source level (DESIGN.md §10):
 //!
 //! * `nondet` — no `HashMap`/`HashSet`, wall-clock reads, or bare float
@@ -13,7 +13,11 @@
 //!   tables, the differential-test golden, and the test harnesses agree on
 //!   the exact algorithm list;
 //! * `parity` — every `#[cfg(feature = "obs")]` item has a
-//!   `#[cfg(not(feature = "obs"))]` counterpart.
+//!   `#[cfg(not(feature = "obs"))]` counterpart;
+//! * `alloc` — no `Vec::new`/`Box::new`/`collect` inside
+//!   `lint:hotpath:begin`/`lint:hotpath:end` regions, the scheduling hot
+//!   paths pinned allocation-free by the counting-allocator harness
+//!   (DESIGN.md §16).
 //!
 //! Violations are suppressed by inline waivers:
 //!
@@ -49,18 +53,21 @@ pub enum Rule {
     Catalog,
     /// `obs` feature gates without no-op stubs.
     Parity,
+    /// Heap allocation inside a marked scheduling hot path.
+    Alloc,
     /// Malformed, unjustified, or unused waivers.
     Waiver,
 }
 
 impl Rule {
     /// All waivable rules (everything except `waiver` itself).
-    pub const WAIVABLE: [Rule; 5] = [
+    pub const WAIVABLE: [Rule; 6] = [
         Rule::Nondet,
         Rule::Panic,
         Rule::Obs,
         Rule::Catalog,
         Rule::Parity,
+        Rule::Alloc,
     ];
 
     /// The rule's name as written in reports and waiver comments.
@@ -71,6 +78,7 @@ impl Rule {
             Rule::Obs => "obs",
             Rule::Catalog => "catalog",
             Rule::Parity => "parity",
+            Rule::Alloc => "alloc",
             Rule::Waiver => "waiver",
         }
     }
@@ -403,7 +411,7 @@ impl Sink {
                         line: w.line,
                         rule: Rule::Waiver,
                         message: format!(
-                            "waiver names unknown rule `{}` (known: nondet, panic, obs, catalog, parity)",
+                            "waiver names unknown rule `{}` (known: nondet, panic, obs, catalog, parity, alloc)",
                             w.raw_rule
                         ),
                     }),
@@ -446,6 +454,7 @@ pub fn run(ws: &Workspace, cfg: &Config) -> Vec<Violation> {
     rules::catalog_sync(ws, cfg, &mut sink);
     rules::feature_parity(ws, cfg, &mut sink);
     rules::backend_parity(ws, cfg, &mut sink);
+    rules::alloc_hotpath(ws, cfg, &mut sink);
     sink.finish()
 }
 

@@ -51,6 +51,7 @@ fn seeded_violations_are_reported_at_exact_sites() {
         "crates/core/src/sched.rs:9: nondet:",
         "crates/core/src/obs.rs:6: obs:",
         "crates/core/src/gated.rs:3: parity:",
+        "crates/core/src/hot.rs:7: alloc:",
         "crates/core/src/sched.rs:20: waiver:",
         "tests/tests/cache_differential.rs:1: catalog:",
         "did you mean \"fixture.good\"?",

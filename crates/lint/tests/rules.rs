@@ -453,6 +453,61 @@ fn missing_backend_manifest_with_impls_is_flagged() {
 }
 
 // ---------------------------------------------------------------------------
+// alloc
+// ---------------------------------------------------------------------------
+
+#[test]
+fn allocation_inside_a_hotpath_region_is_flagged() {
+    let report = lint(&[(
+        "crates/core/src/fix.rs",
+        "// lint:hotpath:begin\npub fn f(n: usize) -> Vec<u32> {\n    let _v: Vec<u32> = Vec::new();\n    let _b = Box::new(1u32);\n    (0..n as u32).collect()\n}\n// lint:hotpath:end\n",
+    )]);
+    assert_eq!(
+        sites(&report, Rule::Alloc),
+        vec![
+            ("crates/core/src/fix.rs".to_string(), 3),
+            ("crates/core/src/fix.rs".to_string(), 4),
+            ("crates/core/src/fix.rs".to_string(), 5),
+        ]
+    );
+}
+
+#[test]
+fn unbalanced_hotpath_markers_are_flagged() {
+    let report = lint(&[(
+        "crates/core/src/fix.rs",
+        "// lint:hotpath:end\npub fn a() {}\n// lint:hotpath:begin\npub fn b() {}\n",
+    )]);
+    assert_eq!(
+        sites(&report, Rule::Alloc),
+        vec![
+            ("crates/core/src/fix.rs".to_string(), 1),
+            ("crates/core/src/fix.rs".to_string(), 3),
+        ]
+    );
+}
+
+#[test]
+fn alloc_negatives_pass() {
+    // Allocation outside any region, marker mentions in prose, and
+    // `#[cfg(test)]` items inside a region are all fine.
+    let report = lint(&[(
+        "crates/core/src/fix.rs",
+        "pub fn cold(n: usize) -> Vec<u32> {\n    let mut v = Vec::new();\n    v.extend(0..n as u32);\n    v\n}\n// A lint:hotpath:begin marker mentioned in prose opens nothing.\n// lint:hotpath:begin\npub fn hot(x: &mut Vec<u32>) {\n    x.clear();\n}\n#[cfg(test)]\nmod tests {\n    pub fn t() -> Vec<u32> {\n        Vec::new()\n    }\n}\n// lint:hotpath:end\n",
+    )]);
+    assert_eq!(sites(&report, Rule::Alloc), vec![]);
+}
+
+#[test]
+fn alloc_waiver_suppresses() {
+    let report = lint(&[(
+        "crates/core/src/fix.rs",
+        "// lint:hotpath:begin\npub fn f() {\n    // lint:allow(alloc): cold branch taken once per run, outside the steady-state pin.\n    let _v: Vec<u32> = Vec::new();\n}\n// lint:hotpath:end\n",
+    )]);
+    assert!(report.is_empty(), "waived alloc must be clean: {report:?}");
+}
+
+// ---------------------------------------------------------------------------
 // waiver bookkeeping
 // ---------------------------------------------------------------------------
 

@@ -181,7 +181,10 @@ impl Calendar {
         I: IntoIterator<Item = Reservation>,
     {
         assert!(capacity > 0, "a platform needs at least one processor");
-        let mut deltas: Vec<(Time, i64)> = Vec::new();
+        let resvs = resvs.into_iter();
+        // Two deltas per reservation; `size_hint` is exact for the slice
+        // and Vec iterators the loaders use, making this one allocation.
+        let mut deltas: Vec<(Time, i64)> = Vec::with_capacity(resvs.size_hint().0 * 2);
         let mut reserved_proc_seconds = 0i64;
         let mut num_reservations = 0usize;
         for r in resvs {
@@ -197,7 +200,19 @@ impl Calendar {
             num_reservations += 1;
         }
         deltas.sort_unstable_by_key(|&(t, _)| t);
-        let mut steps: Vec<Step> = Vec::new();
+        // Pre-reserve the exact upper bound — one breakpoint per distinct
+        // delta instant (zero-sum instants coalesce away, never more) —
+        // so the sweep below performs a single allocation instead of
+        // doubling its way up.
+        let mut distinct = 0usize;
+        let mut prev_t: Option<Time> = None;
+        for &(t, _) in &deltas {
+            if prev_t != Some(t) {
+                distinct += 1;
+                prev_t = Some(t);
+            }
+        }
+        let mut steps: Vec<Step> = Vec::with_capacity(distinct);
         let mut used = 0i64;
         let mut i = 0;
         while i < deltas.len() {
@@ -231,6 +246,72 @@ impl Calendar {
         };
         debug_assert!(cal.check_invariants());
         Ok(cal)
+    }
+
+    /// Make `self` logically identical to `src`, reusing every buffer this
+    /// calendar already owns — breakpoints, segment-tree index, slot set —
+    /// instead of allocating fresh ones. The allocation-free twin of
+    /// `clone()` for scratch calendars recycled across schedules: after
+    /// the buffers have warmed up to the peak sizes seen so far, this
+    /// performs zero heap allocation.
+    ///
+    /// Derived caches that were never built on `self` stay unbuilt (they
+    /// remain lazy); caches already present are rebuilt in place so later
+    /// queries find them warm.
+    pub fn copy_from(&mut self, src: &Calendar) {
+        self.capacity = src.capacity;
+        self.steps.clone_from(&src.steps);
+        self.reserved_proc_seconds = src.reserved_proc_seconds;
+        self.num_reservations = src.num_reservations;
+        if let Some(ix) = self.index.get_mut() {
+            ix.rebuild(&self.steps);
+        }
+        if let Some(ss) = self.slotset.get_mut() {
+            ss.rebuild(self.capacity, &self.steps);
+        }
+    }
+
+    /// Clear to an empty calendar of `capacity` processors, keeping every
+    /// buffer — the allocation-free twin of [`Calendar::new`] for scratch
+    /// platforms (e.g. the CPA mapping phase's virtual platform) recycled
+    /// across runs.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn reset(&mut self, capacity: u32) {
+        assert!(capacity > 0, "a platform needs at least one processor");
+        self.capacity = capacity;
+        self.steps.clear();
+        self.reserved_proc_seconds = 0;
+        self.num_reservations = 0;
+        if let Some(ix) = self.index.get_mut() {
+            ix.rebuild(&self.steps);
+        }
+        if let Some(ss) = self.slotset.get_mut() {
+            ss.rebuild(capacity, &self.steps);
+        }
+    }
+
+    /// Overwrite the breakpoint buffer with sentinel garbage and drop the
+    /// derived caches. Test-only helper: scratch-reuse tests poison a
+    /// recycled calendar between schedules to prove nothing depends on
+    /// leftover state. The calendar is *invalid* until the next
+    /// [`Calendar::copy_from`] / [`Calendar::reset`].
+    #[doc(hidden)]
+    pub fn debug_poison(&mut self) {
+        let cap = self.steps.capacity();
+        self.steps.clear();
+        self.steps.resize(
+            cap,
+            Step {
+                time: Time::seconds(i64::MIN / 4),
+                used: u32::MAX,
+            },
+        );
+        self.reserved_proc_seconds = i64::MIN;
+        self.num_reservations = usize::MAX;
+        self.index.take();
+        self.slotset.take();
     }
 
     /// Total number of processors on the platform (the paper's `p`).
@@ -382,9 +463,12 @@ impl Calendar {
         let removed = self.coalesce_around(start_idx, end_idx);
         if inserted_start || inserted_end || removed > 0 {
             // The breakpoint vector changed shape; the Vec::insert/remove
-            // above already cost O(B), so a lazy rebuild on the next query
-            // keeps the same asymptotics.
-            self.index.take();
+            // above already cost O(B), so an in-place rebuild (reusing the
+            // tree's buffers, see UsageIndex::rebuild) keeps the same
+            // asymptotics without touching the heap in the steady state.
+            if let Some(ix) = self.index.get_mut() {
+                ix.rebuild(&self.steps);
+            }
         } else if let Some(ix) = self.index.get_mut() {
             // Pure usage bump over existing breakpoints: patch the tree
             // in place instead of rebuilding — O(log B) total.
@@ -459,7 +543,9 @@ impl Calendar {
         }
         let removed = self.coalesce_around(start_idx, end_idx);
         if inserted_start || inserted_end || removed > 0 {
-            self.index.take();
+            if let Some(ix) = self.index.get_mut() {
+                ix.rebuild(&self.steps);
+            }
         } else if let Some(ix) = self.index.get_mut() {
             ix.range_bump(start_idx, end_idx, -(r.procs as i64));
             debug_assert!(ix.matches(&self.steps));
@@ -878,21 +964,22 @@ impl Calendar {
     /// around a mutated range; returns how many were removed.
     fn coalesce_around(&mut self, start_idx: usize, end_idx: usize) -> usize {
         // Only breakpoints at the boundary of the mutated range can have
-        // become redundant, but a full-range retain is simpler and the
-        // mutated range is usually tiny. Check just the two boundaries.
-        let mut remove = Vec::with_capacity(2);
+        // become redundant; check just the two boundaries. A fixed-size
+        // scratch keeps this hot mutation path off the heap.
+        let mut remove = [usize::MAX; 2];
+        let mut removed = 0usize;
         for &i in &[end_idx, start_idx] {
             if i < self.steps.len() {
                 let prev_used = if i == 0 { 0 } else { self.steps[i - 1].used };
                 if self.steps[i].used == prev_used {
-                    remove.push(i);
+                    remove[removed] = i;
+                    removed += 1;
                 }
             }
         }
         // Remove in descending index order (end_idx first, already ordered
         // descending because end_idx > start_idx).
-        let removed = remove.len();
-        for i in remove {
+        for &i in &remove[..removed] {
             self.steps.remove(i);
         }
         debug_assert!(self.check_invariants());

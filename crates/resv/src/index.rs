@@ -73,22 +73,49 @@ pub(crate) struct UsageIndex {
 impl UsageIndex {
     /// Build the index for the given breakpoint vector.
     pub(crate) fn build(steps: &[Step]) -> UsageIndex {
+        let mut ix = UsageIndex {
+            n: 0,
+            tmax: Vec::new(),
+            tmin: Vec::new(),
+            tadd: Vec::new(),
+            area_base: Vec::new(),
+            times: Vec::new(),
+            fen_coeff: Vec::new(),
+            fen_const: Vec::new(),
+        };
+        ix.rebuild(steps);
+        ix
+    }
+
+    /// Rebuild the index in place for a (possibly reshaped) breakpoint
+    /// vector, reusing every buffer whose capacity suffices. Same O(B)
+    /// cost as [`UsageIndex::build`], but allocation-free once the buffers
+    /// have warmed up to the calendar's peak breakpoint count — which is
+    /// what keeps structural calendar mutations off the heap in the
+    /// steady state.
+    pub(crate) fn rebuild(&mut self, steps: &[Step]) {
         let n = steps.len();
         let slots = if n == 0 { 0 } else { 4 * n };
-        let mut ix = UsageIndex {
-            n,
-            tmax: vec![0; slots],
-            tmin: vec![0; slots],
-            tadd: vec![0; slots],
-            area_base: Self::eager_prefix_areas(steps),
-            times: steps.iter().map(|s| s.time.as_seconds()).collect(),
-            fen_coeff: vec![0; n + 1],
-            fen_const: vec![0; n + 1],
-        };
+        self.n = n;
+        // clear + resize (not just resize): stale lazy tags or min/max
+        // values from the previous shape must not survive into nodes the
+        // fresh build does not overwrite.
+        self.tmax.clear();
+        self.tmax.resize(slots, 0);
+        self.tmin.clear();
+        self.tmin.resize(slots, 0);
+        self.tadd.clear();
+        self.tadd.resize(slots, 0);
+        Self::eager_prefix_areas_into(steps, &mut self.area_base);
+        self.times.clear();
+        self.times.extend(steps.iter().map(|s| s.time.as_seconds()));
+        self.fen_coeff.clear();
+        self.fen_coeff.resize(n + 1, 0);
+        self.fen_const.clear();
+        self.fen_const.resize(n + 1, 0);
         if n > 0 {
-            ix.build_node(steps, 1, 0, n);
+            self.build_node(steps, 1, 0, n);
         }
-        ix
     }
 
     /// The eager O(B) prefix-area computation: `out[i]` = processor-seconds
@@ -98,6 +125,14 @@ impl UsageIndex {
     /// linear).
     pub(crate) fn eager_prefix_areas(steps: &[Step]) -> Vec<i64> {
         let mut out = Vec::with_capacity(steps.len());
+        Self::eager_prefix_areas_into(steps, &mut out);
+        out
+    }
+
+    /// [`UsageIndex::eager_prefix_areas`] into a reused buffer.
+    fn eager_prefix_areas_into(steps: &[Step], out: &mut Vec<i64>) {
+        out.clear();
+        out.reserve(steps.len());
         let mut acc = 0i64;
         for (i, s) in steps.iter().enumerate() {
             out.push(acc);
@@ -105,7 +140,6 @@ impl UsageIndex {
                 acc += s.used as i64 * (next.time - s.time).as_seconds();
             }
         }
-        out
     }
 
     fn build_node(&mut self, steps: &[Step], node: usize, l: usize, r: usize) {

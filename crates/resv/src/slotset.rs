@@ -58,18 +58,28 @@ pub(crate) struct SlotSet {
 impl SlotSet {
     /// Build the slot list from a canonical breakpoint vector.
     pub(crate) fn build(capacity: u32, steps: &[Step]) -> SlotSet {
-        let slots = steps
-            .windows(2)
-            .map(|w| Slot {
-                start: w[0].time,
-                end: w[1].time,
-                // Saturating: `audit_calendar` inspects deliberately
-                // overbooked calendars through this backend, and an
-                // over-capacity segment simply has nothing free.
-                free: capacity.saturating_sub(w[0].used),
-            })
-            .collect();
-        SlotSet { capacity, slots }
+        let mut ss = SlotSet {
+            capacity,
+            slots: Vec::new(),
+        };
+        ss.rebuild(capacity, steps);
+        ss
+    }
+
+    /// Rebuild the slot list in place from a breakpoint vector, reusing
+    /// the slot buffer — the allocation-free twin of [`SlotSet::build`]
+    /// for scratch calendars recycled across schedules.
+    pub(crate) fn rebuild(&mut self, capacity: u32, steps: &[Step]) {
+        self.capacity = capacity;
+        self.slots.clear();
+        self.slots.extend(steps.windows(2).map(|w| Slot {
+            start: w[0].time,
+            end: w[1].time,
+            // Saturating: `audit_calendar` inspects deliberately
+            // overbooked calendars through this backend, and an
+            // over-capacity segment simply has nothing free.
+            free: capacity.saturating_sub(w[0].used),
+        }));
     }
 
     /// Whether this slot list is exactly the one a fresh rebuild from
@@ -432,6 +442,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op)] // the 1-proc plateau terms keep the area sums legible
     fn aggregates_and_conflicts() {
         let steps = [step(10, 3), step(20, 1), step(30, 0)];
         let ss = SlotSet::build(4, &steps);

@@ -1,0 +1,214 @@
+//! Counting-allocator regression tests for the arena scheduling paths.
+//!
+//! Compiled only under the `alloc-probe` feature, which installs the
+//! counting global allocator from `lib.rs`. The contract under test
+//! (DESIGN.md §16): once a [`SchedCtx`] has scheduled a DAG shape once,
+//! every later schedule through it performs **zero** heap allocation —
+//! for all 25 catalog algorithms, on n=100 dense and sparse DAGs.
+//!
+//! The zero pins are asserted only in release builds
+//! (`cargo test --release --features alloc-probe`, the CI `alloc-probe`
+//! lane): debug builds compile in the schedule validators, which allocate
+//! by design. Warm-up (first-run) allocation counts are pinned by a
+//! committed golden, `results/golden/alloc_warmup.json`, so arena growth
+//! shows up as a reviewable diff rather than silent drift.
+
+#![cfg(feature = "alloc-probe")]
+
+// Force-link the resched-tests lib: it installs the counting global
+// allocator this whole file depends on (an integration-test binary only
+// links its package lib when something references it).
+use resched_tests as _;
+
+use resched_core::algos::Algorithm;
+use resched_core::alloc_probe;
+use resched_core::forward::{schedule_forward, ForwardConfig};
+use resched_core::prelude::*;
+use resched_daggen::{generate, DagParams};
+use std::path::PathBuf;
+
+/// An n=100 DAG: `dense` controls edge density (the paper's daggen knob).
+fn dag_100(dense: bool, seed: u64) -> resched_core::dag::Dag {
+    let params = DagParams {
+        num_tasks: 100,
+        alpha_max: 0.3,
+        width: 0.5,
+        regularity: 0.5,
+        density: if dense { 0.8 } else { 0.2 },
+        jump: 2,
+    };
+    generate(&params, seed)
+}
+
+fn busy_calendar(p: u32) -> Calendar {
+    let mut cal = Calendar::new(p);
+    for i in 0..10i64 {
+        let s = 2_000 * i;
+        let procs = 1 + (i as u32 * 3) % (p / 2);
+        let _ = cal.try_add(Reservation::new(
+            Time::seconds(s),
+            Time::seconds(s + 1_500 + 100 * i),
+            procs,
+        ));
+    }
+    cal
+}
+
+/// Serialize the thread-count override (process-global) across the tests
+/// in this file; the sequential λ-sweep path is the allocation-free one.
+fn with_one_thread<T>(f: impl FnOnce() -> T) -> T {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = LOCK.lock().unwrap();
+    rayon::force_threads(Some(1));
+    let out = f();
+    rayon::force_threads(None);
+    out
+}
+
+/// One scenario's worth of per-algorithm warm-up and steady-state deltas.
+fn run_scenario(dense: bool) -> serde::Map<String, u64> {
+    let dag = dag_100(dense, if dense { 41 } else { 42 });
+    let cal = busy_calendar(32);
+    let q = 24;
+    let fwd = schedule_forward(&dag, &cal, Time::ZERO, q, ForwardConfig::recommended());
+    let deadline = Some(Time::ZERO + fwd.turnaround() * 4);
+
+    let mut warmup = serde::Map::new();
+    let mut ctx = SchedCtx::new();
+    let mut out = Schedule::new(Vec::new(), Time::ZERO);
+    for algo in Algorithm::catalog() {
+        let name = algo.name();
+        // Warm-up: the first run may allocate (buffers grow to the DAG's
+        // size); the committed golden pins how much.
+        let (res, warm) = alloc_probe::measure(|| {
+            algo.run_with(&dag, &cal, Time::ZERO, q, deadline, &mut ctx, &mut out)
+        });
+        res.unwrap_or_else(|e| panic!("{name}: {e}"));
+        alloc_probe::publish(warm);
+        warmup.insert(name.clone(), warm.count);
+
+        // Steady state: two more schedules through the warm context must
+        // not touch the heap at all.
+        for round in 0..2 {
+            let (res, steady) = alloc_probe::measure(|| {
+                algo.run_with(&dag, &cal, Time::ZERO, q, deadline, &mut ctx, &mut out)
+            });
+            res.unwrap_or_else(|e| panic!("{name}: {e}"));
+            alloc_probe::publish_steady_state(steady);
+            // Validators compile in (and allocate) under debug_assertions,
+            // so the zero pin is release-only; the CI lane runs --release.
+            #[cfg(not(debug_assertions))]
+            assert_eq!(
+                steady.count, 0,
+                "{name}: steady-state schedule allocated {} times ({} bytes) \
+                 on round {round} (dense: {dense})",
+                steady.count, steady.bytes
+            );
+            let _ = round;
+        }
+    }
+    warmup
+}
+
+#[test]
+fn steady_state_schedules_do_not_allocate() {
+    let warmup: serde::Map<String, serde::Map<String, u64>> = with_one_thread(|| {
+        [("dense", true), ("sparse", false)]
+            .into_iter()
+            .map(|(label, dense)| (label.to_string(), run_scenario(dense)))
+            .collect()
+    });
+
+    // Pin the warm-up counts in release builds only: debug builds run the
+    // allocating validators inside the measured window.
+    #[cfg(not(debug_assertions))]
+    check_golden("alloc_warmup.json", &warmup);
+    #[cfg(debug_assertions)]
+    let _ = warmup;
+}
+
+/// `Calendar::bulk_load` pre-reserves exact capacity: its allocation count
+/// must not depend on how many reservations are loaded.
+#[test]
+fn bulk_load_allocation_count_is_size_independent() {
+    let resvs = |n: i64| -> Vec<Reservation> {
+        (0..n)
+            .map(|i| {
+                Reservation::new(
+                    Time::seconds(10 * i),
+                    Time::seconds(10 * i + 25),
+                    1 + (i as u32) % 4,
+                )
+            })
+            .collect()
+    };
+    let small = resvs(16);
+    let large = resvs(1024);
+    let (_, small_delta) = alloc_probe::measure(|| Calendar::bulk_load(16, small).unwrap());
+    let (_, large_delta) = alloc_probe::measure(|| Calendar::bulk_load(16, large).unwrap());
+    assert_eq!(
+        small_delta.count, large_delta.count,
+        "bulk_load allocation count grew with input size ({} -> {}): \
+         a buffer is growing incrementally instead of pre-reserving",
+        small_delta.count, large_delta.count
+    );
+}
+
+/// `Schedule::placements_by_start` performs exactly one allocation: the
+/// exact-capacity output vector (the unstable sort needs no merge buffer).
+#[test]
+fn placements_by_start_allocates_exactly_once() {
+    let placements: Vec<Placement> = (0..512)
+        .map(|i| Placement {
+            start: Time::seconds(1000 - i),
+            end: Time::seconds(1010 - i),
+            procs: 1 + (i as u32) % 3,
+        })
+        .collect();
+    let sched = Schedule::new(placements, Time::ZERO);
+    let (sorted, delta) = alloc_probe::measure(|| sched.placements_by_start());
+    assert_eq!(sorted.len(), 512);
+    assert_eq!(
+        delta.count, 1,
+        "placements_by_start should allocate exactly its output vector, \
+         measured {} allocations",
+        delta.count
+    );
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("tests/ sits inside the workspace root")
+        .join("results/golden")
+}
+
+/// Compare `value` against the committed golden `name`, or rewrite it when
+/// `RESCHED_UPDATE_GOLDEN` is set (same contract as golden_experiments).
+#[cfg_attr(debug_assertions, allow(dead_code))]
+fn check_golden(name: &str, value: &impl serde::Serialize) {
+    let path = golden_dir().join(name);
+    let mut got = serde_json::to_string_pretty(value).expect("summary serializes");
+    got.push('\n');
+    if std::env::var("RESCHED_UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); create it with RESCHED_UPDATE_GOLDEN=1 \
+             cargo test --release -p resched-tests --features alloc-probe \
+             --test alloc_probe",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got,
+        want,
+        "{} drifted: warm-up allocation counts changed; if intentional \
+         (arena growth), refresh with RESCHED_UPDATE_GOLDEN=1 and review \
+         the diff",
+        path.display()
+    );
+}

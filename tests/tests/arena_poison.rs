@@ -1,0 +1,120 @@
+//! Differential proof that a recycled [`SchedCtx`] is inert.
+//!
+//! The arena refactor's contract (DESIGN.md §16) is that nothing in a
+//! scheduling context carries meaning between runs. This suite attacks the
+//! contract directly: between schedules every buffer in the reused context
+//! is refilled with sentinel garbage ([`SchedCtx::poison`] — negative
+//! times, out-of-range task ids, poisoned calendars, a CPA cache full of
+//! live-looking wrong entries), and every catalog algorithm must still
+//! produce a schedule byte-identical (placements *and* stats) to a fresh
+//! per-call context. Any `*_with` entry point that reads a buffer before
+//! overwriting it fails loudly here.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use resched_core::algos::Algorithm;
+use resched_core::forward::{schedule_forward, ForwardConfig};
+use resched_core::prelude::*;
+use resched_daggen::{generate, DagParams};
+
+fn dag_params<R: Rng>(rng: &mut R, num_tasks: usize) -> DagParams {
+    DagParams {
+        num_tasks,
+        alpha_max: rng.gen_range(0.0..0.5f64),
+        width: rng.gen_range(0.1..0.9f64),
+        regularity: rng.gen_range(0.1..0.9f64),
+        density: rng.gen_range(0.1..0.9f64),
+        jump: rng.gen_range(1u32..4),
+    }
+}
+
+fn calendar<R: Rng>(rng: &mut R, p: u32) -> Calendar {
+    let mut cal = Calendar::new(p);
+    for _ in 0..rng.gen_range(0..12usize) {
+        let s = rng.gen_range(0i64..50_000);
+        let d = rng.gen_range(60i64..20_000);
+        let m = rng.gen_range(1u32..=p);
+        let _ = cal.try_add(Reservation::new(Time::seconds(s), Time::seconds(s + d), m));
+    }
+    cal
+}
+
+/// One shared context, poisoned before every single schedule, across the
+/// whole catalog and a sweep of scenarios with *varying* task counts — so
+/// buffers are exercised both growing (larger DAG than last run) and
+/// shrinking (smaller DAG, stale capacity full of sentinels).
+#[test]
+fn poisoned_reused_ctx_matches_fresh_ctx_for_all_algorithms() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0xA4E7A);
+    let mut ctx = SchedCtx::new();
+    // Alternate sizes so each scenario flips between growing and shrinking
+    // every buffer in the reused context.
+    for (i, n) in [18usize, 4, 24, 7].into_iter().enumerate() {
+        let params = dag_params(&mut rng, n);
+        let cal = calendar(&mut rng, 16);
+        let q = rng.gen_range(1u32..=16);
+        let dag = generate(&params, rng.gen_range(0u64..1000));
+        let fwd = schedule_forward(&dag, &cal, Time::ZERO, q, ForwardConfig::recommended());
+        let deadline = Some(Time::ZERO + fwd.turnaround() * 2);
+
+        for algo in Algorithm::catalog() {
+            let fresh = algo.run(&dag, &cal, Time::ZERO, q, deadline);
+            ctx.poison();
+            let mut reused = Schedule::new(Vec::new(), Time::ZERO);
+            let res = algo.run_with(&dag, &cal, Time::ZERO, q, deadline, &mut ctx, &mut reused);
+            match (fresh, res) {
+                (Ok(a), Ok(())) => assert_eq!(
+                    a,
+                    reused,
+                    "{}: poisoned ctx changed the schedule or stats (scenario {i})",
+                    algo.name()
+                ),
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!(
+                    "{}: feasibility diverged with a poisoned ctx (fresh ok: {}, reused ok: {}, scenario {i})",
+                    algo.name(),
+                    a.is_ok(),
+                    b.is_ok()
+                ),
+            }
+        }
+    }
+}
+
+/// Back-to-back runs on one context without poisoning (the serving
+/// frontend's actual usage) are just as inert: run the full catalog twice
+/// over the same context and compare everything to fresh-ctx output.
+#[test]
+fn warm_reused_ctx_matches_fresh_ctx_for_all_algorithms() {
+    let mut rng = ChaCha12Rng::seed_from_u64(0x5EDC7);
+    let mut ctx = SchedCtx::new();
+    let params = dag_params(&mut rng, 20);
+    let cal = calendar(&mut rng, 16);
+    let q = rng.gen_range(1u32..=16);
+    let dag = generate(&params, rng.gen_range(0u64..1000));
+    let fwd = schedule_forward(&dag, &cal, Time::ZERO, q, ForwardConfig::recommended());
+    let deadline = Some(Time::ZERO + fwd.turnaround() * 2);
+
+    for round in 0..2 {
+        for algo in Algorithm::catalog() {
+            let fresh = algo.run(&dag, &cal, Time::ZERO, q, deadline);
+            let mut reused = Schedule::new(Vec::new(), Time::ZERO);
+            let res = algo.run_with(&dag, &cal, Time::ZERO, q, deadline, &mut ctx, &mut reused);
+            match (fresh, res) {
+                (Ok(a), Ok(())) => assert_eq!(
+                    a,
+                    reused,
+                    "{}: warm ctx drifted from fresh ctx (round {round})",
+                    algo.name()
+                ),
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!(
+                    "{}: feasibility diverged on a warm ctx (fresh ok: {}, reused ok: {}, round {round})",
+                    algo.name(),
+                    a.is_ok(),
+                    b.is_ok()
+                ),
+            }
+        }
+    }
+}
