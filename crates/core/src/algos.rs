@@ -13,6 +13,12 @@ use resched_resv::{Calendar, Time};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Node size used by the catalog's hierarchical twins (`H_*`): placements
+/// are restricted to whole 2-core nodes (the smallest hierarchy that is
+/// not flat, so the twins exercise every quantization path while staying
+/// directly comparable to their flat originals).
+pub const TWIN_GRAIN: u32 = 2;
+
 /// Any algorithm in the workspace, by family.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Algorithm {
@@ -24,10 +30,14 @@ pub enum Algorithm {
     Icaslb,
     /// The trial-and-error (no-visibility) extension.
     Blind,
+    /// A RESSCHEDDL algorithm placing on whole [`TWIN_GRAIN`]-core nodes
+    /// (the hierarchical twin regime; `H_DL_*` names).
+    HierDeadline(DeadlineAlgo),
 }
 
 impl Algorithm {
-    /// Every concrete algorithm the paper evaluates, plus the extensions.
+    /// Every concrete algorithm the paper evaluates, plus the extensions
+    /// and the two hierarchical twins.
     pub fn catalog() -> Vec<Algorithm> {
         let mut v = Vec::new();
         for bl in BlMethod::ALL {
@@ -40,6 +50,12 @@ impl Algorithm {
         }
         v.push(Algorithm::Icaslb);
         v.push(Algorithm::Blind);
+        // Hierarchical twins: the recommended forward algorithm and the
+        // best hybrid deadline algorithm, placing on whole nodes.
+        v.push(Algorithm::Forward(
+            ForwardConfig::recommended().hierarchical(TWIN_GRAIN),
+        ));
+        v.push(Algorithm::HierDeadline(DeadlineAlgo::RcbdCpaRLambda));
         v
     }
 
@@ -50,6 +66,7 @@ impl Algorithm {
             Algorithm::Deadline(a) => a.name().to_string(),
             Algorithm::Icaslb => "iCASLB-AR".to_string(),
             Algorithm::Blind => "BLIND".to_string(),
+            Algorithm::HierDeadline(a) => format!("H_{}", a.name()),
         }
     }
 
@@ -60,7 +77,7 @@ impl Algorithm {
 
     /// Whether the algorithm needs a deadline.
     pub fn needs_deadline(&self) -> bool {
-        matches!(self, Algorithm::Deadline(_))
+        matches!(self, Algorithm::Deadline(_) | Algorithm::HierDeadline(_))
     }
 
     /// The independent validity oracle configured for this algorithm on
@@ -79,8 +96,17 @@ impl Algorithm {
         deadline: Option<Time>,
     ) -> crate::validate::ScheduleValidator<'a> {
         let v = crate::validate::ScheduleValidator::new(dag, competing, now);
+        // The schedulers degrade the grain to the machine size (a 2-core
+        // node does not exist on a 1-core machine); the oracle must judge
+        // against the same effective grain or it rejects valid schedules.
+        let cap = competing.capacity().max(1);
+        let v = match self {
+            Algorithm::Forward(cfg) if cfg.grain > 1 => v.with_grain(cfg.grain.min(cap)),
+            Algorithm::HierDeadline(_) => v.with_grain(TWIN_GRAIN.min(cap)),
+            _ => v,
+        };
         match (self, deadline) {
-            (Algorithm::Deadline(_), Some(k)) => v.with_deadline(k),
+            (Algorithm::Deadline(_) | Algorithm::HierDeadline(_), Some(k)) => v.with_deadline(k),
             _ => v,
         }
     }
@@ -152,6 +178,22 @@ impl Algorithm {
                 );
                 Ok(())
             }
+            Algorithm::HierDeadline(a) => {
+                let k = deadline.ok_or(RunError::DeadlineRequired)?;
+                schedule_deadline_with(
+                    dag,
+                    competing,
+                    now,
+                    q,
+                    k,
+                    *a,
+                    DeadlineConfig::default().hierarchical(TWIN_GRAIN),
+                    ctx,
+                    out,
+                )
+                .map(|_lambda| ())
+                .map_err(RunError::Infeasible)
+            }
         }
     }
 }
@@ -205,12 +247,12 @@ mod tests {
     #[test]
     fn catalog_covers_everything_with_unique_names() {
         let cat = Algorithm::catalog();
-        // 16 forward + 7 deadline + 2 extensions.
-        assert_eq!(cat.len(), 25);
+        // 16 forward + 7 deadline + 2 extensions + 2 hierarchical twins.
+        assert_eq!(cat.len(), 27);
         let mut names: Vec<String> = cat.iter().map(|a| a.name()).collect();
         names.sort();
         names.dedup();
-        assert_eq!(names.len(), 25, "duplicate algorithm names");
+        assert_eq!(names.len(), 27, "duplicate algorithm names");
     }
 
     #[test]

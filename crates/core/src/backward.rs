@@ -120,6 +120,14 @@ pub struct DeadlineConfig {
     pub criterion: StoppingCriterion,
     /// λ step size for the hybrid algorithms (paper: 0.05).
     pub lambda_step: f64,
+    /// Placement grain: candidate allocations are restricted to multiples
+    /// of this many cores. 1 is the paper's flat core-level placement;
+    /// above 1 is the hierarchical twin regime (whole nodes of `grain` cores,
+    /// see `resched_resv::hierarchy`). Grain 1 reproduces pre-hierarchy
+    /// behavior byte-for-byte. Deserializing a pre-hierarchy config yields
+    /// 0, which every consumer clamps up to 1 — also flat.
+    #[serde(default)]
+    pub grain: u32,
 }
 
 impl Default for DeadlineConfig {
@@ -127,6 +135,18 @@ impl Default for DeadlineConfig {
         DeadlineConfig {
             criterion: StoppingCriterion::default(),
             lambda_step: 0.05,
+            grain: 1,
+        }
+    }
+}
+
+impl DeadlineConfig {
+    /// The hierarchical twin of this configuration: placements restricted
+    /// to whole `grain`-core nodes.
+    pub fn hierarchical(self, grain: u32) -> DeadlineConfig {
+        DeadlineConfig {
+            grain: grain.max(1),
+            ..self
         }
     }
 }
@@ -187,6 +207,7 @@ pub fn schedule_deadline_with(
 ) -> Result<Option<f64>, DeadlineInfeasible> {
     let p = competing.capacity();
     let q = Pool::effective(q, p);
+    let grain = cfg.grain.clamp(1, p.max(1));
     let mut stats = ScheduleStats::default();
     let SchedCtx {
         cache,
@@ -245,6 +266,7 @@ pub fn schedule_deadline_with(
                 deadline,
                 order,
                 Mode::Aggressive { bounds },
+                grain,
                 &mut stats,
                 None,
                 pass,
@@ -273,6 +295,7 @@ pub fn schedule_deadline_with(
                     lambda: 0.0,
                     fallback_bounds: None,
                 },
+                grain,
                 &mut stats,
                 None,
                 pass,
@@ -332,6 +355,7 @@ pub fn schedule_deadline_with(
                             lambda,
                             fallback_bounds,
                         },
+                        grain,
                         &mut pass_stats,
                         Some(SweepRun { starts, decisions }),
                         pass,
@@ -370,6 +394,7 @@ pub fn schedule_deadline_with(
                             lambda,
                             fallback_bounds,
                         },
+                        grain,
                         &mut pass_stats,
                         Some(SweepRun {
                             starts,
@@ -447,13 +472,20 @@ fn validate_outcome(
     sched: &Schedule,
 ) {
     let p = competing.capacity();
+    let g = cfg.grain.clamp(1, p.max(1));
     let declared: Vec<u32> = match algo {
         DeadlineAlgo::BdCpa => cpa::allocate(dag, p, cfg.criterion).allocs,
         DeadlineAlgo::BdCpaR => cpa::allocate(dag, Pool::effective(q, p), cfg.criterion).allocs,
         _ => vec![p; dag.num_tasks()],
     };
     crate::validate::ScheduleValidator::new(dag, competing, now)
-        .with_declared_bounds(declared.into_iter().map(|b| b.clamp(1, p)).collect())
+        .with_grain(g)
+        .with_declared_bounds(
+            declared
+                .into_iter()
+                .map(|b| crate::forward::quantize_bound(b, g, p))
+                .collect(),
+        )
         .with_deadline(deadline)
         .assert_valid(sched, algo.name());
 }
@@ -695,7 +727,9 @@ impl PassBufs {
 ///
 /// `sweep` (hybrid sweeps only) carries the precomputed λ-invariant `S_i`
 /// values and records this pass's decision log. `bufs` is the recycled
-/// scratch set; nothing in it carries meaning across calls.
+/// scratch set; nothing in it carries meaning across calls. `grain`
+/// restricts every candidate allocation to whole multiples of that many
+/// cores (1 = the paper's flat placement; see `DeadlineConfig::grain`).
 #[allow(clippy::too_many_arguments)]
 fn backward_pass(
     dag: &Dag,
@@ -704,6 +738,7 @@ fn backward_pass(
     deadline: Time,
     order: &[TaskId],
     mode: Mode<'_>,
+    grain: u32,
     stats: &mut ScheduleStats,
     mut sweep: Option<SweepRun<'_>>,
     bufs: &mut PassBufs,
@@ -740,9 +775,15 @@ fn backward_pass(
 
         let cost = dag.cost(t);
         let chosen = match &mode {
-            Mode::Aggressive { bounds } => {
-                latest_start_candidate(cal, &cost, bounds[t.idx()].clamp(1, p), dl, now, stats)
-            }
+            Mode::Aggressive { bounds } => latest_start_candidate(
+                cal,
+                &cost,
+                crate::forward::quantize_bound(bounds[t.idx()], grain, p),
+                grain,
+                dl,
+                now,
+                stats,
+            ),
             Mode::Rc {
                 guide,
                 lambda,
@@ -786,10 +827,11 @@ fn backward_pass(
                 let threshold = rc_threshold(s_i, dl, *lambda);
 
                 // Fewest processors whose latest fit starts at or after the
-                // threshold.
+                // threshold (grain-stepped: whole nodes only).
                 let mut conservative: Option<Placement> = None;
                 let mut prev_dur = None;
-                for m in 1..=p {
+                for k in 1..=(p / grain) {
+                    let m = k * grain;
                     let dur = cost.exec_time(m);
                     if prev_dur == Some(dur) {
                         continue; // plateau: same duration, more procs
@@ -817,8 +859,9 @@ fn backward_pass(
                 }
                 conservative.or_else(|| {
                     // Back-on-track fallback: aggressive.
-                    let bound = fallback_bounds.map(|b| b[t.idx()]).unwrap_or(p).clamp(1, p);
-                    latest_start_candidate(cal, &cost, bound, dl, now, stats)
+                    let bound = fallback_bounds.map(|b| b[t.idx()]).unwrap_or(p);
+                    let bound = crate::forward::quantize_bound(bound, grain, p);
+                    latest_start_candidate(cal, &cost, bound, grain, dl, now, stats)
                 })
             }
         };
@@ -839,19 +882,24 @@ fn backward_pass(
     true
 }
 
-/// The `<m, start>` pair with the latest start among `m ∈ 1..=bound`, or
-/// `None` if no processor count fits between `now` and `dl`.
+/// The `<m, start>` pair with the latest start among the multiples of
+/// `grain` in `1..=bound`, or `None` if no processor count fits between
+/// `now` and `dl`. Callers pre-quantize `bound` to a multiple of `grain`
+/// (see [`crate::forward::quantize_bound`]); grain 1 scans every count.
+#[allow(clippy::too_many_arguments)]
 fn latest_start_candidate(
     cal: &Calendar,
     cost: &crate::task::TaskCost,
     bound: u32,
+    grain: u32,
     dl: Time,
     now: Time,
     stats: &mut ScheduleStats,
 ) -> Option<Placement> {
     let mut best: Option<Placement> = None;
     let mut prev_dur = None;
-    for m in 1..=bound {
+    for k in 1..=(bound / grain) {
+        let m = k * grain;
         let dur = cost.exec_time(m);
         if prev_dur == Some(dur) {
             continue; // same duration with more procs can't start later
@@ -1252,6 +1300,7 @@ mod tests {
                         lambda,
                         fallback_bounds: None,
                     },
+                    1,
                     &mut stats,
                     None,
                     &mut bufs,
@@ -1278,6 +1327,60 @@ mod tests {
                 &brute_placements[..],
                 "placements drifted at {deadline}"
             );
+        }
+    }
+
+    #[test]
+    fn grain_one_is_byte_identical_to_default() {
+        let dag = small_dag();
+        let cal = busy_calendar();
+        let deadline = Time::seconds(400_000);
+        for algo in DeadlineAlgo::ALL {
+            let base = schedule_deadline(
+                &dag,
+                &cal,
+                Time::ZERO,
+                4,
+                deadline,
+                algo,
+                DeadlineConfig::default(),
+            )
+            .unwrap();
+            let g1 = schedule_deadline(
+                &dag,
+                &cal,
+                Time::ZERO,
+                4,
+                deadline,
+                algo,
+                DeadlineConfig::default().hierarchical(1),
+            )
+            .unwrap();
+            assert_eq!(base, g1, "{algo}: grain 1 must be the identity");
+        }
+    }
+
+    #[test]
+    fn hierarchical_grain_places_whole_nodes() {
+        // Grain 2 on the 8-core platform: every allocation must be a whole
+        // number of 2-core nodes, and the schedule must stay valid.
+        let dag = small_dag();
+        let cal = busy_calendar();
+        let deadline = Time::seconds(400_000);
+        let cfg = DeadlineConfig::default().hierarchical(2);
+        for algo in DeadlineAlgo::ALL {
+            let out = schedule_deadline(&dag, &cal, Time::ZERO, 4, deadline, algo, cfg)
+                .unwrap_or_else(|e| panic!("{algo} grain-2 failed on loose deadline: {e}"));
+            for pl in out.schedule.placements() {
+                assert_eq!(
+                    pl.procs % 2,
+                    0,
+                    "{algo}: {} procs is not node-aligned",
+                    pl.procs
+                );
+            }
+            out.schedule.validate(&dag, &cal).unwrap();
+            assert!(out.schedule.completion() <= deadline);
         }
     }
 

@@ -370,18 +370,35 @@ pub fn force_cache(enabled: Option<bool>) {
     CACHE_OVERRIDE.store(v, Ordering::SeqCst);
 }
 
+/// Parse a `RESCHED_CPA_CACHE` value. Unknown spellings are an error
+/// listing the accepted names — a typo must not silently run with the
+/// cache in the wrong state.
+pub fn parse_cache_knob(value: &str) -> Result<bool, String> {
+    match value {
+        "on" | "1" | "true" | "yes" => Ok(true),
+        "off" | "0" | "false" | "no" => Ok(false),
+        other => Err(format!(
+            "unknown RESCHED_CPA_CACHE value {other:?}; accepted values: \
+             on (1, true, yes), off (0, false, no)"
+        )),
+    }
+}
+
 /// Whether new [`CpaCache`]s memoize. Defaults to on; set
 /// `RESCHED_CPA_CACHE=off` (or `0` / `false` / `no`) to disable — the CI
-/// `cache-differential` lane runs the whole suite that way.
+/// `cache-differential` lane runs the whole suite that way. Any other
+/// value is a hard startup error (see [`parse_cache_knob`]).
 fn cache_enabled() -> bool {
     match CACHE_OVERRIDE.load(Ordering::SeqCst) {
         1 => true,
         2 => false,
-        _ => *CACHE_ENV.get_or_init(|| {
-            !matches!(
-                std::env::var("RESCHED_CPA_CACHE").as_deref(),
-                Ok("off") | Ok("0") | Ok("false") | Ok("no")
-            )
+        _ => *CACHE_ENV.get_or_init(|| match std::env::var("RESCHED_CPA_CACHE") {
+            Ok(v) => match parse_cache_knob(&v) {
+                Ok(enabled) => enabled,
+                // lint:allow(panic): a bad RESCHED_CPA_CACHE is a startup configuration error; the previous silent default masked typos and ran with the wrong cache state.
+                Err(msg) => panic!("{msg}"),
+            },
+            Err(_) => true,
         }),
     }
 }
@@ -705,6 +722,27 @@ mod tests {
 
     fn c(s: i64, a: f64) -> TaskCost {
         TaskCost::new(Dur::seconds(s), a)
+    }
+
+    #[test]
+    fn cache_knob_accepts_every_documented_spelling() {
+        for on in ["on", "1", "true", "yes"] {
+            assert_eq!(parse_cache_knob(on), Ok(true), "{on}");
+        }
+        for off in ["off", "0", "false", "no"] {
+            assert_eq!(parse_cache_knob(off), Ok(false), "{off}");
+        }
+    }
+
+    #[test]
+    fn cache_knob_rejects_unknown_values_listing_accepted_names() {
+        for bad in ["On", "offf", "disabled", ""] {
+            let msg = parse_cache_knob(bad).unwrap_err();
+            assert!(msg.contains("RESCHED_CPA_CACHE"), "{msg}");
+            for name in ["on", "off", "true", "false", "yes", "no"] {
+                assert!(msg.contains(name), "{msg} should list {name}");
+            }
+        }
     }
 
     #[test]

@@ -74,6 +74,14 @@ pub struct ForwardConfig {
     pub criterion: StoppingCriterion,
     /// Tie-breaking among equal completion times.
     pub tie: TieBreak,
+    /// Placement grain: candidate allocations are restricted to multiples
+    /// of this many cores. 1 is the paper's flat core-level placement;
+    /// above 1 is the hierarchical twin regime (whole nodes of `grain` cores,
+    /// see `resched_resv::hierarchy`). Grain 1 reproduces pre-hierarchy
+    /// behavior byte-for-byte. Deserializing a pre-hierarchy config yields
+    /// 0, which every consumer clamps up to 1 — also flat.
+    #[serde(default)]
+    pub grain: u32,
 }
 
 impl ForwardConfig {
@@ -84,6 +92,7 @@ impl ForwardConfig {
             bd: BdMethod::CpaR,
             criterion: StoppingCriterion::default(),
             tie: TieBreak::default(),
+            grain: 1,
         }
     }
 
@@ -94,12 +103,28 @@ impl ForwardConfig {
             bd,
             criterion: StoppingCriterion::default(),
             tie: TieBreak::default(),
+            grain: 1,
         }
     }
 
-    /// The paper's composite name, e.g. `BL_CPAR_BD_CPAR`.
+    /// The whole-node hierarchical twin of this configuration: identical
+    /// policy, allocations quantized to `grain`-core nodes.
+    pub fn hierarchical(self, grain: u32) -> ForwardConfig {
+        ForwardConfig {
+            grain: grain.max(1),
+            ..self
+        }
+    }
+
+    /// The paper's composite name, e.g. `BL_CPAR_BD_CPAR`; hierarchical
+    /// twins carry an `H_` prefix (`H_BL_CPAR_BD_CPAR`).
     pub fn name(&self) -> String {
-        format!("{}_{}", self.bl.name(), self.bd.name())
+        let base = format!("{}_{}", self.bl.name(), self.bd.name());
+        if self.grain > 1 {
+            format!("H_{base}")
+        } else {
+            base
+        }
     }
 }
 
@@ -257,18 +282,22 @@ pub fn schedule_forward_with(
         }
 
         let cost = dag.cost(t);
-        let bound = bounds[t.idx()].clamp(1, p);
-        // Seed the search with the always-legal one-processor candidate so
-        // `best` is total — there is no "empty search" state to unwrap.
-        let dur1 = cost.exec_time(1);
-        let s1 = obs::probe::earliest_fit(cal, 1, dur1, ready, &mut stats);
+        let g = cfg.grain.clamp(1, p.max(1));
+        let bound = quantize_bound(bounds[t.idx()], g, p);
+        // Seed the search with the smallest always-legal candidate (one
+        // placement unit of `g` cores; `g == 1` is the paper's flat
+        // one-processor seed) so `best` is total — there is no "empty
+        // search" state to unwrap.
+        let dur1 = cost.exec_time(g);
+        let s1 = obs::probe::earliest_fit(cal, g, dur1, ready, &mut stats);
         let mut best = Placement {
             start: s1,
             end: s1 + dur1,
-            procs: 1,
+            procs: g,
         };
         let mut prev_dur = Some(dur1);
-        for m in 2..=bound {
+        for k in 2..=(bound / g) {
+            let m = k * g;
             let dur = cost.exec_time(m);
             // Same duration with more processors can never finish earlier
             // and never helps any tie-break toward fewer processors; for
@@ -314,14 +343,33 @@ pub fn schedule_forward_with(
     out.stats = stats;
 
     // Debug/feature-gated post-pass: replay the finished schedule through
-    // the independent oracle, including the BD_* cap actually in force.
+    // the independent oracle, including the BD_* cap actually in force
+    // (quantized to the placement grain) and the grain itself.
     #[cfg(any(debug_assertions, feature = "validate"))]
     crate::validate::ScheduleValidator::new(dag, competing, now)
-        // lint:allow(alloc): gated oracle replay, compiled out of the release hot path the zero-alloc harness pins.
-        .with_declared_bounds(bounds.iter().map(|&b| b.clamp(1, p)).collect())
+        .with_grain(cfg.grain.clamp(1, p.max(1)))
+        .with_declared_bounds(
+            bounds
+                .iter()
+                .map(|&b| quantize_bound(b, cfg.grain.clamp(1, p.max(1)), p))
+                // lint:allow(alloc): gated oracle replay, compiled out of the release hot path the zero-alloc harness pins.
+                .collect(),
+        )
         .assert_valid(out, cfg.name().as_str());
 }
 // lint:hotpath:end
+
+/// Clamp a per-task allocation bound into `1..=p`, then round it up to
+/// whole `g`-core placement units, capped at the largest multiple of `g`
+/// the platform holds. With `g == 1` this is exactly the old
+/// `bound.clamp(1, p)`.
+pub(crate) fn quantize_bound(bound: u32, g: u32, p: u32) -> u32 {
+    let b = bound.clamp(1, p);
+    if g <= 1 {
+        return b;
+    }
+    (b.div_ceil(g) * g).min(p / g * g)
+}
 
 #[cfg(test)]
 mod tests {

@@ -103,6 +103,8 @@ pub mod names {
     pub const SERVE_CANCELS: &str = "serve.cancels";
     /// Counter: committed reservations later resized in place.
     pub const SERVE_RESIZES: &str = "serve.resizes";
+    /// Counter: applications denied admission by a quota rule.
+    pub const SERVE_QUOTA_DENIED: &str = "serve.quota.denied";
     /// Histogram: per-application scheduling latency in nanoseconds.
     pub const SERVE_LATENCY: &str = "serve.schedule.latency_ns";
     /// Counter: slot queries answered by the segment-tree calendar backend.

@@ -37,7 +37,16 @@
 //!     and meets the deadline when one was required);
 //! 11. [`ScheduleStats`] are internally consistent (slot-step work implies
 //!     slot queries; slot queries imply at least one recorded pass or CPA
-//!     mapping).
+//!     mapping);
+//! 12. hierarchical placement grain: when the algorithm placed on whole
+//!     nodes ([`with_grain`]), every allocation is a multiple of the
+//!     node size;
+//! 13. admission quotas: when the schedule belongs to a quota-constrained
+//!     owner ([`with_quotas`]), its reservations replayed through a fresh
+//!     [`AdmissionGate`] admit cleanly.
+//!
+//! [`with_grain`]: ScheduleValidator::with_grain
+//! [`with_quotas`]: ScheduleValidator::with_quotas
 //!
 //! Schedulers invoke the oracle through a `debug_assertions`/`validate`
 //! feature-gated post-pass, and the seeded fuzz driver in `tests/` runs
@@ -47,7 +56,7 @@
 
 use crate::dag::{Dag, TaskId};
 use crate::schedule::{Schedule, ScheduleStats};
-use resched_resv::{Calendar, Dur, Time};
+use resched_resv::{AdmissionGate, Calendar, Dur, Owner, QuotaSet, Time};
 use std::fmt;
 
 /// Cap on capacity-sweep intervals that get the full dual-backend
@@ -201,6 +210,32 @@ pub enum Violation {
         /// Processor-seconds left on the ledger.
         proc_seconds: i64,
     },
+    /// A processor count is not a whole number of hierarchy placement
+    /// units (`grain`-core nodes): a placement under
+    /// [`ScheduleValidator::with_grain`], or a calendar usage level under
+    /// [`audit_calendar_with`] when every reservation is node-aligned.
+    HierarchyViolation {
+        /// Where the misaligned count was seen (a task id, or a calendar
+        /// breakpoint instant).
+        at: String,
+        /// The misaligned processor count.
+        procs: u32,
+        /// The placement grain it must be a multiple of.
+        grain: u32,
+    },
+    /// An admission quota rule is broken: a schedule's reservations do not
+    /// replay cleanly through a fresh [`AdmissionGate`]
+    /// ([`ScheduleValidator::with_quotas`]), or a gate's own ledger already
+    /// exceeds a limit ([`audit_calendar_with`]).
+    QuotaViolation {
+        /// Label of the violated rule's subject (`user:u1`, `project:p0`).
+        subject: String,
+        /// Stable machine-readable reason code
+        /// (`quota.concurrent_cores` / `quota.core_seconds`).
+        reason: String,
+        /// Human-readable description of the breach.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -302,6 +337,15 @@ impl fmt::Display for Violation {
                 f,
                 "cancelled calendar left residue: {breakpoints} breakpoints, {proc_seconds} proc-seconds"
             ),
+            Violation::HierarchyViolation { at, procs, grain } => write!(
+                f,
+                "{at}: {procs} procs is not a whole number of {grain}-core placement units"
+            ),
+            Violation::QuotaViolation {
+                subject,
+                reason,
+                detail,
+            } => write!(f, "quota violated for {subject} ({reason}): {detail}"),
         }
     }
 }
@@ -327,6 +371,8 @@ pub struct ScheduleValidator<'a> {
     now: Time,
     declared_bounds: Option<Vec<u32>>,
     deadline: Option<Time>,
+    grain: u32,
+    quotas: Option<(&'a QuotaSet, Owner)>,
 }
 
 impl<'a> ScheduleValidator<'a> {
@@ -339,7 +385,25 @@ impl<'a> ScheduleValidator<'a> {
             now,
             declared_bounds: None,
             deadline: None,
+            grain: 1,
+            quotas: None,
         }
+    }
+
+    /// Declare the hierarchical placement grain: every allocation must be
+    /// a whole number of `grain`-core nodes. 1 (the default) is flat
+    /// core-level placement and checks nothing new.
+    pub fn with_grain(mut self, grain: u32) -> Self {
+        self.grain = grain.max(1);
+        self
+    }
+
+    /// Declare the admission policy and owner the schedule is billed to:
+    /// its reservations must replay cleanly through a fresh
+    /// [`AdmissionGate`] enforcing `quotas`.
+    pub fn with_quotas(mut self, quotas: &'a QuotaSet, owner: Owner) -> Self {
+        self.quotas = Some((quotas, owner));
+        self
     }
 
     /// Declare the algorithm's per-task allocation caps (one per task, in
@@ -436,6 +500,29 @@ impl<'a> ScheduleValidator<'a> {
             let r = pl.reservation();
             if r.start != pl.start || r.end != pl.end || r.procs != pl.procs {
                 out.push(Violation::ReservationMismatch { task: t });
+            }
+            if self.grain > 1 && !pl.procs.is_multiple_of(self.grain) {
+                out.push(Violation::HierarchyViolation {
+                    at: format!("task {t}"),
+                    procs: pl.procs,
+                    grain: self.grain,
+                });
+            }
+        }
+
+        if let Some((quotas, owner)) = &self.quotas {
+            let mut gate = AdmissionGate::new((*quotas).clone());
+            for t in self.dag.task_ids() {
+                if let Err(d) = gate.admit(owner, sched.placement(t).reservation()) {
+                    out.push(Violation::QuotaViolation {
+                        subject: d.subject.clone(),
+                        reason: d.reason_code().to_string(),
+                        detail: d.to_string(),
+                    });
+                    // One quota report per audit: every later admission
+                    // would repeat the same exhausted limit.
+                    break;
+                }
             }
         }
 
@@ -604,8 +691,48 @@ impl<'a> ScheduleValidator<'a> {
 ///    agree on peak usage and usage integral over the whole span
 ///    ([`Violation::BackendDivergence`]).
 pub fn audit_calendar(cal: &Calendar) -> Vec<Violation> {
+    audit_calendar_with(cal, None, None)
+}
+
+/// [`audit_calendar`], with the hierarchical/quota layers switched on:
+///
+/// * `grain` — when every reservation in the calendar is node-aligned
+///   (a multiple of `grain` cores), every usage level is too; a
+///   misaligned breakpoint means some admission bypassed the hierarchy
+///   ([`Violation::HierarchyViolation`]);
+/// * `gate` — the admission gate whose ledger mirrors this calendar;
+///   [`AdmissionGate::audit`] re-checks every held reservation against
+///   the quota rules ([`Violation::QuotaViolation`]).
+pub fn audit_calendar_with(
+    cal: &Calendar,
+    grain: Option<u32>,
+    gate: Option<&AdmissionGate>,
+) -> Vec<Violation> {
     let mut out = Vec::new();
     let bps: Vec<Time> = cal.breakpoints().collect();
+
+    if let Some(g) = grain.filter(|&g| g > 1) {
+        for &t in &bps {
+            let used = cal.used_at(t);
+            if !used.is_multiple_of(g) {
+                out.push(Violation::HierarchyViolation {
+                    at: format!("breakpoint {t}"),
+                    procs: used,
+                    grain: g,
+                });
+                break; // one report; later breakpoints would repeat it
+            }
+        }
+    }
+    if let Some(gate) = gate {
+        for d in gate.audit() {
+            out.push(Violation::QuotaViolation {
+                subject: d.subject.clone(),
+                reason: d.reason_code().to_string(),
+                detail: d.to_string(),
+            });
+        }
+    }
 
     for w in bps.windows(2) {
         if w[0] >= w[1] {
@@ -858,6 +985,102 @@ mod tests {
             .report(&s)
             .iter()
             .any(|v| matches!(v, Violation::AllocationExceedsDeclaredBound { .. })));
+    }
+
+    #[test]
+    fn grain_misalignment_is_caught() {
+        let (dag, cal, s) = fixture();
+        // Force an odd allocation with a model-consistent duration so only
+        // the grain check can object.
+        let bad = tamper(&s, 1, |pl| {
+            pl.procs = 3;
+            pl.end = pl.start + dag.cost(crate::dag::TaskId(1)).exec_time(3);
+        });
+        let v = ScheduleValidator::new(&dag, &cal, Time::ZERO).with_grain(2);
+        assert!(v.report(&bad).iter().any(|v| matches!(
+            v,
+            Violation::HierarchyViolation {
+                procs: 3,
+                grain: 2,
+                ..
+            }
+        )));
+        // Grain 1 (the flat default) checks nothing new.
+        let flat = ScheduleValidator::new(&dag, &cal, Time::ZERO).with_grain(1);
+        assert!(!flat
+            .report(&bad)
+            .iter()
+            .any(|v| matches!(v, Violation::HierarchyViolation { .. })));
+    }
+
+    #[test]
+    fn quota_breach_is_caught_by_replay() {
+        use resched_resv::{QuotaRule, QuotaSubject};
+        let (dag, cal, s) = fixture();
+        let owner = Owner::new("u", "p");
+        // The fork-join runs four tasks side by side, so a 1-core user cap
+        // cannot replay cleanly.
+        let tight = QuotaSet::unlimited()
+            .with_rule(QuotaRule::concurrent(QuotaSubject::User("u".into()), 1));
+        let v = ScheduleValidator::new(&dag, &cal, Time::ZERO).with_quotas(&tight, owner.clone());
+        let report = v.report(&s);
+        assert!(
+            report.iter().any(|v| matches!(
+                v,
+                Violation::QuotaViolation { reason, .. } if reason == "quota.concurrent_cores"
+            )),
+            "got {report:?}"
+        );
+        // A cap at platform capacity can never trip on a valid schedule.
+        let loose = QuotaSet::unlimited()
+            .with_rule(QuotaRule::concurrent(QuotaSubject::User("u".into()), 8));
+        let v = ScheduleValidator::new(&dag, &cal, Time::ZERO).with_quotas(&loose, owner);
+        assert_eq!(v.report(&s), Vec::new());
+    }
+
+    #[test]
+    fn audit_calendar_with_checks_grain_and_gate() {
+        use resched_resv::{QuotaRule, QuotaSubject};
+        let mut cal = Calendar::new(8);
+        cal.try_add(Reservation::new(Time::ZERO, Time::seconds(10), 4))
+            .unwrap();
+        assert_eq!(audit_calendar_with(&cal, Some(2), None), Vec::new());
+        // A 3-core reservation breaks 2-core node alignment.
+        cal.try_add(Reservation::new(Time::seconds(2), Time::seconds(6), 3))
+            .unwrap();
+        assert!(audit_calendar_with(&cal, Some(2), None)
+            .iter()
+            .any(|v| matches!(
+                v,
+                Violation::HierarchyViolation {
+                    procs: 7,
+                    grain: 2,
+                    ..
+                }
+            )));
+
+        // A gate whose limit was tampered below its held usage (simulating
+        // a ledger that bypassed admission) is caught by the quota audit.
+        let quotas = QuotaSet::unlimited()
+            .with_rule(QuotaRule::concurrent(QuotaSubject::User("u".into()), 2));
+        let mut gate = AdmissionGate::new(quotas);
+        gate.admit(
+            &Owner::new("u", "p"),
+            Reservation::new(Time::ZERO, Time::seconds(10), 2),
+        )
+        .unwrap();
+        assert_eq!(audit_calendar_with(&cal, None, Some(&gate)), Vec::new());
+        let json = serde_json::to_string(&gate).unwrap();
+        let tampered = json.replace("\"max_concurrent_cores\":2", "\"max_concurrent_cores\":1");
+        assert_ne!(json, tampered, "fixture must actually tamper the limit");
+        let bad: AdmissionGate = serde_json::from_str(&tampered).unwrap();
+        let report = audit_calendar_with(&cal, None, Some(&bad));
+        assert!(
+            report
+                .iter()
+                .any(|v| matches!(v, Violation::QuotaViolation { .. })),
+            "got {report:?}"
+        );
     }
 
     #[test]

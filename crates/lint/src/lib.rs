@@ -13,7 +13,10 @@
 //!   tables, the differential-test golden, and the test harnesses agree on
 //!   the exact algorithm list;
 //! * `parity` — every `#[cfg(feature = "obs")]` item has a
-//!   `#[cfg(not(feature = "obs"))]` counterpart;
+//!   `#[cfg(not(feature = "obs"))]` counterpart, every `CalendarBackend`
+//!   impl is in the backend manifest and its differential harness, and
+//!   every `Violation` kind is wired through the validator oracle and the
+//!   fuzz shrinker's labels;
 //! * `alloc` — no `Vec::new`/`Box::new`/`collect` inside
 //!   `lint:hotpath:begin`/`lint:hotpath:end` regions, the scheduling hot
 //!   paths pinned allocation-free by the counting-allocator harness
@@ -259,6 +262,11 @@ pub struct Config {
     pub backend_impl_paths: Vec<String>,
     /// Differential harnesses that must exercise every manifest backend.
     pub backend_tests: Vec<String>,
+    /// The module declaring `pub enum Violation` (the validator oracle).
+    pub violation_module: String,
+    /// Fuzz/shrink harnesses that must be able to label every violation
+    /// kind.
+    pub violation_tests: Vec<String>,
 }
 
 impl Default for Config {
@@ -284,6 +292,8 @@ impl Default for Config {
             backend_manifest: "crates/resv/src/backends.txt".into(),
             backend_impl_paths: vec!["crates/resv/src".into()],
             backend_tests: vec!["tests/tests/backend_differential.rs".into()],
+            violation_module: "crates/core/src/validate.rs".into(),
+            violation_tests: vec!["tests/fuzz.rs".into()],
         }
     }
 }
@@ -454,6 +464,7 @@ pub fn run(ws: &Workspace, cfg: &Config) -> Vec<Violation> {
     rules::catalog_sync(ws, cfg, &mut sink);
     rules::feature_parity(ws, cfg, &mut sink);
     rules::backend_parity(ws, cfg, &mut sink);
+    rules::violation_parity(ws, cfg, &mut sink);
     rules::alloc_hotpath(ws, cfg, &mut sink);
     sink.finish()
 }

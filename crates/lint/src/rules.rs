@@ -809,6 +809,20 @@ pub fn backend_parity(ws: &Workspace, cfg: &Config, sink: &mut Sink) {
             );
             continue;
         };
+        // Since the hierarchical extension, `earliest_fit` and
+        // `earliest_fit_hier` are both part of the cross-backend contract;
+        // a harness that skips the hierarchical battery is not differential.
+        if !file.text.contains("earliest_fit_hier") {
+            sink.emit(
+                ws,
+                test,
+                1,
+                Rule::Parity,
+                "backend differential harness never exercises `earliest_fit_hier`; the \
+                 hierarchical fit is part of the cross-backend contract"
+                    .into(),
+            );
+        }
         for (name, mline) in &manifest.names {
             if !file.text.contains(name.as_str()) {
                 sink.emit(
@@ -955,4 +969,132 @@ fn classify_gate(lexed: &Lexed, n: usize) -> (bool, bool) {
         return (true, false);
     }
     (false, false)
+}
+
+// ---------------------------------------------------------------------------
+// Rule 8: violation-kind parity.
+// ---------------------------------------------------------------------------
+
+/// The variant names of `pub enum Violation` in `file`, with their lines.
+///
+/// Brace-depth scan over comment-stripped code lines: variants are the
+/// capitalized identifiers opening a line at depth 1 inside the enum body,
+/// so struct-variant fields (depth 2) and closing braces never match.
+fn violation_variants(file: &crate::SourceFile) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut in_enum = false;
+    for (idx, line) in file.lexed.lines.iter().enumerate() {
+        let code = line.code.as_str();
+        if !in_enum {
+            if code.trim_start().starts_with("pub enum Violation") {
+                in_enum = true;
+            } else {
+                continue;
+            }
+        }
+        let trimmed = code.trim();
+        if depth == 1 {
+            let name: String = trimmed
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                out.push((name, idx + 1));
+            }
+        }
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return out;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Word-boundary occurrence count of `tok` across a file's code lines.
+fn token_count(lexed: &Lexed, tok: &str) -> usize {
+    let mut n = 0;
+    for line in &lexed.lines {
+        let mut code = line.code.as_str();
+        while let Some(pos) = find_token(code, tok) {
+            n += 1;
+            code = &code[pos + tok.len()..];
+        }
+    }
+    n
+}
+
+/// Every `Violation` kind must be wired end-to-end: declared, rendered,
+/// and constructed in the validator module (≥ 3 word-boundary uses — the
+/// declaration alone leaves a dead kind the oracle can never report), and
+/// named in every fuzz/shrink harness of [`Config::violation_tests`] so
+/// shrunk repro cases can label it. A new kind added to the enum without
+/// that coverage fails the lint instead of shipping half-observable.
+pub fn violation_parity(ws: &Workspace, cfg: &Config, sink: &mut Sink) {
+    let Some(module) = ws.files.get(&cfg.violation_module) else {
+        return;
+    };
+    let variants = violation_variants(module);
+    if variants.is_empty() {
+        sink.emit(
+            ws,
+            &cfg.violation_module,
+            1,
+            Rule::Parity,
+            "no `pub enum Violation` variants found; the violation-parity rule has nothing \
+             to audit"
+                .into(),
+        );
+        return;
+    }
+    for (name, vline) in &variants {
+        let uses = token_count(&module.lexed, name);
+        if uses < 3 {
+            sink.emit(
+                ws,
+                &cfg.violation_module,
+                *vline,
+                Rule::Parity,
+                format!(
+                    "violation kind `{name}` appears only {uses}x in the validator module; \
+                     it must be declared, rendered by `Display`, and constructed by a check \
+                     (≥ 3 uses)"
+                ),
+            );
+        }
+        for test in &cfg.violation_tests {
+            let Some(file) = ws.files.get(test) else {
+                sink.emit(
+                    ws,
+                    test,
+                    1,
+                    Rule::Parity,
+                    "violation-labeling harness is missing but referenced by the \
+                     violation-parity rule"
+                        .into(),
+                );
+                continue;
+            };
+            if token_count(&file.lexed, name) == 0 {
+                sink.emit(
+                    ws,
+                    &cfg.violation_module,
+                    *vline,
+                    Rule::Parity,
+                    format!(
+                        "violation kind `{name}` never appears in {test}; the shrink \
+                         harness must label every kind"
+                    ),
+                );
+            }
+        }
+    }
 }

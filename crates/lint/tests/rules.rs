@@ -392,7 +392,7 @@ fn backend_base() -> Vec<(&'static str, &'static str)> {
         ),
         (
             "tests/tests/backend_differential.rs",
-            "#[test]\nfn diff() {\n    // IndexedRef vs SlotSetRef\n}\n",
+            "#[test]\nfn diff() {\n    // IndexedRef vs SlotSetRef, flat and earliest_fit_hier\n}\n",
         ),
     ]
 }
@@ -433,11 +433,74 @@ fn manifest_backend_without_impl_or_harness_coverage_is_flagged() {
 #[test]
 fn backend_outside_the_harness_is_flagged() {
     let mut fx = backend_base();
-    fx[2].1 = "#[test]\nfn diff() {\n    // IndexedRef only\n}\n";
+    fx[2].1 = "#[test]\nfn diff() {\n    // IndexedRef only, with earliest_fit_hier\n}\n";
     let report = lint(&fx);
     assert_eq!(
         sites(&report, Rule::Parity),
         vec![("crates/resv/src/backends.txt".to_string(), 3)]
+    );
+}
+
+// ---------------------------------------------------------------------------
+// parity: violation kinds
+// ---------------------------------------------------------------------------
+
+/// A wired violation enum: both kinds declared, rendered, constructed in
+/// the validator module, and labeled by the fuzz shrinker.
+fn violation_base() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "crates/core/src/validate.rs",
+            "pub enum Violation {\n    Overlap { at: usize },\n    Gap(usize),\n}\n\
+             pub fn render(v: &Violation) -> usize {\n    match v {\n        \
+             Violation::Overlap { at } => *at,\n        Violation::Gap(n) => *n,\n    }\n}\n\
+             pub fn check(at: usize) -> Violation {\n    if at > 0 {\n        \
+             Violation::Overlap { at }\n    } else {\n        Violation::Gap(at)\n    }\n}\n",
+        ),
+        (
+            "tests/fuzz.rs",
+            "pub fn violation_label(v: &Violation) -> usize {\n    match v {\n        \
+             Violation::Overlap { .. } => 1,\n        Violation::Gap(_) => 2,\n    }\n}\n",
+        ),
+    ]
+}
+
+#[test]
+fn wired_violation_kinds_are_clean() {
+    let report = lint(&violation_base());
+    assert_eq!(sites(&report, Rule::Parity), Vec::<(String, usize)>::new());
+}
+
+#[test]
+fn declared_but_unwired_violation_kind_is_flagged() {
+    let mut fx = violation_base();
+    // `Ghost` is declared (line 4) but never rendered or constructed.
+    fx[0].1 = "pub enum Violation {\n    Overlap { at: usize },\n    Gap(usize),\n    Ghost,\n}\n\
+               pub fn render(v: &Violation) -> usize {\n    match v {\n        \
+               Violation::Overlap { at } => *at,\n        Violation::Gap(n) => *n,\n        _ => 0,\n    }\n}\n\
+               pub fn check(at: usize) -> Violation {\n    if at > 0 {\n        \
+               Violation::Overlap { at }\n    } else {\n        Violation::Gap(at)\n    }\n}\n";
+    let report = lint(&fx);
+    // Under-used in the module, and absent from the shrink harness.
+    assert_eq!(
+        sites(&report, Rule::Parity),
+        vec![
+            ("crates/core/src/validate.rs".to_string(), 4),
+            ("crates/core/src/validate.rs".to_string(), 4),
+        ]
+    );
+}
+
+#[test]
+fn violation_kind_missing_from_shrink_harness_is_flagged() {
+    let mut fx = violation_base();
+    // The harness forgets `Gap` (declared at line 3 of the module).
+    fx[1].1 = "pub fn violation_label(v: &Violation) -> usize {\n    match v {\n        \
+               Violation::Overlap { .. } => 1,\n        _ => 0,\n    }\n}\n";
+    let report = lint(&fx);
+    assert_eq!(
+        sites(&report, Rule::Parity),
+        vec![("crates/core/src/validate.rs".to_string(), 3)]
     );
 }
 

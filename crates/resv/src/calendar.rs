@@ -1022,6 +1022,12 @@ pub struct LinearRef<'a> {
 }
 
 impl LinearRef<'_> {
+    /// The calendar this view reads (for capacity checks in the backend
+    /// trait impls).
+    pub(crate) fn calendar(&self) -> &Calendar {
+        self.cal
+    }
+
     /// Linear-scan [`Calendar::earliest_fit`].
     pub fn earliest_fit(&self, procs: u32, dur: Dur, not_before: Time) -> Time {
         let mut cost = QueryCost::default();

@@ -35,14 +35,18 @@
 
 pub mod backend;
 mod calendar;
+pub mod hierarchy;
 mod index;
+pub mod quotas;
 mod reservation;
 mod slotset;
 pub mod time;
 mod txn;
 
-pub use backend::{force_backend, BackendKind, CalendarBackend, IndexedRef, SlotSetRef};
+pub use backend::{force_backend, BackendKind, CalendarBackend, HierFit, IndexedRef, SlotSetRef};
 pub use calendar::{Calendar, LinearRef, QueryCost};
+pub use hierarchy::{Hierarchy, HierarchyError, PlacementLevel};
+pub use quotas::{AdmissionGate, Owner, QuotaDenial, QuotaRule, QuotaSet, QuotaSubject};
 pub use reservation::{Reservation, ReservationError};
 pub use time::{Dur, Time, DAY, HOUR, MINUTE, SECOND};
 pub use txn::ShadowTxn;

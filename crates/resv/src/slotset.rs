@@ -104,8 +104,7 @@ impl SlotSet {
     pub(crate) fn bump(&mut self, start: Time, end: Time, delta_used: i64) {
         debug_assert!(start < end, "empty bump interval");
         if self.slots.is_empty() {
-            let free = (self.capacity as i64 - delta_used).clamp(0, self.capacity as i64) as u32;
-            debug_assert_eq!(free as i64, self.capacity as i64 - delta_used);
+            let free = bumped_free(self.capacity, delta_used, self.capacity);
             if free != self.capacity {
                 self.slots.push(Slot { start, end, free });
             }
@@ -136,13 +135,7 @@ impl SlotSet {
         let i0 = self.split_at(start);
         let i1 = self.split_at(end);
         for s in &mut self.slots[i0..i1] {
-            let free = (s.free as i64 - delta_used).clamp(0, self.capacity as i64) as u32;
-            debug_assert_eq!(
-                free as i64,
-                s.free as i64 - delta_used,
-                "slot over/underflow"
-            );
-            s.free = free;
+            s.free = bumped_free(s.free, delta_used, self.capacity);
         }
         // Only the two seams can have become mergeable: every adjacent
         // pair strictly inside [i0, i1) received the same delta and still
@@ -337,6 +330,37 @@ impl SlotSet {
     }
 }
 
+/// New `free` for a slot at `prev_free` after a usage change of
+/// `delta_used`, with the saturation bound derived from the slot's *own*
+/// arithmetic: an added reservation (`delta_used > 0`) can only spend
+/// cores the slot actually has free (`0..=prev_free`), and a removal can
+/// only return cores up to the platform capacity
+/// (`prev_free..=capacity`).
+///
+/// The previous inline code clamped into the blanket `0..=capacity`
+/// range, leaning on a *global* calendar invariant to make the `i64 →
+/// u32` cast safe and leaving a release-mode window where an
+/// out-of-range delta from an upstream accounting bug would be silently
+/// clipped against the wrong bound. Here the window's own `free` is the
+/// bound, so the clamp is provably total from slot-local facts alone,
+/// the debug assertion states exactly the violated invariant, and a
+/// release build saturates to the nearest state consistent with the slot
+/// itself.
+fn bumped_free(prev_free: u32, delta_used: i64, capacity: u32) -> u32 {
+    let next = i64::from(prev_free) - delta_used;
+    let (lo, hi) = if delta_used >= 0 {
+        (0, i64::from(prev_free))
+    } else {
+        (i64::from(prev_free), i64::from(capacity))
+    };
+    debug_assert!(
+        (lo..=hi).contains(&next),
+        "slot over/underflow: free {prev_free} delta {delta_used} capacity {capacity}"
+    );
+    // i64 → u32 is total here: the clamp bounds are themselves u32 values.
+    next.clamp(lo, hi) as u32
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -455,5 +479,62 @@ mod tests {
         assert_eq!(ss.first_conflict(t(15), t(50), 2), Some((t(15), 1)));
         assert_eq!(ss.first_conflict(t(20), t(50), 2), None);
         assert_eq!(ss.first_conflict(t(0), t(10), 4), None);
+    }
+
+    #[test]
+    fn bumped_free_saturates_at_the_slot_bound_not_capacity() {
+        // In-range deltas are exact.
+        assert_eq!(bumped_free(5, 3, 8), 2);
+        assert_eq!(bumped_free(2, -4, 8), 6);
+        assert_eq!(bumped_free(8, 8, 8), 0);
+        assert_eq!(bumped_free(0, -8, 8), 8);
+        // Out-of-range deltas (upstream accounting bugs) pin to the
+        // tight per-slot bound in release: a busy slot can never *gain*
+        // free cores from an add, and a removal can never free more than
+        // capacity. Only reachable with debug assertions compiled out.
+        #[cfg(not(debug_assertions))]
+        {
+            assert_eq!(bumped_free(3, -100, 8), 8); // release: at most capacity
+            assert_eq!(bumped_free(3, 100, 8), 0); // spend: at most what was free
+        }
+    }
+
+    #[test]
+    fn capacity_edge_split_bump_merge_round_trip() {
+        // Drive split/bump/merge through reservations that pin slots at
+        // both arithmetic edges (0 free and fully free) on a 4-proc
+        // platform, checking the incremental state against a fresh
+        // rebuild after every mutation via the mirrored step vector.
+        let cap = 4;
+        let mut ss = SlotSet::build(cap, &[]);
+
+        // Fill [100, 200) to capacity: free hits the lower edge.
+        ss.bump(t(100), t(200), 4);
+        assert!(ss.matches(&[step(100, 4), step(200, 0)]));
+
+        // Carve the middle back out: splits at both seams, interior slot
+        // returns to fully free (upper edge), while the flanks stay at 0.
+        ss.bump(t(125), t(175), -4);
+        assert!(ss.matches(&[step(100, 4), step(125, 0), step(175, 4), step(200, 0)]));
+
+        // Refill exactly the hole: both seams must merge back into one
+        // saturated slot.
+        ss.bump(t(125), t(175), 4);
+        assert!(ss.matches(&[step(100, 4), step(200, 0)]));
+        assert_eq!(ss.num_slots(), 1);
+
+        // Stack a disjoint saturated reservation after a gap, then release
+        // the first: the leading slot trims away, the gap filler with it.
+        ss.bump(t(300), t(400), 4);
+        assert!(ss.matches(&[step(100, 4), step(200, 0), step(300, 4), step(400, 0)]));
+        ss.bump(t(100), t(200), -4);
+        assert!(ss.matches(&[step(300, 4), step(400, 0)]));
+
+        // Partial release down the edge ladder: 4 → 1 → 0 used.
+        ss.bump(t(300), t(400), -3);
+        assert!(ss.matches(&[step(300, 1), step(400, 0)]));
+        ss.bump(t(300), t(400), -1);
+        assert!(ss.matches(&[]));
+        assert_eq!(ss.num_slots(), 0);
     }
 }

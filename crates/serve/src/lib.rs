@@ -39,11 +39,32 @@ use resched_core::backward::{schedule_deadline, DeadlineAlgo, DeadlineConfig};
 use resched_core::forward::{schedule_forward, ForwardConfig};
 use resched_core::obs::{names, MetricsRegistry};
 use resched_core::prelude::*;
-use resched_core::validate::audit_calendar;
+use resched_core::validate::audit_calendar_with;
 use resched_daggen::DagParams;
+use resched_resv::{AdmissionGate, Owner, QuotaDenial, QuotaRule, QuotaSet, QuotaSubject};
 use resched_workloads::job::JobLog;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::time::Instant;
+
+/// Per-user admission quotas for the serving loop.
+///
+/// Arrivals are attributed round-robin to `users` synthetic users
+/// (`u0`, `u1`, …) split across two projects (`p0` / `p1`, by job-id
+/// parity); every user gets the same caps. A `0` cap means *unlimited on
+/// that axis* — no rule is installed for it — so a config with both caps
+/// zero admits exactly like no quota config at all.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeQuotaConfig {
+    /// Synthetic users arrivals are attributed to (clamped up to 1).
+    pub users: usize,
+    /// Peak concurrent cores each user may hold (0 = unlimited).
+    #[serde(default)]
+    pub max_concurrent_cores: u32,
+    /// Total core-seconds each user may hold (0 = unlimited).
+    #[serde(default)]
+    pub max_core_seconds: i64,
+}
 
 /// Configuration of one serving run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -77,6 +98,11 @@ pub struct ServeConfig {
     /// both mean the single-probe behavior.
     #[serde(default)]
     pub probe_fanout: usize,
+    /// Per-user admission quotas, enforced through an
+    /// [`AdmissionGate`] before any transaction commits (`None` =
+    /// admit on capacity alone, the pre-quota behavior).
+    #[serde(default)]
+    pub quota: Option<ServeQuotaConfig>,
     /// Master seed for DAG generation and cancel/resize picks.
     pub seed: u64,
     /// Re-audit the calendar every `audit_every` events (0 = only once at
@@ -96,6 +122,7 @@ impl Default for ServeConfig {
             admit_horizon: Dur::hours(12),
             q_window: Dur::days(1),
             probe_fanout: 1,
+            quota: None,
             seed: 42,
             audit_every: 1,
         }
@@ -115,6 +142,14 @@ pub struct ServeReport {
     pub cancels: usize,
     /// Live reservations trimmed in place.
     pub resizes: usize,
+    /// Applications denied admission by a quota rule (a subset of
+    /// `rollbacks`).
+    #[serde(default)]
+    pub quota_denied: u64,
+    /// Denial tallies by stable reason code (`quota.concurrent_cores`,
+    /// `quota.core_seconds`), sorted by code; their sum is `quota_denied`.
+    #[serde(default)]
+    pub quota_reasons: Vec<(String, u64)>,
     /// Calendar-audit violations observed (must be 0 on a healthy run).
     pub violations: usize,
     /// First violation, for diagnostics.
@@ -142,9 +177,11 @@ pub struct ServeReport {
 }
 
 /// One admitted application's live reservations, tracked so later cancels
-/// and resizes operate on reservations that actually exist.
+/// and resizes operate on reservations that actually exist — and the owner
+/// they are accounted to, so the quota ledger stays in step.
 #[derive(Debug, Clone)]
 struct LiveApp {
+    owner: Owner,
     resvs: Vec<Reservation>,
 }
 
@@ -241,6 +278,34 @@ pub fn run(log: &JobLog, cfg: &ServeConfig) -> ServeReport {
     };
     let dl_cfg = DeadlineConfig::default();
 
+    // Quota gate: one identical rule set per synthetic user. Arrivals are
+    // attributed by job id, so admission decisions are as deterministic as
+    // the rest of the replay.
+    let users = cfg.quota.map_or(1, |q| q.users.max(1));
+    let mut gate = cfg.quota.map(|q| {
+        let mut set = QuotaSet::unlimited();
+        for u in 0..users {
+            let subject = QuotaSubject::User(format!("u{u}"));
+            if q.max_concurrent_cores > 0 {
+                set = set.with_rule(QuotaRule::concurrent(
+                    subject.clone(),
+                    q.max_concurrent_cores,
+                ));
+            }
+            if q.max_core_seconds > 0 {
+                set = set.with_rule(QuotaRule::core_seconds(subject, q.max_core_seconds));
+            }
+        }
+        AdmissionGate::new(set)
+    });
+    let owner_of = |id: u32| {
+        Owner::new(
+            &format!("u{}", id as usize % users),
+            &format!("p{}", id % 2),
+        )
+    };
+    let mut quota_reasons: BTreeMap<String, u64> = BTreeMap::new();
+
     let mut registry = MetricsRegistry::new();
     let mut live: Vec<LiveApp> = Vec::new();
     let mut latencies_ns: Vec<u64> = Vec::with_capacity(jobs.len());
@@ -250,6 +315,8 @@ pub fn run(log: &JobLog, cfg: &ServeConfig) -> ServeReport {
         rollbacks: 0,
         cancels: 0,
         resizes: 0,
+        quota_denied: 0,
+        quota_reasons: Vec::new(),
         violations: 0,
         first_violation: None,
         wall_ms: 0.0,
@@ -263,15 +330,16 @@ pub fn run(log: &JobLog, cfg: &ServeConfig) -> ServeReport {
         metrics: MetricsRegistry::new(),
     };
 
-    let audit = |cal: &Calendar, report: &mut ServeReport, events: usize| {
-        if cfg.audit_every > 0 && events.is_multiple_of(cfg.audit_every) {
-            let vs = audit_calendar(cal);
-            if let Some(v) = vs.first() {
-                report.first_violation.get_or_insert_with(|| v.to_string());
+    let audit =
+        |cal: &Calendar, gate: Option<&AdmissionGate>, report: &mut ServeReport, events: usize| {
+            if cfg.audit_every > 0 && events.is_multiple_of(cfg.audit_every) {
+                let vs = audit_calendar_with(cal, None, gate);
+                if let Some(v) = vs.first() {
+                    report.first_violation.get_or_insert_with(|| v.to_string());
+                }
+                report.violations += vs.len();
             }
-            report.violations += vs.len();
-        }
-    };
+        };
 
     let wall_start = Instant::now();
     let mut events = 0usize;
@@ -293,6 +361,8 @@ pub fn run(log: &JobLog, cfg: &ServeConfig) -> ServeReport {
         let t0 = Instant::now();
         let use_deadline = cfg.deadline_every > 0 && report.apps.is_multiple_of(cfg.deadline_every);
         let deadline = now + cfg.admit_horizon;
+        let owner = owner_of(job.id);
+        let mut denial: Option<QuotaDenial> = None;
         let committed = {
             resched_core::span!("serve.schedule");
             let mut txn = cal.transaction();
@@ -327,6 +397,15 @@ pub fn run(log: &JobLog, cfg: &ServeConfig) -> ServeReport {
                     .task_ids()
                     .map(|t| sched.placement(t).reservation())
                     .collect();
+                // Capacity said yes; now the quota gate gets its veto. An
+                // all-or-nothing batch admit keeps the ledger untouched on
+                // denial, mirroring the transaction rollback below.
+                if let Some(g) = gate.as_mut() {
+                    if let Err(d) = g.admit_all(&owner, &resvs) {
+                        denial = Some(d);
+                        return None;
+                    }
+                }
                 for r in &resvs {
                     // Cannot fail: the schedule was validated against this
                     // exact transaction view.
@@ -337,7 +416,10 @@ pub fn run(log: &JobLog, cfg: &ServeConfig) -> ServeReport {
             match admitted {
                 Some(resvs) => {
                     txn.commit();
-                    live.push(LiveApp { resvs });
+                    live.push(LiveApp {
+                        owner: owner.clone(),
+                        resvs,
+                    });
                     true
                 }
                 None => {
@@ -359,8 +441,16 @@ pub fn run(log: &JobLog, cfg: &ServeConfig) -> ServeReport {
             report.rollbacks += 1;
             registry.inc(names::SERVE_ROLLBACKS, 1);
             resched_core::obs::counter_add(names::SERVE_ROLLBACKS, 1);
+            if let Some(d) = &denial {
+                report.quota_denied += 1;
+                registry.inc(names::SERVE_QUOTA_DENIED, 1);
+                resched_core::obs::counter_add(names::SERVE_QUOTA_DENIED, 1);
+                *quota_reasons
+                    .entry(d.reason_code().to_string())
+                    .or_insert(0) += 1;
+            }
         }
-        audit(&cal, &mut report, events);
+        audit(&cal, gate.as_ref(), &mut report, events);
 
         // Seeded churn on the committed population.
         if committed
@@ -392,6 +482,18 @@ pub fn run(log: &JobLog, cfg: &ServeConfig) -> ServeReport {
                 report.cancels += 1;
                 registry.inc(names::SERVE_CANCELS, 1);
                 resched_core::obs::counter_add(names::SERVE_CANCELS, 1);
+                if let Some(g) = gate.as_mut() {
+                    for r in &app.resvs {
+                        if !g.release(&app.owner, r) {
+                            // The ledger mirrors commits exactly; a miss
+                            // here is a bookkeeping bug, not a policy call.
+                            report.violations += 1;
+                            report.first_violation.get_or_insert_with(|| {
+                                "quota ledger missing a cancelled reservation".into()
+                            });
+                        }
+                    }
+                }
             } else {
                 // A tracked live reservation must always be removable.
                 report.violations += 1;
@@ -399,7 +501,7 @@ pub fn run(log: &JobLog, cfg: &ServeConfig) -> ServeReport {
                     .first_violation
                     .get_or_insert_with(|| "cancel of a tracked live reservation failed".into());
             }
-            audit(&cal, &mut report, events);
+            audit(&cal, gate.as_ref(), &mut report, events);
         }
 
         if committed
@@ -424,6 +526,14 @@ pub fn run(log: &JobLog, cfg: &ServeConfig) -> ServeReport {
                         report.resizes += 1;
                         registry.inc(names::SERVE_RESIZES, 1);
                         resched_core::obs::counter_add(names::SERVE_RESIZES, 1);
+                        if let Some(g) = gate.as_mut() {
+                            if !g.replace(&live[k].owner, &old, new) {
+                                report.violations += 1;
+                                report.first_violation.get_or_insert_with(|| {
+                                    "quota ledger missing a resized reservation".into()
+                                });
+                            }
+                        }
                     } else {
                         // Shrinking a live reservation releases capacity
                         // only; it can never conflict.
@@ -433,15 +543,16 @@ pub fn run(log: &JobLog, cfg: &ServeConfig) -> ServeReport {
                             .first_violation
                             .get_or_insert_with(|| "shrink of a live reservation failed".into());
                     }
-                    audit(&cal, &mut report, events);
+                    audit(&cal, gate.as_ref(), &mut report, events);
                 }
             }
         }
     }
     let wall = wall_start.elapsed();
 
-    // Final audit (covers audit_every == 0 and any tail skipped by stride).
-    let vs = audit_calendar(&cal);
+    // Final audit (covers audit_every == 0 and any tail skipped by stride);
+    // with a quota gate this also audits the ledger itself.
+    let vs = audit_calendar_with(&cal, None, gate.as_ref());
     if let Some(v) = vs.first() {
         report.first_violation.get_or_insert_with(|| v.to_string());
     }
@@ -462,6 +573,7 @@ pub fn run(log: &JobLog, cfg: &ServeConfig) -> ServeReport {
         _ => 0.0,
     };
     report.live_apps = live.len();
+    report.quota_reasons = quota_reasons.into_iter().collect();
     report.metrics = registry;
     report
 }
@@ -484,6 +596,12 @@ pub fn summarize(r: &ServeReport) -> String {
         r.violations,
         r.backend
     ));
+    if r.quota_denied > 0 {
+        out.push_str(&format!("\nquota denied {}", r.quota_denied));
+        for (code, n) in &r.quota_reasons {
+            out.push_str(&format!("  {code} {n}"));
+        }
+    }
     if let Some(v) = &r.first_violation {
         out.push_str(&format!("\nfirst violation: {v}"));
     }
@@ -610,6 +728,96 @@ mod tests {
         );
         assert_eq!(a.utilization, b.utilization);
         assert_eq!(a.backend, b.backend);
+    }
+
+    /// The ISSUE acceptance criterion: the quota-denied path must be
+    /// observable end-to-end — structured reason codes in the report AND
+    /// the `serve.quota.denied` counter in the obs registry, with zero
+    /// audit violations (the ledger stays consistent with the calendar
+    /// under cancels and resizes).
+    #[test]
+    fn quota_denials_are_counted_and_observable() {
+        let log = small_log();
+        let cfg = ServeConfig {
+            max_apps: 60,
+            quota: Some(ServeQuotaConfig {
+                users: 2,
+                max_concurrent_cores: 300,
+                max_core_seconds: 0,
+            }),
+            ..ServeConfig::default()
+        };
+        let r = run(&log, &cfg);
+        assert_eq!(
+            r.violations, 0,
+            "quota run violated an audit: {:?}",
+            r.first_violation
+        );
+        assert!(r.quota_denied > 0, "tight quota denied nothing: {r:?}");
+        assert!(r.commits > 0, "tight quota denied everything: {r:?}");
+        assert_eq!(
+            r.metrics.counter(names::SERVE_QUOTA_DENIED),
+            r.quota_denied,
+            "obs counter and report disagree"
+        );
+        assert!(
+            r.quota_reasons
+                .iter()
+                .any(|(code, _)| code == "quota.concurrent_cores"),
+            "expected a concurrent-cores reason code: {:?}",
+            r.quota_reasons
+        );
+        let tallied: u64 = r.quota_reasons.iter().map(|(_, n)| n).sum();
+        assert_eq!(tallied, r.quota_denied);
+        // Every quota denial is also a rollback, never a commit.
+        assert!(r.quota_denied <= r.rollbacks as u64);
+
+        // Deterministic, like the rest of the replay.
+        let b = run(&log, &cfg);
+        assert_eq!(
+            (r.quota_denied, &r.quota_reasons),
+            (b.quota_denied, &b.quota_reasons)
+        );
+        assert_eq!((r.commits, r.rollbacks), (b.commits, b.rollbacks));
+
+        // The core-seconds axis reports its own reason code.
+        let cs = run(
+            &log,
+            &ServeConfig {
+                max_apps: 40,
+                quota: Some(ServeQuotaConfig {
+                    users: 2,
+                    max_concurrent_cores: 0,
+                    max_core_seconds: 5_000_000,
+                }),
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(cs.violations, 0, "{:?}", cs.first_violation);
+        assert!(cs.quota_denied > 0, "tight core-seconds cap denied nothing");
+        assert!(
+            cs.quota_reasons
+                .iter()
+                .all(|(code, _)| code == "quota.core_seconds"),
+            "only the core-seconds axis was capped: {:?}",
+            cs.quota_reasons
+        );
+
+        // No quota config ⇒ the path is dormant and nothing is denied.
+        let free = run(
+            &log,
+            &ServeConfig {
+                max_apps: 60,
+                ..ServeConfig::default()
+            },
+        );
+        assert_eq!(free.quota_denied, 0);
+        assert_eq!(free.metrics.counter(names::SERVE_QUOTA_DENIED), 0);
+        assert!(free.quota_reasons.is_empty());
+        assert!(
+            free.commits >= r.commits,
+            "quotas may only shrink the admitted set"
+        );
     }
 
     #[test]

@@ -5,14 +5,22 @@
 //! resched-serve [--preset NAME | --swf FILE] [--days N] [--apps N]
 //!               [--accel X] [--tasks N] [--seed N]
 //!               [--cancel-every N] [--resize-every N] [--deadline-every N]
-//!               [--admit-hours N] [--probe-fanout N] [--json] [--assert-clean]
+//!               [--admit-hours N] [--probe-fanout N]
+//!               [--quota-users N] [--quota-cores N] [--quota-core-seconds N]
+//!               [--json] [--assert-clean]
 //! ```
 //!
+//! The `--quota-*` flags install per-user admission quotas: arrivals are
+//! attributed to `--quota-users` synthetic users, each capped at
+//! `--quota-cores` peak concurrent cores and/or `--quota-core-seconds`
+//! total reservation area (0 = unlimited on that axis).
+//!
 //! `--assert-clean` exits nonzero unless the run had zero calendar-audit
-//! violations and exercised both the commit and the rollback path — the
-//! contract the CI serve-smoke lane enforces.
+//! violations and exercised both the commit and the rollback path — and,
+//! when quotas are configured, at least one quota denial — the contract
+//! the CI serve-smoke and hierarchy lanes enforce.
 
-use resched_serve::{run, summarize, ServeConfig};
+use resched_serve::{run, summarize, ServeConfig, ServeQuotaConfig};
 use resched_workloads::prelude::*;
 use std::process::ExitCode;
 
@@ -22,7 +30,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: resched-serve [--preset {}] [--swf FILE] [--days N] [--apps N] \
          [--accel X] [--tasks N] [--seed N] [--cancel-every N] [--resize-every N] \
-         [--deadline-every N] [--admit-hours N] [--probe-fanout N] [--json] \
+         [--deadline-every N] [--admit-hours N] [--probe-fanout N] \
+         [--quota-users N] [--quota-cores N] [--quota-core-seconds N] [--json] \
          [--assert-clean]",
         PRESETS.join("|")
     );
@@ -41,6 +50,12 @@ fn main() -> ExitCode {
     let mut swf: Option<String> = None;
     let mut days: i64 = 3;
     let mut cfg = ServeConfig::default();
+    let mut quota = ServeQuotaConfig {
+        users: 4,
+        max_concurrent_cores: 0,
+        max_core_seconds: 0,
+    };
+    let mut quota_requested = false;
     let mut json = false;
     let mut assert_clean = false;
 
@@ -59,6 +74,18 @@ fn main() -> ExitCode {
             "--deadline-every" => cfg.deadline_every = parse("--deadline-every", args.next()),
             "--admit-hours" => cfg.admit_horizon = Dur::hours(parse("--admit-hours", args.next())),
             "--probe-fanout" => cfg.probe_fanout = parse("--probe-fanout", args.next()),
+            "--quota-users" => {
+                quota.users = parse("--quota-users", args.next());
+                quota_requested = true;
+            }
+            "--quota-cores" => {
+                quota.max_concurrent_cores = parse("--quota-cores", args.next());
+                quota_requested = true;
+            }
+            "--quota-core-seconds" => {
+                quota.max_core_seconds = parse("--quota-core-seconds", args.next());
+                quota_requested = true;
+            }
             "--json" => json = true,
             "--assert-clean" => assert_clean = true,
             "--help" | "-h" => usage(),
@@ -67,6 +94,10 @@ fn main() -> ExitCode {
                 usage();
             }
         }
+    }
+
+    if quota_requested {
+        cfg.quota = Some(quota);
     }
 
     let log = match swf {
@@ -138,6 +169,10 @@ fn main() -> ExitCode {
                  (commits {}, rollbacks {})",
                 report.commits, report.rollbacks
             );
+            return ExitCode::FAILURE;
+        }
+        if cfg.quota.is_some() && report.quota_denied == 0 {
+            eprintln!("ASSERT-CLEAN FAILED: quotas configured but no denial observed");
             return ExitCode::FAILURE;
         }
     }

@@ -11,6 +11,10 @@
 //! resched deadline      --dag dag.json --resv resv.json --k <secs>
 //!                       [--algo DL_RCBD_CPAR-L]
 //! resched tightest      --dag dag.json --resv resv.json [--algo DL_RC_CPAR-L]
+//!
+//! `--algo` also accepts the hierarchical twins (`H_` prefix, e.g.
+//! `H_DL_RCBD_CPAR-L`): same algorithm, placements restricted to whole
+//! 2-core nodes.
 //! ```
 //!
 //! JSON files use the crates' serde formats, so artifacts are
@@ -213,17 +217,27 @@ fn schedule_cmd(args: &Args) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-fn parse_algo(name: &str) -> Result<DeadlineAlgo, Box<dyn Error>> {
+/// Resolve an `--algo` name; the `H_` prefix selects the hierarchical
+/// twin regime (same algorithm, whole-node placements).
+fn parse_algo(name: &str) -> Result<(DeadlineAlgo, DeadlineConfig), Box<dyn Error>> {
+    let (flat, cfg) = match name.strip_prefix("H_") {
+        Some(rest) => (
+            rest,
+            DeadlineConfig::default().hierarchical(resched_core::algos::TWIN_GRAIN),
+        ),
+        None => (name, DeadlineConfig::default()),
+    };
     DeadlineAlgo::ALL
         .into_iter()
-        .find(|a| a.name() == name)
+        .find(|a| a.name() == flat)
+        .map(|a| (a, cfg))
         .ok_or_else(|| format!("unknown --algo '{name}'").into())
 }
 
 fn deadline_cmd(args: &Args, tightest: bool) -> Result<(), Box<dyn Error>> {
     let (dag, rs, cal) = load_problem(args)?;
-    let algo = parse_algo(args.opt("algo").unwrap_or("DL_RCBD_CPAR-L"))?;
-    let cfg = DeadlineConfig::default();
+    let name = args.opt("algo").unwrap_or("DL_RCBD_CPAR-L");
+    let (algo, cfg) = parse_algo(name)?;
     if tightest {
         let Some((k, out)) =
             tightest_deadline(&dag, &cal, Time::ZERO, rs.q, algo, cfg, Dur::seconds(60))
@@ -233,7 +247,7 @@ fn deadline_cmd(args: &Args, tightest: bool) -> Result<(), Box<dyn Error>> {
         out.schedule.validate(&dag, &cal)?;
         println!("{}", serde_json::to_string(&out.schedule)?);
         eprintln!(
-            "{algo}: tightest deadline {} ({:.2} CPU-hours, lambda {:?})",
+            "{name}: tightest deadline {} ({:.2} CPU-hours, lambda {:?})",
             k - Time::ZERO,
             out.schedule.cpu_hours(),
             out.lambda
@@ -245,7 +259,7 @@ fn deadline_cmd(args: &Args, tightest: bool) -> Result<(), Box<dyn Error>> {
                 out.schedule.validate(&dag, &cal)?;
                 println!("{}", serde_json::to_string(&out.schedule)?);
                 eprintln!(
-                    "{algo}: meets {} with completion {} and {:.2} CPU-hours (lambda {:?})",
+                    "{name}: meets {} with completion {} and {:.2} CPU-hours (lambda {:?})",
                     k,
                     out.schedule.completion(),
                     out.schedule.cpu_hours(),

@@ -45,6 +45,12 @@ pub struct JobLog {
     pub procs: u32,
     /// Jobs, sorted by submission time.
     pub jobs: Vec<Job>,
+    /// Source records dropped on ingest (e.g. SWF `-1` sentinels for
+    /// cancelled jobs, negative submit times). Zero for synthetic logs;
+    /// lets trace-driven experiments report how much of a log was unusable
+    /// instead of silently shrinking it.
+    #[serde(default)]
+    pub skipped_jobs: u32,
 }
 
 impl JobLog {
@@ -146,6 +152,7 @@ impl JobLog {
             name: self.name.clone(),
             procs: self.procs,
             jobs,
+            skipped_jobs: self.skipped_jobs,
         }
     }
 
@@ -186,6 +193,7 @@ mod tests {
             name: "test".into(),
             procs: 10,
             jobs: vec![j(1, 100, 160, 3600, 8), j(2, 1100, 1200, 60, 2)],
+            skipped_jobs: 0,
         };
         let fast = log.accelerated(10.0);
         assert_eq!(fast.jobs[0].submit, Time::seconds(100));
@@ -214,6 +222,7 @@ mod tests {
             name: "test".into(),
             procs: 10,
             jobs: vec![j(1, 0, 0, 100, 5), j(2, 0, 100, 100, 5)],
+            skipped_jobs: 0,
         };
         let (lo, hi) = log.span();
         assert_eq!(lo, Time::ZERO);
@@ -230,6 +239,7 @@ mod tests {
             name: "empty".into(),
             procs: 4,
             jobs: vec![],
+            skipped_jobs: 0,
         };
         assert_eq!(log.utilization(), 0.0);
         assert_eq!(log.avg_runtime_hours(), 0.0);

@@ -47,12 +47,17 @@ impl std::error::Error for SwfError {}
 
 /// Parse SWF text into a [`JobLog`].
 ///
-/// Jobs with unknown or non-positive runtime or processor counts are
-/// skipped, matching common archive-cleaning practice. `max_procs` is taken
-/// from the `; MaxProcs:` header when present, otherwise from the largest
-/// allocation seen.
+/// Jobs with unknown or non-positive runtime or processor counts (the
+/// archive's `-1` sentinel for cancelled / failed jobs) and jobs with a
+/// negative submit time are skipped, matching common archive-cleaning
+/// practice — and **counted**: the returned log's
+/// [`skipped_jobs`](JobLog::skipped_jobs) records every dropped record, so
+/// a heavily-cleaned trace cannot silently masquerade as a small one.
+/// `max_procs` is taken from the `; MaxProcs:` header when present,
+/// otherwise from the largest allocation seen.
 pub fn parse_swf(name: &str, text: &str) -> Result<JobLog, SwfError> {
     let mut jobs = Vec::new();
+    let mut skipped_jobs: u32 = 0;
     let mut max_procs_header: Option<u32> = None;
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -81,8 +86,12 @@ pub fn parse_swf(name: &str, text: &str) -> Result<JobLog, SwfError> {
         let wait = num(2)?;
         let runtime = num(3)?;
         let procs = num(4)?;
-        if runtime <= 0 || procs <= 0 {
-            continue; // cancelled / malformed job
+        // -1 sentinels (and any other non-positive value) on the runtime or
+        // allocation mark a cancelled/failed record; a negative submit is
+        // an unusable timestamp. Skip-with-counter, never silently.
+        if runtime <= 0 || procs <= 0 || submit < 0 {
+            skipped_jobs = skipped_jobs.saturating_add(1);
+            continue;
         }
         let wait = wait.max(0);
         jobs.push(Job {
@@ -101,6 +110,7 @@ pub fn parse_swf(name: &str, text: &str) -> Result<JobLog, SwfError> {
         name: name.to_string(),
         procs,
         jobs,
+        skipped_jobs,
     })
 }
 
@@ -121,8 +131,9 @@ mod tests {
     fn parses_sample() {
         let log = parse_swf("sample", SAMPLE).unwrap();
         assert_eq!(log.procs, 128);
-        // Job 3 has unknown runtime and is skipped.
+        // Job 3 has unknown runtime and is skipped — and counted.
         assert_eq!(log.jobs.len(), 2);
+        assert_eq!(log.skipped_jobs, 1);
         let j1 = &log.jobs[0];
         assert_eq!(j1.id, 1);
         assert_eq!(j1.submit, Time::seconds(0));
@@ -161,5 +172,43 @@ mod tests {
     fn negative_wait_clamped() {
         let log = parse_swf("x", "1 100 -5 10 1 0 0 1 0 0 1 1 1 1 1 0 0 0\n").unwrap();
         assert_eq!(log.jobs[0].start, Time::seconds(100));
+        assert_eq!(log.skipped_jobs, 0);
+    }
+
+    /// A deliberately dirty fixture: every archive sentinel pattern in one
+    /// log. Each bad record must be skipped-with-counter, the good ones
+    /// parsed, and nothing negative may leak into the job list.
+    #[test]
+    fn malformed_sentinels_are_skipped_and_counted() {
+        const DIRTY: &str = "\
+; MaxProcs: 64
+1 0 0 100 4 -1 -1 4 -1 -1 1 1 1 1 1 -1 -1 -1
+2 10 0 -1 4 -1 -1 4 -1 -1 0 1 1 1 1 -1 -1 -1
+3 20 0 100 -1 -1 -1 -1 -1 -1 0 1 1 1 1 -1 -1 -1
+4 30 0 0 4 -1 -1 4 -1 -1 0 1 1 1 1 -1 -1 -1
+5 40 0 100 0 -1 -1 0 -1 -1 0 1 1 1 1 -1 -1 -1
+6 -1 0 100 4 -1 -1 4 -1 -1 1 1 1 1 1 -1 -1 -1
+7 50 0 100 8 -1 -1 8 -1 -1 1 1 1 1 1 -1 -1 -1
+";
+        let log = parse_swf("dirty", DIRTY).unwrap();
+        // Jobs 2 (runtime -1), 3 (procs -1), 4 (runtime 0), 5 (procs 0)
+        // and 6 (submit -1) are dropped; 1 and 7 survive.
+        assert_eq!(log.skipped_jobs, 5);
+        assert_eq!(log.jobs.len(), 2);
+        assert_eq!(log.jobs[0].id, 1);
+        assert_eq!(log.jobs[1].id, 7);
+        for j in &log.jobs {
+            assert!(j.runtime.is_positive());
+            assert!(j.procs > 0);
+            assert!(j.submit >= Time::ZERO);
+        }
+        // The counter round-trips through serialization, and a
+        // pre-hardening log without the field deserializes to zero.
+        let json = serde_json::to_string(&log).unwrap();
+        let back: crate::job::JobLog = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.skipped_jobs, 5);
+        let legacy = r#"{"name":"x","procs":4,"jobs":[]}"#;
+        let old: crate::job::JobLog = serde_json::from_str(legacy).unwrap();
+        assert_eq!(old.skipped_jobs, 0);
     }
 }

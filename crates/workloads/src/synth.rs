@@ -241,6 +241,7 @@ pub fn generate_log(spec: &LogSpec, seed: u64) -> JobLog {
         name: spec.name.clone(),
         procs: spec.procs,
         jobs,
+        skipped_jobs: 0,
     }
 }
 

@@ -13,7 +13,39 @@ use resched_core::algos::Algorithm;
 use resched_core::dag::{Dag, DagBuilder};
 use resched_core::forward::{schedule_forward, ForwardConfig};
 use resched_core::prelude::*;
+use resched_core::validate::{audit_calendar_with, Violation};
+use resched_resv::{AdmissionGate, Owner, QuotaRule, QuotaSet, QuotaSubject};
 use serde::{Deserialize, Serialize};
+
+/// Stable snake_case label for a [`Violation`] kind, used to name and
+/// bucket shrunk repro files. resched-lint's violation-parity rule pins
+/// every kind declared in `resched-core::validate` to an arm here, so a
+/// new kind cannot ship without a shrink label; the wildcard arm exists
+/// only because the enum is `#[non_exhaustive]` across crates.
+pub fn violation_label(v: &Violation) -> &'static str {
+    match v {
+        Violation::TaskCountMismatch { .. } => "task_count_mismatch",
+        Violation::MalformedPlacement { .. } => "malformed_placement",
+        Violation::AllocationOutOfRange { .. } => "allocation_out_of_range",
+        Violation::AllocationExceedsDeclaredBound { .. } => "allocation_exceeds_declared_bound",
+        Violation::DurationMismatch { .. } => "duration_mismatch",
+        Violation::ReleaseViolation { .. } => "release_violation",
+        Violation::PrecedenceViolation { .. } => "precedence_violation",
+        Violation::ReservationMismatch { .. } => "reservation_mismatch",
+        Violation::CapacityExceeded { .. } => "capacity_exceeded",
+        Violation::BackendDivergence { .. } => "backend_divergence",
+        Violation::DeadlineMissed { .. } => "deadline_missed",
+        Violation::ExitFinishMismatch { .. } => "exit_finish_mismatch",
+        Violation::StatsInconsistent { .. } => "stats_inconsistent",
+        Violation::CalendarCorrupt { .. } => "calendar_corrupt",
+        Violation::CalendarOverbooked { .. } => "calendar_overbooked",
+        Violation::CalendarAccountingDrift { .. } => "calendar_accounting_drift",
+        Violation::CancelledResidue { .. } => "cancelled_residue",
+        Violation::HierarchyViolation { .. } => "hierarchy_violation",
+        Violation::QuotaViolation { .. } => "quota_violation",
+        _ => "unknown",
+    }
+}
 
 /// One moldable task of a fuzz scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -584,6 +616,228 @@ impl ArenaStress {
     }
 }
 
+/// One admission request of a [`QuotaStress`] case.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuotaRequest {
+    /// Requesting user index (reduced modulo 4 → `u0`..`u3`).
+    pub user: u32,
+    /// Project index (reduced modulo 2 → `p0` / `p1`).
+    pub project: u32,
+    /// Reservation start, seconds (floored at 0).
+    pub start_secs: i64,
+    /// Reservation length, seconds (floored at 1).
+    pub dur_secs: i64,
+    /// Processors requested (clamped into `[1, capacity]`).
+    pub procs: u32,
+    /// Release this many of the most recently admitted reservations
+    /// *before* this request, exercising `AdmissionGate::release` against
+    /// live calendar removals.
+    #[serde(default)]
+    pub release: u32,
+}
+
+/// A quota-admission stress case: a request sequence driven through an
+/// [`AdmissionGate`] and a live [`Calendar`] together. The observable is
+/// the per-request decision log (`admit` / `conflict` / a quota reason
+/// code), which must be identical under every calendar backend — quota
+/// admissibility and capacity feasibility are independent judgments, and
+/// neither may depend on the query engine. Serializable for committing
+/// shrunk failures under `tests/repros/quota_*.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuotaStress {
+    /// Platform capacity `p`.
+    pub capacity: u32,
+    /// Per-user concurrent-core cap, same for `u0`..`u3` (0 = no rule).
+    pub user_cores: u32,
+    /// Per-user core-seconds cap (0 = no rule).
+    pub user_core_seconds: i64,
+    /// Per-project concurrent-core cap for `p0` / `p1` (0 = no rule).
+    pub project_cores: u32,
+    /// The admission requests, in order.
+    pub requests: Vec<QuotaRequest>,
+}
+
+impl QuotaStress {
+    /// Draw a random case: small capacity, tight-ish caps (so denials
+    /// actually happen), a handful of overlapping requests.
+    pub fn generate<R: Rng>(rng: &mut R) -> QuotaStress {
+        let capacity = rng.gen_range(2u32..=16);
+        let n = rng.gen_range(1usize..=10);
+        let requests = (0..n)
+            .map(|_| QuotaRequest {
+                user: rng.gen_range(0u32..8),
+                project: rng.gen_range(0u32..4),
+                start_secs: rng.gen_range(0i64..4_000),
+                dur_secs: rng.gen_range(60i64..4_000),
+                procs: rng.gen_range(1u32..=capacity),
+                release: if rng.gen_range(0.0..1.0f64) < 0.25 {
+                    rng.gen_range(1u32..=2)
+                } else {
+                    0
+                },
+            })
+            .collect();
+        QuotaStress {
+            capacity,
+            user_cores: rng.gen_range(0u32..=capacity),
+            user_core_seconds: if rng.gen_range(0.0..1.0f64) < 0.5 {
+                rng.gen_range(1_000i64..2_000_000)
+            } else {
+                0
+            },
+            project_cores: rng.gen_range(0u32..=capacity),
+            requests,
+        }
+    }
+
+    /// The gate this case's caps describe: one identical rule set per
+    /// synthetic user and project. Zero caps install no rule.
+    pub fn gate(&self) -> AdmissionGate {
+        let mut set = QuotaSet::unlimited();
+        for u in 0..4 {
+            let subject = QuotaSubject::User(format!("u{u}"));
+            if self.user_cores > 0 {
+                set = set.with_rule(QuotaRule::concurrent(subject.clone(), self.user_cores));
+            }
+            if self.user_core_seconds > 0 {
+                set = set.with_rule(QuotaRule::core_seconds(subject, self.user_core_seconds));
+            }
+        }
+        for p in 0..2 {
+            if self.project_cores > 0 {
+                set = set.with_rule(QuotaRule::concurrent(
+                    QuotaSubject::Project(format!("p{p}")),
+                    self.project_cores,
+                ));
+            }
+        }
+        AdmissionGate::new(set)
+    }
+
+    /// Replay the request sequence against a fresh calendar and gate.
+    /// Returns the decision log, or `Err` on any internal inconsistency:
+    /// a check/admit disagreement, a ledger miss on release, a failed
+    /// audit (`AdmissionGate::audit` plus `audit_calendar_with`), or
+    /// ledger/live-set accounting drift.
+    pub fn replay(&self) -> Result<Vec<String>, String> {
+        let cap = self.capacity.max(1);
+        let mut cal = Calendar::new(cap);
+        let mut gate = self.gate();
+        let mut live: Vec<(Owner, Reservation)> = Vec::new();
+        let mut log = Vec::new();
+        for req in &self.requests {
+            for _ in 0..req.release {
+                let Some((o, r)) = live.pop() else { break };
+                if cal.try_remove(r).is_err() {
+                    return Err("calendar lost a tracked live reservation".into());
+                }
+                if !gate.release(&o, &r) {
+                    return Err(format!("gate ledger missing a released entry for {o}"));
+                }
+            }
+            let owner = Owner::new(
+                &format!("u{}", req.user % 4),
+                &format!("p{}", req.project % 2),
+            );
+            let r = Reservation::for_duration(
+                Time::seconds(req.start_secs.max(0)),
+                Dur::seconds(req.dur_secs.max(1)),
+                req.procs.clamp(1, cap),
+            );
+            match gate.check(&owner, &r) {
+                Err(denial) => log.push(denial.reason_code().to_string()),
+                Ok(()) => {
+                    if cal.try_add(r).is_ok() {
+                        if let Err(denial) = gate.admit(&owner, r) {
+                            return Err(format!("gate flipped after a clean check: {denial}"));
+                        }
+                        live.push((owner, r));
+                        log.push("admit".to_string());
+                    } else {
+                        log.push("conflict".to_string());
+                    }
+                }
+            }
+        }
+        if let Some(denial) = gate.audit().first() {
+            return Err(format!("gate ledger breaks its own rules: {denial}"));
+        }
+        if let Some(v) = audit_calendar_with(&cal, None, Some(&gate)).first() {
+            return Err(format!("{}: {v}", violation_label(v)));
+        }
+        let area: i64 = live.iter().map(|(_, r)| r.proc_seconds()).sum();
+        if area != gate.held_core_seconds() {
+            return Err(format!(
+                "ledger area drifted: live {area} vs gate {}",
+                gate.held_core_seconds()
+            ));
+        }
+        Ok(log)
+    }
+
+    /// One-step simplifications, most aggressive first: drop a request,
+    /// stop releasing, lift each cap, then halve request sizes.
+    pub fn shrink_candidates(&self) -> Vec<QuotaStress> {
+        let mut out = Vec::new();
+        for i in (0..self.requests.len()).rev() {
+            let mut s = self.clone();
+            s.requests.remove(i);
+            out.push(s);
+        }
+        for i in 0..self.requests.len() {
+            if self.requests[i].release > 0 {
+                let mut s = self.clone();
+                s.requests[i].release = 0;
+                out.push(s);
+            }
+            if self.requests[i].procs > 1 {
+                let mut s = self.clone();
+                s.requests[i].procs /= 2;
+                out.push(s);
+            }
+            if self.requests[i].dur_secs > 60 {
+                let mut s = self.clone();
+                s.requests[i].dur_secs /= 2;
+                out.push(s);
+            }
+        }
+        for (cores, core_secs, proj) in [
+            (0, self.user_core_seconds, self.project_cores),
+            (self.user_cores, 0, self.project_cores),
+            (self.user_cores, self.user_core_seconds, 0),
+        ] {
+            if (cores, core_secs, proj)
+                != (self.user_cores, self.user_core_seconds, self.project_cores)
+            {
+                let mut s = self.clone();
+                s.user_cores = cores;
+                s.user_core_seconds = core_secs;
+                s.project_cores = proj;
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    /// Pretty JSON for committing under `tests/repros/quota_*.json`.
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("quota case serializes");
+        s.push('\n');
+        s
+    }
+
+    /// Parse a committed quota repro.
+    pub fn from_json(json: &str) -> Result<QuotaStress, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// [`shrink`], for quota-stress cases: same greedy loop and budget over
+/// [`QuotaStress::shrink_candidates`].
+pub fn shrink_quota(case: &QuotaStress, fails: impl Fn(&QuotaStress) -> bool) -> QuotaStress {
+    greedy_shrink(case, QuotaStress::shrink_candidates, fails)
+}
+
 /// Greedily shrink `scenario` while `fails` keeps returning true: take the
 /// first one-step simplification that still fails and restart from it,
 /// until no simplification fails (a local minimum) or the step budget runs
@@ -683,6 +937,29 @@ mod tests {
         assert!(!min.poison);
         assert!(min.scenarios[0].tasks.is_empty());
         assert!(min.scenarios[0].reservations.is_empty());
+    }
+
+    #[test]
+    fn quota_cases_roundtrip_and_shrink() {
+        let mut rng = ChaCha12Rng::seed_from_u64(0x5CED_00F3);
+        for _ in 0..16 {
+            let case = QuotaStress::generate(&mut rng);
+            let back = QuotaStress::from_json(&case.to_json()).unwrap();
+            assert_eq!(back, case);
+            // A consistent gate/calendar pair: replay never errors, only
+            // decides.
+            let log = case.replay().unwrap();
+            assert_eq!(log.len(), case.requests.len());
+        }
+        // Shrinking against "still has a request" strips caps and extras.
+        let case = QuotaStress::generate(&mut rng);
+        let min = shrink_quota(&case, |c| !c.requests.is_empty());
+        assert_eq!(min.requests.len(), 1);
+        assert_eq!(
+            (min.user_cores, min.user_core_seconds, min.project_cores),
+            (0, 0, 0)
+        );
+        assert_eq!(min.requests[0].release, 0);
     }
 
     #[test]

@@ -29,7 +29,7 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use resched_core::prelude::*;
-use resched_resv::{force_backend, BackendKind, QueryCost};
+use resched_resv::{force_backend, BackendKind, Hierarchy, PlacementLevel, QueryCost};
 use resched_tests::fuzz::{shrink, Scenario};
 use std::path::PathBuf;
 use std::sync::{Mutex, MutexGuard};
@@ -220,6 +220,89 @@ fn dispatched_queries_are_backend_invariant() {
                 k0.name(),
                 k.name()
             );
+        }
+    }
+}
+
+/// Allocation grains for the hierarchical battery. `RESCHED_HIER_GRAIN`
+/// appends one extra grain so CI lanes can stress coarser trees without a
+/// code change; grains that do not divide a scenario's capacity are
+/// skipped for that scenario (the quantize-up contract needs `cap % g == 0`).
+fn hier_grains() -> Vec<u32> {
+    let mut grains = vec![1, 2, 4];
+    if let Ok(v) = std::env::var("RESCHED_HIER_GRAIN") {
+        match v.parse::<u32>() {
+            Ok(g) if g >= 1 => {
+                if !grains.contains(&g) {
+                    grains.push(g);
+                }
+            }
+            _ => panic!("RESCHED_HIER_GRAIN must be a positive integer, got {v:?}"),
+        }
+    }
+    grains
+}
+
+/// The hierarchical fit (`earliest_fit_hier`) is part of the cross-backend
+/// contract: for every grain, all backends must return the same
+/// `HierFit` (start *and* quantized width) at the same `QueryCost::queries`;
+/// and at grain 1 — the flat degenerate tree — the answer must be
+/// byte-for-byte the flat `earliest_fit_with_cost` answer, queries included.
+#[test]
+fn hierarchical_fits_are_backend_invariant_and_flat_degenerate() {
+    let _g = lock();
+    let mut rng = ChaCha12Rng::seed_from_u64(DIFF_SEED ^ 2);
+    for i in 0..iterations().min(60) {
+        let s = Scenario::generate(&mut rng);
+        force_backend(None);
+        let cal = s.calendar();
+        let cap = cal.capacity();
+        for g in hier_grains() {
+            if !cap.is_multiple_of(g) {
+                continue;
+            }
+            let hier = if g == 1 {
+                Hierarchy::flat(cap)
+            } else {
+                Hierarchy::uniform("diff", 1, cap / g, g)
+            };
+            for (procs, dur, a, _) in battery(&cal) {
+                let mut per_kind = Vec::new();
+                for kind in BackendKind::ALL {
+                    let view = cal.backend_view(kind);
+                    let mut c = QueryCost::default();
+                    let fit = view
+                        .earliest_fit_hier(&hier, PlacementLevel::Node, procs, dur, a, &mut c)
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "iteration {i}: grain {g} fit failed on {}: {e}",
+                                kind.name()
+                            )
+                        });
+                    per_kind.push((kind, fit, c.queries));
+                }
+                let (k0, fit0, q0) = &per_kind[0];
+                for (k, fit, q) in &per_kind[1..] {
+                    assert!(
+                        fit == fit0 && q == q0,
+                        "iteration {i}: grain {g} probe ({procs}p, {dur:?}, {a:?}) \
+                         diverges between {} and {}: {fit0:?}@{q0} vs {fit:?}@{q}",
+                        k0.name(),
+                        k.name()
+                    );
+                }
+                if g == 1 {
+                    let view = cal.backend_view(*k0);
+                    let mut c = QueryCost::default();
+                    let flat = view.earliest_fit_with_cost(procs, dur, a, &mut c);
+                    assert_eq!(
+                        (fit0.start, fit0.procs, *q0),
+                        (flat, procs, c.queries),
+                        "iteration {i}: flat-degenerate hierarchy must reproduce the \
+                         plain fit exactly (probe {procs}p, {dur:?}, {a:?})"
+                    );
+                }
+            }
         }
     }
 }

@@ -86,10 +86,14 @@ fn repro_paths(arena: bool) -> Vec<PathBuf> {
         .map(|e| e.unwrap().path())
         .filter(|p| p.extension().is_some_and(|x| x == "json"))
         .filter(|p| {
-            let is_arena = p
-                .file_name()
-                .is_some_and(|n| n.to_string_lossy().starts_with("arena_"));
-            is_arena == arena
+            let name = p.file_name().map(|n| n.to_string_lossy().to_string());
+            let name = name.as_deref().unwrap_or("");
+            // `quota_*` repros are QuotaStress cases replayed by the
+            // quota_admission harness, not Scenarios.
+            if name.starts_with("quota_") {
+                return false;
+            }
+            name.starts_with("arena_") == arena
         })
         .collect();
     entries.sort();

@@ -1,0 +1,303 @@
+//! Quota-constrained admission, end to end: edge-case policies through the
+//! [`AdmissionGate`] and the independent [`ScheduleValidator`] oracle, a
+//! cross-backend invariance check (admission decisions and reason codes
+//! must not depend on the calendar query engine), and a seeded
+//! [`QuotaStress`] mutation sweep with greedy shrinking to
+//! `tests/repros/quota_*.json`. Committed quota repros replay here forever.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use resched_core::dag::DagBuilder;
+use resched_core::forward::{schedule_forward, ForwardConfig};
+use resched_core::prelude::*;
+use resched_core::validate::Violation;
+use resched_resv::{
+    force_backend, AdmissionGate, BackendKind, Owner, QuotaRule, QuotaSet, QuotaSubject,
+};
+use resched_tests::fuzz::{shrink_quota, violation_label, QuotaStress};
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+
+/// Root seed for the quota-stress sweep.
+const QUOTA_SEED: u64 = 0x5CED_0090;
+
+/// `force_backend` is process-global; serialize every test that toggles it.
+fn lock() -> MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn repro_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("repros")
+}
+
+/// A two-level fork-join DAG whose forward schedule has a handful of
+/// reservations — enough structure for quota replay to bite.
+fn fork_join() -> resched_core::dag::Dag {
+    let mut b = DagBuilder::new();
+    let src = b.add_task(TaskCost::new(Dur::seconds(600), 0.1));
+    let l = b.add_task(TaskCost::new(Dur::seconds(1_200), 0.2));
+    let r = b.add_task(TaskCost::new(Dur::seconds(900), 0.3));
+    let sink = b.add_task(TaskCost::new(Dur::seconds(300), 0.0));
+    b.add_edge(src, l);
+    b.add_edge(src, r);
+    b.add_edge(l, sink);
+    b.add_edge(r, sink);
+    b.build().expect("fork-join builds")
+}
+
+/// A user with a zero concurrent-core quota can hold nothing at all: the
+/// gate denies their very first reservation, and the validator's quota
+/// replay flags any schedule billed to them.
+#[test]
+fn zero_quota_user_is_always_denied() {
+    let alice = Owner::new("alice", "astro");
+    let quotas = QuotaSet::unlimited()
+        .with_rule(QuotaRule::concurrent(QuotaSubject::User("alice".into()), 0));
+
+    let mut gate = AdmissionGate::new(quotas.clone());
+    let r = Reservation::for_duration(Time::seconds(0), Dur::seconds(60), 1);
+    let denial = gate
+        .admit(&alice, r)
+        .expect_err("zero quota admits nothing");
+    assert_eq!(denial.reason_code(), "quota.concurrent_cores");
+    assert_eq!(denial.subject, "user:alice");
+    assert_eq!(denial.limit, 0);
+    assert_eq!(gate.held(), 0, "denied requests leave no ledger residue");
+
+    // The independent oracle agrees: any schedule for alice violates.
+    let dag = fork_join();
+    let cal = Calendar::new(8);
+    let now = Time::ZERO;
+    let sched = schedule_forward(&dag, &cal, now, 8, ForwardConfig::recommended());
+    let report = ScheduleValidator::new(&dag, &cal, now)
+        .with_quotas(&quotas, alice)
+        .report(&sched);
+    assert!(
+        report
+            .iter()
+            .any(|v| matches!(v, Violation::QuotaViolation { .. })),
+        "expected a QuotaViolation, got {report:?}"
+    );
+    assert!(report
+        .iter()
+        .any(|v| violation_label(v) == "quota_violation"));
+
+    // An unrelated user sails through the same policy.
+    let clean = ScheduleValidator::new(&dag, &cal, now)
+        .with_quotas(&quotas, Owner::new("bob", "astro"))
+        .report(&sched);
+    assert!(clean.is_empty(), "bob is unconstrained: {clean:?}");
+}
+
+/// Quota checks are `≤`-inclusive: a request landing exactly on the limit
+/// is admitted on both axes; one unit past it is denied.
+#[test]
+fn quota_exactly_equal_to_request_admits() {
+    let o = Owner::new("carol", "chem");
+    let r = Reservation::for_duration(Time::seconds(0), Dur::seconds(100), 4);
+
+    // Concurrent cores: limit == request admits, limit - 1 denies.
+    let mut exact = AdmissionGate::new(
+        QuotaSet::unlimited()
+            .with_rule(QuotaRule::concurrent(QuotaSubject::User("carol".into()), 4)),
+    );
+    exact.admit(&o, r).expect("exact concurrent fit admits");
+    let mut tight = AdmissionGate::new(
+        QuotaSet::unlimited()
+            .with_rule(QuotaRule::concurrent(QuotaSubject::User("carol".into()), 3)),
+    );
+    let d = tight.admit(&o, r).expect_err("one core over denies");
+    assert_eq!((d.requested, d.limit), (4, 3));
+
+    // Core-seconds: the reservation's area is 4 × 100 = 400.
+    let mut exact_area = AdmissionGate::new(QuotaSet::unlimited().with_rule(
+        QuotaRule::core_seconds(QuotaSubject::User("carol".into()), 400),
+    ));
+    exact_area.admit(&o, r).expect("exact area fit admits");
+    let mut tight_area = AdmissionGate::new(QuotaSet::unlimited().with_rule(
+        QuotaRule::core_seconds(QuotaSubject::User("carol".into()), 399),
+    ));
+    let d = tight_area
+        .admit(&o, r)
+        .expect_err("one core-second over denies");
+    assert_eq!(d.reason_code(), "quota.core_seconds");
+    assert_eq!((d.requested, d.limit), (400, 399));
+
+    // The validator oracle sees the same boundary on a real schedule.
+    let dag = fork_join();
+    let cal = Calendar::new(8);
+    let now = Time::ZERO;
+    let sched = schedule_forward(&dag, &cal, now, 8, ForwardConfig::recommended());
+    let area: i64 = dag
+        .task_ids()
+        .map(|t| sched.placement(t).reservation().proc_seconds())
+        .sum();
+    let at_limit = QuotaSet::unlimited().with_rule(QuotaRule::core_seconds(
+        QuotaSubject::User("carol".into()),
+        area,
+    ));
+    let clean = ScheduleValidator::new(&dag, &cal, now)
+        .with_quotas(&at_limit, o.clone())
+        .report(&sched);
+    assert!(clean.is_empty(), "exact-area schedule is clean: {clean:?}");
+    let under = QuotaSet::unlimited().with_rule(QuotaRule::core_seconds(
+        QuotaSubject::User("carol".into()),
+        area - 1,
+    ));
+    let report = ScheduleValidator::new(&dag, &cal, now)
+        .with_quotas(&under, o)
+        .report(&sched);
+    assert!(
+        report
+            .iter()
+            .any(|v| matches!(v, Violation::QuotaViolation { .. })),
+        "one core-second under the schedule's area must violate: {report:?}"
+    );
+}
+
+/// Two users of one project, overlapping reservations, a project-level
+/// concurrent cap: the second overlapping request is denied against the
+/// *project* subject even though each user is individually fine — and the
+/// whole decision sequence is identical under two different calendar
+/// backends.
+#[test]
+fn overlapping_same_project_reservations_across_two_backends() {
+    let _g = lock();
+    let decisions = |kind: BackendKind| {
+        force_backend(Some(kind));
+        let mut cal = Calendar::new(16);
+        let mut gate = AdmissionGate::new(QuotaSet::unlimited().with_rule(QuotaRule::concurrent(
+            QuotaSubject::Project("astro".into()),
+            8,
+        )));
+        let dana = Owner::new("dana", "astro");
+        let evan = Owner::new("evan", "astro");
+        let mut log = Vec::new();
+        // Overlapping in time: [0, 1000) × 6 for dana, [500, 1500) × 6 for
+        // evan (project peak would be 12 > 8), then a disjoint retry.
+        let a = Reservation::for_duration(Time::seconds(0), Dur::seconds(1_000), 6);
+        let b = Reservation::for_duration(Time::seconds(500), Dur::seconds(1_000), 6);
+        let c = Reservation::for_duration(Time::seconds(2_000), Dur::seconds(1_000), 6);
+        for (owner, r) in [(&dana, a), (&evan, b), (&evan, c)] {
+            match gate.check(owner, &r) {
+                Err(d) => log.push(format!("{}:{}", d.subject, d.reason_code())),
+                Ok(()) => {
+                    cal.try_add(r).expect("capacity 16 fits any single 6");
+                    gate.admit(owner, r).expect("checked admit");
+                    log.push("admit".to_string());
+                }
+            }
+        }
+        force_backend(None);
+        (log, gate.held())
+    };
+    let (log_indexed, held_indexed) = decisions(BackendKind::Indexed);
+    let (log_slotset, held_slotset) = decisions(BackendKind::SlotSet);
+    assert_eq!(
+        log_indexed,
+        vec![
+            "admit".to_string(),
+            "project:astro:quota.concurrent_cores".to_string(),
+            "admit".to_string(),
+        ],
+        "overlap must trip the project cap; the disjoint retry must pass"
+    );
+    assert_eq!(log_indexed, log_slotset, "decisions depend on the backend");
+    assert_eq!(held_indexed, held_slotset);
+}
+
+/// Full decision-log differential for one case across all backends.
+fn divergence(c: &QuotaStress) -> Option<String> {
+    let mut logs: Vec<(BackendKind, Vec<String>)> = Vec::new();
+    for kind in BackendKind::ALL {
+        force_backend(Some(kind));
+        match c.replay() {
+            Ok(log) => logs.push((kind, log)),
+            Err(e) => {
+                force_backend(None);
+                return Some(format!("{}: {e}", kind.name()));
+            }
+        }
+    }
+    force_backend(None);
+    let (k0, l0) = &logs[0];
+    for (k, l) in &logs[1..] {
+        if l != l0 {
+            return Some(format!(
+                "decision logs diverge: {} vs {}",
+                k0.name(),
+                k.name()
+            ));
+        }
+    }
+    None
+}
+
+/// Seeded sweep: every generated case must replay consistently (gate audit
+/// clean, ledger accounting exact) with backend-invariant decisions. A
+/// failure is greedily shrunk and committed under `tests/repros/` as
+/// `quota_*.json` before the test panics.
+#[test]
+fn quota_stress_sweep_is_consistent_and_backend_invariant() {
+    let _g = lock();
+    let mut rng = ChaCha12Rng::seed_from_u64(QUOTA_SEED);
+    let n: usize = std::env::var("RESCHED_QUOTA_FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(150);
+    let mut denials = 0usize;
+    for i in 0..n {
+        let case = QuotaStress::generate(&mut rng);
+        if let Some(detail) = divergence(&case) {
+            let minimal = shrink_quota(&case, |c| divergence(c).is_some());
+            let final_detail = divergence(&minimal).unwrap_or_else(|| detail.clone());
+            let path = repro_dir().join(format!("quota_iter{i:04}.json"));
+            std::fs::create_dir_all(repro_dir()).unwrap();
+            std::fs::write(&path, minimal.to_json()).unwrap();
+            panic!(
+                "iteration {i}: quota replay diverged ({detail}); shrunk repro at {} \
+                 (now failing as: {final_detail}) — commit the repro once fixed",
+                path.display()
+            );
+        }
+        force_backend(None);
+        denials += case
+            .replay()
+            .expect("divergence-free case replays")
+            .iter()
+            .filter(|d| d.starts_with("quota."))
+            .count();
+    }
+    assert!(
+        denials > n / 4,
+        "generator stopped producing quota denials ({denials} over {n} cases)"
+    );
+}
+
+/// Committed quota repros (the seed case plus any shrunk failures) stay
+/// fixed forever.
+#[test]
+fn committed_quota_repros_replay_green() {
+    let _g = lock();
+    let dir = repro_dir();
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return;
+    };
+    let mut replayed = 0usize;
+    for entry in entries {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        if !name.starts_with("quota_") || path.extension().is_none_or(|e| e != "json") {
+            continue;
+        }
+        let case = QuotaStress::from_json(&std::fs::read_to_string(&path).unwrap())
+            .unwrap_or_else(|e| panic!("{name} does not parse: {e}"));
+        assert!(
+            divergence(&case).is_none(),
+            "committed repro {name} regressed"
+        );
+        replayed += 1;
+    }
+    assert!(replayed > 0, "the seed quota repro must exist and replay");
+}
