@@ -4,8 +4,10 @@
 //! Times `cpa::allocate` (LevelTracker-based incremental levels) against
 //! `cpa::allocate_reference` (full `bottom_levels` + `top_levels` rebuild
 //! per growth iteration) on the headline n = 100 dense-DAG configuration
-//! plus the paper-default n = 50 shape, and writes the medians to
-//! `BENCH_pr4.json` in the workspace root.
+//! plus the paper-default n = 50 shape, and prints the report to stdout.
+//! The historical medians live in `BENCH_scale.json` under `migrated`
+//! (`source_pr: 4`); this binary re-measures for comparison, it does not
+//! rewrite that record.
 //!
 //! Run with `cargo run --release -p resched-bench --bin bench_pr4`.
 
@@ -126,9 +128,6 @@ fn main() {
             .to_string(),
         results,
     };
-    let mut out = serde_json::to_string_pretty(&report).expect("report serializes");
-    out.push('\n');
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr4.json");
-    std::fs::write(path, out).expect("write BENCH_pr4.json");
-    println!("wrote {path}");
+    let out = serde_json::to_string_pretty(&report).expect("report serializes");
+    println!("{out}");
 }

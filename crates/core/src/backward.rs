@@ -164,6 +164,7 @@ pub struct DeadlineOutcome {
 ///
 /// `competing` describes the platform and its existing reservations, `now`
 /// the scheduling instant, and `q` the historical average availability.
+// lint:warmup: builds a fresh context and schedule per call (concurrent probes cannot share an arena); steady-state callers use schedule_deadline_with, which is rooted separately.
 pub fn schedule_deadline(
     dag: &Dag,
     competing: &Calendar,
@@ -192,7 +193,6 @@ pub fn schedule_deadline(
 /// [`schedule_deadline`] into a recycled [`SchedCtx`] and output schedule:
 /// byte-identical results, and (on the sequential sweep path) allocation-free
 /// once the context is warm. Returns the successful λ for the hybrids.
-// lint:hotpath:begin
 #[allow(clippy::too_many_arguments)]
 pub fn schedule_deadline_with(
     dag: &Dag,
@@ -453,7 +453,6 @@ pub fn schedule_deadline_with(
     validate_outcome(dag, competing, now, deadline, q, algo, cfg, out);
     Ok(lambda)
 }
-// lint:hotpath:end
 
 /// Debug/feature-gated post-pass: replay a successful deadline schedule
 /// through the independent oracle, with the declared allocation cap of the
@@ -700,6 +699,7 @@ struct PassBufs {
 }
 
 impl Default for PassBufs {
+    // lint:warmup: one-time buffer construction when a context first runs the backward pass; later passes reuse the buffers.
     fn default() -> Self {
         PassBufs {
             cal: Calendar::new(1),
@@ -794,6 +794,7 @@ fn backward_pass(
                 // λ-invariant; see `guideline_starts_into`); the single-pass
                 // RC algorithms map the unscheduled suffix here.
                 let s_i = match &sweep {
+                    // lint:allow(panic): k walks the same unscheduled suffix the sweep's starts were computed over, so the index is always covered.
                     Some(c) => c.starts[k],
                     None => {
                         stats.count_cpa_mapping();

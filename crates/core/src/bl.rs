@@ -285,6 +285,7 @@ pub struct LevelTracker {
 
 impl LevelTracker {
     /// Full build from the given per-task execution times.
+    // lint:warmup: builds the per-DAG level arrays once per allocation run; the incremental update path reuses them in place.
     pub fn new(dag: &Dag, exec: &[Dur]) -> LevelTracker {
         let mut tracker = LevelTracker {
             bl: Vec::new(),
@@ -316,6 +317,7 @@ impl LevelTracker {
     /// Rebuild the tracker for a (possibly different) DAG in place,
     /// reusing every internal buffer's capacity. After warm-up a reused
     /// scheduling context rebuilds trackers without touching the heap.
+    // lint:allow(panic-transitive): rebuild walks tasks in stored topological order over arrays it just resized to the DAG, so every index is in range.
     pub fn rebuild(&mut self, dag: &Dag, exec: &[Dur]) {
         let n = dag.num_tasks();
         self.topo_pos.clear();
@@ -418,6 +420,7 @@ impl LevelTracker {
 
     /// Current critical-path length (max bottom level over entry tasks;
     /// every other task's bottom level is dominated by an entry ancestor's).
+    // lint:allow(panic-transitive): task ids are dense indices < num_tasks and the level arrays are sized to the DAG, so every index is in range by construction.
     pub fn critical_path(&self) -> Dur {
         self.entry_pos
             .iter()
@@ -436,6 +439,7 @@ impl LevelTracker {
     /// the right direction pops nodes in exactly the order a heap would,
     /// without the per-node `O(log V)` cost, and stops as soon as no dirty
     /// node remains.
+    // lint:allow(panic-transitive): task ids are dense indices < num_tasks and the level arrays are sized to the DAG, so every index is in range by construction.
     pub fn update(&mut self, dag: &Dag, exec: &[Dur], t: TaskId) -> u64 {
         let mut touched = self.update_bottom(dag, exec, t);
         if self.dense {
@@ -511,6 +515,7 @@ impl LevelTracker {
     /// [`LevelTracker::critical_tasks`]. Callers that need the id-indexed
     /// views go through [`LevelTracker::update`]; allocation loops that
     /// select via critical-path membership never read them.
+    // lint:allow(panic-transitive): task ids are dense indices < num_tasks and the level arrays are sized to the DAG, so every index is in range by construction.
     pub fn update_bottom(&mut self, dag: &Dag, exec: &[Dur], t: TaskId) -> u64 {
         debug_assert_eq!(exec.len(), self.bl.len());
         debug_assert_eq!(dag.num_tasks(), self.bl.len());
@@ -660,6 +665,7 @@ impl LevelTracker {
     /// Returns the critical path length (same value as
     /// [`LevelTracker::critical_path`]), so callers that need both don't
     /// scan the entries twice.
+    // lint:allow(panic-transitive): the critical-path scan iterates positions 0..levels.len() over arrays kept the same length by rebuild.
     pub fn refresh_critical(&mut self) -> Dur {
         let cp = self.critical_path();
         self.cp_epoch = self.cp_epoch.wrapping_add(1);

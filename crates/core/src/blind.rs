@@ -243,7 +243,6 @@ pub(crate) fn schedule_blind_ctx(
     );
 }
 
-// lint:hotpath:begin
 #[allow(clippy::too_many_arguments)]
 fn blind_inner(
     dag: &Dag,
@@ -345,7 +344,6 @@ fn blind_inner(
         .with_declared_bounds(bounds.clone())
         .assert_valid(out, "BLIND");
 }
-// lint:hotpath:end
 
 #[cfg(test)]
 mod tests {

@@ -92,6 +92,7 @@ impl CpaAllocation {
 
     /// An allocation with no tasks, for use as a buffer to be filled by
     /// [`allocate_with`] or [`assign_from`](Self::assign_from).
+    // lint:warmup: zero-capacity placeholder built when a cache slot is first initialized; assign_from fills it in place afterwards.
     pub fn empty() -> CpaAllocation {
         CpaAllocation {
             pool: 0,
@@ -279,7 +280,8 @@ pub fn allocate_with(
 /// [`allocate`]'s incremental rewrite — unit tests assert byte-identical
 /// [`CpaAllocation`]s across a seeded DAG sweep — and as the *before*
 /// baseline of the `criterion_micro` `cpa_alloc` group and the
-/// `BENCH_pr4.json` exec-time record. Schedulers never call this.
+/// exec-time record in `BENCH_scale.json`'s `migrated` section.
+/// Schedulers never call this.
 ///
 /// # Panics
 /// Panics if `pool == 0`.
@@ -373,6 +375,7 @@ pub fn force_cache(enabled: Option<bool>) {
 /// Parse a `RESCHED_CPA_CACHE` value. Unknown spellings are an error
 /// listing the accepted names — a typo must not silently run with the
 /// cache in the wrong state.
+// lint:warmup: runs once when the memoized RESCHED_CPA_CACHE override is first read.
 pub fn parse_cache_knob(value: &str) -> Result<bool, String> {
     match value {
         "on" | "1" | "true" | "yes" => Ok(true),
@@ -498,6 +501,7 @@ impl CpaCache {
         }
         if let Some(i) = self.entries.iter().position(|e| !e.stale && e.key == key) {
             obs::counter_add(obs::names::CPA_CACHE_HIT, 1);
+            // lint:allow(panic): i comes from position() over the same entries list two lines up.
             return &self.entries[i].value;
         }
         // Miss — identical accounting to a fresh per-run cache, whether the
@@ -522,10 +526,12 @@ impl CpaCache {
                 self.entries.len() - 1
             }
         };
+        // lint:allow(panic): slot is either a position() hit or len() - 1 right after a push.
         let entry = &mut self.entries[slot];
         entry.key = key;
         entry.stale = false;
         Self::compute(dag, key, &mut self.scratch, &mut entry.value);
+        // lint:allow(panic): slot is either a position() hit or len() - 1 right after a push.
         &self.entries[slot].value
     }
 
@@ -664,12 +670,14 @@ pub fn map_subset_into(
     out.clear();
     out.resize(dag.num_tasks(), None);
     for &t in &scratch.order {
+        // lint:allow(dynamic-call): every root-reachable caller passes a pure membership probe over the pass's unscheduled bitmask (`|u| uns[u.idx()]`) — no panics (ids are dense), no allocation, no ambient state.
         if !include(t) {
             continue;
         }
         let mut ready = start_at;
         for &p in dag.preds(t) {
             debug_assert!(
+                // lint:allow(dynamic-call): debug_assert-only probe of the same membership closure; compiled out of release builds.
                 include(p),
                 "map_subset requires a predecessor-closed subset"
             );

@@ -333,7 +333,6 @@ pub fn chain(costs: &[TaskCost]) -> Dag {
     for w in ids.windows(2) {
         b.add_edge(w[0], w[1]);
     }
-    // lint:allow(panic): the builder is fed a non-empty linear chain — no duplicate, self, or out-of-range edges.
     b.build().expect("a chain is always a valid DAG")
 }
 
@@ -350,7 +349,6 @@ pub fn fork_join(entry: TaskCost, middle: &[TaskCost], exit: TaskCost) -> Dag {
     if mids.is_empty() {
         b.add_edge(e, x);
     }
-    // lint:allow(panic): entry/mids/exit and their edges are constructed here with fresh distinct ids — always a valid DAG.
     b.build().expect("fork-join is always a valid DAG")
 }
 

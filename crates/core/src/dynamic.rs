@@ -69,7 +69,6 @@ pub fn schedule_forward_dynamic(
         let ready = dag
             .preds(t)
             .iter()
-            // lint:allow(panic): decreasing-BL order is topological, so every predecessor is placed before its successor.
             .map(|&pr| placements[pr.idx()].expect("preds first").end)
             .max()
             .unwrap_or(now)
@@ -98,7 +97,6 @@ pub fn schedule_forward_dynamic(
                 });
             }
         }
-        // lint:allow(panic): `bound` is clamped to >= 1 and m = 1 is never a plateau skip, so one candidate always exists.
         let chosen = best.expect("bound >= 1");
         cal.add_unchecked(Reservation::new(chosen.start, chosen.end, chosen.procs));
         placements[t.idx()] = Some(chosen);
@@ -115,7 +113,6 @@ pub fn schedule_forward_dynamic(
     let mut sched = Schedule::new(
         placements
             .into_iter()
-            // lint:allow(panic): the placement loop fills one slot per task; `order` covers the whole DAG.
             .map(|p| p.expect("all placed"))
             .collect(),
         now,

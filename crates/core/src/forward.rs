@@ -216,7 +216,6 @@ pub fn schedule_forward(
 
 /// [`schedule_forward`] into a recycled [`SchedCtx`] and output schedule:
 /// byte-identical results, and allocation-free once the context is warm.
-// lint:hotpath:begin
 pub fn schedule_forward_with(
     dag: &Dag,
     competing: &Calendar,
@@ -352,12 +351,10 @@ pub fn schedule_forward_with(
             bounds
                 .iter()
                 .map(|&b| quantize_bound(b, cfg.grain.clamp(1, p.max(1)), p))
-                // lint:allow(alloc): gated oracle replay, compiled out of the release hot path the zero-alloc harness pins.
                 .collect(),
         )
         .assert_valid(out, cfg.name().as_str());
 }
-// lint:hotpath:end
 
 /// Clamp a per-task allocation bound into `1..=p`, then round it up to
 /// whole `g`-core placement units, capped at the largest multiple of `g`

@@ -214,7 +214,6 @@ pub fn schedule_icaslb(
 
 /// [`schedule_icaslb`] into a recycled [`SchedCtx`] and output schedule:
 /// byte-identical results, allocation-free once the context is warm.
-// lint:hotpath:begin
 pub fn schedule_icaslb_with(
     dag: &Dag,
     competing: &Calendar,
@@ -351,7 +350,6 @@ pub fn schedule_icaslb_with(
         .with_declared_bounds(vec![cap; dag.num_tasks()])
         .assert_valid(out, "iCASLB-AR");
 }
-// lint:hotpath:end
 
 #[cfg(test)]
 mod tests {

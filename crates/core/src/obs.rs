@@ -211,6 +211,7 @@ impl Histogram {
             self.min = self.min.min(v);
             self.max = self.max.max(v);
         }
+        // lint:allow(panic): bucket_index returns at most 64 and counts holds HIST_BUCKETS = 65 entries.
         self.counts[Self::bucket_index(v)] = self.counts[Self::bucket_index(v)].saturating_add(1);
         self.count = self.count.saturating_add(1);
         self.sum = self.sum.saturating_add(v);
@@ -648,7 +649,6 @@ mod ambient {
         let state = RUNS.with(|runs| {
             runs.borrow_mut()
                 .pop()
-                // lint:allow(panic): push at entry pairs with this pop; an underflow means corrupted diagnostics state, which the obs build must report loudly rather than mask.
                 .expect("observe: run stack underflow")
         });
         let mut report = RunReport {

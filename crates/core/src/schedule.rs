@@ -175,7 +175,6 @@ impl Schedule {
             .iter()
             .map(|p| p.start)
             .min()
-            // lint:allow(panic): schedules carry one placement per task and DagBuilder rejects empty DAGs.
             .expect("schedule of an empty DAG")
     }
 

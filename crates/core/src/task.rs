@@ -107,7 +107,6 @@ impl TaskCost {
         assert!(cap >= 1);
         (1..=cap)
             .min_by_key(|&m| (self.exec_time(m), m))
-            // lint:allow(panic): the assert above guarantees 1..=cap is non-empty.
             .expect("cap >= 1")
     }
 

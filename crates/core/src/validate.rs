@@ -549,7 +549,6 @@ impl<'a> ScheduleValidator<'a> {
             .iter()
             .map(|&t| sched.placement(t).end)
             .max()
-            // lint:allow(panic): every non-empty DAG has at least one exit (Kahn's topological order always terminates on one).
             .expect("a DAG has at least one exit");
         if sched.completion() != exit_finish {
             out.push(Violation::ExitFinishMismatch {
@@ -579,7 +578,6 @@ impl<'a> ScheduleValidator<'a> {
     /// `cfg(any(debug_assertions, feature = "validate"))`.
     pub fn assert_valid(&self, sched: &Schedule, context: &str) {
         if let Err(v) = self.check(sched) {
-            // lint:allow(panic): this is the documented panicking wrapper the schedulers call behind debug/validate gates — failing loudly is its purpose.
             panic!("{context}: schedule validation failed: {v}");
         }
     }
@@ -597,9 +595,7 @@ impl<'a> ScheduleValidator<'a> {
         if placements.is_empty() {
             return;
         }
-        // lint:allow(panic): the is_empty early-return above guarantees both min and max exist.
         let lo = placements.iter().map(|pl| pl.start).min().unwrap();
-        // lint:allow(panic): the is_empty early-return above guarantees both min and max exist.
         let hi = placements.iter().map(|pl| pl.end).max().unwrap();
 
         let mut bounds: Vec<Time> = Vec::with_capacity(2 * placements.len());
@@ -633,7 +629,6 @@ impl<'a> ScheduleValidator<'a> {
                 acc += events[next_event].1;
                 next_event += 1;
             }
-            // lint:allow(panic): a negative sweep means a start/end event imbalance — corrupt input the oracle must reject loudly, not paper over.
             let app = u32::try_from(acc).expect("usage sweep went negative");
             let competing = self.competing.used_at(a);
 
@@ -864,7 +859,6 @@ pub fn check_allocation(dag: &Dag, alloc: &crate::cpa::CpaAllocation) -> Result<
 #[cfg(any(debug_assertions, feature = "validate"))]
 pub(crate) fn assert_allocation_valid(dag: &Dag, alloc: &crate::cpa::CpaAllocation, context: &str) {
     if let Err(e) = check_allocation(dag, alloc) {
-        // lint:allow(panic): documented panicking wrapper for gated allocator post-passes, mirroring assert_valid.
         panic!("{context}: allocation validation failed: {e}");
     }
 }

@@ -1,17 +1,58 @@
-//! Seeded fixture: allocation inside a marked hot-path region, plus one
-//! waived site and one construct that is allowed because the region closed.
+//! Seeded fixture: the call cone under `schedule_tick`, the root declared
+//! in crates/lint/roots.toml — one positive, one negative, and one waived
+//! case per transitive rule family, with witness chains three deep.
 
-// lint:hotpath:begin
-/// The alloc rule must catch this buffer birth.
-pub fn fill(n: usize) -> Vec<u32> {
-    let mut out = Vec::new();
-    // lint:allow(alloc): fixture waiver — the suppressed collect below.
-    out.extend((0..n as u32).collect::<Vec<_>>());
-    out
+/// Root: the steady-state scheduling entry.
+pub fn schedule_tick(xs: &[u32], n: usize, pick: impl Fn(u32) -> u32) -> u32 {
+    let warm = Scratch::build(n);
+    let picked = pick(backend_kind());
+    sweep(xs, picked as usize) + guarded(xs) + warm.cap as u32
 }
-// lint:hotpath:end
 
-/// Outside the region, allocation is the panic- and nondet-rules' problem.
-pub fn fine(n: usize) -> Vec<u32> {
-    (0..n as u32).collect()
+/// Mid link: every deeper witness passes through here.
+fn sweep(xs: &[u32], n: usize) -> u32 {
+    place(xs, n)
+}
+
+/// Deep end (schedule_tick → sweep → place): the alloc, det, and panic
+/// positives the proofs must reach three hops down.
+fn place(xs: &[u32], n: usize) -> u32 {
+    let grown: Vec<u32> = (0..n as u32).collect();
+    let seed = std::env::var("FIXTURE_SEED").ok().map(|s| s.len() as u32);
+    xs[n] + grown.len() as u32 + seed.unwrap_or(0)
+}
+
+/// Waived cone: the fn-level waiver is a BFS barrier, so the expect()
+/// below is never reached by the panic proof.
+// lint:allow(panic-transitive): fixture barrier — callers pass non-empty slices by construction.
+fn guarded(xs: &[u32]) -> u32 {
+    *xs.first().expect("non-empty")
+}
+
+/// Warm-up construction: reachable and allocating, but exempt — and the
+/// marker is consumed on the way, so it is not rot.
+pub struct Scratch {
+    pub cap: usize,
+}
+
+impl Scratch {
+    // lint:warmup: fixture warm-up — built once per tick loop, reused in place thereafter.
+    pub fn build(n: usize) -> Scratch {
+        let _scratch: Vec<u32> = Vec::new();
+        Scratch { cap: n }
+    }
+}
+
+/// Determinism chokepoint declared in roots.toml: the env read below is
+/// allow-listed, so the det proof stops at the boundary.
+pub fn backend_kind() -> u32 {
+    std::env::var("FIXTURE_BACKEND").map(|s| s.len() as u32).unwrap_or(0)
+}
+
+/// Unreachable from any root: every sink below is a negative for the
+/// transitive families.
+pub fn offline_report(xs: &[u32]) -> String {
+    let mut out = Vec::new();
+    out.push(std::env::var("HOME").unwrap());
+    format!("{:?} {:?}", xs[0], out)
 }

@@ -42,6 +42,10 @@ pub struct Line {
     pub comment: Option<String>,
     /// True inside `#[cfg(test)]`-gated items.
     pub in_test: bool,
+    /// True inside items or statements gated on `debug_assertions` or the
+    /// `validate` feature — code that is compiled out of the release hot
+    /// paths the transitive proofs cover.
+    pub in_debug: bool,
 }
 
 /// A fully lexed file.
@@ -98,6 +102,7 @@ pub fn lex(src: &str) -> Lexed {
                     Some(std::mem::take(&mut comment))
                 },
                 in_test: false,
+                in_debug: false,
             });
             comment.clear();
             line_no += 1;
@@ -140,7 +145,12 @@ pub fn lex(src: &str) -> Lexed {
                     col += 1;
                     continue;
                 }
-                if (c == 'r' || c == 'b') && is_raw_string_start(&bytes, i) {
+                // The `r`/`b` must start its own token: an identifier that
+                // happens to end in `r` directly before a string literal
+                // (macro grammars allow it) is not a raw-string opener.
+                let at_word_start =
+                    i == 0 || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == '_');
+                if (c == 'r' || c == 'b') && at_word_start && is_raw_string_start(&bytes, i) {
                     let (hashes, skip) = raw_string_open(&bytes, i);
                     state = State::Str {
                         raw_hashes: Some(hashes),
@@ -195,11 +205,21 @@ pub fn lex(src: &str) -> Lexed {
                     None => {
                         if c == '\\' {
                             lit.push(c);
-                            if let Some(&e) = bytes.get(i + 1) {
-                                lit.push(e);
+                            match bytes.get(i + 1) {
+                                // A `\` line continuation: leave the newline
+                                // for the top-of-loop handler so per-line
+                                // accounting stays exact.
+                                Some('\n') => {
+                                    i += 1;
+                                    col += 1;
+                                }
+                                Some(&e) => {
+                                    lit.push(e);
+                                    i += 2;
+                                    col += 2;
+                                }
+                                None => i += 1,
                             }
-                            i += 2;
-                            col += 2;
                             continue;
                         }
                         if c == '"' {
@@ -245,8 +265,10 @@ pub fn lex(src: &str) -> Lexed {
             Some(comment)
         },
         in_test: false,
+        in_debug: false,
     });
     mark_test_regions(&mut out.lines);
+    mark_debug_regions(&mut out.lines);
     out
 }
 
@@ -350,6 +372,117 @@ fn mark_test_regions(lines: &mut [Line]) {
     }
 }
 
+/// Mark lines inside items or statements gated on `debug_assertions` or
+/// the `validate` feature — `#[cfg(debug_assertions)]`,
+/// `#[cfg(any(debug_assertions, ...))]`, `#[cfg(feature = "validate")]`
+/// and friends. These lines are compiled out of release builds, so the
+/// release-proof rules (transitive panic/alloc/det) skip them.
+///
+/// Unlike the test-region heuristic, a debug gate may sit on a *statement*
+/// (the validator replay tail in the schedulers): the region therefore
+/// extends to the gated item's matching `}` **or** to the first `;` at
+/// paren-depth 0 before any `{` opens — whichever comes first. Known
+/// approximation (DESIGN.md §18): a brace opening inside a gated braceless
+/// statement (a block-bodied closure argument) ends the region at that
+/// brace's close rather than the statement's `;`.
+fn mark_debug_regions(lines: &mut [Line]) {
+    // The attribute's cfg predicate is matched textually on the code line;
+    // string contents are blanked by the lexer, so `"debug_assertions"`
+    // inside a literal never opens a region.
+    fn is_debug_gate(code: &str) -> bool {
+        let Some(pos) = code.find("#[cfg(") else {
+            return false;
+        };
+        let attr = &code[pos..];
+        attr.contains("debug_assertions") || attr.contains("feature = \"validate\"")
+    }
+    let mut depth: i32 = 0;
+    let mut paren: i32 = 0;
+    let mut pending = false;
+    let mut inside = false;
+    let mut close_depth: i32 = 0;
+    for line in lines.iter_mut() {
+        if !inside && !pending && is_debug_gate(&line.code) {
+            pending = true;
+            paren = 0;
+        }
+        let mut touched = pending || inside;
+        for c in line.code.chars() {
+            match c {
+                '(' | '[' => paren += 1,
+                ')' | ']' => paren -= 1,
+                '{' => {
+                    if pending {
+                        pending = false;
+                        inside = true;
+                        close_depth = depth;
+                        touched = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if inside && depth == close_depth {
+                        inside = false;
+                        touched = true;
+                    }
+                }
+                ';' if pending && paren <= 0 => {
+                    // Braceless gated statement ends here; the attribute
+                    // line through this line are all debug-only.
+                    pending = false;
+                    touched = true;
+                }
+                _ => {}
+            }
+        }
+        line.in_debug = touched || inside;
+    }
+}
+
+/// Blank `#[...]` / `#![...]` attribute spans in a code line (bracket
+/// nesting respected), so token scans never mistake attribute brackets for
+/// slice indexing or attribute arguments for calls. Returns the code with
+/// attribute bytes replaced by spaces (columns preserved).
+pub fn strip_attributes(code: &str) -> String {
+    let chars: Vec<char> = code.chars().collect();
+    let mut out: Vec<char> = chars.clone();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '#' {
+            let mut j = i + 1;
+            if chars.get(j) == Some(&'!') {
+                j += 1;
+            }
+            if chars.get(j) == Some(&'[') {
+                let mut depth = 0i32;
+                let mut k = j;
+                while k < chars.len() {
+                    match chars[k] {
+                        '[' => depth += 1,
+                        ']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                let end = if k < chars.len() { k + 1 } else { chars.len() };
+                for slot in out.iter_mut().take(end).skip(i) {
+                    *slot = ' ';
+                }
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out.into_iter().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,6 +513,18 @@ mod tests {
     }
 
     #[test]
+    fn backslash_continuation_keeps_line_alignment() {
+        // A `\` at end of line continues the string literal; the newline it
+        // escapes must still produce a Line so later lines keep their
+        // numbers.
+        let src = "let a = \"one \\\n     two\";\nlet b = 1;\n";
+        let l = lex(src);
+        assert_eq!(l.lines.len(), 4, "three source lines + trailing");
+        assert_eq!(l.lines[2].code, "let b = 1;");
+        assert_eq!(l.strings[0].line, 1);
+    }
+
+    #[test]
     fn char_literals_and_lifetimes() {
         let l = lex("fn f<'a>(x: &'a str) { let c = '{'; let d = '\\n'; }\n");
         // The braces inside char literals are blanked; the fn braces remain.
@@ -407,5 +552,95 @@ mod tests {
         let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() { x }\n";
         let l = lex(src);
         assert!(!l.lines[2].in_test);
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_close_at_the_right_depth() {
+        // Three levels down and back up, with decoy `*/`-ish sequences.
+        let l = lex("a /* 1 /* 2 /* 3 */ 2 */ 1 */ b\n/*/**/*/ c\n");
+        assert_eq!(l.lines[0].code, "a  b");
+        // `/*/**/*/` is a fully balanced nested comment: open, open,
+        // close, close — nothing of it survives as code.
+        assert_eq!(l.lines[1].code, " c");
+        assert!(l.strings.is_empty());
+    }
+
+    #[test]
+    fn nested_block_comment_reopening_on_the_same_line() {
+        // The `/*` inside the outer comment nests; the single `*/` only
+        // pops one level, so `still` stays commented.
+        let l = lex("x /* outer /* inner */ still */ y /* tail */ z\n");
+        assert_eq!(l.lines[0].code, "x  y  z");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_inside_test_regions() {
+        // The raw string carries braces, quotes, and a `#[cfg(test)]`
+        // spelling — all literal content. The region must close at the
+        // real `}` and the trailing library fn must stay unmarked.
+        let src = "#[cfg(test)]\nmod tests {\n    const S: &str = r##\"{ \"# #[cfg(test)] }\"##;\n    fn t() {}\n}\npub fn lib() { x.unwrap() }\n";
+        let l = lex(src);
+        assert_eq!(l.strings.len(), 1);
+        assert_eq!(l.strings[0].value, "{ \"# #[cfg(test)] }");
+        assert!(l.lines[2].in_test, "raw-string line is inside the region");
+        assert!(l.lines[4].in_test, "closing brace line");
+        assert!(!l.lines[5].in_test, "library fn after the region");
+        // Blanked braces: the raw string's `{`/`}` must not skew depth.
+        assert_eq!(l.lines[2].code.matches('{').count(), 0);
+    }
+
+    #[test]
+    fn identifier_ending_in_r_before_a_string_is_not_a_raw_string() {
+        // `stringify!`-style macro grammars can juxtapose an ident and a
+        // literal; the `r` of `var` must not open a raw string (which
+        // would swallow the rest of the file).
+        let l = lex("m!(var\"a\"); let ok = r\"real\";\n");
+        assert_eq!(l.strings.len(), 2);
+        assert_eq!(l.strings[0].value, "a");
+        assert_eq!(l.strings[1].value, "real");
+    }
+
+    #[test]
+    fn rustfmt_skip_single_line_fn_keeps_code_and_strips_attribute() {
+        let src = "#[rustfmt::skip] pub fn lut(i: usize) -> u64 { TABLE[i] }\n";
+        let l = lex(src);
+        assert!(!l.lines[0].in_test);
+        assert!(!l.lines[0].in_debug);
+        let stripped = strip_attributes(&l.lines[0].code);
+        assert!(
+            !stripped.contains("rustfmt"),
+            "attribute must be blanked: {stripped}"
+        );
+        assert!(
+            stripped.contains("TABLE[i]"),
+            "real indexing must survive: {stripped}"
+        );
+        // Columns are preserved so diagnostics can still point into the line.
+        assert_eq!(stripped.len(), l.lines[0].code.len());
+    }
+
+    #[test]
+    fn debug_regions_cover_items_and_braceless_statements() {
+        let src = "pub fn hot() {\n    work();\n    #[cfg(any(debug_assertions, feature = \"validate\"))]\n    Validator::new(x)\n        .with(|&b| quant(b, (g)))\n        .assert_valid(out);\n    more();\n}\n#[cfg(debug_assertions)]\nfn dbg_only() {\n    slow_check();\n}\nfn lib() {}\n";
+        let l = lex(src);
+        assert!(!l.lines[1].in_debug, "work() is release code");
+        assert!(l.lines[2].in_debug, "attribute line");
+        assert!(l.lines[3].in_debug && l.lines[4].in_debug && l.lines[5].in_debug);
+        assert!(
+            !l.lines[6].in_debug,
+            "statement after the `;` is live again"
+        );
+        assert!(l.lines[9].in_debug && l.lines[10].in_debug && l.lines[11].in_debug);
+        assert!(!l.lines[12].in_debug);
+    }
+
+    #[test]
+    fn strip_attributes_handles_nested_brackets_and_inner_attrs() {
+        let s = strip_attributes("#[cfg(any(test, feature = \"x\"))] fn f(a: [u32; 2]) { a[0] }");
+        assert!(!s.contains("cfg"));
+        assert!(s.contains("a[0]"));
+        let s2 = strip_attributes("#![allow(dead_code)] x[i]");
+        assert!(!s2.contains("allow"));
+        assert!(s2.contains("x[i]"));
     }
 }

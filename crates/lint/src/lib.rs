@@ -1,12 +1,22 @@
 //! `resched-lint` — the workspace's static-analysis pass.
 //!
-//! Six deny-by-default rule families keep the reproduction's correctness
-//! story enforceable at the source level (DESIGN.md §10):
+//! Deny-by-default rule families keep the reproduction's correctness
+//! story enforceable at the source level (DESIGN.md §10, §18):
 //!
 //! * `nondet` — no `HashMap`/`HashSet`, wall-clock reads, or bare float
 //!   `==`/`!=` in scheduler crates;
-//! * `panic` — no `unwrap()`/`expect(`/`panic!`/`unreachable!` in library
-//!   code paths of `resched-core` and `resched-resv`;
+//! * `panic` — no `unwrap()`/`expect(`/`panic!`/`unreachable!`/unchecked
+//!   indexing in any function transitively reachable from the hot-path
+//!   roots declared in `crates/lint/roots.toml`;
+//! * `alloc` — no `Vec::new`/`Box::new`/`collect`/`to_vec`/`format!`
+//!   reachable from the same roots outside `lint:warmup`-marked
+//!   functions, the scheduling hot paths pinned allocation-free by the
+//!   counting-allocator harness (DESIGN.md §16);
+//! * `det` — `env::var`/`Instant::now`/`SystemTime::now`/thread spawns
+//!   only reachable through the chokepoints allow-listed in the roots
+//!   manifest;
+//! * `dynamic-call` — calls through fn-typed parameters on a proved path
+//!   are conservatively reported, since the graph cannot resolve them;
 //! * `obs` — every metric/span name used by `obs::` hooks is declared in
 //!   `crates/core/src/obs/metrics.toml`, and every manifest entry is used;
 //! * `catalog` — the algorithm catalog manifest, the DESIGN/EXPERIMENTS
@@ -16,11 +26,11 @@
 //!   `#[cfg(not(feature = "obs"))]` counterpart, every `CalendarBackend`
 //!   impl is in the backend manifest and its differential harness, and
 //!   every `Violation` kind is wired through the validator oracle and the
-//!   fuzz shrinker's labels;
-//! * `alloc` — no `Vec::new`/`Box::new`/`collect` inside
-//!   `lint:hotpath:begin`/`lint:hotpath:end` regions, the scheduling hot
-//!   paths pinned allocation-free by the counting-allocator harness
-//!   (DESIGN.md §16).
+//!   fuzz shrinker's labels.
+//!
+//! The transitive families run over an approximate name-resolved call
+//! graph ([`symbols`], [`graph`]); diagnostics carry the witness chain
+//! `root → … → sink`, and `--why root sink` reproduces it from the CLI.
 //!
 //! Violations are suppressed by inline waivers:
 //!
@@ -29,13 +39,17 @@
 //! ```
 //!
 //! either trailing on the offending line or on a comment line directly
-//! above it. A waiver with no justification, an unknown rule, or no
-//! matching violation is itself a violation (rule `waiver`), so waivers
-//! cannot rot silently.
+//! above it. The `*-transitive` spellings (`panic-transitive`,
+//! `alloc-transitive`, `det-transitive`) attach to a function signature
+//! and clear every path *through* that function in the graph. A waiver
+//! with no justification, an unknown rule, or no matching violation is
+//! itself a violation (rule `waiver`), so waivers cannot rot silently.
 
+pub mod graph;
 pub mod lexer;
 pub mod manifest;
 pub mod rules;
+pub mod symbols;
 
 use lexer::Lexed;
 use std::cell::Cell;
@@ -48,7 +62,7 @@ use std::path::{Path, PathBuf};
 pub enum Rule {
     /// Nondeterminism hazards in scheduler crates.
     Nondet,
-    /// Panic paths in library code.
+    /// Panic sinks reachable from a hot-path root.
     Panic,
     /// Metric/span names out of sync with the manifest.
     Obs,
@@ -56,21 +70,39 @@ pub enum Rule {
     Catalog,
     /// `obs` feature gates without no-op stubs.
     Parity,
-    /// Heap allocation inside a marked scheduling hot path.
+    /// Heap allocation reachable from a hot-path root.
     Alloc,
+    /// Nondeterministic sources reachable from a hot-path root outside
+    /// declared chokepoints.
+    Det,
+    /// A call the graph cannot resolve (fn-typed parameter) on a path the
+    /// transitive proofs must cover.
+    DynamicCall,
+    /// Waiver name for clearing every panic path *through* a function
+    /// (a call-graph barrier); never reported as a violation itself.
+    PanicTransitive,
+    /// Barrier waiver for the alloc proof.
+    AllocTransitive,
+    /// Barrier waiver for the det proof.
+    DetTransitive,
     /// Malformed, unjustified, or unused waivers.
     Waiver,
 }
 
 impl Rule {
     /// All waivable rules (everything except `waiver` itself).
-    pub const WAIVABLE: [Rule; 6] = [
+    pub const WAIVABLE: [Rule; 11] = [
         Rule::Nondet,
         Rule::Panic,
         Rule::Obs,
         Rule::Catalog,
         Rule::Parity,
         Rule::Alloc,
+        Rule::Det,
+        Rule::DynamicCall,
+        Rule::PanicTransitive,
+        Rule::AllocTransitive,
+        Rule::DetTransitive,
     ];
 
     /// The rule's name as written in reports and waiver comments.
@@ -82,6 +114,11 @@ impl Rule {
             Rule::Catalog => "catalog",
             Rule::Parity => "parity",
             Rule::Alloc => "alloc",
+            Rule::Det => "det",
+            Rule::DynamicCall => "dynamic-call",
+            Rule::PanicTransitive => "panic-transitive",
+            Rule::AllocTransitive => "alloc-transitive",
+            Rule::DetTransitive => "det-transitive",
             Rule::Waiver => "waiver",
         }
     }
@@ -238,8 +275,6 @@ pub struct Config {
     pub nondet_paths: Vec<String>,
     /// Files allowed to read wall clocks (the designated timing module).
     pub timing_allowlist: Vec<String>,
-    /// Path prefixes where the `panic` family applies (library code).
-    pub panic_paths: Vec<String>,
     /// Path prefixes scanned for obs call sites and feature gates.
     pub src_paths: Vec<String>,
     /// The metric/span name manifest.
@@ -267,6 +302,8 @@ pub struct Config {
     /// Fuzz/shrink harnesses that must be able to label every violation
     /// kind.
     pub violation_tests: Vec<String>,
+    /// The reachability-roots manifest for the transitive proofs.
+    pub roots_manifest: String,
 }
 
 impl Default for Config {
@@ -278,7 +315,6 @@ impl Default for Config {
                 "crates/sim/src".into(),
             ],
             timing_allowlist: vec!["crates/core/src/obs.rs".into()],
-            panic_paths: vec!["crates/core/src".into(), "crates/resv/src".into()],
             src_paths: vec!["crates/".into()],
             metrics_manifest: "crates/core/src/obs/metrics.toml".into(),
             names_module: "crates/core/src/obs.rs".into(),
@@ -294,6 +330,7 @@ impl Default for Config {
             backend_tests: vec!["tests/tests/backend_differential.rs".into()],
             violation_module: "crates/core/src/validate.rs".into(),
             violation_tests: vec!["tests/fuzz.rs".into()],
+            roots_manifest: "crates/lint/roots.toml".into(),
         }
     }
 }
@@ -305,6 +342,7 @@ impl Config {
             self.metrics_manifest.clone(),
             self.catalog_manifest.clone(),
             self.backend_manifest.clone(),
+            self.roots_manifest.clone(),
         ];
         v.extend(self.catalog_docs.iter().cloned());
         v.extend(self.catalog_goldens.iter().cloned());
@@ -411,6 +449,20 @@ impl Sink {
         });
     }
 
+    /// Mark the waiver at exactly `(path, line, rule)` as used. The
+    /// transitive rules call this when a graph traversal stops at a
+    /// barrier waiver, so barrier waivers that intercept no path are
+    /// reported as stale by [`Sink::finish`] like any other unused waiver.
+    pub fn consume(&self, path: &str, line: usize, rule: Rule) {
+        if let Some(waivers) = self.waivers.get(path) {
+            for w in waivers {
+                if w.rule == Some(rule) && w.line == line {
+                    w.used.set(true);
+                }
+            }
+        }
+    }
+
     /// After all rules ran: malformed or unused waivers become violations.
     fn finish(mut self) -> Vec<Violation> {
         for (path, waivers) in &self.waivers {
@@ -421,7 +473,9 @@ impl Sink {
                         line: w.line,
                         rule: Rule::Waiver,
                         message: format!(
-                            "waiver names unknown rule `{}` (known: nondet, panic, obs, catalog, parity, alloc)",
+                            "waiver names unknown rule `{}` (known: nondet, panic, obs, \
+                             catalog, parity, alloc, det, dynamic-call, panic-transitive, \
+                             alloc-transitive, det-transitive)",
                             w.raw_rule
                         ),
                     }),
@@ -459,13 +513,12 @@ impl Sink {
 pub fn run(ws: &Workspace, cfg: &Config) -> Vec<Violation> {
     let mut sink = Sink::new(ws);
     rules::nondet(ws, cfg, &mut sink);
-    rules::panic_freedom(ws, cfg, &mut sink);
     rules::obs_hygiene(ws, cfg, &mut sink);
     rules::catalog_sync(ws, cfg, &mut sink);
     rules::feature_parity(ws, cfg, &mut sink);
     rules::backend_parity(ws, cfg, &mut sink);
     rules::violation_parity(ws, cfg, &mut sink);
-    rules::alloc_hotpath(ws, cfg, &mut sink);
+    graph::transitive(ws, cfg, &mut sink);
     sink.finish()
 }
 

@@ -3,6 +3,8 @@
 //! ```text
 //! resched-lint [--deny] [--json] [--root DIR] [PATH...]
 //! resched-lint --waive <rule> <path:line> [--root DIR]
+//! resched-lint --graph [--root DIR]
+//! resched-lint --why <root> <sink> [--root DIR]
 //! ```
 //!
 //! * With no flags: print the sorted report, exit 0 (warn mode).
@@ -14,8 +16,13 @@
 //! * `--waive`: insert a templated waiver comment above `path:line` and
 //!   exit; the justification placeholder still fails `--deny` until a real
 //!   reason is written.
+//! * `--graph`: dump the approximate call graph (functions, resolved
+//!   edges, dynamic calls, sinks) as stable JSON.
+//! * `--why`: print the witness chain from a root function to a sink
+//!   function, one qualified name per line, indented by depth; exit 1 if
+//!   no path exists.
 
-use resched_lint::{insert_waiver, render_json, render_text, run, Config, Rule, Workspace};
+use resched_lint::{graph, insert_waiver, render_json, render_text, run, Config, Rule, Workspace};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -26,12 +33,22 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut filters: Vec<String> = Vec::new();
     let mut waive: Option<(String, String)> = None;
+    let mut dump_graph = false;
+    let mut why: Option<(String, String)> = None;
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--deny" => deny = true,
             "--json" => json = true,
+            "--graph" => dump_graph = true,
+            "--why" => {
+                let (Some(root), Some(sink)) = (args.get(i + 1), args.get(i + 2)) else {
+                    return usage("--why needs <root> <sink>");
+                };
+                why = Some((root.clone(), sink.clone()));
+                i += 2;
+            }
             "--root" => {
                 i += 1;
                 match args.get(i) {
@@ -72,6 +89,22 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if dump_graph {
+        print!("{}", graph::graph_json(&ws));
+        return ExitCode::SUCCESS;
+    }
+    if let Some((root_spec, sink_spec)) = why {
+        return match graph::why(&ws, &root_spec, &sink_spec) {
+            Ok(chain) => {
+                print!("{chain}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("resched-lint: {e}");
+                ExitCode::from(1)
+            }
+        };
+    }
     let mut violations = run(&ws, &cfg);
     if !filters.is_empty() {
         violations.retain(|v| {
@@ -111,7 +144,8 @@ fn main() -> ExitCode {
 fn run_waive(root: &std::path::Path, rule: &str, site: &str) -> ExitCode {
     let Some(rule) = Rule::from_name(rule) else {
         return usage(&format!(
-            "unknown rule `{rule}` (waivable: nondet, panic, obs, catalog, parity)"
+            "unknown rule `{rule}` (waivable: nondet, panic, obs, catalog, parity, alloc, \
+             det, dynamic-call, panic-transitive, alloc-transitive, det-transitive)"
         ));
     };
     let Some((path, line)) = site.rsplit_once(':') else {
@@ -171,7 +205,9 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: resched-lint [--deny] [--json] [--root DIR] [PATH...]\n       \
-         resched-lint --waive <rule> <path:line> [--root DIR]"
+         resched-lint --waive <rule> <path:line> [--root DIR]\n       \
+         resched-lint --graph [--root DIR]\n       \
+         resched-lint --why <root> <sink> [--root DIR]"
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -1,5 +1,7 @@
-//! The six rule families. Each rule walks the lexed workspace and emits
-//! violations through the waiver-aware [`Sink`].
+//! The per-line rule families (nondet, obs, catalog, parity). Each rule
+//! walks the lexed workspace and emits violations through the waiver-aware
+//! [`Sink`]; the transitive families (panic, alloc, det, dynamic-call)
+//! live in [`crate::graph`].
 
 use crate::lexer::Lexed;
 use crate::manifest::{Catalog, MetricKind, MetricsManifest};
@@ -245,63 +247,6 @@ fn float_eq_comparison(code: &str) -> Option<&'static str> {
         }
     }
     None
-}
-
-// ---------------------------------------------------------------------------
-// Rule 2: panic-freedom.
-// ---------------------------------------------------------------------------
-
-/// Flag `unwrap()` / `expect(` / `panic!` / `unreachable!` / `todo!` /
-/// `unimplemented!` in library code paths (`panic_paths`, non-test lines).
-pub fn panic_freedom(ws: &Workspace, cfg: &Config, sink: &mut Sink) {
-    for (path, file) in &ws.files {
-        if !in_scope(path, &cfg.panic_paths) {
-            continue;
-        }
-        for (idx, line) in file.lexed.lines.iter().enumerate() {
-            if line.in_test {
-                continue;
-            }
-            let n = idx + 1;
-            let code = &line.code;
-            if token_followed_by(code, "unwrap", "()") {
-                sink.emit(
-                    ws,
-                    path,
-                    n,
-                    Rule::Panic,
-                    "unwrap() in library code; propagate a Result, restructure so the value \
-                     is total, or waive with the invariant that holds"
-                        .into(),
-                );
-            }
-            if token_followed_by(code, "expect", "(") {
-                sink.emit(
-                    ws,
-                    path,
-                    n,
-                    Rule::Panic,
-                    "expect() in library code; propagate a Result, restructure so the value \
-                     is total, or waive with the invariant that holds"
-                        .into(),
-                );
-            }
-            for mac in ["panic", "unreachable", "todo", "unimplemented"] {
-                if token_followed_by(code, mac, "!") {
-                    sink.emit(
-                        ws,
-                        path,
-                        n,
-                        Rule::Panic,
-                        format!(
-                            "{mac}! in library code; return an error or waive with the \
-                             invariant that makes it unreachable"
-                        ),
-                    );
-                }
-            }
-        }
-    }
 }
 
 // ---------------------------------------------------------------------------
@@ -857,102 +802,6 @@ fn backend_impl_target(code: &str) -> Option<String> {
         .take_while(|c| c.is_alphanumeric() || *c == '_')
         .collect();
     (!name.is_empty()).then_some(name)
-}
-
-// ---------------------------------------------------------------------------
-// Rule 6: alloc-free hot paths.
-// ---------------------------------------------------------------------------
-
-/// Marker comment opening an allocation-free hot-path region.
-pub const HOTPATH_BEGIN: &str = "lint:hotpath:begin";
-/// Closing marker.
-pub const HOTPATH_END: &str = "lint:hotpath:end";
-
-/// Flag heap-allocating constructs (`Vec::new`, `Box::new`, `collect`)
-/// inside `lint:hotpath:begin`/`lint:hotpath:end` regions — the scheduling
-/// paths whose steady-state allocation count the counting-allocator
-/// harness pins to zero. Non-test lines only; unbalanced markers are
-/// violations themselves so a region can never silently fail to close.
-pub fn alloc_hotpath(ws: &Workspace, cfg: &Config, sink: &mut Sink) {
-    for (path, file) in &ws.files {
-        if !in_scope(path, &cfg.src_paths) {
-            continue;
-        }
-        let mut open: Option<usize> = None;
-        for (idx, line) in file.lexed.lines.iter().enumerate() {
-            let n = idx + 1;
-            // Markers must be the comment's whole content, so prose about
-            // the markers never opens a region.
-            match line.comment.as_deref().map(str::trim) {
-                Some(HOTPATH_BEGIN) => {
-                    if let Some(at) = open {
-                        sink.emit(
-                            ws,
-                            path,
-                            n,
-                            Rule::Alloc,
-                            format!("nested {HOTPATH_BEGIN} (region already open since line {at})"),
-                        );
-                    }
-                    open = Some(n);
-                    continue;
-                }
-                Some(HOTPATH_END) => {
-                    if open.is_none() {
-                        sink.emit(
-                            ws,
-                            path,
-                            n,
-                            Rule::Alloc,
-                            format!("{HOTPATH_END} without a matching {HOTPATH_BEGIN}"),
-                        );
-                    }
-                    open = None;
-                    continue;
-                }
-                _ => {}
-            }
-            if open.is_none() || line.in_test {
-                continue;
-            }
-            let code = &line.code;
-            for ty in ["Vec", "Box"] {
-                if token_followed_by(code, ty, "::new") {
-                    sink.emit(
-                        ws,
-                        path,
-                        n,
-                        Rule::Alloc,
-                        format!(
-                            "{ty}::new in a hot-path region; reuse a scratch buffer from the \
-                             scheduling context, or waive with why this allocation is outside \
-                             the steady-state pin"
-                        ),
-                    );
-                }
-            }
-            if has_token(code, "collect") {
-                sink.emit(
-                    ws,
-                    path,
-                    n,
-                    Rule::Alloc,
-                    "collect in a hot-path region; extend a reused buffer instead, or waive \
-                     with why this allocation is outside the steady-state pin"
-                        .into(),
-                );
-            }
-        }
-        if let Some(at) = open {
-            sink.emit(
-                ws,
-                path,
-                at,
-                Rule::Alloc,
-                format!("{HOTPATH_BEGIN} region is never closed (add {HOTPATH_END})"),
-            );
-        }
-    }
 }
 
 /// Is line `n` a positive / negative obs feature gate?

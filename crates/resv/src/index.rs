@@ -72,6 +72,7 @@ pub(crate) struct UsageIndex {
 
 impl UsageIndex {
     /// Build the index for the given breakpoint vector.
+    // lint:warmup: full index rebuild after a structural calendar mutation; queries between mutations stay allocation-free.
     pub(crate) fn build(steps: &[Step]) -> UsageIndex {
         let mut ix = UsageIndex {
             n: 0,
@@ -142,6 +143,7 @@ impl UsageIndex {
         }
     }
 
+    // lint:allow(panic-transitive): node indices follow the 4n segment-tree recursion, which never leaves the arena the tree was built with.
     fn build_node(&mut self, steps: &[Step], node: usize, l: usize, r: usize) {
         if r - l == 1 {
             self.tmax[node] = steps[l].used as i64;
@@ -169,6 +171,7 @@ impl UsageIndex {
     /// `r` must be a valid breakpoint index (`r < n`): the calendar's
     /// structural invariant that the final breakpoint has `used == 0`
     /// guarantees a pure bump never covers the last breakpoint.
+    // lint:allow(panic-transitive): range endpoints are clamped to the leaf count before the recursion starts, and node indices follow the 4n segment-tree recursion, which never leaves the arena the tree was built with.
     pub(crate) fn range_bump(&mut self, l: usize, r: usize, delta: i64) -> u64 {
         let mut visited = 0u64;
         if l >= r || self.n == 0 {
@@ -216,6 +219,7 @@ impl UsageIndex {
     /// Whether every leaf agrees with the given step vector — the
     /// invariant the incremental patches maintain. Debug/test helper.
     #[allow(dead_code)]
+    // lint:allow(panic-transitive): the mirror walk visits exactly the leaves build() created, one per step.
     pub(crate) fn matches(&self, steps: &[Step]) -> bool {
         if self.n != steps.len() {
             return false;
@@ -237,6 +241,7 @@ impl UsageIndex {
     }
 
     #[allow(clippy::too_many_arguments)]
+    // lint:allow(panic-transitive): node indices follow the 4n segment-tree recursion, which never leaves the arena the tree was built with.
     fn max_node(
         &self,
         node: usize,

@@ -57,6 +57,7 @@ pub(crate) struct SlotSet {
 
 impl SlotSet {
     /// Build the slot list from a canonical breakpoint vector.
+    // lint:warmup: full slot-set rebuild after a structural calendar mutation; queries between mutations stay allocation-free.
     pub(crate) fn build(capacity: u32, steps: &[Step]) -> SlotSet {
         let mut ss = SlotSet {
             capacity,
@@ -69,6 +70,7 @@ impl SlotSet {
     /// Rebuild the slot list in place from a breakpoint vector, reusing
     /// the slot buffer — the allocation-free twin of [`SlotSet::build`]
     /// for scratch calendars recycled across schedules.
+    // lint:allow(panic-transitive): rebuild indexes the slot vector it just resized, one slot per step interval.
     pub(crate) fn rebuild(&mut self, capacity: u32, steps: &[Step]) {
         self.capacity = capacity;
         self.slots.clear();
@@ -101,6 +103,7 @@ impl SlotSet {
     /// the endpoints, bumps the covered slots, merges the seams, and trims
     /// fully-free slots off both ends — `O(log S + k)` plus the `Vec`
     /// shifts, mirroring the calendar's own breakpoint maintenance cost.
+    // lint:allow(panic-transitive): slot indices come from the split/merge bookkeeping that keeps the slot list sorted and gap-free, so neighbors are always in range.
     pub(crate) fn bump(&mut self, start: Time, end: Time, delta_used: i64) {
         debug_assert!(start < end, "empty bump interval");
         if self.slots.is_empty() {
@@ -222,6 +225,7 @@ impl SlotSet {
     /// `procs` processors free throughout — or `None`. Walks backward from
     /// the window restarting before each blocking slot; `visited` counts
     /// slots inspected.
+    // lint:allow(panic-transitive): slot indices come from the split/merge bookkeeping that keeps the slot list sorted and gap-free, so neighbors are always in range.
     pub(crate) fn latest_fit(
         &self,
         procs: u32,
